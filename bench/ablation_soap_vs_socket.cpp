@@ -1,0 +1,74 @@
+// Ablation C: SOAP/XML vs direct binary sockets for bulk data — the design
+// rationale of paper §4.3 ("not suited to large data transmission ... we
+// then back off from SOAP and use direct socket communication"). Encodes
+// real scene payloads both ways and compares bytes on the wire plus
+// modelled marshalling time.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mesh/primitives.hpp"
+#include "net/simlink.hpp"
+#include "scene/serialize.hpp"
+#include "services/soap.hpp"
+#include "sim/perf_model.hpp"
+
+using namespace rave;
+
+int main() {
+  bench::print_header("Ablation C: SOAP envelope vs direct binary socket",
+                      "paper §4.3 transport split rationale");
+
+  const net::LinkProfile ethernet = net::ethernet_100mbit();
+  const sim::MachineProfile host = sim::centrino_laptop();
+
+  bench::Table table({"Payload", "binary bytes", "SOAP bytes", "inflation", "binary time (s)",
+                      "SOAP time (s)", "slowdown"});
+  for (int detail : {8, 24, 64, 128}) {
+    scene::SceneTree tree;
+    tree.add_child(scene::kRootNode, "mesh", mesh::make_uv_sphere(1.0f, detail, detail));
+
+    scene::MarshalStats stats;
+    const std::vector<uint8_t> binary = scene::serialize_tree(tree, &stats);
+
+    // The SOAP path: the same bytes, base64-encoded into an envelope (how
+    // binary data must travel inside XML).
+    services::SoapCall call;
+    call.service = "data";
+    call.method = "publishScene";
+    call.args = {services::SoapValue{binary}};
+    const std::string envelope = services::encode_call(call);
+
+    const double binary_time = ethernet.delivery_seconds(binary.size());
+    // SOAP pays marshalling (per-field introspection into XML) on both
+    // ends plus the fatter wire payload.
+    const double soap_time = ethernet.delivery_seconds(envelope.size()) +
+                             2.0 * sim::marshall_seconds(host, stats.fields);
+
+    const uint64_t tris = tree.total_metrics().triangles;
+    table.row({bench::fmt_u64(tris) + " tris", bench::fmt_u64(binary.size()),
+               bench::fmt_u64(envelope.size()),
+               bench::fmt("%.2fx", static_cast<double>(envelope.size()) /
+                                       static_cast<double>(binary.size())),
+               bench::fmt("%.4f", binary_time), bench::fmt("%.3f", soap_time),
+               bench::fmt("%.0fx", soap_time / binary_time)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: constant ~1.3x byte inflation from base64 plus\n"
+      "marshalling costs that grow with scene size — hence RAVE uses SOAP\n"
+      "only for discovery/subscription and raw sockets for geometry and\n"
+      "frames (paper §4.3).\n");
+
+  // Round-trip sanity: the SOAP-encoded payload decodes bit-exactly.
+  scene::SceneTree check;
+  check.add_child(scene::kRootNode, "m", mesh::make_uv_sphere(1.0f, 8, 8));
+  const std::vector<uint8_t> payload = scene::serialize_tree(check);
+  services::SoapCall call;
+  call.service = "s";
+  call.method = "m";
+  call.args = {services::SoapValue{payload}};
+  auto decoded = services::decode_call(services::encode_call(call));
+  const bool ok = decoded.ok() && decoded.value().args[0].as_bytes() == payload;
+  std::printf("\nSOAP round-trip of binary scene payload: %s\n", ok ? "exact" : "FAILED");
+  return ok ? 0 : 1;
+}

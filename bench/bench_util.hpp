@@ -1,0 +1,63 @@
+// Shared helpers for the table/figure reproduction harness: fixed-width
+// table printing with paper-vs-measured columns, and output-directory
+// handling for the screenshot figures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+namespace rave::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(reproduces %s; shape comparison, not absolute numbers)\n\n", paper_ref.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+    for (const auto& r : rows_)
+      for (size_t c = 0; c < r.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], r[c].size());
+    const auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    size_t total = columns_.size() * 2;
+    for (size_t w : widths) total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline std::string fmt_u64(uint64_t value) { return std::to_string(value); }
+
+inline std::string output_dir() {
+  const std::string dir = "bench_output";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+}  // namespace rave::bench

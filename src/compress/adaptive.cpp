@@ -1,0 +1,53 @@
+#include "compress/adaptive.hpp"
+
+namespace rave::compress {
+
+AdaptiveEncoder::AdaptiveEncoder(AdaptiveConfig config)
+    : config_(config), bandwidth_Bps_(config.initial_bandwidth_Bps) {}
+
+EncodedImage AdaptiveEncoder::encode(const Image& image) {
+  const double budget_bytes = bandwidth_Bps_ / config_.target_fps;
+  const Image* prev = have_previous_ ? &previous_ : nullptr;
+
+  // Candidate order: lossless first, lossy last resort.
+  const CodecKind candidates[] = {CodecKind::Raw, CodecKind::Delta, CodecKind::Rle,
+                                  CodecKind::Quantize};
+  EncodedImage best;
+  bool have_best = false;
+  for (CodecKind kind : candidates) {
+    EncodedImage encoded = make_codec(kind)->encode(image, prev);
+    const bool fits = static_cast<double>(encoded.byte_size()) <= budget_bytes;
+    // Keep the smallest seen so far as the fallback when nothing fits.
+    if (!have_best || encoded.byte_size() < best.byte_size()) {
+      best = std::move(encoded);
+      have_best = true;
+    }
+    if (fits) {
+      // Candidates are ordered by fidelity: the first that fits wins.
+      if (best.codec != kind) best = make_codec(kind)->encode(image, prev);
+      break;
+    }
+  }
+  last_codec_ = best.codec;
+  previous_ = image;
+  have_previous_ = true;
+  return best;
+}
+
+void AdaptiveEncoder::observe_transfer(uint64_t bytes, double seconds) {
+  if (seconds <= 0) return;
+  const double observed = static_cast<double>(bytes) / seconds;
+  bandwidth_Bps_ = config_.ewma_alpha * observed + (1.0 - config_.ewma_alpha) * bandwidth_Bps_;
+}
+
+util::Result<Image> AdaptiveDecoder::decode(const EncodedImage& encoded) {
+  const Image* prev = have_previous_ ? &previous_ : nullptr;
+  auto img = make_codec(encoded.codec)->decode(encoded, prev);
+  if (img.ok()) {
+    previous_ = img.value();
+    have_previous_ = true;
+  }
+  return img;
+}
+
+}  // namespace rave::compress

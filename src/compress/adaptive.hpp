@@ -1,0 +1,56 @@
+// Adaptive codec selection. "We need a compression algorithm that can
+// adapt on the fly to changing network conditions" (paper §5.1): the
+// selector tracks an EWMA bandwidth estimate from observed transfers and
+// picks, per frame, the cheapest codec whose predicted transfer time meets
+// the target frame period — degrading from lossless to lossy only when
+// bandwidth demands it.
+#pragma once
+
+#include <memory>
+
+#include "compress/codec.hpp"
+
+namespace rave::compress {
+
+struct AdaptiveConfig {
+  double target_fps = 5.0;
+  // Initial bandwidth estimate, bytes/second (11 Mbit/s wireless at ~42%
+  // efficiency ≈ 580 KB/s, the paper's measured figure).
+  double initial_bandwidth_Bps = 580e3;
+  double ewma_alpha = 0.3;
+};
+
+class AdaptiveEncoder {
+ public:
+  explicit AdaptiveEncoder(AdaptiveConfig config = {});
+
+  // Encode the next frame, choosing the codec against the current
+  // bandwidth estimate.
+  EncodedImage encode(const Image& image);
+
+  // Feed back an observed transfer (bytes delivered in `seconds`).
+  void observe_transfer(uint64_t bytes, double seconds);
+
+  [[nodiscard]] double bandwidth_estimate_Bps() const { return bandwidth_Bps_; }
+  [[nodiscard]] CodecKind last_codec() const { return last_codec_; }
+
+ private:
+  AdaptiveConfig config_;
+  double bandwidth_Bps_;
+  CodecKind last_codec_ = CodecKind::Raw;
+  Image previous_;
+  bool have_previous_ = false;
+};
+
+// Receiver side: decodes whatever the encoder chose, tracking the previous
+// frame for delta decoding.
+class AdaptiveDecoder {
+ public:
+  util::Result<Image> decode(const EncodedImage& encoded);
+
+ private:
+  Image previous_;
+  bool have_previous_ = false;
+};
+
+}  // namespace rave::compress

@@ -1,0 +1,234 @@
+#include "compress/codec.hpp"
+
+#include <cstring>
+
+#include "util/serial.hpp"
+
+namespace rave::compress {
+
+using util::make_error;
+using util::Result;
+
+const char* codec_name(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::Raw: return "raw";
+    case CodecKind::Rle: return "rle";
+    case CodecKind::Delta: return "delta";
+    case CodecKind::Quantize: return "quantize565";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> EncodedImage::serialize() const {
+  util::ByteWriter w;
+  w.u8(static_cast<uint8_t>(codec));
+  w.u8(keyframe ? 1 : 0);
+  w.u16(static_cast<uint16_t>(width));
+  w.u16(static_cast<uint16_t>(height));
+  w.bytes(data);
+  return w.take();
+}
+
+Result<EncodedImage> EncodedImage::deserialize(std::span<const uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  EncodedImage out;
+  out.codec = static_cast<CodecKind>(r.u8());
+  out.keyframe = r.u8() != 0;
+  out.width = r.u16();
+  out.height = r.u16();
+  out.data = r.bytes();
+  if (!r.ok()) return make_error("encoded image: truncated");
+  return out;
+}
+
+namespace {
+// --- RLE over RGB triples --------------------------------------------------
+// Stream of runs: [count:u8][r][g][b], count in 1..255.
+std::vector<uint8_t> rle_encode(const std::vector<uint8_t>& rgb) {
+  std::vector<uint8_t> out;
+  const size_t pixels = rgb.size() / 3;
+  size_t i = 0;
+  while (i < pixels) {
+    const uint8_t r = rgb[i * 3], g = rgb[i * 3 + 1], b = rgb[i * 3 + 2];
+    size_t run = 1;
+    while (run < 255 && i + run < pixels && rgb[(i + run) * 3] == r &&
+           rgb[(i + run) * 3 + 1] == g && rgb[(i + run) * 3 + 2] == b)
+      ++run;
+    out.push_back(static_cast<uint8_t>(run));
+    out.push_back(r);
+    out.push_back(g);
+    out.push_back(b);
+    i += run;
+  }
+  return out;
+}
+
+util::Result<std::vector<uint8_t>> rle_decode(const std::vector<uint8_t>& data, size_t pixels) {
+  std::vector<uint8_t> rgb;
+  rgb.reserve(pixels * 3);
+  size_t i = 0;
+  while (i + 4 <= data.size() && rgb.size() < pixels * 3) {
+    const size_t run = data[i];
+    if (run == 0) return make_error("rle: zero run");
+    for (size_t k = 0; k < run && rgb.size() < pixels * 3; ++k) {
+      rgb.push_back(data[i + 1]);
+      rgb.push_back(data[i + 2]);
+      rgb.push_back(data[i + 3]);
+    }
+    i += 4;
+  }
+  if (rgb.size() != pixels * 3) return make_error("rle: truncated stream");
+  return rgb;
+}
+
+class RawCodec final : public ImageCodec {
+ public:
+  [[nodiscard]] CodecKind kind() const override { return CodecKind::Raw; }
+
+  EncodedImage encode(const Image& image, const Image*) const override {
+    EncodedImage out;
+    out.codec = CodecKind::Raw;
+    out.width = image.width;
+    out.height = image.height;
+    out.data = image.rgb;
+    return out;
+  }
+
+  Result<Image> decode(const EncodedImage& encoded, const Image*) const override {
+    Image img(encoded.width, encoded.height);
+    if (encoded.data.size() != img.rgb.size()) return make_error("raw: size mismatch");
+    img.rgb = encoded.data;
+    return img;
+  }
+};
+
+class RleCodec final : public ImageCodec {
+ public:
+  [[nodiscard]] CodecKind kind() const override { return CodecKind::Rle; }
+
+  EncodedImage encode(const Image& image, const Image*) const override {
+    EncodedImage out;
+    out.codec = CodecKind::Rle;
+    out.width = image.width;
+    out.height = image.height;
+    out.data = rle_encode(image.rgb);
+    return out;
+  }
+
+  Result<Image> decode(const EncodedImage& encoded, const Image*) const override {
+    Image img(encoded.width, encoded.height);
+    auto rgb = rle_decode(encoded.data, static_cast<size_t>(encoded.width) * encoded.height);
+    if (!rgb.ok()) return make_error(rgb.error());
+    img.rgb = std::move(rgb).take();
+    return img;
+  }
+};
+
+class DeltaCodec final : public ImageCodec {
+ public:
+  [[nodiscard]] CodecKind kind() const override { return CodecKind::Delta; }
+
+  EncodedImage encode(const Image& image, const Image* previous) const override {
+    EncodedImage out;
+    out.codec = CodecKind::Delta;
+    out.width = image.width;
+    out.height = image.height;
+    if (previous == nullptr || previous->width != image.width ||
+        previous->height != image.height) {
+      out.keyframe = true;
+      out.data = rle_encode(image.rgb);
+      return out;
+    }
+    out.keyframe = false;
+    std::vector<uint8_t> diff(image.rgb.size());
+    for (size_t i = 0; i < diff.size(); ++i)
+      diff[i] = static_cast<uint8_t>(image.rgb[i] - previous->rgb[i]);  // mod-256
+    out.data = rle_encode(diff);
+    return out;
+  }
+
+  Result<Image> decode(const EncodedImage& encoded, const Image* previous) const override {
+    Image img(encoded.width, encoded.height);
+    auto payload = rle_decode(encoded.data, static_cast<size_t>(encoded.width) * encoded.height);
+    if (!payload.ok()) return make_error(payload.error());
+    if (encoded.keyframe) {
+      img.rgb = std::move(payload).take();
+      return img;
+    }
+    if (previous == nullptr || previous->width != encoded.width ||
+        previous->height != encoded.height)
+      return make_error("delta: missing previous frame");
+    const std::vector<uint8_t> diff = std::move(payload).take();
+    for (size_t i = 0; i < img.rgb.size(); ++i)
+      img.rgb[i] = static_cast<uint8_t>(previous->rgb[i] + diff[i]);
+    return img;
+  }
+};
+
+// RGB565 quantization, then RLE on the 2-byte codes (as triples would
+// misalign, runs are encoded as [count:u8][lo][hi]).
+class QuantizeCodec final : public ImageCodec {
+ public:
+  [[nodiscard]] CodecKind kind() const override { return CodecKind::Quantize; }
+
+  EncodedImage encode(const Image& image, const Image*) const override {
+    EncodedImage out;
+    out.codec = CodecKind::Quantize;
+    out.width = image.width;
+    out.height = image.height;
+    const size_t pixels = image.rgb.size() / 3;
+    std::vector<uint16_t> packed(pixels);
+    for (size_t i = 0; i < pixels; ++i) {
+      const uint16_t r = image.rgb[i * 3] >> 3;
+      const uint16_t g = image.rgb[i * 3 + 1] >> 2;
+      const uint16_t b = image.rgb[i * 3 + 2] >> 3;
+      packed[i] = static_cast<uint16_t>((r << 11) | (g << 5) | b);
+    }
+    size_t i = 0;
+    while (i < pixels) {
+      size_t run = 1;
+      while (run < 255 && i + run < pixels && packed[i + run] == packed[i]) ++run;
+      out.data.push_back(static_cast<uint8_t>(run));
+      out.data.push_back(static_cast<uint8_t>(packed[i] & 0xFF));
+      out.data.push_back(static_cast<uint8_t>(packed[i] >> 8));
+      i += run;
+    }
+    return out;
+  }
+
+  Result<Image> decode(const EncodedImage& encoded, const Image*) const override {
+    Image img(encoded.width, encoded.height);
+    const size_t pixels = static_cast<size_t>(encoded.width) * encoded.height;
+    size_t px = 0, i = 0;
+    while (i + 3 <= encoded.data.size() && px < pixels) {
+      const size_t run = encoded.data[i];
+      if (run == 0) return make_error("quantize: zero run");
+      const uint16_t code = static_cast<uint16_t>(encoded.data[i + 1] |
+                                                  (encoded.data[i + 2] << 8));
+      const uint8_t r = static_cast<uint8_t>(((code >> 11) & 0x1F) << 3);
+      const uint8_t g = static_cast<uint8_t>(((code >> 5) & 0x3F) << 2);
+      const uint8_t b = static_cast<uint8_t>((code & 0x1F) << 3);
+      for (size_t k = 0; k < run && px < pixels; ++k, ++px) {
+        img.rgb[px * 3] = r;
+        img.rgb[px * 3 + 1] = g;
+        img.rgb[px * 3 + 2] = b;
+      }
+      i += 3;
+    }
+    if (px != pixels) return make_error("quantize: truncated stream");
+    return img;
+  }
+};
+}  // namespace
+
+std::unique_ptr<ImageCodec> make_codec(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::Raw: return std::make_unique<RawCodec>();
+    case CodecKind::Rle: return std::make_unique<RleCodec>();
+    case CodecKind::Delta: return std::make_unique<DeltaCodec>();
+    case CodecKind::Quantize: return std::make_unique<QuantizeCodec>();
+  }
+  return std::make_unique<RawCodec>();
+}
+
+}  // namespace rave::compress

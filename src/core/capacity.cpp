@@ -1,0 +1,90 @@
+#include "core/capacity.hpp"
+
+namespace rave::core {
+
+RenderCapacity RenderCapacity::from_profile(const sim::MachineProfile& profile) {
+  RenderCapacity c;
+  c.host = profile.name;
+  c.polygons_per_sec = profile.tri_rate;
+  c.points_per_sec = profile.tri_rate * 3.0;  // splats are cheaper than triangles
+  c.voxels_per_sec = profile.fill_rate * 0.1;
+  c.texture_mem_bytes = profile.texture_mem_bytes;
+  c.hw_volume_rendering = profile.texture_mem_bytes >= (128ull << 20);
+  return c;
+}
+
+void write_capacity(util::ByteWriter& w, const RenderCapacity& c) {
+  w.str(c.host);
+  w.f64(c.polygons_per_sec);
+  w.f64(c.points_per_sec);
+  w.f64(c.voxels_per_sec);
+  w.u64(c.texture_mem_bytes);
+  w.boolean(c.hw_volume_rendering);
+}
+
+RenderCapacity read_capacity(util::ByteReader& r) {
+  RenderCapacity c;
+  c.host = r.str();
+  c.polygons_per_sec = r.f64();
+  c.points_per_sec = r.f64();
+  c.voxels_per_sec = r.f64();
+  c.texture_mem_bytes = r.u64();
+  c.hw_volume_rendering = r.boolean();
+  return c;
+}
+
+NodeCost node_cost(const scene::SceneTree& tree, scene::NodeId id) {
+  NodeCost cost;
+  cost.node = id;
+  const scene::NodeMetrics metrics = tree.total_metrics(id);
+  cost.triangles = metrics.triangles;
+  cost.points = metrics.points;
+  cost.voxels = metrics.voxels;
+  cost.texture_bytes = metrics.texture_bytes;
+  return cost;
+}
+
+std::vector<NodeCost> payload_costs(const scene::SceneTree& tree) {
+  std::vector<NodeCost> costs;
+  for (scene::NodeId id : tree.payload_node_ids()) {
+    const scene::SceneNode* node = tree.find(id);
+    const scene::NodeMetrics metrics = node->metrics();
+    NodeCost cost;
+    cost.node = id;
+    cost.triangles = metrics.triangles;
+    cost.points = metrics.points;
+    cost.voxels = metrics.voxels;
+    cost.texture_bytes = metrics.texture_bytes;
+    costs.push_back(cost);
+  }
+  return costs;
+}
+
+void LoadTracker::record_frame(double frame_seconds, double now) {
+  if (frame_seconds <= 0) return;
+  const double fps = 1.0 / frame_seconds;
+  ewma_fps_ = have_sample_ ? thresholds_.ewma_alpha * fps +
+                                 (1.0 - thresholds_.ewma_alpha) * ewma_fps_
+                           : fps;
+  have_sample_ = true;
+  if (ewma_fps_ < thresholds_.low_fps) {
+    if (over_since_ < 0) over_since_ = now;
+  } else {
+    over_since_ = -1;
+  }
+  if (ewma_fps_ > thresholds_.high_fps) {
+    if (under_since_ < 0) under_since_ = now;
+  } else {
+    under_since_ = -1;
+  }
+}
+
+bool LoadTracker::overloaded(double now) const {
+  return have_sample_ && over_since_ >= 0 && (now - over_since_) >= thresholds_.sustain_seconds;
+}
+
+bool LoadTracker::underloaded(double now) const {
+  return have_sample_ && under_since_ >= 0 && (now - under_since_) >= thresholds_.sustain_seconds;
+}
+
+}  // namespace rave::core

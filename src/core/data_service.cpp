@@ -1,0 +1,599 @@
+#include "core/data_service.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "mesh/obj_io.hpp"
+#include "scene/serialize.hpp"
+#include "util/log.hpp"
+
+namespace rave::core {
+
+using scene::NodeId;
+using scene::SceneTree;
+using scene::SceneUpdate;
+using util::make_error;
+using util::Result;
+using util::Status;
+
+DataService::DataService(util::Clock& clock, Options options)
+    : clock_(&clock), options_(std::move(options)) {}
+
+Result<std::string> DataService::create_session(const std::string& name, SceneTree initial) {
+  if (sessions_.count(name) != 0) return make_error("data: session exists: " + name);
+  Session session;
+  session.name = name;
+  session.tree = std::move(initial);
+  session.trail.set_base(session.tree);
+  sessions_.emplace(name, std::move(session));
+  return name;
+}
+
+Result<std::string> DataService::create_session_from_obj(const std::string& name,
+                                                         const std::string& obj_path) {
+  auto mesh = mesh::load_obj(obj_path);
+  if (!mesh.ok()) return make_error(mesh.error());
+  SceneTree tree;
+  tree.add_child(scene::kRootNode, name, std::move(mesh).take());
+  return create_session(name, std::move(tree));
+}
+
+Result<std::string> DataService::load_session(const std::string& name,
+                                              const std::string& audit_path) {
+  auto trail = scene::AuditTrail::load(audit_path);
+  if (!trail.ok()) return make_error(trail.error());
+  scene::SessionPlayer player(trail.value());
+  if (!player.valid()) return make_error("data: corrupt audit trail in " + audit_path);
+  player.play_all();
+  // The resumed session keeps the full history so later saves extend it.
+  if (sessions_.count(name) != 0) return make_error("data: session exists: " + name);
+  Session session;
+  session.name = name;
+  session.tree = std::move(player.tree());
+  session.trail = std::move(trail).take();
+  session.sequence = session.trail.size();
+  sessions_.emplace(name, std::move(session));
+  return name;
+}
+
+Status DataService::save_session(const std::string& name, const std::string& audit_path) const {
+  const Session* session = find_session(name);
+  if (session == nullptr) return make_error("data: no such session: " + name);
+  return session->trail.save(audit_path);
+}
+
+Status DataService::restrict_session(const std::string& session_name,
+                                     std::vector<std::string> allowed_hosts) {
+  Session* session = find_session(session_name);
+  if (session == nullptr) return make_error("data: no such session: " + session_name);
+  session->allowed_hosts = std::move(allowed_hosts);
+  return {};
+}
+
+Status DataService::grant_access(const std::string& session_name, const std::string& host) {
+  Session* session = find_session(session_name);
+  if (session == nullptr) return make_error("data: no such session: " + session_name);
+  if (std::find(session->allowed_hosts.begin(), session->allowed_hosts.end(), host) ==
+      session->allowed_hosts.end())
+    session->allowed_hosts.push_back(host);
+  return {};
+}
+
+Status DataService::revoke_access(const std::string& session_name, const std::string& host) {
+  Session* session = find_session(session_name);
+  if (session == nullptr) return make_error("data: no such session: " + session_name);
+  session->allowed_hosts.erase(
+      std::remove(session->allowed_hosts.begin(), session->allowed_hosts.end(), host),
+      session->allowed_hosts.end());
+  // Revocation also disconnects live subscribers from that host.
+  for (Subscriber& sub : session->subscribers) {
+    if (sub.host != host) continue;
+    (void)sub.channel->send(encode(RefusalMsg{"access revoked for host '" + host + "'"}));
+    sub.channel->close();
+    sub.alive = false;
+  }
+  return {};
+}
+
+bool DataService::host_permitted(const std::string& session_name,
+                                 const std::string& host) const {
+  const Session* session = find_session(session_name);
+  if (session == nullptr) return false;
+  return session->allowed_hosts.empty() ||
+         std::find(session->allowed_hosts.begin(), session->allowed_hosts.end(), host) !=
+             session->allowed_hosts.end();
+}
+
+std::vector<std::string> DataService::session_names() const {
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) names.push_back(name);
+  return names;
+}
+
+const SceneTree* DataService::session_tree(const std::string& name) const {
+  const Session* session = find_session(name);
+  return session == nullptr ? nullptr : &session->tree;
+}
+
+const scene::AuditTrail* DataService::session_audit(const std::string& name) const {
+  const Session* session = find_session(name);
+  return session == nullptr ? nullptr : &session->trail;
+}
+
+uint64_t DataService::committed_updates(const std::string& name) const {
+  const Session* session = find_session(name);
+  return session == nullptr ? 0 : session->sequence;
+}
+
+void DataService::accept(net::ChannelPtr channel) { pending_.push_back(std::move(channel)); }
+
+size_t DataService::pump() {
+  size_t handled = pump_pending();
+  for (auto& [name, session] : sessions_) handled += pump_session(session);
+  return handled;
+}
+
+size_t DataService::pump_pending() {
+  size_t handled = 0;
+  for (size_t i = 0; i < pending_.size();) {
+    auto msg = pending_[i]->try_receive();
+    if (!msg.has_value()) {
+      if (!pending_[i]->is_open()) {
+        pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    ++handled;
+    auto request = decode_subscribe(*msg);
+    if (!request.ok()) {
+      (void)pending_[i]->send(encode(RefusalMsg{request.error()}));
+      ++i;
+      continue;
+    }
+    net::ChannelPtr channel = pending_[i];
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+    handle_subscribe(std::move(channel), request.value());
+  }
+  return handled;
+}
+
+void DataService::handle_subscribe(net::ChannelPtr channel, const SubscribeRequest& request) {
+  Session* session = find_session(request.session);
+  if (session == nullptr) {
+    (void)channel->send(encode(RefusalMsg{"no such session: " + request.session}));
+    return;
+  }
+  if (!session->allowed_hosts.empty() &&
+      std::find(session->allowed_hosts.begin(), session->allowed_hosts.end(), request.host) ==
+          session->allowed_hosts.end()) {
+    (void)channel->send(encode(RefusalMsg{
+        "access denied: host '" + request.host + "' is not permitted on session '" +
+        request.session + "' (ask the session owner to grant access)"}));
+    return;
+  }
+  Subscriber sub;
+  sub.id = next_subscriber_id_++;
+  sub.channel = std::move(channel);
+  sub.kind = request.kind;
+  sub.host = request.host;
+  sub.access_point = request.access_point;
+  sub.capacity = request.capacity;
+  sub.tracker = LoadTracker(options_.thresholds);
+  sub.whole_tree = true;
+
+  SubscribeAck ack;
+  ack.client_id = sub.id;
+  ack.session = session->name;
+  ack.last_sequence = session->sequence;
+  (void)sub.channel->send(encode(ack));
+
+  SnapshotMsg snapshot;
+  snapshot.session = session->name;
+  snapshot.sequence = session->sequence;
+  snapshot.tree_bytes = scene::serialize_tree(session->tree);
+  (void)sub.channel->send(encode(snapshot));
+
+  session->subscribers.push_back(std::move(sub));
+  util::log_info("data") << "subscriber " << ack.client_id << " (" << request.host
+                         << ") joined session " << session->name;
+}
+
+bool DataService::interest_covers(const Session& session, const Subscriber& subscriber,
+                                  NodeId node) const {
+  if (subscriber.whole_tree) return true;
+  // A subscriber must see an update if the touched node lies inside any of
+  // its interest subtrees, or on the ancestor chain of one (transforms of
+  // ancestors move the subset in the world).
+  for (NodeId root : subscriber.interest) {
+    for (NodeId cursor = root; cursor != scene::kInvalidNode;) {
+      if (cursor == node) return true;
+      const scene::SceneNode* n = session.tree.find(cursor);
+      if (n == nullptr) break;
+      cursor = n->parent;
+    }
+  }
+  // Inside a subtree?
+  for (NodeId cursor = node; cursor != scene::kInvalidNode;) {
+    if (std::find(subscriber.interest.begin(), subscriber.interest.end(), cursor) !=
+        subscriber.interest.end())
+      return true;
+    const scene::SceneNode* n = session.tree.find(cursor);
+    if (n == nullptr) break;
+    cursor = n->parent;
+  }
+  return false;
+}
+
+void DataService::commit_update(Session& session, Subscriber* origin, SceneUpdate update) {
+  // Allocate ids for new nodes centrally.
+  if (update.kind == scene::UpdateKind::AddNode &&
+      (update.node == scene::kInvalidNode || session.tree.contains(update.node))) {
+    update.node = session.tree.allocate_id();
+    update.new_node.id = update.node;
+  }
+  update.sequence = ++session.sequence;
+  update.author = origin != nullptr ? origin->id : 0;
+  update.timestamp = clock_->now();
+
+  const Status applied = update.apply(session.tree);
+  if (!applied.ok()) {
+    --session.sequence;
+    if (origin != nullptr)
+      (void)origin->channel->send(encode(RefusalMsg{"update rejected: " + applied.error()}));
+    return;
+  }
+  session.trail.append(update);
+  if (origin != nullptr && update.kind == scene::UpdateKind::AddNode &&
+      std::holds_alternative<scene::AvatarData>(update.new_node.payload))
+    origin->own_avatars.push_back(update.node);
+
+  // When the session is distributed (interest sets in force), a freshly
+  // added payload node must be owned by someone: assign it to the render
+  // service with the most spare capacity.
+  if (update.kind == scene::UpdateKind::AddNode &&
+      !std::holds_alternative<std::monostate>(update.new_node.payload) &&
+      !update.new_node.is_avatar()) {
+    Subscriber* best = nullptr;
+    double best_headroom = 0;
+    bool any_distributed = false;
+    for (Subscriber& sub : session.subscribers) {
+      if (!sub.alive || sub.kind != SubscriberKind::RenderService || sub.whole_tree) continue;
+      any_distributed = true;
+      double assigned = 0;
+      for (NodeId id : sub.interest)
+        if (session.tree.contains(id)) assigned += node_cost(session.tree, id).work_units();
+      const double headroom = sub.capacity.polygon_budget(options_.target_fps) - assigned;
+      if (best == nullptr || headroom > best_headroom) {
+        best = &sub;
+        best_headroom = headroom;
+      }
+    }
+    if (any_distributed && best != nullptr) {
+      best->interest.push_back(update.node);
+      send_interest(session, *best, /*include_snapshot=*/false);
+    }
+  }
+
+  const net::Message wire = encode(UpdateMsg{session.name, update});
+  const NodeId touched = update.touched_node();
+  for (Subscriber& sub : session.subscribers) {
+    if (!sub.alive) continue;
+    if (!interest_covers(session, sub, touched) &&
+        !(origin != nullptr && sub.id == origin->id))
+      continue;
+    (void)sub.channel->send(wire);
+  }
+}
+
+size_t DataService::pump_session(Session& session) {
+  size_t handled = 0;
+  bool overload_seen = false;
+  for (Subscriber& sub : session.subscribers) {
+    if (!sub.alive) continue;
+    for (;;) {
+      auto msg = sub.channel->try_receive();
+      if (!msg.has_value()) {
+        if (!sub.channel->is_open()) sub.alive = false;
+        break;
+      }
+      ++handled;
+      switch (msg->type) {
+        case kMsgUpdate: {
+          auto update = decode_update(*msg);
+          if (update.ok()) commit_update(session, &sub, std::move(update).take().update);
+          break;
+        }
+        case kMsgClientUpdate: {
+          auto update = decode_client_update(*msg);
+          if (update.ok()) commit_update(session, &sub, std::move(update).take().update);
+          break;
+        }
+        case kMsgLoadReport: {
+          auto report = decode_load_report(*msg);
+          if (report.ok()) {
+            sub.tracker.record_frame(report.value().frame_seconds, clock_->now());
+            if (sub.tracker.overloaded(clock_->now()) ||
+                sub.tracker.underloaded(clock_->now()))
+              overload_seen = true;
+          }
+          break;
+        }
+        case kMsgAssistRequest: {
+          auto request = decode_assist_request(*msg);
+          if (!request.ok()) break;
+          // Forward to "the most appropriate render service that is
+          // already connected to the scene" — strongest capacity first.
+          std::vector<const Subscriber*> peers;
+          for (const Subscriber& other : session.subscribers)
+            if (other.alive && other.id != sub.id &&
+                other.kind == SubscriberKind::RenderService && !other.access_point.empty())
+              peers.push_back(&other);
+          std::sort(peers.begin(), peers.end(), [](const Subscriber* a, const Subscriber* b) {
+            return a->capacity.polygons_per_sec > b->capacity.polygons_per_sec;
+          });
+          AssistGrantMsg grant;
+          for (const Subscriber* p : peers) {
+            if (static_cast<int>(grant.access_points.size()) >= request.value().tiles_wanted)
+              break;
+            grant.access_points.push_back(p->access_point);
+          }
+          (void)sub.channel->send(encode(grant));
+          break;
+        }
+        default:
+          util::log_warn("data") << "unhandled message type 0x" << std::hex << msg->type;
+          break;
+      }
+    }
+  }
+
+  // Departed subscribers: retire their avatars, drop them.
+  for (Subscriber& sub : session.subscribers) {
+    if (sub.alive || sub.own_avatars.empty()) continue;
+    for (NodeId avatar : sub.own_avatars)
+      if (session.tree.contains(avatar))
+        commit_update(session, nullptr, SceneUpdate::remove_node(avatar));
+    sub.own_avatars.clear();
+  }
+  session.subscribers.erase(
+      std::remove_if(session.subscribers.begin(), session.subscribers.end(),
+                     [](const Subscriber& s) { return !s.alive; }),
+      session.subscribers.end());
+
+  if (overload_seen && options_.auto_rebalance &&
+      clock_->now() - session.last_rebalance >= options_.rebalance_interval) {
+    session.last_rebalance = clock_->now();
+    rebalance_locked(session);
+  }
+  return handled;
+}
+
+Status DataService::distribute(const std::string& session_name) {
+  Session* session = find_session(session_name);
+  if (session == nullptr) return make_error("data: no such session: " + session_name);
+
+  std::vector<ServiceSlot> slots;
+  for (const Subscriber& sub : session->subscribers)
+    if (sub.alive && sub.kind == SubscriberKind::RenderService)
+      slots.push_back({sub.id, sub.capacity});
+
+  const DistributionPlan plan =
+      plan_distribution(payload_costs(session->tree), slots, options_.target_fps);
+  if (!plan.feasible) {
+    util::log_warn("data") << "distribution refused: " << plan.refusal_reason;
+    return make_error(plan.refusal_reason);
+  }
+
+  for (Subscriber& sub : session->subscribers) {
+    if (!sub.alive || sub.kind != SubscriberKind::RenderService) continue;
+    const DistributionPlan::Assignment* assignment = plan.assignment_for(sub.id);
+    sub.whole_tree = false;
+    sub.interest = assignment != nullptr ? assignment->nodes : std::vector<NodeId>{};
+    send_interest(*session, sub, /*include_snapshot=*/true);
+  }
+  return {};
+}
+
+void DataService::send_interest(Session& session, Subscriber& subscriber,
+                                bool include_snapshot) {
+  InterestSetMsg interest;
+  interest.session = session.name;
+  interest.whole_tree = subscriber.whole_tree;
+  interest.nodes = subscriber.interest;
+  (void)subscriber.channel->send(encode(interest));
+  if (!include_snapshot) return;
+  SnapshotMsg snapshot;
+  snapshot.session = session.name;
+  snapshot.sequence = session.sequence;
+  snapshot.merge = false;
+  const SceneTree subset =
+      subscriber.whole_tree ? session.tree : session.tree.subset(subscriber.interest);
+  snapshot.tree_bytes = scene::serialize_tree(subset);
+  (void)subscriber.channel->send(encode(snapshot));
+}
+
+std::vector<MigrationAction> DataService::rebalance(const std::string& session_name) {
+  Session* session = find_session(session_name);
+  if (session == nullptr) return {};
+  return rebalance_locked(*session);
+}
+
+std::vector<MigrationAction> DataService::rebalance_locked(Session& session) {
+  std::vector<ServiceLoadView> views;
+  const double now = clock_->now();
+  for (const Subscriber& sub : session.subscribers) {
+    if (!sub.alive || sub.kind != SubscriberKind::RenderService) continue;
+    ServiceLoadView view;
+    view.subscriber_id = sub.id;
+    view.capacity = sub.capacity;
+    view.fps = sub.tracker.fps();
+    view.overloaded = sub.tracker.overloaded(now);
+    view.underloaded = sub.tracker.underloaded(now);
+    if (sub.whole_tree) {
+      view.assigned = payload_costs(session.tree);
+    } else {
+      for (NodeId id : sub.interest)
+        if (session.tree.contains(id)) view.assigned.push_back(node_cost(session.tree, id));
+    }
+    views.push_back(std::move(view));
+  }
+
+  MigrationConfig config;
+  config.target_fps = options_.target_fps;
+  std::vector<MigrationAction> actions = plan_migration(views, config);
+
+  bool recruit_needed = false;
+  for (const MigrationAction& action : actions) {
+    switch (action.kind) {
+      case MigrationAction::Kind::MoveNodes: {
+        Subscriber* from = nullptr;
+        Subscriber* to = nullptr;
+        for (Subscriber& sub : session.subscribers) {
+          if (sub.id == action.from) from = &sub;
+          if (sub.id == action.to) to = &sub;
+        }
+        if (from == nullptr || to == nullptr) break;
+        std::unordered_set<NodeId> moved;
+        for (const NodeCost& n : action.nodes) moved.insert(n.node);
+        // A whole-tree holder becomes a subset holder when work leaves it.
+        if (from->whole_tree) {
+          from->whole_tree = false;
+          from->interest = session.tree.payload_node_ids();
+        }
+        from->interest.erase(std::remove_if(from->interest.begin(), from->interest.end(),
+                                            [&](NodeId id) { return moved.count(id) != 0; }),
+                             from->interest.end());
+        if (to->whole_tree) {
+          to->whole_tree = false;
+          to->interest = session.tree.payload_node_ids();
+        }
+        for (NodeId id : moved)
+          if (std::find(to->interest.begin(), to->interest.end(), id) == to->interest.end())
+            to->interest.push_back(id);
+        send_interest(session, *from, /*include_snapshot=*/false);
+        send_interest(session, *to, /*include_snapshot=*/true);
+        util::log_info("data") << "migrated " << action.nodes.size() << " nodes from service "
+                               << action.from << " to " << action.to;
+        break;
+      }
+      case MigrationAction::Kind::RecruitNeeded:
+        recruit_needed = true;
+        break;
+      case MigrationAction::Kind::MarkAvailable:
+        // No state change needed: availability falls out of the headroom
+        // computation on the next round.
+        break;
+    }
+  }
+
+  if (recruit_needed && recruiter_) {
+    const size_t joined = recruiter_(session.name);
+    util::log_info("data") << "recruited " << joined << " render services for session "
+                           << session.name;
+  }
+  return actions;
+}
+
+void DataService::register_soap(services::ServiceContainer& container) {
+  using services::SoapList;
+  using services::SoapStruct;
+  using services::SoapValue;
+
+  container.register_method(
+      "data", "listSessions", [this](const SoapList&) -> Result<SoapValue> {
+        SoapList out;
+        for (const std::string& name : session_names()) out.push_back(name);
+        return SoapValue{std::move(out)};
+      });
+
+  container.register_method(
+      "data", "describeSession", [this](const SoapList& args) -> Result<SoapValue> {
+        if (args.empty()) return make_error("describeSession: missing session name");
+        const Session* session = find_session(args[0].as_string());
+        if (session == nullptr) return make_error("no such session: " + args[0].as_string());
+        SoapStruct out;
+        out["name"] = session->name;
+        out["nodes"] = static_cast<int64_t>(session->tree.node_count());
+        out["triangles"] = static_cast<int64_t>(session->tree.total_metrics().triangles);
+        out["updates"] = static_cast<int64_t>(session->sequence);
+        out["subscribers"] = static_cast<int64_t>(session->subscribers.size());
+        return SoapValue{std::move(out)};
+      });
+
+  container.register_method(
+      "data", "createSession", [this](const SoapList& args) -> Result<SoapValue> {
+        if (args.size() < 2) return make_error("createSession: need name and data URL");
+        const std::string name = args[0].as_string();
+        const std::string url = args[1].as_string();
+        // "file:" URLs import OBJ data; "empty:" creates a bare session.
+        Result<std::string> created = url.rfind("file:", 0) == 0
+                                          ? create_session_from_obj(name, url.substr(5))
+                                          : create_session(name, scene::SceneTree{});
+        if (!created.ok()) return make_error(created.error());
+        return SoapValue{created.value()};
+      });
+
+  container.register_method(
+      "data", "querySessionLoad", [this](const SoapList& args) -> Result<SoapValue> {
+        if (args.empty()) return make_error("querySessionLoad: missing session name");
+        SoapList out;
+        for (const SubscriberView& view : subscribers(args[0].as_string())) {
+          SoapStruct entry;
+          entry["id"] = static_cast<int64_t>(view.id);
+          entry["host"] = view.host;
+          entry["fps"] = view.fps;
+          entry["polygonsPerSec"] = view.capacity.polygons_per_sec;
+          entry["wholeTree"] = view.whole_tree;
+          entry["interestNodes"] = static_cast<int64_t>(view.interest.size());
+          out.push_back(std::move(entry));
+        }
+        return SoapValue{std::move(out)};
+      });
+}
+
+Status DataService::advertise(services::UddiRegistry& registry,
+                              const std::string& access_point) {
+  const std::string tmodel = registry.register_tmodel(services::data_service_descriptor());
+  const std::string business = registry.register_business(options_.host_name);
+  for (const std::string& name : session_names()) {
+    const std::string service_key = registry.register_service(business, "data:" + name);
+    auto bound = registry.register_binding(service_key, access_point, tmodel, name);
+    if (!bound.ok()) return make_error(bound.error());
+  }
+  return {};
+}
+
+std::vector<DataService::SubscriberView> DataService::subscribers(
+    const std::string& session_name) const {
+  std::vector<SubscriberView> out;
+  const Session* session = find_session(session_name);
+  if (session == nullptr) return out;
+  for (const Subscriber& sub : session->subscribers) {
+    SubscriberView view;
+    view.id = sub.id;
+    view.kind = sub.kind;
+    view.host = sub.host;
+    view.access_point = sub.access_point;
+    view.capacity = sub.capacity;
+    view.whole_tree = sub.whole_tree;
+    view.interest = sub.interest;
+    view.fps = sub.tracker.fps();
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+DataService::Session* DataService::find_session(const std::string& name) {
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const DataService::Session* DataService::find_session(const std::string& name) const {
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rave::core

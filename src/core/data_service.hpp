@@ -1,0 +1,162 @@
+// The RAVE data service (paper §3.1.1): the persistent, central
+// distribution point for the data being visualized. It imports data from
+// files or programs, manages multiple sessions, streams an audit trail to
+// disk, reflects committed updates to every subscriber whose interest set
+// covers them, interrogates render-service capacities, and orchestrates
+// workload distribution, migration and UDDI recruitment (§3.2.5, §3.2.7).
+//
+// Update ordering: originators do NOT pre-apply their own changes; the
+// data service assigns a global sequence and echoes every committed update
+// to all interested subscribers, including the originator. All replicas
+// therefore apply the same updates in the same order.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/distribution.hpp"
+#include "core/migration.hpp"
+#include "core/protocol.hpp"
+#include "net/channel.hpp"
+#include "scene/audit.hpp"
+#include "scene/tree.hpp"
+#include "services/container.hpp"
+#include "services/registry.hpp"
+#include "util/clock.hpp"
+
+namespace rave::core {
+
+class DataService {
+ public:
+  struct Options {
+    std::string host_name = "datahost";
+    double target_fps = 15.0;
+    LoadTracker::Thresholds thresholds{};
+    // Re-run migration planning at most this often per session (seconds).
+    double rebalance_interval = 0.5;
+    // Automatically rebalance on over/underload reports.
+    bool auto_rebalance = true;
+  };
+
+  explicit DataService(util::Clock& clock) : DataService(clock, Options()) {}
+  DataService(util::Clock& clock, Options options);
+
+  // --- sessions -----------------------------------------------------------
+  util::Result<std::string> create_session(const std::string& name, scene::SceneTree initial);
+  util::Result<std::string> create_session_from_obj(const std::string& name,
+                                                    const std::string& obj_path);
+  // Resume a recorded session (asynchronous collaboration, §3.1.1).
+  util::Result<std::string> load_session(const std::string& name, const std::string& audit_path);
+  util::Status save_session(const std::string& name, const std::string& audit_path) const;
+
+  // --- access control -------------------------------------------------------
+  // "Resources may need to have access permissions modified to permit new
+  // users" (§3.2.2). An empty ACL (the default) leaves a session open;
+  // otherwise only listed hosts may subscribe, and others are refused with
+  // an explanatory message.
+  util::Status restrict_session(const std::string& session,
+                                std::vector<std::string> allowed_hosts);
+  util::Status grant_access(const std::string& session, const std::string& host);
+  util::Status revoke_access(const std::string& session, const std::string& host);
+  [[nodiscard]] bool host_permitted(const std::string& session, const std::string& host) const;
+
+  [[nodiscard]] std::vector<std::string> session_names() const;
+  [[nodiscard]] const scene::SceneTree* session_tree(const std::string& name) const;
+  [[nodiscard]] const scene::AuditTrail* session_audit(const std::string& name) const;
+  [[nodiscard]] uint64_t committed_updates(const std::string& name) const;
+
+  // --- transport ----------------------------------------------------------
+  // New subscriber connection (wired by a Fabric listener).
+  void accept(net::ChannelPtr channel);
+
+  // Process pending messages on all channels; returns messages handled.
+  size_t pump();
+
+  // --- workload -----------------------------------------------------------
+  // (Re)distribute a session's payload nodes across its render services.
+  // On refusal (insufficient capacity) the error carries the explanation
+  // and subscribers keep their previous interest sets.
+  util::Status distribute(const std::string& session);
+
+  // One migration planning+execution round; returns the actions taken.
+  std::vector<MigrationAction> rebalance(const std::string& session);
+
+  // Recruitment callback: must try to bring new render services into
+  // `session` (e.g. via UDDI discovery) and return how many joined.
+  using RecruitFn = std::function<size_t(const std::string& session)>;
+  void set_recruiter(RecruitFn recruiter) { recruiter_ = std::move(recruiter); }
+
+  // --- SOAP surface ---------------------------------------------------------
+  // Endpoint "data": createSession, listSessions, describeSession,
+  // querySessionLoad.
+  void register_soap(services::ServiceContainer& container);
+
+  // Register this service + its sessions in a UDDI registry.
+  util::Status advertise(services::UddiRegistry& registry, const std::string& access_point);
+
+  // --- introspection --------------------------------------------------------
+  struct SubscriberView {
+    uint64_t id = 0;
+    SubscriberKind kind = SubscriberKind::RenderService;
+    std::string host;
+    std::string access_point;
+    RenderCapacity capacity;
+    bool whole_tree = true;
+    std::vector<scene::NodeId> interest;
+    double fps = 0;
+  };
+  [[nodiscard]] std::vector<SubscriberView> subscribers(const std::string& session) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+  [[nodiscard]] util::Clock& clock() { return *clock_; }
+
+ private:
+  struct Subscriber {
+    uint64_t id = 0;
+    net::ChannelPtr channel;
+    SubscriberKind kind = SubscriberKind::RenderService;
+    std::string host;
+    std::string access_point;
+    RenderCapacity capacity;
+    bool whole_tree = true;
+    std::vector<scene::NodeId> interest;
+    LoadTracker tracker;
+    std::vector<scene::NodeId> own_avatars;
+    bool alive = true;
+  };
+
+  struct Session {
+    std::string name;
+    scene::SceneTree tree;
+    scene::AuditTrail trail;
+    uint64_t sequence = 0;
+    std::vector<Subscriber> subscribers;
+    double last_rebalance = -1e9;
+    // Empty = open to all; otherwise the permitted host names.
+    std::vector<std::string> allowed_hosts;
+  };
+
+  size_t pump_pending();
+  size_t pump_session(Session& session);
+  void handle_subscribe(net::ChannelPtr channel, const SubscribeRequest& request);
+  void commit_update(Session& session, Subscriber* origin, scene::SceneUpdate update);
+  void send_interest(Session& session, Subscriber& subscriber, bool include_snapshot);
+  bool interest_covers(const Session& session, const Subscriber& subscriber,
+                       scene::NodeId node) const;
+  std::vector<MigrationAction> rebalance_locked(Session& session);
+  Session* find_session(const std::string& name);
+  [[nodiscard]] const Session* find_session(const std::string& name) const;
+
+  util::Clock* clock_;
+  Options options_;
+  std::map<std::string, Session> sessions_;
+  std::vector<net::ChannelPtr> pending_;  // connected, not yet subscribed
+  uint64_t next_subscriber_id_ = 1;
+  RecruitFn recruiter_;
+};
+
+}  // namespace rave::core

@@ -1,0 +1,119 @@
+#include "core/distribution.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rave::core {
+
+const DistributionPlan::Assignment* DistributionPlan::assignment_for(
+    uint64_t subscriber_id) const {
+  for (const Assignment& a : assignments)
+    if (a.subscriber_id == subscriber_id) return &a;
+  return nullptr;
+}
+
+DistributionPlan plan_distribution(const std::vector<NodeCost>& nodes,
+                                   const std::vector<ServiceSlot>& services,
+                                   double target_fps) {
+  DistributionPlan plan;
+  if (services.empty()) {
+    plan.refusal_reason = "no render services are subscribed to this session";
+    return plan;
+  }
+
+  struct Bin {
+    const ServiceSlot* slot;
+    double budget;
+    uint64_t texture_budget;
+    DistributionPlan::Assignment assignment;
+  };
+  std::vector<Bin> bins;
+  bins.reserve(services.size());
+  double total_budget = 0;
+  for (const ServiceSlot& s : services) {
+    Bin bin;
+    bin.slot = &s;
+    bin.budget = s.capacity.polygon_budget(target_fps);
+    bin.texture_budget = s.capacity.texture_mem_bytes;
+    bin.assignment.subscriber_id = s.subscriber_id;
+    total_budget += bin.budget;
+    bins.push_back(std::move(bin));
+  }
+
+  std::vector<NodeCost> ordered = nodes;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const NodeCost& a, const NodeCost& b) { return a.work_units() > b.work_units(); });
+
+  double total_work = 0;
+  for (const NodeCost& node : ordered) total_work += node.work_units();
+
+  for (const NodeCost& node : ordered) {
+    Bin* best = nullptr;
+    double best_headroom = -1;
+    for (Bin& bin : bins) {
+      const double headroom = bin.budget - bin.assignment.assigned_work;
+      const bool texture_fits =
+          bin.assignment.texture_bytes + node.texture_bytes <= bin.texture_budget;
+      if (headroom >= node.work_units() && texture_fits && headroom > best_headroom) {
+        best = &bin;
+        best_headroom = headroom;
+      }
+    }
+    if (best == nullptr) {
+      // The paper: "if insufficient resources are available, the request
+      // is refused with an explanatory error message."
+      std::ostringstream reason;
+      reason << "insufficient rendering capacity: node " << node.node << " needs "
+             << static_cast<uint64_t>(node.work_units()) << " work units (" << node.triangles
+             << " triangles)";
+      double max_headroom = 0;
+      for (const Bin& bin : bins)
+        max_headroom = std::max(max_headroom, bin.budget - bin.assignment.assigned_work);
+      reason << "; largest remaining per-frame budget is "
+             << static_cast<uint64_t>(max_headroom) << " at " << target_fps
+             << " fps (total scene work " << static_cast<uint64_t>(total_work)
+             << ", total budget " << static_cast<uint64_t>(total_budget) << ")";
+      plan.refusal_reason = reason.str();
+      plan.assignments.clear();
+      return plan;
+    }
+    best->assignment.nodes.push_back(node.node);
+    best->assignment.assigned_work += node.work_units();
+    best->assignment.texture_bytes += node.texture_bytes;
+  }
+
+  for (Bin& bin : bins)
+    if (!bin.assignment.nodes.empty()) plan.assignments.push_back(std::move(bin.assignment));
+  plan.feasible = true;
+  return plan;
+}
+
+std::vector<NodeCost> select_nodes_to_move(std::vector<NodeCost> assigned, double deficit_work,
+                                           double max_work) {
+  std::vector<NodeCost> chosen;
+  if (deficit_work <= 0 || max_work <= 0) return chosen;
+  // Smallest-first keeps the movement fine-grained; never exceed the
+  // receiver's spare capacity ("we do not want to add 100k polygons by
+  // mistake").
+  std::sort(assigned.begin(), assigned.end(),
+            [](const NodeCost& a, const NodeCost& b) { return a.work_units() < b.work_units(); });
+  double moved = 0;
+  for (const NodeCost& node : assigned) {
+    if (moved >= deficit_work) break;
+    if (moved + node.work_units() > max_work) continue;  // would overshoot the receiver
+    chosen.push_back(node);
+    moved += node.work_units();
+  }
+  if (moved <= 0) return {};
+  return chosen;
+}
+
+std::vector<render::Tile> plan_tiles(int width, int height,
+                                     const std::vector<ServiceSlot>& services) {
+  std::vector<double> weights;
+  weights.reserve(services.size());
+  for (const ServiceSlot& s : services) weights.push_back(s.capacity.polygons_per_sec);
+  return render::split_tiles_weighted(width, height, weights);
+}
+
+}  // namespace rave::core

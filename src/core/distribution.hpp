@@ -1,0 +1,60 @@
+// Workload distribution (paper §3.2.5). Two schemes:
+//  - dataset distribution: the scene's payload nodes are partitioned
+//    across render services by capacity; each service gets an interest
+//    set (subset of the scene tree plus ancestors) to hold and render;
+//  - framebuffer distribution: the target frame is split into tiles sized
+//    by each service's pixel throughput.
+// When the whole dataset cannot be packed, the plan is infeasible and
+// carries the paper's "explanatory error message".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "render/framebuffer.hpp"
+
+namespace rave::core {
+
+struct ServiceSlot {
+  uint64_t subscriber_id = 0;
+  RenderCapacity capacity;
+};
+
+struct DistributionPlan {
+  struct Assignment {
+    uint64_t subscriber_id = 0;
+    std::vector<scene::NodeId> nodes;
+    double assigned_work = 0;    // work units
+    uint64_t texture_bytes = 0;
+  };
+
+  bool feasible = false;
+  std::string refusal_reason;  // set when infeasible
+  std::vector<Assignment> assignments;
+
+  [[nodiscard]] const Assignment* assignment_for(uint64_t subscriber_id) const;
+};
+
+// Greedy capacity-aware bin packing: nodes sorted by descending work are
+// placed on the service with the most remaining polygon budget, subject to
+// texture memory. `target_fps` converts polygons/second capacity into a
+// per-frame polygon budget.
+DistributionPlan plan_distribution(const std::vector<NodeCost>& nodes,
+                                   const std::vector<ServiceSlot>& services, double target_fps);
+
+// Fine-grained move selection (paper §3.2.7): choose nodes from `assigned`
+// totalling at least `deficit_work` but never more than `max_work` (the
+// spare capacity of the receiving service), preferring small nodes so the
+// receiver is not overshot. Returns empty when the constraint cannot be
+// met.
+std::vector<NodeCost> select_nodes_to_move(std::vector<NodeCost> assigned, double deficit_work,
+                                           double max_work);
+
+// Tile split weighted by each service's fill throughput, first tile = the
+// local service ("a single tile is rendered locally, whilst the remaining
+// tiles are rendered remotely").
+std::vector<render::Tile> plan_tiles(int width, int height,
+                                     const std::vector<ServiceSlot>& services);
+
+}  // namespace rave::core

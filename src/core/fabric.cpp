@@ -1,0 +1,116 @@
+#include "core/fabric.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace rave::core {
+
+using util::make_error;
+using util::Result;
+
+InProcFabric::InProcFabric(util::Clock& clock, net::LinkProfile default_link)
+    : clock_(&clock), default_link_(std::move(default_link)) {}
+
+Result<std::string> InProcFabric::listen(const std::string& name, AcceptFn on_accept) {
+  std::lock_guard lock(mu_);
+  if (listeners_.count(name) != 0) return make_error("fabric: name in use: " + name);
+  listeners_[name] = Listener{std::move(on_accept), std::nullopt};
+  return "inproc:" + name;
+}
+
+void InProcFabric::unlisten(const std::string& name) {
+  std::lock_guard lock(mu_);
+  listeners_.erase(name);
+}
+
+void InProcFabric::set_link(const std::string& name, net::LinkProfile profile) {
+  std::lock_guard lock(mu_);
+  auto it = listeners_.find(name);
+  if (it != listeners_.end()) it->second.link = std::move(profile);
+}
+
+Result<net::ChannelPtr> InProcFabric::dial(const std::string& access_point) {
+  const std::string prefix = "inproc:";
+  if (access_point.rfind(prefix, 0) != 0)
+    return make_error("fabric: not an inproc access point: " + access_point);
+  const std::string name = access_point.substr(prefix.size());
+  AcceptFn accept;
+  net::LinkProfile link = default_link_;
+  {
+    std::lock_guard lock(mu_);
+    auto it = listeners_.find(name);
+    if (it == listeners_.end()) return make_error("fabric: no listener at " + access_point);
+    accept = it->second.on_accept;
+    if (it->second.link.has_value()) link = *it->second.link;
+  }
+  auto [client_end, server_end] =
+      link.bandwidth_bps > 0 || link.latency_s > 0
+          ? net::make_simulated_pair(*clock_, link)
+          : net::make_channel_pair();
+  accept(std::move(server_end));
+  return client_end;
+}
+
+struct TcpFabric::Listener {
+  std::unique_ptr<net::TcpListener> socket;
+  AcceptFn on_accept;
+  std::thread accept_thread;
+  std::atomic<bool> running{true};
+
+  ~Listener() {
+    running = false;
+    if (socket) socket->close();
+    if (accept_thread.joinable()) accept_thread.join();
+  }
+};
+
+Result<std::string> TcpFabric::listen(const std::string& name, AcceptFn on_accept) {
+  auto socket = net::TcpListener::bind(0);
+  if (!socket.ok()) return make_error(socket.error());
+  auto listener = std::make_unique<Listener>();
+  listener->socket = std::move(socket).take();
+  listener->on_accept = std::move(on_accept);
+  const uint16_t port = listener->socket->port();
+  Listener* raw = listener.get();
+  listener->accept_thread = std::thread([raw] {
+    while (raw->running.load(std::memory_order_relaxed)) {
+      auto channel = raw->socket->accept(0.1);
+      if (channel.has_value()) raw->on_accept(std::move(*channel));
+    }
+  });
+  {
+    std::lock_guard lock(mu_);
+    listeners_[name] = std::move(listener);
+  }
+  return "tcp:127.0.0.1:" + std::to_string(port);
+}
+
+void TcpFabric::unlisten(const std::string& name) {
+  std::unique_ptr<Listener> doomed;
+  {
+    std::lock_guard lock(mu_);
+    auto it = listeners_.find(name);
+    if (it == listeners_.end()) return;
+    doomed = std::move(it->second);
+    listeners_.erase(it);
+  }
+  // Destructor joins the accept thread outside the lock.
+}
+
+Result<net::ChannelPtr> TcpFabric::dial(const std::string& access_point) {
+  const std::string prefix = "tcp:";
+  if (access_point.rfind(prefix, 0) != 0)
+    return make_error("fabric: not a tcp access point: " + access_point);
+  const std::string rest = access_point.substr(prefix.size());
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos) return make_error("fabric: bad tcp access point");
+  const std::string host = rest.substr(0, colon);
+  const int port = std::atoi(rest.substr(colon + 1).c_str());
+  if (port <= 0 || port > 65535) return make_error("fabric: bad tcp port");
+  return net::tcp_connect(host, static_cast<uint16_t>(port));
+}
+
+TcpFabric::TcpFabric() = default;
+TcpFabric::~TcpFabric() = default;
+
+}  // namespace rave::core

@@ -1,0 +1,81 @@
+// Transport fabric: maps UDDI access points ("inproc:host/service",
+// "tcp:127.0.0.1:9000") to live channels. Services listen on the fabric
+// and clients dial discovered access points — the glue between the
+// registry's metadata world and the binary data plane. The in-process
+// fabric optionally routes every connection through a simulated link so a
+// whole heterogeneous testbed (paper §4.4) runs in one process under
+// virtual time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/channel.hpp"
+#include "net/simlink.hpp"
+#include "net/tcp.hpp"
+#include "util/clock.hpp"
+
+namespace rave::core {
+
+class Fabric {
+ public:
+  using AcceptFn = std::function<void(net::ChannelPtr)>;
+
+  virtual ~Fabric() = default;
+
+  // Expose `name`; returns the access point to advertise in the registry.
+  virtual util::Result<std::string> listen(const std::string& name, AcceptFn on_accept) = 0;
+  virtual void unlisten(const std::string& name) = 0;
+
+  // Connect to an advertised access point.
+  virtual util::Result<net::ChannelPtr> dial(const std::string& access_point) = 0;
+};
+
+class InProcFabric final : public Fabric {
+ public:
+  // All connections run at `default_link` speed against `clock`; individual
+  // listeners can override (e.g. the PDA behind wireless while servers
+  // share 100 Mbit ethernet).
+  explicit InProcFabric(util::Clock& clock, net::LinkProfile default_link = {});
+
+  util::Result<std::string> listen(const std::string& name, AcceptFn on_accept) override;
+  void unlisten(const std::string& name) override;
+  util::Result<net::ChannelPtr> dial(const std::string& access_point) override;
+
+  // Per-listener link override, applied to later dials of that name.
+  void set_link(const std::string& name, net::LinkProfile profile);
+
+ private:
+  struct Listener {
+    AcceptFn on_accept;
+    std::optional<net::LinkProfile> link;
+  };
+
+  util::Clock* clock_;
+  net::LinkProfile default_link_;
+  std::mutex mu_;
+  std::map<std::string, Listener> listeners_;
+};
+
+// Real sockets on loopback; access points are "tcp:127.0.0.1:<port>".
+// Each listener runs an accept thread that hands connections to the
+// callback.
+class TcpFabric final : public Fabric {
+ public:
+  TcpFabric();  // out of line: Listener is incomplete here
+  ~TcpFabric() override;
+
+  util::Result<std::string> listen(const std::string& name, AcceptFn on_accept) override;
+  void unlisten(const std::string& name) override;
+  util::Result<net::ChannelPtr> dial(const std::string& access_point) override;
+
+ private:
+  struct Listener;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Listener>> listeners_;
+};
+
+}  // namespace rave::core

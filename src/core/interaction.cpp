@@ -1,0 +1,219 @@
+#include "core/interaction.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace rave::core {
+
+using scene::NodeId;
+using scene::SceneTree;
+using util::Mat4;
+using util::Vec3;
+
+PickRay pick_ray(const scene::Camera& camera, int pixel_x, int pixel_y, int viewport_width,
+                 int viewport_height) {
+  const float aspect =
+      static_cast<float>(viewport_width) / static_cast<float>(viewport_height);
+  const float ndc_x = 2.0f * (static_cast<float>(pixel_x) + 0.5f) / viewport_width - 1.0f;
+  const float ndc_y = 1.0f - 2.0f * (static_cast<float>(pixel_y) + 0.5f) / viewport_height;
+  const float tan_half = std::tan(util::deg_to_rad(camera.fov_y_deg) * 0.5f);
+  const Vec3 dir_cam{ndc_x * tan_half * aspect, ndc_y * tan_half, -1.0f};
+  const Mat4 inv_view = camera.view().inverse();
+  PickRay ray;
+  ray.origin = inv_view.transform_point({0, 0, 0});
+  ray.direction = util::normalize(inv_view.transform_dir(dir_cam));
+  return ray;
+}
+
+namespace {
+// Möller–Trumbore ray/triangle intersection.
+bool ray_triangle(const PickRay& ray, const Vec3& a, const Vec3& b, const Vec3& c, float& t) {
+  const Vec3 ab = b - a;
+  const Vec3 ac = c - a;
+  const Vec3 pvec = util::cross(ray.direction, ac);
+  const float det = util::dot(ab, pvec);
+  if (std::fabs(det) < 1e-9f) return false;
+  const float inv_det = 1.0f / det;
+  const Vec3 tvec = ray.origin - a;
+  const float u = util::dot(tvec, pvec) * inv_det;
+  if (u < 0.0f || u > 1.0f) return false;
+  const Vec3 qvec = util::cross(tvec, ab);
+  const float v = util::dot(ray.direction, qvec) * inv_det;
+  if (v < 0.0f || u + v > 1.0f) return false;
+  const float hit = util::dot(ac, qvec) * inv_det;
+  if (hit <= 1e-6f) return false;
+  t = hit;
+  return true;
+}
+
+bool ray_aabb(const PickRay& ray, const scene::Aabb& box, float& t) {
+  float t0 = 0.0f, t1 = std::numeric_limits<float>::max();
+  const float o[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+  const float d[3] = {ray.direction.x, ray.direction.y, ray.direction.z};
+  const float lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+  const float hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+  for (int i = 0; i < 3; ++i) {
+    if (std::fabs(d[i]) < 1e-12f) {
+      if (o[i] < lo[i] || o[i] > hi[i]) return false;
+      continue;
+    }
+    float a = (lo[i] - o[i]) / d[i];
+    float b = (hi[i] - o[i]) / d[i];
+    if (a > b) std::swap(a, b);
+    t0 = std::max(t0, a);
+    t1 = std::min(t1, b);
+  }
+  if (t0 > t1 || t1 <= 1e-6f) return false;
+  t = std::max(t0, 1e-6f);
+  return true;
+}
+}  // namespace
+
+std::optional<PickResult> pick(const SceneTree& tree, const PickRay& ray) {
+  PickResult best;
+  best.distance = std::numeric_limits<float>::max();
+  bool hit_any = false;
+
+  tree.traverse([&](const scene::SceneNode& node, const Mat4& world) {
+    if (std::holds_alternative<std::monostate>(node.payload)) return;
+    // Cheap reject on world bounds first.
+    const scene::Aabb bounds = node.local_bounds().transformed(world);
+    float t_box;
+    if (!bounds.valid() || !ray_aabb(ray, bounds, t_box) || t_box >= best.distance) return;
+
+    if (const auto* mesh = std::get_if<scene::MeshData>(&node.payload)) {
+      // Transform the ray into local space once; triangle-accurate pick.
+      const Mat4 inv = world.inverse();
+      PickRay local;
+      local.origin = inv.transform_point(ray.origin);
+      const Vec3 local_dir = inv.transform_dir(ray.direction);
+      const float dir_scale = local_dir.length();
+      if (dir_scale < 1e-12f) return;
+      local.direction = local_dir / dir_scale;
+      for (size_t i = 0; i + 2 < mesh->indices.size(); i += 3) {
+        float t_local;
+        if (!ray_triangle(local, mesh->positions[mesh->indices[i]],
+                          mesh->positions[mesh->indices[i + 1]],
+                          mesh->positions[mesh->indices[i + 2]], t_local))
+          continue;
+        const float t_world = t_local / dir_scale;
+        if (t_world < best.distance) {
+          best.distance = t_world;
+          best.node = node.id;
+          best.world_point = ray.origin + ray.direction * t_world;
+          hit_any = true;
+        }
+      }
+    } else {
+      // Bounds-accurate for non-mesh payloads.
+      if (t_box < best.distance) {
+        best.distance = t_box;
+        best.node = node.id;
+        best.world_point = ray.origin + ray.direction * t_box;
+        hit_any = true;
+      }
+    }
+  });
+  if (!hit_any) return std::nullopt;
+  return best;
+}
+
+std::optional<PickResult> pick_pixel(const SceneTree& tree, const scene::Camera& camera,
+                                     int pixel_x, int pixel_y, int viewport_width,
+                                     int viewport_height) {
+  return pick(tree, pick_ray(camera, pixel_x, pixel_y, viewport_width, viewport_height));
+}
+
+std::vector<InteractionSpec> interrogate(const SceneTree& tree, NodeId node_id) {
+  std::vector<InteractionSpec> specs;
+  const scene::SceneNode* node = tree.find(node_id);
+  if (node == nullptr) return specs;
+  const auto add = [&](InteractionKind kind, const char* label) {
+    specs.push_back({kind, label});
+  };
+  switch (node->kind()) {
+    case scene::NodeKind::Mesh:
+    case scene::NodeKind::Group:
+      add(InteractionKind::TranslateObject, "Move object");
+      add(InteractionKind::RotateObject, "Rotate object");
+      add(InteractionKind::DeleteObject, "Delete object");
+      add(InteractionKind::RotateCameraAround, "Rotate camera around object");
+      break;
+    case scene::NodeKind::PointCloud:
+      add(InteractionKind::TranslateObject, "Move point cloud");
+      add(InteractionKind::ResizePoints, "Resize points");
+      add(InteractionKind::DeleteObject, "Delete point cloud");
+      add(InteractionKind::RotateCameraAround, "Rotate camera around object");
+      break;
+    case scene::NodeKind::VoxelGrid:
+      add(InteractionKind::TranslateObject, "Move volume");
+      add(InteractionKind::AdjustTransfer, "Adjust transfer function");
+      add(InteractionKind::RotateCameraAround, "Rotate camera around volume");
+      break;
+    case scene::NodeKind::Avatar:
+      // Other users' avatars are informational: look, don't touch.
+      add(InteractionKind::RotateCameraAround, "Rotate camera around user");
+      break;
+  }
+  return specs;
+}
+
+std::optional<scene::SceneUpdate> apply_interaction(const SceneTree& tree, NodeId node_id,
+                                                    InteractionKind kind, const DragInput& drag,
+                                                    scene::Camera& camera) {
+  const scene::SceneNode* node = tree.find(node_id);
+  if (node == nullptr) return std::nullopt;
+
+  // Validate against the interrogated capabilities — the GUI only offers
+  // what the object supports, but the transport must not trust the GUI.
+  bool supported = false;
+  for (const InteractionSpec& spec : interrogate(tree, node_id))
+    if (spec.kind == kind) supported = true;
+  if (!supported) return std::nullopt;
+
+  switch (kind) {
+    case InteractionKind::TranslateObject: {
+      // Drag in the view plane, scaled to the object's distance.
+      const Vec3 world_pos = tree.world_transform(node_id).transform_point({0, 0, 0});
+      const float depth = std::max((world_pos - camera.eye).length(), camera.znear);
+      const float extent = depth * std::tan(util::deg_to_rad(camera.fov_y_deg) * 0.5f) * 2.0f;
+      const Vec3 view_dir = camera.view_dir();
+      Vec3 right = util::normalize(util::cross(view_dir, camera.up));
+      const Vec3 up = util::cross(right, view_dir);
+      const Vec3 delta = right * (drag.dx * extent) + up * (-drag.dy * extent);
+      return scene::SceneUpdate::set_transform(node_id,
+                                               Mat4::translate(delta) * node->transform);
+    }
+    case InteractionKind::RotateObject: {
+      const Mat4 spin = Mat4::rotate_y(drag.dx * util::kPi) * Mat4::rotate_x(drag.dy * util::kPi);
+      return scene::SceneUpdate::set_transform(node_id, node->transform * spin);
+    }
+    case InteractionKind::DeleteObject:
+      return scene::SceneUpdate::remove_node(node_id);
+    case InteractionKind::RotateCameraAround: {
+      // Camera-side: retarget to the object and orbit; no scene update.
+      camera.target = tree.world_transform(node_id).transform_point({0, 0, 0});
+      camera.orbit(drag.dx * util::kPi, drag.dy * util::kPi);
+      return std::nullopt;
+    }
+    case InteractionKind::AdjustTransfer: {
+      const auto* grid = std::get_if<scene::VoxelGridData>(&node->payload);
+      if (grid == nullptr) return std::nullopt;
+      scene::VoxelGridData adjusted = *grid;
+      adjusted.opacity_scale = std::max(0.05f, adjusted.opacity_scale * (1.0f + drag.dy));
+      adjusted.iso_low = std::clamp(adjusted.iso_low + drag.dx * 0.25f, 0.0f,
+                                    adjusted.iso_high - 1e-3f);
+      return scene::SceneUpdate::set_payload(node_id, std::move(adjusted));
+    }
+    case InteractionKind::ResizePoints: {
+      const auto* cloud = std::get_if<scene::PointCloudData>(&node->payload);
+      if (cloud == nullptr) return std::nullopt;
+      scene::PointCloudData resized = *cloud;
+      resized.point_size = std::max(1.0f, resized.point_size * (1.0f - drag.dy));
+      return scene::SceneUpdate::set_payload(node_id, std::move(resized));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rave::core

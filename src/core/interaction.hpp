@@ -1,0 +1,82 @@
+// Interaction model (paper §5.2): "The GUI interrogates objects for any
+// supported interactions, and reflects this in the drop-down menus; all
+// interactions are based on clicking to select/deselect an object, and
+// dragging." The interrogation approach decouples the GUI from the
+// objects: supported interactions can change without touching the GUI or
+// the message transport — interactions resolve to ordinary SceneUpdates
+// routed through the data service like any other edit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scene/camera.hpp"
+#include "scene/tree.hpp"
+#include "scene/update.hpp"
+
+namespace rave::core {
+
+// --- picking ---------------------------------------------------------------
+
+struct PickRay {
+  util::Vec3 origin;
+  util::Vec3 direction;  // normalized
+};
+
+// The ray through a viewport pixel (pixel centers; y grows downward).
+PickRay pick_ray(const scene::Camera& camera, int pixel_x, int pixel_y, int viewport_width,
+                 int viewport_height);
+
+struct PickResult {
+  scene::NodeId node = scene::kInvalidNode;
+  float distance = 0;        // along the ray
+  util::Vec3 world_point{};  // hit position
+};
+
+// Closest payload node hit by the ray (triangle-accurate for meshes,
+// bounds-accurate for point clouds/volumes/avatars). nullopt = background.
+std::optional<PickResult> pick(const scene::SceneTree& tree, const PickRay& ray);
+
+// Convenience: click at a pixel.
+std::optional<PickResult> pick_pixel(const scene::SceneTree& tree, const scene::Camera& camera,
+                                     int pixel_x, int pixel_y, int viewport_width,
+                                     int viewport_height);
+
+// --- interrogation ------------------------------------------------------------
+
+enum class InteractionKind : uint8_t {
+  TranslateObject,     // drag the object in the view plane
+  RotateObject,        // drag to spin the object
+  DeleteObject,        // remove from the scene
+  RotateCameraAround,  // orbit the camera around the selected object
+  AdjustTransfer,      // volume transfer-function edit
+  ResizePoints,        // point cloud splat size
+};
+
+struct InteractionSpec {
+  InteractionKind kind;
+  std::string label;  // drop-down menu text
+};
+
+// What the selected node supports — the §5.2 interrogation call.
+std::vector<InteractionSpec> interrogate(const scene::SceneTree& tree, scene::NodeId node);
+
+// --- drag execution -------------------------------------------------------------
+
+struct DragInput {
+  float dx = 0;  // viewport-relative drag, -1..1 across the window
+  float dy = 0;
+};
+
+// Turn a drag on a selected node into the SceneUpdate to submit, or apply
+// it to the camera for camera-relative interactions. Object interactions
+// return an update; camera interactions mutate `camera` and return
+// nullopt. Unsupported combinations return nullopt and leave everything
+// untouched.
+std::optional<scene::SceneUpdate> apply_interaction(const scene::SceneTree& tree,
+                                                    scene::NodeId node, InteractionKind kind,
+                                                    const DragInput& drag,
+                                                    scene::Camera& camera);
+
+}  // namespace rave::core

@@ -1,0 +1,94 @@
+#include "core/live_feed.hpp"
+
+namespace rave::core {
+
+using scene::NodeId;
+using scene::SceneUpdate;
+using util::make_error;
+using util::Result;
+using util::Status;
+
+LiveFeed::LiveFeed(util::Clock& clock, Fabric& fabric, std::string feed_name)
+    : clock_(&clock), fabric_(&fabric), feed_name_(std::move(feed_name)) {}
+
+Status LiveFeed::connect(const std::string& data_access_point, const std::string& session) {
+  auto channel = fabric_->dial(data_access_point);
+  if (!channel.ok()) return make_error(channel.error());
+  channel_ = std::move(channel).take();
+  session_ = session;
+  SubscribeRequest request;
+  request.session = session;
+  request.kind = SubscriberKind::ActiveClient;
+  request.host = feed_name_;
+  const Status sent = channel_->send(encode(request));
+  if (!sent.ok()) return sent;
+  connected_ = true;
+  return {};
+}
+
+size_t LiveFeed::pump() {
+  if (!channel_) return 0;
+  size_t handled = 0;
+  for (;;) {
+    auto msg = channel_->try_receive();
+    if (!msg.has_value()) break;
+    ++handled;
+    switch (msg->type) {
+      case kMsgSubscribeAck: {
+        auto ack = decode_subscribe_ack(*msg);
+        if (ack.ok()) client_id_ = ack.value().client_id;
+        break;
+      }
+      case kMsgUpdate: {
+        auto update = decode_update(*msg);
+        if (!update.ok()) break;
+        const SceneUpdate& u = update.value().update;
+        // Resolve ids of our own AddNode echoes by name.
+        if (u.kind == scene::UpdateKind::AddNode && u.author == client_id_)
+          resolved_names_[u.new_node.name] = u.node;
+        // Someone else's change: hand it to the computation.
+        if (u.author != client_id_ && on_external_) on_external_(u);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return handled;
+}
+
+Result<NodeId> LiveFeed::add_object(const std::string& name, scene::NodePayload payload,
+                                    const util::Mat4& transform, double timeout_seconds,
+                                    const std::function<void()>& pump_others) {
+  if (!connected_) return make_error("live feed: not connected");
+  scene::SceneNode node;
+  node.id = scene::kInvalidNode;
+  node.name = name;
+  node.transform = transform;
+  node.payload = std::move(payload);
+  const Status sent =
+      channel_->send(encode(UpdateMsg{session_, SceneUpdate::add_node(scene::kRootNode,
+                                                                      std::move(node))}));
+  if (!sent.ok()) return make_error(sent.error());
+
+  const double deadline = clock_->now() + timeout_seconds;
+  while (clock_->now() < deadline) {
+    if (pump_others) pump_others();
+    pump();
+    auto it = resolved_names_.find(name);
+    if (it != resolved_names_.end()) return it->second;
+    clock_->sleep_for(0.002);
+  }
+  return make_error("live feed: add_object timed out for " + name);
+}
+
+Status LiveFeed::publish(SceneUpdate update) {
+  if (!connected_) return make_error("live feed: not connected");
+  return channel_->send(encode(UpdateMsg{session_, std::move(update)}));
+}
+
+Status LiveFeed::move_object(NodeId node, const util::Mat4& transform) {
+  return publish(SceneUpdate::set_transform(node, transform));
+}
+
+}  // namespace rave::core

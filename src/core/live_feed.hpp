@@ -1,0 +1,63 @@
+// Live data feed (paper §3.1.1: the data service "imports data from either
+// a static file or a live feed from an external program"). A LiveFeed is
+// that external program's connection: it joins a session like a client,
+// publishes geometry and transform updates as its computation evolves, and
+// observes edits made by human collaborators — the §5.2 bridge where "the
+// molecule's behaviour is computed remotely via a third-party simulator;
+// RAVE is used as the display and collaboration mechanism."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/fabric.hpp"
+#include "core/protocol.hpp"
+#include "scene/tree.hpp"
+
+namespace rave::core {
+
+class LiveFeed {
+ public:
+  // Called for every update committed by *someone else* (a user steering
+  // the computation); `update` carries the data-service-assigned ids.
+  using ExternalUpdateFn = std::function<void(const scene::SceneUpdate& update)>;
+
+  LiveFeed(util::Clock& clock, Fabric& fabric, std::string feed_name = "live-feed");
+
+  util::Status connect(const std::string& data_access_point, const std::string& session);
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  // Add an object and resolve its data-service-assigned node id (waits for
+  // the committed echo; node names must be unique per feed).
+  util::Result<scene::NodeId> add_object(const std::string& name, scene::NodePayload payload,
+                                         const util::Mat4& transform = util::Mat4::identity(),
+                                         double timeout_seconds = 5.0,
+                                         const std::function<void()>& pump = {});
+
+  // Stream a change for an object this feed owns.
+  util::Status publish(scene::SceneUpdate update);
+  util::Status move_object(scene::NodeId node, const util::Mat4& transform);
+
+  void set_external_update_handler(ExternalUpdateFn handler) {
+    on_external_ = std::move(handler);
+  }
+
+  // Drain echoes/refusals; invokes the external-update handler.
+  size_t pump();
+
+  [[nodiscard]] uint64_t client_id() const { return client_id_; }
+
+ private:
+  util::Clock* clock_;
+  Fabric* fabric_;
+  std::string feed_name_;
+  net::ChannelPtr channel_;
+  std::string session_;
+  bool connected_ = false;
+  uint64_t client_id_ = 0;
+  std::map<std::string, scene::NodeId> resolved_names_;
+  ExternalUpdateFn on_external_;
+};
+
+}  // namespace rave::core

@@ -1,0 +1,124 @@
+#include "core/migration.hpp"
+
+#include <algorithm>
+
+namespace rave::core {
+
+namespace {
+double headroom_of(const ServiceLoadView& s, const MigrationConfig& config) {
+  return s.capacity.polygon_budget(config.target_fps) - s.assigned_work();
+}
+
+void remove_nodes(ServiceLoadView& s, const std::vector<NodeCost>& moved) {
+  s.assigned.erase(std::remove_if(s.assigned.begin(), s.assigned.end(),
+                                  [&](const NodeCost& n) {
+                                    return std::any_of(moved.begin(), moved.end(),
+                                                       [&](const NodeCost& m) {
+                                                         return m.node == n.node;
+                                                       });
+                                  }),
+                   s.assigned.end());
+}
+}  // namespace
+
+std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> services,
+                                            const MigrationConfig& config) {
+  std::vector<MigrationAction> actions;
+
+  // --- overload relief ----------------------------------------------------
+  for (ServiceLoadView& overloaded : services) {
+    if (!overloaded.overloaded || overloaded.assigned.empty()) continue;
+    // How much work must leave for the service to meet its budget.
+    double deficit = overloaded.assigned_work() -
+                     overloaded.capacity.polygon_budget(config.target_fps);
+    if (deficit <= 0) {
+      // The fps says overloaded even though the static budget disagrees
+      // (e.g. interactive load from a console user, §6) — shed a fixed
+      // slice of the assigned work.
+      deficit = overloaded.assigned_work() * 0.25;
+    }
+    bool moved_any = false;
+    // Receivers ordered by descending headroom.
+    std::vector<ServiceLoadView*> receivers;
+    for (ServiceLoadView& candidate : services)
+      if (candidate.subscriber_id != overloaded.subscriber_id && !candidate.overloaded)
+        receivers.push_back(&candidate);
+    std::sort(receivers.begin(), receivers.end(),
+              [&](const ServiceLoadView* a, const ServiceLoadView* b) {
+                return headroom_of(*a, config) > headroom_of(*b, config);
+              });
+    for (ServiceLoadView* receiver : receivers) {
+      if (deficit <= 0) break;
+      const double headroom = headroom_of(*receiver, config) * config.headroom_fill_fraction;
+      if (headroom <= 0) continue;
+      std::vector<NodeCost> moved =
+          select_nodes_to_move(overloaded.assigned, std::min(deficit, headroom), headroom);
+      if (moved.empty()) continue;
+      double moved_work = 0;
+      for (const NodeCost& n : moved) moved_work += n.work_units();
+      MigrationAction action;
+      action.kind = MigrationAction::Kind::MoveNodes;
+      action.from = overloaded.subscriber_id;
+      action.to = receiver->subscriber_id;
+      action.nodes = moved;
+      actions.push_back(action);
+      remove_nodes(overloaded, moved);
+      for (const NodeCost& n : moved) receiver->assigned.push_back(n);
+      deficit -= moved_work;
+      moved_any = true;
+    }
+    if (deficit > 0 && !moved_any) {
+      // "If there is insufficient spare capacity, then the data server
+      // uses UDDI to discover additional render services."
+      MigrationAction recruit;
+      recruit.kind = MigrationAction::Kind::RecruitNeeded;
+      recruit.from = overloaded.subscriber_id;
+      actions.push_back(recruit);
+    }
+  }
+
+  // --- underload fill -------------------------------------------------------
+  for (ServiceLoadView& underloaded : services) {
+    if (!underloaded.underloaded || underloaded.overloaded) continue;
+    const double headroom = headroom_of(underloaded, config) * config.headroom_fill_fraction;
+    if (headroom <= 0) continue;
+    // Take from the most loaded other service.
+    ServiceLoadView* donor = nullptr;
+    double donor_work = 0;
+    for (ServiceLoadView& candidate : services) {
+      if (candidate.subscriber_id == underloaded.subscriber_id) continue;
+      const double work = candidate.assigned_work();
+      if (work > donor_work) {
+        donor = &candidate;
+        donor_work = work;
+      }
+    }
+    if (donor == nullptr || donor->assigned.empty() ||
+        donor_work <= underloaded.assigned_work()) {
+      // "If no more nodes can be added, the service is marked as available
+      // to support other overloaded services."
+      MigrationAction mark;
+      mark.kind = MigrationAction::Kind::MarkAvailable;
+      mark.from = underloaded.subscriber_id;
+      actions.push_back(mark);
+      continue;
+    }
+    // Balance towards the mean, bounded by the receiver's headroom.
+    const double imbalance = (donor_work - underloaded.assigned_work()) / 2.0;
+    std::vector<NodeCost> moved =
+        select_nodes_to_move(donor->assigned, std::min(imbalance, headroom), headroom);
+    if (moved.empty()) continue;
+    MigrationAction action;
+    action.kind = MigrationAction::Kind::MoveNodes;
+    action.from = donor->subscriber_id;
+    action.to = underloaded.subscriber_id;
+    action.nodes = moved;
+    actions.push_back(action);
+    remove_nodes(*donor, moved);
+    for (const NodeCost& n : moved) underloaded.assigned.push_back(n);
+  }
+
+  return actions;
+}
+
+}  // namespace rave::core

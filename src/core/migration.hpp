@@ -1,0 +1,55 @@
+// Workload migration planning (paper §3.2.7). Pure decision logic over
+// reported loads, separated from the data service so it is directly
+// testable: overloaded services shed their smallest nodes onto services
+// with spare capacity; when no subscribed service has headroom the plan
+// asks for recruitment via UDDI; sustained underload pulls work from the
+// most loaded service.
+#pragma once
+
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/distribution.hpp"
+
+namespace rave::core {
+
+struct ServiceLoadView {
+  uint64_t subscriber_id = 0;
+  RenderCapacity capacity;
+  double fps = 0;
+  bool overloaded = false;
+  bool underloaded = false;
+  std::vector<NodeCost> assigned;
+
+  [[nodiscard]] double assigned_work() const {
+    double total = 0;
+    for (const NodeCost& n : assigned) total += n.work_units();
+    return total;
+  }
+};
+
+struct MigrationAction {
+  enum class Kind {
+    MoveNodes,      // move `nodes` from `from` to `to`
+    RecruitNeeded,  // no spare capacity: discover new services via UDDI
+    MarkAvailable,  // underloaded service has no more work to take
+  };
+  Kind kind = Kind::MoveNodes;
+  uint64_t from = 0;
+  uint64_t to = 0;
+  std::vector<NodeCost> nodes;
+};
+
+struct MigrationConfig {
+  double target_fps = 15.0;
+  // Fraction of a receiver's headroom migration may fill in one step —
+  // the safety margin against overshooting.
+  double headroom_fill_fraction = 0.8;
+};
+
+// One planning round. Actions are ordered and non-conflicting: each source
+// node set is disjoint.
+std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> services,
+                                            const MigrationConfig& config = {});
+
+}  // namespace rave::core

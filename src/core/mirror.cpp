@@ -1,0 +1,79 @@
+#include "core/mirror.hpp"
+
+#include "scene/serialize.hpp"
+#include "util/log.hpp"
+
+namespace rave::core {
+
+using util::make_error;
+using util::Status;
+
+SessionMirror::SessionMirror(util::Clock& clock, Fabric& fabric)
+    : clock_(&clock), fabric_(&fabric) {}
+
+Status SessionMirror::attach(const std::string& data_access_point, const std::string& session) {
+  auto channel = fabric_->dial(data_access_point);
+  if (!channel.ok()) return make_error(channel.error());
+  channel_ = std::move(channel).take();
+  session_ = session;
+
+  SubscribeRequest request;
+  request.session = session;
+  request.kind = SubscriberKind::ActiveClient;  // no rendering capacity
+  request.host = "mirror";
+  return channel_->send(encode(request));
+}
+
+size_t SessionMirror::pump() {
+  if (!channel_) return 0;
+  size_t handled = 0;
+  for (;;) {
+    auto msg = channel_->try_receive();
+    if (!msg.has_value()) break;
+    ++handled;
+    switch (msg->type) {
+      case kMsgSnapshot: {
+        auto snapshot = decode_snapshot(*msg);
+        if (!snapshot.ok()) break;
+        auto tree = scene::deserialize_tree(snapshot.value().tree_bytes);
+        if (!tree.ok()) break;
+        tree_ = std::move(tree).take();
+        trail_.set_base(tree_);
+        last_sequence_ = snapshot.value().sequence;
+        synced_ = true;
+        break;
+      }
+      case kMsgUpdate: {
+        auto update = decode_update(*msg);
+        if (!update.ok() || !synced_) break;
+        const scene::SceneUpdate& u = update.value().update;
+        if (u.apply(tree_).ok()) {
+          trail_.append(u);
+          last_sequence_ = u.sequence;
+          ++updates_mirrored_;
+        }
+        break;
+      }
+      case kMsgRefusal: {
+        auto refusal = decode_refusal(*msg);
+        if (refusal.ok())
+          util::log_warn("mirror") << "primary refused: " << refusal.value().reason;
+        break;
+      }
+      default:
+        break;  // acks, interest sets — not relevant to a mirror
+    }
+  }
+  return handled;
+}
+
+bool SessionMirror::primary_alive() const { return channel_ && channel_->is_open(); }
+
+Status SessionMirror::promote_into(DataService& standby) const {
+  if (!synced_) return make_error("mirror: not yet synced with the primary");
+  auto created = standby.create_session(session_, tree_);
+  if (!created.ok()) return make_error(created.error());
+  return {};
+}
+
+}  // namespace rave::core

@@ -1,0 +1,56 @@
+// Data-service mirroring — the paper's §6 fail-safe plan: "we will
+// consider the distribution of the data across several data servers ...
+// and also support a fail-safe mechanism, where data servers could mirror
+// each other." A SessionMirror subscribes to a primary data service like
+// any other client, maintains a live replica of the session (snapshot +
+// every committed update, preserving the audit history), and can promote
+// that state into a standby DataService when the primary disappears —
+// subscribers then re-discover the standby through UDDI and carry on.
+#pragma once
+
+#include <string>
+
+#include "core/data_service.hpp"
+#include "core/fabric.hpp"
+#include "core/protocol.hpp"
+#include "scene/audit.hpp"
+
+namespace rave::core {
+
+class SessionMirror {
+ public:
+  SessionMirror(util::Clock& clock, Fabric& fabric);
+
+  // Subscribe to `session` on the primary and begin mirroring.
+  util::Status attach(const std::string& data_access_point, const std::string& session);
+
+  // Process pending traffic; returns messages handled.
+  size_t pump();
+
+  [[nodiscard]] bool synced() const { return synced_; }
+  [[nodiscard]] const std::string& session() const { return session_; }
+  [[nodiscard]] const scene::SceneTree* tree() const { return synced_ ? &tree_ : nullptr; }
+  [[nodiscard]] uint64_t updates_mirrored() const { return updates_mirrored_; }
+  [[nodiscard]] uint64_t last_sequence() const { return last_sequence_; }
+
+  // True while the channel to the primary is alive.
+  [[nodiscard]] bool primary_alive() const;
+
+  // Failover: install the mirrored session (state + mirrored audit
+  // history) into a standby data service. The mirror stays attached; call
+  // again later for a newer cut.
+  util::Status promote_into(DataService& standby) const;
+
+ private:
+  util::Clock* clock_;
+  Fabric* fabric_;
+  net::ChannelPtr channel_;
+  std::string session_;
+  scene::SceneTree tree_;
+  scene::AuditTrail trail_;
+  bool synced_ = false;
+  uint64_t updates_mirrored_ = 0;
+  uint64_t last_sequence_ = 0;
+};
+
+}  // namespace rave::core

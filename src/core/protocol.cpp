@@ -1,0 +1,349 @@
+#include "core/protocol.hpp"
+
+#include "scene/serialize.hpp"
+
+namespace rave::core {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::make_error;
+using util::Result;
+
+namespace {
+net::Message finish(uint16_t type, ByteWriter& w) { return {type, w.take()}; }
+
+Result<ByteReader> open(const net::Message& msg, uint16_t expected) {
+  if (msg.type != expected) return make_error("protocol: unexpected message type");
+  return ByteReader(msg.payload);
+}
+
+void write_tile(ByteWriter& w, const render::Tile& t) {
+  w.i32(t.x);
+  w.i32(t.y);
+  w.i32(t.width);
+  w.i32(t.height);
+}
+
+render::Tile read_tile(ByteReader& r) {
+  render::Tile t;
+  t.x = r.i32();
+  t.y = r.i32();
+  t.width = r.i32();
+  t.height = r.i32();
+  return t;
+}
+}  // namespace
+
+net::Message encode(const SubscribeRequest& m) {
+  ByteWriter w;
+  w.str(m.session);
+  w.u8(static_cast<uint8_t>(m.kind));
+  w.str(m.host);
+  w.str(m.access_point);
+  write_capacity(w, m.capacity);
+  return finish(kMsgSubscribe, w);
+}
+
+Result<SubscribeRequest> decode_subscribe(const net::Message& msg) {
+  auto reader = open(msg, kMsgSubscribe);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  SubscribeRequest out;
+  out.session = r.str();
+  out.kind = static_cast<SubscriberKind>(r.u8());
+  out.host = r.str();
+  out.access_point = r.str();
+  out.capacity = read_capacity(r);
+  if (!r.ok()) return make_error("protocol: truncated subscribe");
+  return out;
+}
+
+net::Message encode(const SubscribeAck& m) {
+  ByteWriter w;
+  w.u64(m.client_id);
+  w.str(m.session);
+  w.u64(m.last_sequence);
+  return finish(kMsgSubscribeAck, w);
+}
+
+Result<SubscribeAck> decode_subscribe_ack(const net::Message& msg) {
+  auto reader = open(msg, kMsgSubscribeAck);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  SubscribeAck out;
+  out.client_id = r.u64();
+  out.session = r.str();
+  out.last_sequence = r.u64();
+  if (!r.ok()) return make_error("protocol: truncated subscribe ack");
+  return out;
+}
+
+net::Message encode(const SnapshotMsg& m) {
+  ByteWriter w;
+  w.str(m.session);
+  w.u64(m.sequence);
+  w.boolean(m.merge);
+  w.bytes(m.tree_bytes);
+  return finish(kMsgSnapshot, w);
+}
+
+Result<SnapshotMsg> decode_snapshot(const net::Message& msg) {
+  auto reader = open(msg, kMsgSnapshot);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  SnapshotMsg out;
+  out.session = r.str();
+  out.sequence = r.u64();
+  out.merge = r.boolean();
+  out.tree_bytes = r.bytes();
+  if (!r.ok()) return make_error("protocol: truncated snapshot");
+  return out;
+}
+
+net::Message encode(const UpdateMsg& m) {
+  ByteWriter w;
+  w.str(m.session);
+  scene::write_update(w, m.update);
+  return finish(kMsgUpdate, w);
+}
+
+Result<UpdateMsg> decode_update(const net::Message& msg) {
+  auto reader = open(msg, kMsgUpdate);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  UpdateMsg out;
+  out.session = r.str();
+  auto update = scene::read_update(r);
+  if (!update.ok()) return make_error(update.error());
+  out.update = std::move(update).take();
+  return out;
+}
+
+net::Message encode(const InterestSetMsg& m) {
+  ByteWriter w;
+  w.str(m.session);
+  w.boolean(m.whole_tree);
+  w.u32(static_cast<uint32_t>(m.nodes.size()));
+  for (scene::NodeId id : m.nodes) w.u64(id);
+  return finish(kMsgInterestSet, w);
+}
+
+Result<InterestSetMsg> decode_interest_set(const net::Message& msg) {
+  auto reader = open(msg, kMsgInterestSet);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  InterestSetMsg out;
+  out.session = r.str();
+  out.whole_tree = r.boolean();
+  const uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) out.nodes.push_back(r.u64());
+  if (!r.ok()) return make_error("protocol: truncated interest set");
+  return out;
+}
+
+net::Message encode(const RefusalMsg& m) {
+  ByteWriter w;
+  w.str(m.reason);
+  return finish(kMsgRefusal, w);
+}
+
+Result<RefusalMsg> decode_refusal(const net::Message& msg) {
+  auto reader = open(msg, kMsgRefusal);
+  if (!reader.ok()) return make_error(reader.error());
+  RefusalMsg out;
+  out.reason = reader.value().str();
+  return out;
+}
+
+net::Message encode(const LoadReportMsg& m) {
+  ByteWriter w;
+  w.str(m.session);
+  w.f64(m.fps);
+  w.f64(m.frame_seconds);
+  w.u64(m.assigned_triangles);
+  return finish(kMsgLoadReport, w);
+}
+
+Result<LoadReportMsg> decode_load_report(const net::Message& msg) {
+  auto reader = open(msg, kMsgLoadReport);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  LoadReportMsg out;
+  out.session = r.str();
+  out.fps = r.f64();
+  out.frame_seconds = r.f64();
+  out.assigned_triangles = r.u64();
+  if (!r.ok()) return make_error("protocol: truncated load report");
+  return out;
+}
+
+net::Message encode(const FrameRequest& m) {
+  ByteWriter w;
+  scene::write_camera(w, m.camera);
+  w.i32(m.width);
+  w.i32(m.height);
+  w.boolean(m.allow_compression);
+  w.u64(m.request_id);
+  return finish(kMsgFrameRequest, w);
+}
+
+Result<FrameRequest> decode_frame_request(const net::Message& msg) {
+  auto reader = open(msg, kMsgFrameRequest);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  FrameRequest out;
+  out.camera = scene::read_camera(r);
+  out.width = r.i32();
+  out.height = r.i32();
+  out.allow_compression = r.boolean();
+  out.request_id = r.u64();
+  if (!r.ok()) return make_error("protocol: truncated frame request");
+  return out;
+}
+
+net::Message encode(const FrameMsg& m) {
+  ByteWriter w;
+  w.u64(m.request_id);
+  w.f64(m.render_seconds);
+  w.bytes(m.encoded_image);
+  return finish(kMsgFrame, w);
+}
+
+Result<FrameMsg> decode_frame(const net::Message& msg) {
+  auto reader = open(msg, kMsgFrame);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  FrameMsg out;
+  out.request_id = r.u64();
+  out.render_seconds = r.f64();
+  out.encoded_image = r.bytes();
+  if (!r.ok()) return make_error("protocol: truncated frame");
+  return out;
+}
+
+net::Message encode(const ClientUpdateMsg& m) {
+  ByteWriter w;
+  scene::write_update(w, m.update);
+  return finish(kMsgClientUpdate, w);
+}
+
+Result<ClientUpdateMsg> decode_client_update(const net::Message& msg) {
+  auto reader = open(msg, kMsgClientUpdate);
+  if (!reader.ok()) return make_error(reader.error());
+  auto update = scene::read_update(reader.value());
+  if (!update.ok()) return make_error(update.error());
+  return ClientUpdateMsg{std::move(update).take()};
+}
+
+net::Message encode(const AvatarAckMsg& m) {
+  ByteWriter w;
+  w.str(m.name);
+  w.u64(m.node);
+  return finish(kMsgAvatarAck, w);
+}
+
+Result<AvatarAckMsg> decode_avatar_ack(const net::Message& msg) {
+  auto reader = open(msg, kMsgAvatarAck);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  AvatarAckMsg out;
+  out.name = r.str();
+  out.node = r.u64();
+  if (!r.ok()) return make_error("protocol: truncated avatar ack");
+  return out;
+}
+
+net::Message encode(const TileAssignMsg& m) {
+  ByteWriter w;
+  w.str(m.session);
+  scene::write_camera(w, m.camera);
+  write_tile(w, m.tile);
+  w.i32(m.frame_width);
+  w.i32(m.frame_height);
+  w.u64(m.generation);
+  return finish(kMsgTileAssign, w);
+}
+
+Result<TileAssignMsg> decode_tile_assign(const net::Message& msg) {
+  auto reader = open(msg, kMsgTileAssign);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  TileAssignMsg out;
+  out.session = r.str();
+  out.camera = scene::read_camera(r);
+  out.tile = read_tile(r);
+  out.frame_width = r.i32();
+  out.frame_height = r.i32();
+  out.generation = r.u64();
+  if (!r.ok()) return make_error("protocol: truncated tile assign");
+  return out;
+}
+
+namespace {
+net::Message encode_tile_like(uint16_t type, const TileResultMsg& m) {
+  ByteWriter w;
+  write_tile(w, m.tile);
+  w.u64(m.generation);
+  w.bytes(m.framebuffer);
+  return {type, w.take()};
+}
+
+Result<TileResultMsg> decode_tile_like(const net::Message& msg, uint16_t type) {
+  if (msg.type != type) return make_error("protocol: unexpected message type");
+  ByteReader r(msg.payload);
+  TileResultMsg out;
+  out.tile = read_tile(r);
+  out.generation = r.u64();
+  out.framebuffer = r.bytes();
+  if (!r.ok()) return make_error("protocol: truncated tile result");
+  return out;
+}
+}  // namespace
+
+net::Message encode(const TileResultMsg& m) { return encode_tile_like(kMsgTileResult, m); }
+
+Result<TileResultMsg> decode_tile_result(const net::Message& msg) {
+  return decode_tile_like(msg, kMsgTileResult);
+}
+
+net::Message encode_subset_frame(const TileResultMsg& m) {
+  return encode_tile_like(kMsgSubsetFrame, m);
+}
+
+net::Message encode(const AssistRequestMsg& m) {
+  ByteWriter w;
+  w.str(m.session);
+  w.i32(m.tiles_wanted);
+  return finish(kMsgAssistRequest, w);
+}
+
+Result<AssistRequestMsg> decode_assist_request(const net::Message& msg) {
+  auto reader = open(msg, kMsgAssistRequest);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  AssistRequestMsg out;
+  out.session = r.str();
+  out.tiles_wanted = r.i32();
+  if (!r.ok()) return make_error("protocol: truncated assist request");
+  return out;
+}
+
+net::Message encode(const AssistGrantMsg& m) {
+  ByteWriter w;
+  w.u32(static_cast<uint32_t>(m.access_points.size()));
+  for (const std::string& ap : m.access_points) w.str(ap);
+  return finish(kMsgAssistGrant, w);
+}
+
+Result<AssistGrantMsg> decode_assist_grant(const net::Message& msg) {
+  auto reader = open(msg, kMsgAssistGrant);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  AssistGrantMsg out;
+  const uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) out.access_points.push_back(r.str());
+  if (!r.ok()) return make_error("protocol: truncated assist grant");
+  return out;
+}
+
+}  // namespace rave::core

@@ -1,0 +1,167 @@
+// RAVE binary data-plane protocol. SOAP handles discovery and
+// subscription setup; everything below travels as framed binary messages
+// over net::Channel ("we then back off from SOAP and use direct socket
+// communication to send binary information" — §4.3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "net/channel.hpp"
+#include "render/framebuffer.hpp"
+#include "scene/camera.hpp"
+#include "scene/update.hpp"
+#include "util/result.hpp"
+
+namespace rave::core {
+
+// Message type codes (0x00xx is reserved for SOAP).
+enum MsgType : uint16_t {
+  kMsgSubscribe = 0x0100,      // subscriber → data: join a session
+  kMsgSubscribeAck = 0x0101,   // data → subscriber: client id + snapshot follows
+  kMsgSnapshot = 0x0102,       // data → subscriber: serialized scene (subset)
+  kMsgUpdate = 0x0103,         // both directions: committed/prospective update
+  kMsgInterestSet = 0x0104,    // data → render service: assigned node subset
+  kMsgRefusal = 0x0105,        // data → subscriber: request refused, with reason
+  kMsgLoadReport = 0x0106,     // render service → data: smoothed fps etc.
+  kMsgFrameRequest = 0x0110,   // thin client → render service
+  kMsgFrame = 0x0111,          // render service → thin client
+  kMsgClientUpdate = 0x0112,   // thin client → render service (forwarded to data)
+  kMsgAvatarAck = 0x0113,      // render service → thin client: avatar node id
+  kMsgTileAssign = 0x0120,     // render service → assisting render service
+  kMsgTileResult = 0x0121,     // assisting service → requesting service
+  kMsgAssistRequest = 0x0122,  // render service → data: need tile help
+  kMsgAssistGrant = 0x0123,    // data → render service: assistant access points
+  kMsgSubsetFrame = 0x0124,    // subset renderer → compositing service: frame+depth
+};
+
+enum class SubscriberKind : uint8_t { RenderService = 0, ActiveClient = 1 };
+
+struct SubscribeRequest {
+  std::string session;
+  SubscriberKind kind = SubscriberKind::RenderService;
+  std::string host;          // fabric name for direct peer connections
+  std::string access_point;  // where this subscriber accepts peer traffic ("" = none)
+  RenderCapacity capacity;   // zeroed for non-rendering subscribers
+};
+
+struct SubscribeAck {
+  uint64_t client_id = 0;
+  std::string session;
+  uint64_t last_sequence = 0;
+};
+
+struct SnapshotMsg {
+  std::string session;
+  uint64_t sequence = 0;  // updates after this sequence apply on top
+  bool merge = false;     // false: replace replica; true: merge nodes in
+  std::vector<uint8_t> tree_bytes;
+};
+
+struct UpdateMsg {
+  std::string session;
+  scene::SceneUpdate update;
+};
+
+struct InterestSetMsg {
+  std::string session;
+  // Node ids this render service must hold and render; empty = whole tree.
+  std::vector<scene::NodeId> nodes;
+  bool whole_tree = true;
+};
+
+struct RefusalMsg {
+  std::string reason;  // the paper's "explanatory error message"
+};
+
+struct LoadReportMsg {
+  std::string session;
+  double fps = 0;
+  double frame_seconds = 0;
+  uint64_t assigned_triangles = 0;
+};
+
+struct FrameRequest {
+  scene::Camera camera;
+  int width = 200, height = 200;
+  bool allow_compression = true;
+  uint64_t request_id = 0;
+};
+
+struct FrameMsg {
+  uint64_t request_id = 0;
+  std::vector<uint8_t> encoded_image;  // compress::EncodedImage::serialize()
+  double render_seconds = 0;
+};
+
+struct ClientUpdateMsg {
+  scene::SceneUpdate update;
+};
+
+// Render service → thin client: the data service allocated `node` for the
+// avatar the client asked to add (matched by name).
+struct AvatarAckMsg {
+  std::string name;
+  scene::NodeId node = scene::kInvalidNode;
+};
+
+struct TileAssignMsg {
+  std::string session;
+  scene::Camera camera;
+  render::Tile tile;
+  int frame_width = 0, frame_height = 0;
+  uint64_t generation = 0;  // camera/scene generation, for matching results
+};
+
+struct TileResultMsg {
+  render::Tile tile;
+  uint64_t generation = 0;
+  std::vector<uint8_t> framebuffer;  // render::FrameBuffer::serialize()
+};
+
+struct AssistRequestMsg {
+  std::string session;
+  int tiles_wanted = 1;
+};
+
+struct AssistGrantMsg {
+  std::vector<std::string> access_points;  // assisting services' peer endpoints
+};
+
+// Encoders return ready-to-send messages; decoders validate the type code.
+net::Message encode(const SubscribeRequest& m);
+net::Message encode(const SubscribeAck& m);
+net::Message encode(const SnapshotMsg& m);
+net::Message encode(const UpdateMsg& m);
+net::Message encode(const InterestSetMsg& m);
+net::Message encode(const RefusalMsg& m);
+net::Message encode(const LoadReportMsg& m);
+net::Message encode(const FrameRequest& m);
+net::Message encode(const FrameMsg& m);
+net::Message encode(const ClientUpdateMsg& m);
+net::Message encode(const AvatarAckMsg& m);
+net::Message encode(const TileAssignMsg& m);
+net::Message encode(const TileResultMsg& m);
+net::Message encode(const AssistRequestMsg& m);
+net::Message encode(const AssistGrantMsg& m);
+net::Message encode_subset_frame(const TileResultMsg& m);  // kMsgSubsetFrame
+
+util::Result<SubscribeRequest> decode_subscribe(const net::Message& msg);
+util::Result<SubscribeAck> decode_subscribe_ack(const net::Message& msg);
+util::Result<SnapshotMsg> decode_snapshot(const net::Message& msg);
+util::Result<UpdateMsg> decode_update(const net::Message& msg);
+util::Result<InterestSetMsg> decode_interest_set(const net::Message& msg);
+util::Result<RefusalMsg> decode_refusal(const net::Message& msg);
+util::Result<LoadReportMsg> decode_load_report(const net::Message& msg);
+util::Result<FrameRequest> decode_frame_request(const net::Message& msg);
+util::Result<FrameMsg> decode_frame(const net::Message& msg);
+util::Result<ClientUpdateMsg> decode_client_update(const net::Message& msg);
+util::Result<AvatarAckMsg> decode_avatar_ack(const net::Message& msg);
+util::Result<TileAssignMsg> decode_tile_assign(const net::Message& msg);
+util::Result<TileResultMsg> decode_tile_result(const net::Message& msg);
+util::Result<AssistRequestMsg> decode_assist_request(const net::Message& msg);
+util::Result<AssistGrantMsg> decode_assist_grant(const net::Message& msg);
+
+}  // namespace rave::core

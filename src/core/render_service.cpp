@@ -1,0 +1,617 @@
+#include "core/render_service.hpp"
+
+#include <algorithm>
+
+#include "render/frustum.hpp"
+#include "scene/serialize.hpp"
+#include "util/log.hpp"
+
+namespace rave::core {
+
+using scene::Camera;
+using scene::NodeId;
+using scene::SceneUpdate;
+using util::make_error;
+using util::Result;
+using util::Status;
+
+RenderService::RenderService(util::Clock& clock, Fabric& fabric, Options options)
+    : clock_(&clock), fabric_(&fabric), options_(std::move(options)) {}
+
+Result<std::string> RenderService::listen_clients(const std::string& name) {
+  auto access = fabric_->listen(name, [this](net::ChannelPtr channel) {
+    clients_.push_back(std::make_unique<Client>(std::move(channel), options_.codec));
+  });
+  if (!access.ok()) return access;
+  client_access_point_ = access.value();
+  return access;
+}
+
+Result<std::string> RenderService::listen_peer(const std::string& name) {
+  if (options_.active_client_only)
+    return make_error("render: active render clients do not expose peer endpoints");
+  auto access = fabric_->listen(
+      name, [this](net::ChannelPtr channel) { peer_channels_.push_back(std::move(channel)); });
+  if (!access.ok()) return access;
+  peer_access_point_ = access.value();
+  return access;
+}
+
+Result<uint64_t> RenderService::connect_session(const std::string& data_access_point,
+                                                const std::string& session) {
+  if (replicas_.count(session) != 0) return make_error("render: already joined " + session);
+  auto channel = fabric_->dial(data_access_point);
+  if (!channel.ok()) return make_error(channel.error());
+
+  SubscribeRequest request;
+  request.session = session;
+  request.kind =
+      options_.active_client_only ? SubscriberKind::ActiveClient : SubscriberKind::RenderService;
+  request.host = options_.profile.name;
+  request.access_point = peer_access_point_;
+  request.capacity = capacity();
+  const Status sent = channel.value()->send(encode(request));
+  if (!sent.ok()) return make_error(sent.error());
+
+  Replica replica;
+  replica.name = session;
+  replica.data_channel = std::move(channel).take();
+  replica.tracker = LoadTracker(options_.thresholds);
+  replicas_.emplace(session, std::move(replica));
+  return uint64_t{0};  // subscriber id arrives with the ack on the next pump
+}
+
+std::vector<std::string> RenderService::session_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, replica] : replicas_) names.push_back(name);
+  return names;
+}
+
+const scene::SceneTree* RenderService::replica(const std::string& session) const {
+  const Replica* r = find_replica(session);
+  return r == nullptr || !r->ready ? nullptr : &r->tree;
+}
+
+bool RenderService::bootstrapped(const std::string& session) const {
+  const Replica* r = find_replica(session);
+  return r != nullptr && r->ready;
+}
+
+size_t RenderService::pump() {
+  size_t handled = 0;
+  for (auto& [name, replica] : replicas_) handled += pump_replica(replica);
+  handled += pump_clients();
+  handled += pump_peers();
+  flush_delayed();
+  return handled;
+}
+
+void RenderService::apply_update(Replica& replica, const SceneUpdate& update) {
+  const Status applied = update.apply(replica.tree);
+  if (!applied.ok()) {
+    // Subset holders legitimately receive updates for ancestors they hold
+    // but payloads they don't; only genuinely unknown nodes are ignored.
+    util::log_debug("render") << "update skipped: " << applied.error();
+    return;
+  }
+  ++stats_.updates_applied;
+  ++replica.generation;
+  // Avatar acknowledgements for thin clients waiting on an AddNode echo.
+  if (update.kind == scene::UpdateKind::AddNode &&
+      std::holds_alternative<scene::AvatarData>(update.new_node.payload)) {
+    for (auto& client : clients_) {
+      auto it = std::find(client->pending_avatars.begin(), client->pending_avatars.end(),
+                          update.new_node.name);
+      if (it != client->pending_avatars.end()) {
+        (void)client->channel->send(encode(AvatarAckMsg{update.new_node.name, update.node}));
+        client->pending_avatars.erase(it);
+      }
+    }
+  }
+}
+
+size_t RenderService::pump_replica(Replica& replica) {
+  size_t handled = 0;
+  for (;;) {
+    auto msg = replica.data_channel->try_receive();
+    if (!msg.has_value()) break;
+    ++handled;
+    switch (msg->type) {
+      case kMsgSubscribeAck: {
+        auto ack = decode_subscribe_ack(*msg);
+        if (ack.ok()) replica.subscriber_id = ack.value().client_id;
+        break;
+      }
+      case kMsgSnapshot: {
+        auto snapshot = decode_snapshot(*msg);
+        if (!snapshot.ok()) break;
+        auto tree = scene::deserialize_tree(snapshot.value().tree_bytes);
+        if (!tree.ok()) {
+          util::log_error("render") << "bad snapshot: " << tree.error();
+          break;
+        }
+        if (snapshot.value().merge && replica.ready) {
+          // Merge nodes into the existing replica (migration delta).
+          scene::SceneTree incoming = std::move(tree).take();
+          for (NodeId id : incoming.ids_depth_first()) {
+            if (id == scene::kRootNode) continue;
+            const scene::SceneNode* node = incoming.find(id);
+            if (replica.tree.contains(id)) {
+              (void)replica.tree.set_payload(id, node->payload);
+              (void)replica.tree.set_transform(id, node->transform);
+            } else if (replica.tree.contains(node->parent)) {
+              scene::SceneNode copy = *node;
+              copy.children.clear();
+              (void)replica.tree.add_node(node->parent, std::move(copy));
+            }
+          }
+        } else {
+          replica.tree = std::move(tree).take();
+        }
+        replica.ready = true;
+        ++replica.generation;
+        break;
+      }
+      case kMsgUpdate: {
+        auto update = decode_update(*msg);
+        if (update.ok()) apply_update(replica, update.value().update);
+        break;
+      }
+      case kMsgInterestSet: {
+        auto interest = decode_interest_set(*msg);
+        if (!interest.ok()) break;
+        replica.whole_tree = interest.value().whole_tree;
+        replica.interest = interest.value().nodes;
+        ++replica.generation;
+        break;
+      }
+      case kMsgAssistGrant: {
+        auto grant = decode_assist_grant(*msg);
+        if (!grant.ok()) break;
+        (void)setup_remotes(replica, grant.value().access_points, /*tile_mode=*/true,
+                            default_frame_width_, default_frame_height_);
+        break;
+      }
+      case kMsgRefusal: {
+        auto refusal = decode_refusal(*msg);
+        if (refusal.ok())
+          util::log_warn("render") << "data service refused: " << refusal.value().reason;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return handled;
+}
+
+size_t RenderService::pump_clients() {
+  size_t handled = 0;
+  for (auto& client : clients_) {
+    for (;;) {
+      auto msg = client->channel->try_receive();
+      if (!msg.has_value()) break;
+      ++handled;
+      switch (msg->type) {
+        case kMsgSubscribe: {
+          auto request = decode_subscribe(*msg);
+          if (!request.ok()) break;
+          Replica* replica = find_replica(request.value().session);
+          if (replica == nullptr) {
+            (void)client->channel->send(encode(
+                RefusalMsg{"render service has no session " + request.value().session}));
+            break;
+          }
+          client->session = request.value().session;
+          client->subscribed = true;
+          SubscribeAck ack;
+          ack.client_id = replica->subscriber_id;
+          ack.session = client->session;
+          (void)client->channel->send(encode(ack));
+          break;
+        }
+        case kMsgFrameRequest: {
+          auto request = decode_frame_request(*msg);
+          if (request.ok()) serve_frame(*client, request.value());
+          break;
+        }
+        case kMsgClientUpdate: {
+          auto update = decode_client_update(*msg);
+          if (!update.ok()) break;
+          Replica* replica = find_replica(client->session);
+          if (replica == nullptr) break;
+          // Track avatar additions so the allocated id can be acked back.
+          if (update.value().update.kind == scene::UpdateKind::AddNode &&
+              std::holds_alternative<scene::AvatarData>(update.value().update.new_node.payload))
+            client->pending_avatars.push_back(update.value().update.new_node.name);
+          (void)replica->data_channel->send(
+              encode(UpdateMsg{client->session, update.value().update}));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                [](const std::unique_ptr<Client>& c) {
+                                  return !c->channel->is_open();
+                                }),
+                 clients_.end());
+  return handled;
+}
+
+size_t RenderService::pump_peers() {
+  size_t handled = 0;
+  // Requests from peers: render our replica for their camera/tile.
+  for (auto& channel : peer_channels_) {
+    for (;;) {
+      auto msg = channel->try_receive();
+      if (!msg.has_value()) break;
+      ++handled;
+      if (msg->type != kMsgTileAssign) continue;
+      auto assign = decode_tile_assign(*msg);
+      if (!assign.ok()) continue;
+      Replica* replica = find_replica(assign.value().session);
+      if (replica == nullptr || !replica->ready) continue;
+      render::FrameBuffer full = render_local(*replica, assign.value().camera,
+                                              assign.value().frame_width,
+                                              assign.value().frame_height, assign.value().tile);
+      ++stats_.peer_tiles_rendered;
+      TileResultMsg result;
+      result.tile = assign.value().tile;
+      result.generation = assign.value().generation;
+      result.framebuffer = full.extract(assign.value().tile).serialize();
+      net::Message wire = encode(result);
+      if (assist_stall_seconds_ > 0) {
+        delayed_.push_back({channel, std::move(wire), clock_->now() + assist_stall_seconds_});
+      } else {
+        (void)channel->send(std::move(wire));
+      }
+    }
+  }
+  // Results from peers we recruited: cache the latest buffer per remote.
+  for (auto& [name, replica] : replicas_) {
+    for (RemoteTile& remote : replica.remotes) {
+      if (!remote.channel) continue;
+      for (;;) {
+        auto msg = remote.channel->try_receive();
+        if (!msg.has_value()) break;
+        ++handled;
+        if (msg->type != kMsgTileResult) continue;
+        auto result = decode_tile_result(*msg);
+        if (!result.ok()) continue;
+        auto buffer = render::FrameBuffer::deserialize(result.value().framebuffer);
+        if (!buffer.ok()) continue;
+        remote.tile = result.value().tile;
+        remote.buffer = std::move(buffer).take();
+        remote.generation = result.value().generation;
+        remote.valid = true;
+      }
+    }
+  }
+  peer_channels_.erase(std::remove_if(peer_channels_.begin(), peer_channels_.end(),
+                                      [](const net::ChannelPtr& c) { return !c->is_open(); }),
+                       peer_channels_.end());
+  return handled;
+}
+
+void RenderService::flush_delayed() {
+  while (!delayed_.empty() && delayed_.front().ready_at <= clock_->now()) {
+    (void)delayed_.front().channel->send(std::move(delayed_.front().message));
+    delayed_.pop_front();
+  }
+}
+
+render::FrameBuffer RenderService::render_local(Replica& replica, const Camera& camera,
+                                                int width, int height,
+                                                const render::Tile& region) {
+  render::RenderOptions opts;
+  opts.region = region;
+  render::Rasterizer raster(width, height);
+  raster.clear(opts);
+  if (replica.whole_tree) {
+    raster.draw_tree(replica.tree, camera, opts);
+  } else {
+    // Subset holders render only their interest subtrees (ancestors in the
+    // replica carry transforms but no payloads).
+    for (NodeId id : replica.interest) {
+      if (!replica.tree.contains(id)) continue;
+      replica.tree.traverse(
+          [&](const scene::SceneNode& node, const util::Mat4& world) {
+            if (const auto* mesh = std::get_if<scene::MeshData>(&node.payload))
+              raster.draw_mesh(*mesh, world, camera, opts);
+            else if (const auto* pts = std::get_if<scene::PointCloudData>(&node.payload))
+              raster.draw_points(*pts, world, camera, opts);
+            else if (const auto* av = std::get_if<scene::AvatarData>(&node.payload))
+              raster.draw_mesh(scene::make_avatar_mesh(*av), world, camera, opts);
+          },
+          id);
+    }
+  }
+  render::RaycastOptions ray_opts;
+  ray_opts.region = region;
+  render::raycast_tree_volumes(raster.framebuffer(), replica.tree, camera, ray_opts);
+
+  const uint64_t tris = raster.stats().triangles_submitted;
+  const uint64_t pixels = region.width > 0
+                              ? region.pixel_count()
+                              : static_cast<uint64_t>(width) * static_cast<uint64_t>(height);
+  account_frame(replica, tris, pixels);
+  return std::move(raster.framebuffer());
+}
+
+void RenderService::account_frame(Replica& replica, uint64_t triangles, uint64_t pixels) {
+  double frame_seconds;
+  if (options_.simulate_timing) {
+    frame_seconds = sim::offscreen_sequential_seconds(options_.profile, triangles, pixels);
+    clock_->sleep_for(frame_seconds);
+  } else {
+    // Real time: approximate with the modelled cost when the clock has no
+    // better source (the rasterizer is not the 2004 hardware).
+    frame_seconds = sim::offscreen_sequential_seconds(options_.profile, triangles, pixels);
+  }
+  last_frame_seconds_ = frame_seconds;
+  ++stats_.frames_rendered;
+  replica.tracker.record_frame(frame_seconds, clock_->now());
+  if (clock_->now() - replica.last_report >= options_.load_report_interval) {
+    replica.last_report = clock_->now();
+    LoadReportMsg report;
+    report.session = replica.name;
+    report.fps = replica.tracker.fps();
+    report.frame_seconds = frame_seconds;
+    report.assigned_triangles = triangles;
+    (void)replica.data_channel->send(encode(report));
+  }
+}
+
+Result<render::FrameBuffer> RenderService::render_console(const std::string& session,
+                                                          const Camera& camera, int width,
+                                                          int height) {
+  Replica* replica = find_replica(session);
+  if (replica == nullptr || !replica->ready)
+    return make_error("render: session not bootstrapped: " + session);
+  return render_local(*replica, camera, width, height, render::Tile{0, 0, width, height});
+}
+
+Result<render::FrameBuffer> RenderService::render_distributed(const std::string& session,
+                                                              const Camera& camera, int width,
+                                                              int height) {
+  Replica* replica = find_replica(session);
+  if (replica == nullptr || !replica->ready)
+    return make_error("render: session not bootstrapped: " + session);
+
+  if (replica->remotes.empty())
+    return render_local(*replica, camera, width, height, render::Tile{0, 0, width, height});
+
+  const uint64_t generation = replica->generation;
+  // Dispatch fresh requests for this camera/generation.
+  for (size_t i = 0; i < replica->remotes.size(); ++i) {
+    RemoteTile& remote = replica->remotes[i];
+    if (!remote.channel) continue;
+    TileAssignMsg assign;
+    assign.session = session;
+    assign.camera = camera;
+    assign.frame_width = width;
+    assign.frame_height = height;
+    assign.generation = generation;
+    if (replica->tile_mode) {
+      const auto tiles =
+          render::split_tiles(width, height, static_cast<int>(replica->remotes.size()) + 1);
+      assign.tile = tiles[std::min(i + 1, tiles.size() - 1)];
+    } else {
+      assign.tile = render::Tile{0, 0, width, height};
+    }
+    (void)remote.channel->send(encode(assign));
+  }
+
+  // Local portion.
+  render::Tile local_region{0, 0, width, height};
+  if (replica->tile_mode) {
+    const auto tiles =
+        render::split_tiles(width, height, static_cast<int>(replica->remotes.size()) + 1);
+    local_region = tiles[0];
+  }
+  render::FrameBuffer frame =
+      render_local(*replica, camera, width, height, render::Tile{0, 0, width, height});
+  if (replica->tile_mode) {
+    // Keep only the locally-owned tile; peer tiles overwrite the rest, or
+    // the local rendering stands in until they arrive (bootstrap, §5.5).
+    for (const RemoteTile& remote : replica->remotes) {
+      if (!remote.valid) {
+        ++stats_.locally_covered_tiles;
+        continue;  // local render already covers this region
+      }
+      frame.insert(remote.tile, remote.buffer);
+      ++stats_.remote_tiles_used;
+      if (remote.generation != generation) ++stats_.stale_tiles_used;  // tearing
+    }
+  } else {
+    for (const RemoteTile& remote : replica->remotes) {
+      if (!remote.valid) {
+        ++stats_.locally_covered_tiles;
+        continue;
+      }
+      (void)render::depth_composite(frame, remote.buffer);
+      ++stats_.remote_tiles_used;
+      if (remote.generation != generation) ++stats_.stale_tiles_used;
+    }
+  }
+  return frame;
+}
+
+Status RenderService::setup_remotes(Replica& replica,
+                                    const std::vector<std::string>& access_points,
+                                    bool tile_mode, int width, int height) {
+  (void)width;
+  (void)height;
+  replica.remotes.clear();
+  replica.tile_mode = tile_mode;
+  for (const std::string& ap : access_points) {
+    if (ap.empty() || ap == peer_access_point_) continue;
+    auto channel = fabric_->dial(ap);
+    if (!channel.ok()) {
+      util::log_warn("render") << "cannot dial assistant " << ap << ": " << channel.error();
+      continue;
+    }
+    RemoteTile remote;
+    remote.access_point = ap;
+    remote.channel = std::move(channel).take();
+    replica.remotes.push_back(std::move(remote));
+  }
+  if (replica.remotes.empty() && !access_points.empty())
+    return make_error("render: no assistants reachable");
+  return {};
+}
+
+Status RenderService::enable_tile_assist(const std::string& session,
+                                         const std::vector<std::string>& assistants) {
+  Replica* replica = find_replica(session);
+  if (replica == nullptr) return make_error("render: no session " + session);
+  return setup_remotes(*replica, assistants, /*tile_mode=*/true, default_frame_width_,
+                       default_frame_height_);
+}
+
+Status RenderService::enable_subset_compositing(const std::string& session,
+                                                const std::vector<std::string>& peers) {
+  Replica* replica = find_replica(session);
+  if (replica == nullptr) return make_error("render: no session " + session);
+  return setup_remotes(*replica, peers, /*tile_mode=*/false, default_frame_width_,
+                       default_frame_height_);
+}
+
+Status RenderService::request_tile_assist(const std::string& session, int tiles_wanted) {
+  Replica* replica = find_replica(session);
+  if (replica == nullptr) return make_error("render: no session " + session);
+  AssistRequestMsg request;
+  request.session = session;
+  request.tiles_wanted = tiles_wanted;
+  return replica->data_channel->send(encode(request));
+}
+
+Status RenderService::submit_update(const std::string& session, SceneUpdate update) {
+  Replica* replica = find_replica(session);
+  if (replica == nullptr) return make_error("render: no session " + session);
+  return replica->data_channel->send(encode(UpdateMsg{session, std::move(update)}));
+}
+
+void RenderService::serve_frame(Client& client, const FrameRequest& request) {
+  Replica* replica = find_replica(client.session);
+  if (replica == nullptr || !replica->ready) {
+    (void)client.channel->send(encode(RefusalMsg{"session not ready"}));
+    return;
+  }
+  auto frame = render_distributed(client.session, request.camera, request.width, request.height);
+  if (!frame.ok()) {
+    (void)client.channel->send(encode(RefusalMsg{frame.error()}));
+    return;
+  }
+  const render::Image image = frame.value().to_image();
+  compress::EncodedImage encoded;
+  if (request.allow_compression) {
+    encoded = client.encoder.encode(image);
+  } else {
+    encoded = compress::make_codec(compress::CodecKind::Raw)->encode(image, nullptr);
+  }
+  FrameMsg reply;
+  reply.request_id = request.request_id;
+  reply.render_seconds = last_frame_seconds_;
+  reply.encoded_image = encoded.serialize();
+  (void)client.channel->send(encode(reply));
+}
+
+RenderCapacity RenderService::capacity() const {
+  return RenderCapacity::from_profile(options_.profile);
+}
+
+void RenderService::register_soap(services::ServiceContainer& container) {
+  using services::SoapList;
+  using services::SoapStruct;
+  using services::SoapValue;
+
+  container.register_method(
+      "render", "queryCapacity", [this](const SoapList&) -> Result<SoapValue> {
+        const RenderCapacity cap = capacity();
+        SoapStruct out;
+        out["host"] = cap.host;
+        out["polygonsPerSec"] = cap.polygons_per_sec;
+        out["pointsPerSec"] = cap.points_per_sec;
+        out["voxelsPerSec"] = cap.voxels_per_sec;
+        out["textureMemBytes"] = static_cast<int64_t>(cap.texture_mem_bytes);
+        out["hwVolumeRendering"] = cap.hw_volume_rendering;
+        return SoapValue{std::move(out)};
+      });
+
+  container.register_method(
+      "render", "listInstances", [this](const SoapList&) -> Result<SoapValue> {
+        SoapList out;
+        for (const std::string& name : session_names()) out.push_back(name);
+        return SoapValue{std::move(out)};
+      });
+
+  container.register_method(
+      "render", "clientAccessPoint", [this](const SoapList&) -> Result<SoapValue> {
+        return SoapValue{client_access_point_};
+      });
+
+  container.register_method(
+      "render", "connectThinClient", [this](const SoapList& args) -> Result<SoapValue> {
+        // Returns the binary endpoint the thin client should dial for the
+        // requested session.
+        if (args.empty()) return make_error("connectThinClient: need session");
+        if (find_replica(args[0].as_string()) == nullptr)
+          return make_error("connectThinClient: no session " + args[0].as_string());
+        return SoapValue{client_access_point_};
+      });
+
+  container.register_method(
+      "render", "requestTileAssist", [this](const SoapList& args) -> Result<SoapValue> {
+        if (args.size() < 2) return make_error("requestTileAssist: need session and count");
+        const Status st = request_tile_assist(args[0].as_string(),
+                                              static_cast<int>(args[1].as_int(1)));
+        if (!st.ok()) return make_error(st.error());
+        return SoapValue{true};
+      });
+
+  container.register_method(
+      "render", "createInstance", [this](const SoapList& args) -> Result<SoapValue> {
+        if (args.size() < 2)
+          return make_error("createInstance: need data access point and session");
+        auto joined = connect_session(args[0].as_string(), args[1].as_string());
+        if (!joined.ok()) return make_error(joined.error());
+        return SoapValue{args[1].as_string()};
+      });
+}
+
+Status RenderService::advertise(services::UddiRegistry& registry,
+                                const std::string& access_point) {
+  if (options_.active_client_only)
+    return make_error("render: active render clients are not advertised");
+  const std::string tmodel = registry.register_tmodel(services::render_service_descriptor());
+  const std::string business = registry.register_business(options_.profile.name);
+  for (const std::string& session : session_names()) {
+    const std::string service_key = registry.register_service(business, "render:" + session);
+    auto bound = registry.register_binding(service_key, access_point, tmodel, session);
+    if (!bound.ok()) return make_error(bound.error());
+  }
+  // A render service with no sessions yet is still discoverable (it can be
+  // recruited and bootstrapped from a data service).
+  if (session_names().empty()) {
+    const std::string service_key = registry.register_service(business, "render:idle");
+    auto bound = registry.register_binding(service_key, access_point, tmodel, "");
+    if (!bound.ok()) return make_error(bound.error());
+  }
+  return {};
+}
+
+RenderService::Replica* RenderService::find_replica(const std::string& session) {
+  auto it = replicas_.find(session);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+const RenderService::Replica* RenderService::find_replica(const std::string& session) const {
+  auto it = replicas_.find(session);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rave::core

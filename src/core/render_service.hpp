@@ -1,0 +1,206 @@
+// The RAVE render service (paper §3.1.2). Holds replicas (full or subset)
+// of data-service sessions, renders off-screen for thin clients, renders
+// to the local console for active users, assists peers with framebuffer
+// tiles, and reports load for migration. One service supports many
+// sessions and many simultaneous clients, sharing a single scene copy per
+// session.
+//
+// Distribution mechanics: a peer render request (TileAssign) always means
+// "render *your replica* of this session for this camera, restricted to
+// this tile". With tile distribution every peer holds the whole tree and
+// tiles are disjoint; with dataset distribution every peer holds its
+// subset and tiles cover the full frame — the results depth-composite
+// into the final image either way (§3.2.5).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/adaptive.hpp"
+#include "core/capacity.hpp"
+#include "core/fabric.hpp"
+#include "core/protocol.hpp"
+#include "render/compositor.hpp"
+#include "render/rasterizer.hpp"
+#include "render/raycast.hpp"
+#include "scene/tree.hpp"
+#include "services/container.hpp"
+#include "services/registry.hpp"
+#include "sim/perf_model.hpp"
+#include "util/clock.hpp"
+
+namespace rave::core {
+
+class RenderService {
+ public:
+  struct Options {
+    sim::MachineProfile profile = sim::centrino_laptop();
+    double target_fps = 15.0;
+    // Advance the clock by modelled render times (heterogeneous-testbed
+    // benches); rasterization still runs for real either way.
+    bool simulate_timing = false;
+    LoadTracker::Thresholds thresholds{};
+    double load_report_interval = 0.1;  // seconds between LoadReports
+    compress::AdaptiveConfig codec{};
+    // Stand-alone active render client: renders and collaborates but has
+    // no service interface to advertise (paper §3.1.2).
+    bool active_client_only = false;
+  };
+
+  struct Stats {
+    uint64_t frames_rendered = 0;
+    uint64_t peer_tiles_rendered = 0;
+    uint64_t remote_tiles_used = 0;
+    uint64_t stale_tiles_used = 0;  // tearing events (fig. 5)
+    uint64_t locally_covered_tiles = 0;  // bootstrap fallback renders
+    uint64_t updates_applied = 0;
+  };
+
+  RenderService(util::Clock& clock, Fabric& fabric) : RenderService(clock, fabric, Options()) {}
+  RenderService(util::Clock& clock, Fabric& fabric, Options options);
+
+  // --- endpoints ------------------------------------------------------------
+  // Expose the thin-client endpoint / the render-peer endpoint on the
+  // fabric. Names must be fabric-unique (e.g. "laptop/clients").
+  util::Result<std::string> listen_clients(const std::string& name);
+  util::Result<std::string> listen_peer(const std::string& name);
+  [[nodiscard]] const std::string& client_access_point() const { return client_access_point_; }
+  [[nodiscard]] const std::string& peer_access_point() const { return peer_access_point_; }
+
+  // --- sessions ---------------------------------------------------------------
+  // Dial the data service and subscribe (bootstrap: ack + snapshot arrive
+  // on the first pumps).
+  util::Result<uint64_t> connect_session(const std::string& data_access_point,
+                                         const std::string& session);
+  [[nodiscard]] std::vector<std::string> session_names() const;
+  [[nodiscard]] const scene::SceneTree* replica(const std::string& session) const;
+  [[nodiscard]] bool bootstrapped(const std::string& session) const;
+
+  // --- processing -------------------------------------------------------------
+  size_t pump();
+
+  // --- rendering ---------------------------------------------------------------
+  // Console rendering for a local user (active render client, immersive
+  // display): full scene, on-screen semantics.
+  util::Result<render::FrameBuffer> render_console(const std::string& session,
+                                                   const scene::Camera& camera, int width,
+                                                   int height);
+
+  // Distributed rendering: local portion plus best-effort composition of
+  // the latest peer results; fresh peer requests are dispatched for the
+  // next frame ("local and remote simply rendering best effort", §5.5).
+  util::Result<render::FrameBuffer> render_distributed(const std::string& session,
+                                                       const scene::Camera& camera, int width,
+                                                       int height);
+
+  // Configure framebuffer (tile) distribution: split client frames into
+  // `assistant_access_points.size() + 1` tiles, first rendered locally.
+  util::Status enable_tile_assist(const std::string& session,
+                                  const std::vector<std::string>& assistant_access_points);
+  // Configure dataset distribution compositing: peers render their scene
+  // subsets full-frame and results are depth-merged.
+  util::Status enable_subset_compositing(const std::string& session,
+                                         const std::vector<std::string>& peer_access_points);
+
+  // Ask the data service for assistants and enable tile mode with them.
+  util::Status request_tile_assist(const std::string& session, int tiles_wanted);
+
+  // Artificially delay outgoing peer tile results (reproduces fig. 5's
+  // stalled remote service).
+  void set_assist_stall(double seconds) { assist_stall_seconds_ = seconds; }
+
+  // Local scene edits from a console user: routed through the data
+  // service like any other client change.
+  util::Status submit_update(const std::string& session, scene::SceneUpdate update);
+
+  // --- introspection -------------------------------------------------------------
+  [[nodiscard]] RenderCapacity capacity() const;
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] double last_frame_seconds() const { return last_frame_seconds_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // SOAP endpoint "render": queryCapacity, listInstances, createInstance,
+  // clientAccessPoint.
+  void register_soap(services::ServiceContainer& container);
+  // `access_point` is this host's SOAP endpoint — what UDDI advertised in
+  // the paper's deployment (an Axis service URL); the binary endpoints are
+  // exchanged during subscription.
+  util::Status advertise(services::UddiRegistry& registry, const std::string& access_point);
+
+ private:
+  struct RemoteTile {
+    std::string access_point;
+    net::ChannelPtr channel;
+    render::Tile tile;
+    render::FrameBuffer buffer;
+    uint64_t generation = 0;
+    bool valid = false;
+  };
+
+  struct Replica {
+    std::string name;
+    net::ChannelPtr data_channel;
+    uint64_t subscriber_id = 0;
+    scene::SceneTree tree;
+    bool ready = false;  // snapshot received
+    bool whole_tree = true;
+    std::vector<scene::NodeId> interest;
+    LoadTracker tracker;
+    double last_report = -1e18;
+    uint64_t generation = 1;  // bumped on every applied update
+    // Distribution state.
+    bool tile_mode = false;    // disjoint tiles vs full-frame subset merge
+    std::vector<RemoteTile> remotes;
+  };
+
+  struct Client {
+    net::ChannelPtr channel;
+    std::string session;
+    bool subscribed = false;
+    compress::AdaptiveEncoder encoder;
+    std::vector<std::string> pending_avatars;
+
+    explicit Client(net::ChannelPtr ch, compress::AdaptiveConfig codec)
+        : channel(std::move(ch)), encoder(codec) {}
+  };
+
+  struct DelayedSend {
+    net::ChannelPtr channel;
+    net::Message message;
+    double ready_at = 0;
+  };
+
+  size_t pump_replica(Replica& replica);
+  size_t pump_clients();
+  size_t pump_peers();
+  void flush_delayed();
+  void apply_update(Replica& replica, const scene::SceneUpdate& update);
+  render::FrameBuffer render_local(Replica& replica, const scene::Camera& camera, int width,
+                                   int height, const render::Tile& region);
+  void account_frame(Replica& replica, uint64_t triangles, uint64_t pixels);
+  void serve_frame(Client& client, const FrameRequest& request);
+  Replica* find_replica(const std::string& session);
+  [[nodiscard]] const Replica* find_replica(const std::string& session) const;
+  util::Status setup_remotes(Replica& replica, const std::vector<std::string>& access_points,
+                             bool tile_mode, int width, int height);
+
+  util::Clock* clock_;
+  Fabric* fabric_;
+  Options options_;
+  std::map<std::string, Replica> replicas_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<net::ChannelPtr> peer_channels_;
+  std::deque<DelayedSend> delayed_;
+  std::string client_access_point_;
+  std::string peer_access_point_;
+  Stats stats_;
+  double last_frame_seconds_ = 0;
+  double assist_stall_seconds_ = 0;
+  int default_frame_width_ = 640;
+  int default_frame_height_ = 480;
+};
+
+}  // namespace rave::core

@@ -1,0 +1,128 @@
+#include "core/status.hpp"
+
+#include <sstream>
+
+namespace rave::core {
+
+using services::SoapList;
+using services::SoapStruct;
+using services::SoapValue;
+using util::Result;
+
+void register_status_endpoint(services::ServiceContainer& container, const std::string& host,
+                              DataService* data, RenderService* render) {
+  container.register_method(
+      "status", "report",
+      [&container, host, data, render](const SoapList&) -> Result<SoapValue> {
+        SoapStruct out;
+        out["host"] = host;
+        out["hasDataService"] = data != nullptr;
+        out["hasRenderService"] = render != nullptr;
+        const services::ContainerStats stats = container.stats();
+        out["soapCalls"] = static_cast<int64_t>(stats.calls_served);
+        out["soapFaults"] = static_cast<int64_t>(stats.faults);
+
+        SoapList sessions;
+        if (data != nullptr) {
+          for (const std::string& name : data->session_names()) {
+            const scene::SceneTree* tree = data->session_tree(name);
+            SoapStruct session;
+            session["name"] = name;
+            session["nodes"] = static_cast<int64_t>(tree->node_count());
+            session["triangles"] = static_cast<int64_t>(tree->total_metrics().triangles);
+            session["updates"] = static_cast<int64_t>(data->committed_updates(name));
+            session["subscribers"] = static_cast<int64_t>(data->subscribers(name).size());
+            sessions.push_back(std::move(session));
+          }
+        }
+        out["sessions"] = std::move(sessions);
+
+        SoapList renders;
+        if (render != nullptr) {
+          SoapStruct entry;
+          entry["host"] = host;
+          SoapList session_names;
+          for (const std::string& name : render->session_names())
+            session_names.push_back(name);
+          entry["sessions"] = std::move(session_names);
+          entry["framesRendered"] = static_cast<int64_t>(render->stats().frames_rendered);
+          entry["peerTiles"] = static_cast<int64_t>(render->stats().peer_tiles_rendered);
+          entry["updatesApplied"] = static_cast<int64_t>(render->stats().updates_applied);
+          entry["lastFrameSeconds"] = render->last_frame_seconds();
+          entry["polygonsPerSec"] = render->capacity().polygons_per_sec;
+          renders.push_back(std::move(entry));
+        }
+        out["renders"] = std::move(renders);
+        return SoapValue{std::move(out)};
+      });
+}
+
+Result<HostStatus> parse_host_status(const SoapValue& value) {
+  if (value.as_struct() == nullptr) return util::make_error("status: not a struct");
+  HostStatus status;
+  status.host = value.field("host").as_string();
+  status.has_data_service = value.field("hasDataService").as_bool();
+  status.has_render_service = value.field("hasRenderService").as_bool();
+  status.soap_calls_served = static_cast<uint64_t>(value.field("soapCalls").as_int());
+  status.soap_faults = static_cast<uint64_t>(value.field("soapFaults").as_int());
+  // field() returns by value: keep the temporaries alive while iterating.
+  const SoapValue sessions_value = value.field("sessions");
+  if (const SoapList* sessions = sessions_value.as_list()) {
+    for (const SoapValue& entry : *sessions) {
+      SessionStatus session;
+      session.name = entry.field("name").as_string();
+      session.nodes = static_cast<uint64_t>(entry.field("nodes").as_int());
+      session.triangles = static_cast<uint64_t>(entry.field("triangles").as_int());
+      session.updates = static_cast<uint64_t>(entry.field("updates").as_int());
+      session.subscribers = static_cast<size_t>(entry.field("subscribers").as_int());
+      status.sessions.push_back(std::move(session));
+    }
+  }
+  const SoapValue renders_value = value.field("renders");
+  if (const SoapList* renders = renders_value.as_list()) {
+    for (const SoapValue& entry : *renders) {
+      RenderStatus render;
+      render.host = entry.field("host").as_string();
+      const SoapValue names_value = entry.field("sessions");
+      if (const SoapList* names = names_value.as_list())
+        for (const SoapValue& name : *names) render.sessions.push_back(name.as_string());
+      render.frames_rendered = static_cast<uint64_t>(entry.field("framesRendered").as_int());
+      render.peer_tiles_rendered = static_cast<uint64_t>(entry.field("peerTiles").as_int());
+      render.updates_applied = static_cast<uint64_t>(entry.field("updatesApplied").as_int());
+      render.last_frame_seconds = entry.field("lastFrameSeconds").as_double();
+      render.polygons_per_sec = entry.field("polygonsPerSec").as_double();
+      status.renders.push_back(std::move(render));
+    }
+  }
+  return status;
+}
+
+std::string format_dashboard(const std::vector<HostStatus>& hosts) {
+  std::ostringstream out;
+  out << "RAVE grid status (" << hosts.size() << " host(s))\n";
+  for (const HostStatus& host : hosts) {
+    out << "== " << host.host;
+    if (host.has_data_service) out << "  [data]";
+    if (host.has_render_service) out << "  [render]";
+    out << "  soap calls: " << host.soap_calls_served << " (" << host.soap_faults
+        << " faults)\n";
+    for (const SessionStatus& session : host.sessions) {
+      out << "   session '" << session.name << "': " << session.nodes << " nodes, "
+          << session.triangles << " triangles, " << session.updates << " updates, "
+          << session.subscribers << " subscriber(s)\n";
+    }
+    for (const RenderStatus& render : host.renders) {
+      out << "   renderer: " << render.frames_rendered << " frames, "
+          << render.peer_tiles_rendered << " peer tiles, " << render.updates_applied
+          << " updates applied";
+      if (render.last_frame_seconds > 0)
+        out << ", last frame " << static_cast<int>(render.last_frame_seconds * 1000) << " ms";
+      out << "\n   sessions:";
+      for (const std::string& name : render.sessions) out << " " << name;
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rave::core

@@ -1,0 +1,57 @@
+// Status interrogation (paper §4.3: SOAP is used "for initial service
+// discovery (via UDDI), status interrogation and subsequent
+// subscription"). Each host exposes a "status" SOAP endpoint aggregating
+// its services' health; collect_grid_status walks the registry and builds
+// the operator's dashboard — sessions, subscribers, loads, render stats —
+// for a whole deployment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/data_service.hpp"
+#include "core/render_service.hpp"
+#include "services/container.hpp"
+
+namespace rave::core {
+
+struct SessionStatus {
+  std::string name;
+  uint64_t nodes = 0;
+  uint64_t triangles = 0;
+  uint64_t updates = 0;
+  size_t subscribers = 0;
+};
+
+struct RenderStatus {
+  std::string host;
+  std::vector<std::string> sessions;
+  uint64_t frames_rendered = 0;
+  uint64_t peer_tiles_rendered = 0;
+  uint64_t updates_applied = 0;
+  double last_frame_seconds = 0;
+  double polygons_per_sec = 0;
+};
+
+struct HostStatus {
+  std::string host;
+  bool has_data_service = false;
+  bool has_render_service = false;
+  std::vector<SessionStatus> sessions;
+  std::vector<RenderStatus> renders;  // zero or one entry per host
+  uint64_t soap_calls_served = 0;
+  uint64_t soap_faults = 0;
+};
+
+// Register the "status" endpoint on a host's container, reporting on the
+// given services (either may be null).
+void register_status_endpoint(services::ServiceContainer& container, const std::string& host,
+                              DataService* data, RenderService* render);
+
+// Decode a status endpoint reply.
+util::Result<HostStatus> parse_host_status(const services::SoapValue& value);
+
+// Render a fleet of host statuses as the operator dashboard text.
+std::string format_dashboard(const std::vector<HostStatus>& hosts);
+
+}  // namespace rave::core

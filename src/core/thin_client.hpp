@@ -1,0 +1,77 @@
+// The RAVE thin client (paper §3.1.3): a device with no or very modest
+// local rendering resources (the Sharp Zaurus PDA of §5.1). It connects
+// to a render service, manipulates the camera and the shared data, and
+// receives rendered frames — all data processing happens remotely, the
+// client only unpacks and presents pixels. Frame timing is broken down
+// exactly as Table 2 reports it: total latency = render + image receipt +
+// other (client) overheads.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "compress/adaptive.hpp"
+#include "core/fabric.hpp"
+#include "core/protocol.hpp"
+#include "scene/camera.hpp"
+#include "sim/machine.hpp"
+#include "util/clock.hpp"
+
+namespace rave::core {
+
+class ThinClient {
+ public:
+  struct FrameStats {
+    double total_latency = 0;    // request sent → image presented
+    double render_seconds = 0;   // reported by the render service
+    double receipt_seconds = 0;  // transfer time of the encoded image
+    double client_seconds = 0;   // unpack + blit on this device
+    uint64_t image_bytes = 0;
+    compress::CodecKind codec = compress::CodecKind::Raw;
+  };
+
+  ThinClient(util::Clock& clock, Fabric& fabric,
+             sim::MachineProfile profile = sim::zaurus_pda());
+
+  // Dial a render service's client endpoint and bind to `session`.
+  util::Status connect(const std::string& render_access_point, const std::string& session);
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  // Blocking frame fetch (the PDA's frame loop). The render service must
+  // be pumped concurrently (threaded) or between calls (test harness) —
+  // pass `pump` to drive it inline.
+  util::Result<render::Image> request_frame(const scene::Camera& camera, int width, int height,
+                                            double timeout_seconds = 5.0,
+                                            const std::function<void()>& pump = {});
+
+  [[nodiscard]] const FrameStats& last_stats() const { return stats_; }
+
+  // Request raw (uncompressed) frames, as the paper's PDA measurements did
+  // (§5.1); adaptive compression is the default.
+  void set_compression(bool enabled) { allow_compression_ = enabled; }
+
+  // Scene interaction: create this user's avatar (returns its node id once
+  // the data service echoes the committed update), move it, edit objects.
+  // The avatar spawns at `initial_view`'s eye, pointing along its view.
+  util::Result<scene::NodeId> create_avatar(const std::string& user_name,
+                                            double timeout_seconds = 5.0,
+                                            const std::function<void()>& pump = {},
+                                            const scene::Camera& initial_view = {});
+  util::Status move_avatar(scene::NodeId avatar, const scene::Camera& camera);
+  util::Status send_update(scene::SceneUpdate update);
+
+  void disconnect();
+
+ private:
+  util::Clock* clock_;
+  Fabric* fabric_;
+  sim::MachineProfile profile_;
+  net::ChannelPtr channel_;
+  bool connected_ = false;
+  uint64_t next_request_id_ = 1;
+  bool allow_compression_ = true;
+  compress::AdaptiveDecoder decoder_;
+  FrameStats stats_;
+};
+
+}  // namespace rave::core

@@ -1,0 +1,112 @@
+#include "mesh/decimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace rave::mesh {
+
+using scene::Aabb;
+using scene::Vec3;
+
+namespace {
+struct CellKey {
+  int64_t x, y, z;
+  bool operator==(const CellKey& o) const { return x == o.x && y == o.y && z == o.z; }
+};
+
+struct CellKeyHash {
+  size_t operator()(const CellKey& k) const {
+    const uint64_t h = static_cast<uint64_t>(k.x) * 0x9E3779B97F4A7C15ULL ^
+                       static_cast<uint64_t>(k.y) * 0xC2B2AE3D27D4EB4FULL ^
+                       static_cast<uint64_t>(k.z) * 0x165667B19E3779F9ULL;
+    return static_cast<size_t>(h);
+  }
+};
+
+MeshData remap(const MeshData& mesh, const std::vector<uint32_t>& vertex_to_cluster,
+               size_t cluster_count) {
+  MeshData out;
+  out.base_color = mesh.base_color;
+  // Average positions (and colors when present) per cluster.
+  out.positions.assign(cluster_count, Vec3{0, 0, 0});
+  std::vector<uint32_t> counts(cluster_count, 0);
+  const bool has_colors = mesh.colors.size() == mesh.positions.size();
+  if (has_colors) out.colors.assign(cluster_count, Vec3{0, 0, 0});
+  for (size_t v = 0; v < mesh.positions.size(); ++v) {
+    const uint32_t c = vertex_to_cluster[v];
+    out.positions[c] += mesh.positions[v];
+    if (has_colors) out.colors[c] += mesh.colors[v];
+    ++counts[c];
+  }
+  for (size_t c = 0; c < cluster_count; ++c) {
+    const float inv = counts[c] > 0 ? 1.0f / static_cast<float>(counts[c]) : 0.0f;
+    out.positions[c] *= inv;
+    if (has_colors) out.colors[c] *= inv;
+  }
+  // Re-index triangles, dropping those that collapsed.
+  for (size_t i = 0; i + 2 < mesh.indices.size(); i += 3) {
+    const uint32_t a = vertex_to_cluster[mesh.indices[i]];
+    const uint32_t b = vertex_to_cluster[mesh.indices[i + 1]];
+    const uint32_t c = vertex_to_cluster[mesh.indices[i + 2]];
+    if (a == b || b == c || a == c) continue;
+    out.indices.insert(out.indices.end(), {a, b, c});
+  }
+  if (!out.indices.empty()) out.compute_normals();
+  return out;
+}
+}  // namespace
+
+MeshData decimate_clustering(const MeshData& mesh, const DecimateOptions& options) {
+  if (mesh.positions.empty()) return mesh;
+  const Aabb box = mesh.bounds();
+  const Vec3 ext = box.extent();
+  const float longest = std::max({ext.x, ext.y, ext.z, 1e-9f});
+  const float cell = longest / static_cast<float>(std::max<uint32_t>(options.grid_resolution, 1));
+
+  std::unordered_map<CellKey, uint32_t, CellKeyHash> cells;
+  std::vector<uint32_t> vertex_to_cluster(mesh.positions.size());
+  for (size_t v = 0; v < mesh.positions.size(); ++v) {
+    const Vec3 rel = mesh.positions[v] - box.lo;
+    const CellKey key{static_cast<int64_t>(std::floor(rel.x / cell)),
+                      static_cast<int64_t>(std::floor(rel.y / cell)),
+                      static_cast<int64_t>(std::floor(rel.z / cell))};
+    auto [it, inserted] = cells.emplace(key, static_cast<uint32_t>(cells.size()));
+    vertex_to_cluster[v] = it->second;
+  }
+  return remap(mesh, vertex_to_cluster, cells.size());
+}
+
+MeshData decimate_to_target(const MeshData& mesh, size_t target_triangles) {
+  if (mesh.triangle_count() <= target_triangles) return mesh;
+  // The cluster grid resolution roughly controls output triangles
+  // quadratically (surface scaling); search downward until under target.
+  uint32_t resolution = 512;
+  MeshData current = mesh;
+  while (resolution >= 2) {
+    MeshData candidate = decimate_clustering(mesh, {.grid_resolution = resolution});
+    if (candidate.triangle_count() <= target_triangles) return candidate;
+    current = std::move(candidate);
+    resolution /= 2;
+  }
+  return current;
+}
+
+MeshData weld_vertices(const MeshData& mesh, float epsilon) {
+  if (mesh.positions.empty()) return mesh;
+  const float cell = std::max(epsilon, 1e-12f);
+  const Aabb box = mesh.bounds();
+  std::unordered_map<CellKey, uint32_t, CellKeyHash> cells;
+  std::vector<uint32_t> vertex_to_cluster(mesh.positions.size());
+  for (size_t v = 0; v < mesh.positions.size(); ++v) {
+    const Vec3 rel = mesh.positions[v] - box.lo;
+    const CellKey key{static_cast<int64_t>(std::floor(rel.x / cell)),
+                      static_cast<int64_t>(std::floor(rel.y / cell)),
+                      static_cast<int64_t>(std::floor(rel.z / cell))};
+    auto [it, inserted] = cells.emplace(key, static_cast<uint32_t>(cells.size()));
+    vertex_to_cluster[v] = it->second;
+  }
+  return remap(mesh, vertex_to_cluster, cells.size());
+}
+
+}  // namespace rave::mesh

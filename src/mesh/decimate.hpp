@@ -1,0 +1,28 @@
+// Polygon decimation — the second stage of the paper's skeleton-model
+// provenance pipeline ("processed by marching cubes and a polygon
+// decimation algorithm"). Vertex-clustering decimation: vertices are
+// snapped to a uniform grid, clusters merged, degenerate triangles
+// dropped. Robust on arbitrary input and gives direct control over the
+// output budget via the cell size.
+#pragma once
+
+#include "scene/node.hpp"
+
+namespace rave::mesh {
+
+using scene::MeshData;
+
+struct DecimateOptions {
+  // Number of grid cells along the longest axis of the mesh bounds.
+  uint32_t grid_resolution = 64;
+};
+
+MeshData decimate_clustering(const MeshData& mesh, const DecimateOptions& options = {});
+
+// Repeatedly decimate until the triangle count drops to at most `target`.
+MeshData decimate_to_target(const MeshData& mesh, size_t target_triangles);
+
+// Merge positionally-coincident vertices (within `epsilon`).
+MeshData weld_vertices(const MeshData& mesh, float epsilon = 1e-6f);
+
+}  // namespace rave::mesh

@@ -1,0 +1,99 @@
+#include "mesh/fields.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rave::mesh {
+
+namespace {
+float falloff(float distance, float radius) {
+  if (radius <= 0) return 0.0f;
+  const float t = 1.0f - distance / radius;
+  return t <= 0 ? 0.0f : t;
+}
+
+float point_segment_distance(const Vec3& p, const Vec3& a, const Vec3& b) {
+  const Vec3 ab = b - a;
+  const float len_sq = ab.length_sq();
+  if (len_sq < 1e-12f) return (p - a).length();
+  const float t = std::clamp(util::dot(p - a, ab) / len_sq, 0.0f, 1.0f);
+  return (p - (a + ab * t)).length();
+}
+}  // namespace
+
+ScalarField ball_field(const Vec3& center, float radius) {
+  return [=](const Vec3& p) { return falloff((p - center).length(), radius); };
+}
+
+ScalarField capsule_field(const Vec3& a, const Vec3& b, float radius) {
+  return [=](const Vec3& p) { return falloff(point_segment_distance(p, a, b), radius); };
+}
+
+ScalarField union_field(std::vector<ScalarField> fields) {
+  return [fields = std::move(fields)](const Vec3& p) {
+    float best = 0.0f;
+    for (const auto& f : fields) best = std::max(best, f(p));
+    return best;
+  };
+}
+
+ScalarField body_field() {
+  std::vector<ScalarField> parts;
+  // Spine: vertical chain of vertebral balls.
+  for (int i = 0; i < 14; ++i) {
+    const float y = -0.9f + 0.11f * static_cast<float>(i);
+    parts.push_back(ball_field({0.0f, y, 0.0f}, 0.09f));
+  }
+  // Skull.
+  parts.push_back(ball_field({0.0f, 0.85f, 0.02f}, 0.22f));
+  parts.push_back(capsule_field({0.0f, 0.66f, 0.05f}, {0.0f, 0.72f, 0.1f}, 0.08f));  // jaw
+  // Rib pairs: arcs approximated by three-segment capsules per side.
+  for (int r = 0; r < 8; ++r) {
+    const float y = 0.35f - 0.08f * static_cast<float>(r);
+    const float spread = 0.28f - 0.01f * static_cast<float>(r);
+    for (int side = -1; side <= 1; side += 2) {
+      const float s = static_cast<float>(side);
+      parts.push_back(capsule_field({0.0f, y, -0.05f}, {s * spread, y - 0.02f, 0.05f}, 0.035f));
+      parts.push_back(
+          capsule_field({s * spread, y - 0.02f, 0.05f}, {s * spread * 0.6f, y - 0.05f, 0.2f},
+                        0.035f));
+    }
+  }
+  // Pelvis.
+  parts.push_back(capsule_field({-0.22f, -0.95f, 0.0f}, {0.22f, -0.95f, 0.0f}, 0.13f));
+  // Shoulders / clavicles.
+  parts.push_back(capsule_field({-0.3f, 0.45f, 0.0f}, {0.3f, 0.45f, 0.0f}, 0.06f));
+  // Upper arms.
+  for (int side = -1; side <= 1; side += 2) {
+    const float s = static_cast<float>(side);
+    parts.push_back(capsule_field({s * 0.32f, 0.45f, 0.0f}, {s * 0.42f, -0.1f, 0.0f}, 0.055f));
+    parts.push_back(capsule_field({s * 0.42f, -0.1f, 0.0f}, {s * 0.45f, -0.6f, 0.05f}, 0.045f));
+  }
+  return union_field(std::move(parts));
+}
+
+VoxelGridData rasterize_field(const ScalarField& field, const scene::Aabb& bounds, uint32_t nx,
+                              uint32_t ny, uint32_t nz) {
+  VoxelGridData grid;
+  grid.nx = nx;
+  grid.ny = ny;
+  grid.nz = nz;
+  grid.origin = bounds.lo;
+  const Vec3 ext = bounds.extent();
+  grid.spacing = {ext.x / static_cast<float>(nx), ext.y / static_cast<float>(ny),
+                  ext.z / static_cast<float>(nz)};
+  grid.values.resize(grid.voxel_count());
+  for (uint32_t z = 0; z < nz; ++z) {
+    for (uint32_t y = 0; y < ny; ++y) {
+      for (uint32_t x = 0; x < nx; ++x) {
+        const Vec3 p = grid.origin + Vec3{(static_cast<float>(x) + 0.5f) * grid.spacing.x,
+                                          (static_cast<float>(y) + 0.5f) * grid.spacing.y,
+                                          (static_cast<float>(z) + 0.5f) * grid.spacing.z};
+        grid.at(x, y, z) = field(p);
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace rave::mesh

@@ -1,0 +1,38 @@
+// Implicit scalar fields. The paper's skeleton dataset was produced from
+// the Visible Man volume "processed by marching cubes and a polygon
+// decimation algorithm" (§5); without that proprietary scan we rebuild the
+// same provenance pipeline from analytic density fields: field → voxel
+// grid → isosurface extraction → decimation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "scene/node.hpp"
+
+namespace rave::mesh {
+
+using scene::Vec3;
+using scene::VoxelGridData;
+
+// A density field: higher values are "inside".
+using ScalarField = std::function<float(const Vec3&)>;
+
+// Density of a ball: 1 at center, 0 at radius, smooth falloff.
+ScalarField ball_field(const Vec3& center, float radius);
+
+// Density of a capsule between two points.
+ScalarField capsule_field(const Vec3& a, const Vec3& b, float radius);
+
+// Smooth union of fields (soft-max blend).
+ScalarField union_field(std::vector<ScalarField> fields);
+
+// An anatomical-torso-like density (spine, ribs, pelvis, skull) used as the
+// stand-in for the Visible Man dataset.
+ScalarField body_field();
+
+// Sample a field onto a regular grid over `bounds` at `nx*ny*nz` samples.
+VoxelGridData rasterize_field(const ScalarField& field, const scene::Aabb& bounds, uint32_t nx,
+                              uint32_t ny, uint32_t nz);
+
+}  // namespace rave::mesh

@@ -1,0 +1,323 @@
+#include "mesh/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "mesh/decimate.hpp"
+#include "mesh/fields.hpp"
+#include "mesh/marching_cubes.hpp"
+#include "mesh/primitives.hpp"
+
+namespace rave::mesh {
+
+using scene::Vec3;
+using util::kPi;
+using util::Mat4;
+
+namespace {
+// Builders take a detail scale; triangle output grows ~ detail^2. Solve for
+// the detail that hits `target` with one coarse probe plus one refinement.
+MeshData build_with_target(const std::function<MeshData(float)>& builder, size_t target) {
+  const float probe_detail = 1.0f;
+  MeshData probe = builder(probe_detail);
+  const size_t probe_tris = std::max<size_t>(probe.triangle_count(), 1);
+  if (target == 0) return probe;
+  float detail = probe_detail * std::sqrt(static_cast<float>(target) / probe_tris);
+  MeshData out = builder(std::max(detail, 0.05f));
+  const size_t tris = std::max<size_t>(out.triangle_count(), 1);
+  const float err = static_cast<float>(tris) / static_cast<float>(target);
+  if (err > 1.04f || err < 0.96f) {
+    detail *= std::sqrt(1.0f / err);
+    out = builder(std::max(detail, 0.05f));
+  }
+  return out;
+}
+
+int di(float detail, float base, int min_value = 3) {
+  return std::max(min_value, static_cast<int>(std::lround(base * detail)));
+}
+
+// --- skeletal hand -------------------------------------------------------
+
+MeshData build_hand(float d) {
+  MeshData hand;
+  hand.base_color = {0.93f, 0.90f, 0.82f};  // bone
+  // Palm: five metacarpal capsules fanning from the wrist.
+  const Vec3 wrist{0.0f, 0.0f, 0.0f};
+  const int cap_slices = di(d, 24.0f, 4);
+  const int cap_rings = di(d, 12.0f, 1);
+  struct Finger {
+    float angle;    // fan angle in the palm plane
+    float length;   // total finger length
+    float radius;
+    int phalanges;
+  };
+  const Finger fingers[5] = {
+      {-0.62f, 0.95f, 0.075f, 2},  // thumb
+      {-0.22f, 1.35f, 0.062f, 3},  // index
+      {0.00f, 1.45f, 0.065f, 3},   // middle
+      {0.20f, 1.35f, 0.060f, 3},   // ring
+      {0.40f, 1.10f, 0.055f, 3},   // little
+  };
+  for (const Finger& f : fingers) {
+    const Vec3 dir{std::sin(f.angle), std::cos(f.angle), 0.0f};
+    // Metacarpal from the wrist to the knuckle.
+    const float metacarpal_len = f.length * 0.55f;
+    Vec3 start = wrist + dir * 0.15f;
+    Vec3 end = start + dir * metacarpal_len;
+    MeshData metacarpal = make_capsule(f.radius * 1.1f, metacarpal_len, cap_slices, cap_rings);
+    // Capsules extrude along +Z; orient along `dir` in the XY plane.
+    const Mat4 orient = Mat4::rotate_z(-f.angle) * Mat4::rotate_x(-kPi / 2.0f);
+    append_mesh(hand, metacarpal, Mat4::translate(start) * orient);
+    // Phalanges, each curling slightly out of the palm plane.
+    float seg_len = f.length * 0.45f / static_cast<float>(f.phalanges);
+    Vec3 seg_dir = dir;
+    Vec3 pos = end + dir * (f.radius * 0.4f);
+    for (int p = 0; p < f.phalanges; ++p) {
+      MeshData phalanx =
+          make_capsule(f.radius * (1.0f - 0.15f * static_cast<float>(p)), seg_len, cap_slices,
+                       cap_rings);
+      // Tilt successive phalanges towards -Z (a relaxed curl).
+      const float curl = 0.25f * static_cast<float>(p + 1);
+      const Mat4 seg_orient =
+          Mat4::rotate_z(-f.angle) * Mat4::rotate_x(-kPi / 2.0f + curl);
+      append_mesh(hand, phalanx, Mat4::translate(pos) * seg_orient);
+      seg_dir = Vec3{seg_dir.x, seg_dir.y * std::cos(curl), -std::sin(curl)};
+      pos += util::normalize(seg_dir) * (seg_len + f.radius * 0.25f);
+      seg_len *= 0.8f;
+    }
+  }
+  // Carpal block at the wrist.
+  MeshData carpals = make_ellipsoid({0.28f, 0.2f, 0.12f}, di(d, 32.0f, 6), di(d, 24.0f, 4));
+  append_mesh(hand, carpals, Mat4::translate(wrist));
+  normalize_to_unit(hand);
+  hand.compute_normals();
+  return hand;
+}
+
+// --- full skeleton -------------------------------------------------------
+
+MeshData build_skeleton(float d) {
+  MeshData body;
+  body.base_color = {0.93f, 0.90f, 0.82f};
+  const int cap_slices = di(d, 18.0f, 4);
+  const int cap_rings = di(d, 8.0f, 1);
+  const int sph_slices = di(d, 22.0f, 6);
+  const int sph_stacks = di(d, 16.0f, 4);
+
+  const auto add_capsule = [&](const Vec3& a, const Vec3& b, float radius) {
+    const Vec3 delta = b - a;
+    const float len = delta.length();
+    if (len < 1e-6f) return;
+    MeshData bone = make_capsule(radius, len, cap_slices, cap_rings);
+    // Rotate +Z onto delta.
+    const Vec3 dir = delta / len;
+    const float yaw = std::atan2(dir.x, dir.z);
+    const float pitch = -std::asin(std::clamp(dir.y, -1.0f, 1.0f));
+    append_mesh(body, bone,
+                Mat4::translate(a) * Mat4::rotate_y(yaw) * Mat4::rotate_x(pitch));
+  };
+  const auto add_ball = [&](const Vec3& center, const Vec3& radii) {
+    MeshData ball = make_ellipsoid(radii, sph_slices, sph_stacks);
+    append_mesh(body, ball, Mat4::translate(center));
+  };
+
+  // Skull + jaw.
+  add_ball({0, 7.4f, 0}, {0.55f, 0.65f, 0.6f});
+  add_capsule({-0.2f, 6.9f, 0.25f}, {0.2f, 6.9f, 0.25f}, 0.16f);
+  // Spine: 24 vertebrae.
+  for (int i = 0; i < 24; ++i) {
+    const float y = 6.5f - 0.23f * static_cast<float>(i);
+    const float bend = 0.12f * std::sin(static_cast<float>(i) * 0.26f);
+    add_ball({bend, y, 0}, {0.2f, 0.12f, 0.2f});
+  }
+  // Ribcage: 10 rib pairs as swept tubes.
+  const int rib_path_pts = di(d, 10.0f, 4);
+  for (int r = 0; r < 10; ++r) {
+    const float y = 6.1f - 0.3f * static_cast<float>(r);
+    const float spread = 1.0f + 0.25f * std::sin(kPi * static_cast<float>(r) / 9.0f);
+    for (int side = -1; side <= 1; side += 2) {
+      std::vector<Vec3> path;
+      for (int k = 0; k <= rib_path_pts; ++k) {
+        const float t = static_cast<float>(k) / rib_path_pts;
+        const float a = t * kPi * 0.85f;
+        path.push_back({static_cast<float>(side) * spread * std::sin(a), y - 0.5f * t,
+                        -spread * 0.7f * std::cos(a) + spread * 0.35f});
+      }
+      MeshData rib = make_tube(path, 0.07f, std::max(4, cap_slices / 2));
+      append_mesh(body, rib);
+    }
+  }
+  // Sternum.
+  add_capsule({0, 6.1f, 1.0f}, {0, 4.7f, 0.9f}, 0.12f);
+  // Clavicles + scapulae.
+  add_capsule({-1.1f, 6.35f, 0.3f}, {0, 6.45f, 0.6f}, 0.08f);
+  add_capsule({1.1f, 6.35f, 0.3f}, {0, 6.45f, 0.6f}, 0.08f);
+  add_ball({-1.0f, 6.1f, -0.4f}, {0.35f, 0.45f, 0.1f});
+  add_ball({1.0f, 6.1f, -0.4f}, {0.35f, 0.45f, 0.1f});
+  // Pelvis.
+  MeshData pelvis = make_torus(0.85f, 0.22f, di(d, 26.0f, 6), di(d, 12.0f, 4));
+  append_mesh(body, pelvis, Mat4::translate({0, 0.8f, 0}) * Mat4::rotate_x(kPi / 2.2f));
+  // Arms.
+  for (int side = -1; side <= 1; side += 2) {
+    const float s = static_cast<float>(side);
+    add_capsule({s * 1.25f, 6.1f, 0}, {s * 1.45f, 3.9f, 0}, 0.14f);     // humerus
+    add_capsule({s * 1.45f, 3.9f, 0}, {s * 1.55f, 1.9f, 0.2f}, 0.10f);  // radius
+    add_capsule({s * 1.52f, 3.9f, 0.1f}, {s * 1.68f, 1.9f, 0.3f}, 0.08f);  // ulna
+    add_ball({s * 1.62f, 1.6f, 0.3f}, {0.22f, 0.3f, 0.12f});            // hand
+  }
+  // Legs.
+  for (int side = -1; side <= 1; side += 2) {
+    const float s = static_cast<float>(side);
+    add_capsule({s * 0.55f, 0.7f, 0}, {s * 0.7f, -2.2f, 0}, 0.17f);       // femur
+    add_ball({s * 0.7f, -2.3f, 0.2f}, {0.2f, 0.2f, 0.2f});               // patella
+    add_capsule({s * 0.7f, -2.4f, 0}, {s * 0.75f, -5.2f, 0}, 0.13f);     // tibia
+    add_capsule({s * 0.85f, -2.4f, -0.1f}, {s * 0.9f, -5.2f, -0.1f}, 0.07f);  // fibula
+    add_ball({s * 0.8f, -5.5f, 0.35f}, {0.18f, 0.12f, 0.45f});           // foot
+  }
+  normalize_to_unit(body);
+  body.compute_normals();
+  return body;
+}
+
+// --- galleon -------------------------------------------------------------
+
+MeshData build_galleon(float d) {
+  MeshData ship;
+  ship.base_color = {0.55f, 0.38f, 0.22f};
+  // Hull: swept tube along the keel, flattened vertically.
+  std::vector<Vec3> keel;
+  const int hull_pts = di(d, 14.0f, 6);
+  for (int k = 0; k <= hull_pts; ++k) {
+    const float t = static_cast<float>(k) / hull_pts;
+    keel.push_back({0.0f, 0.4f * std::sin(t * kPi) - 0.1f, -2.0f + 4.0f * t});
+  }
+  MeshData hull = make_tube(keel, 0.55f, di(d, 16.0f, 6));
+  append_mesh(ship, hull, Mat4::scale({1.0f, 0.6f, 1.0f}));
+  // Deck.
+  MeshData deck = make_box({0.5f, 0.04f, 1.8f}, di(d, 2.0f, 1));
+  append_mesh(ship, deck, Mat4::translate({0, 0.25f, 0}));
+  // Masts + yards + sails.
+  const float mast_z[3] = {-1.2f, 0.0f, 1.2f};
+  const float mast_h[3] = {1.6f, 2.0f, 1.5f};
+  const int cyl_slices = di(d, 10.0f, 5);
+  for (int m = 0; m < 3; ++m) {
+    MeshData mast = make_cylinder(0.05f, mast_h[m], cyl_slices, di(d, 3.0f, 1));
+    append_mesh(ship, mast,
+                Mat4::translate({0, 0.25f, mast_z[m]}) * Mat4::rotate_x(-kPi / 2.0f));
+    for (int y = 0; y < 2; ++y) {
+      const float h = 0.25f + mast_h[m] * (0.45f + 0.35f * static_cast<float>(y));
+      MeshData yard = make_cylinder(0.025f, 1.0f, std::max(4, cyl_slices - 2), 1);
+      append_mesh(ship, yard,
+                  Mat4::translate({-0.5f, h, mast_z[m]}) * Mat4::rotate_y(kPi / 2.0f));
+      MeshData sail = make_box({0.45f, mast_h[m] * 0.16f, 0.01f}, di(d, 2.0f, 1));
+      sail.base_color = {0.92f, 0.9f, 0.8f};
+      append_mesh(ship, sail, Mat4::translate({0, h - mast_h[m] * 0.17f, mast_z[m] + 0.05f}));
+    }
+  }
+  // Bowsprit.
+  MeshData bowsprit = make_cylinder(0.03f, 0.9f, std::max(4, cyl_slices - 2), 1);
+  append_mesh(ship, bowsprit,
+              Mat4::translate({0, 0.35f, 1.9f}) * Mat4::rotate_x(kPi * 0.12f));
+  normalize_to_unit(ship);
+  ship.compute_normals();
+  return ship;
+}
+
+// --- Elle (humanoid figure) ---------------------------------------------
+
+MeshData build_elle(float d) {
+  MeshData figure;
+  figure.base_color = {0.8f, 0.62f, 0.52f};
+  const int sph_slices = di(d, 26.0f, 8);
+  const int sph_stacks = di(d, 20.0f, 6);
+  const int cap_slices = di(d, 20.0f, 6);
+  const int cap_rings = di(d, 10.0f, 2);
+
+  const auto add_ball = [&](const Vec3& c, const Vec3& radii) {
+    MeshData ball = make_ellipsoid(radii, sph_slices, sph_stacks);
+    append_mesh(figure, ball, Mat4::translate(c));
+  };
+  const auto add_limb = [&](const Vec3& a, const Vec3& b, float radius) {
+    const Vec3 delta = b - a;
+    const float len = delta.length();
+    const Vec3 dir = delta / len;
+    const float yaw = std::atan2(dir.x, dir.z);
+    const float pitch = -std::asin(std::clamp(dir.y, -1.0f, 1.0f));
+    MeshData limb = make_capsule(radius, len, cap_slices, cap_rings);
+    append_mesh(figure, limb,
+                Mat4::translate(a) * Mat4::rotate_y(yaw) * Mat4::rotate_x(pitch));
+  };
+
+  add_ball({0, 6.6f, 0}, {0.45f, 0.55f, 0.48f});      // head
+  add_limb({0, 6.1f, 0}, {0, 5.7f, 0}, 0.16f);        // neck
+  add_ball({0, 4.9f, 0}, {0.85f, 1.1f, 0.5f});        // torso
+  add_ball({0, 3.4f, 0}, {0.7f, 0.75f, 0.5f});        // hips
+  for (int side = -1; side <= 1; side += 2) {
+    const float s = static_cast<float>(side);
+    add_limb({s * 0.85f, 5.6f, 0}, {s * 1.1f, 4.1f, 0}, 0.18f);   // upper arm
+    add_limb({s * 1.1f, 4.1f, 0}, {s * 1.2f, 2.7f, 0.25f}, 0.14f);  // forearm
+    add_ball({s * 1.22f, 2.45f, 0.3f}, {0.15f, 0.22f, 0.1f});     // hand
+    add_limb({s * 0.4f, 3.2f, 0}, {s * 0.5f, 1.2f, 0}, 0.24f);    // thigh
+    add_limb({s * 0.5f, 1.2f, 0}, {s * 0.52f, -0.7f, 0}, 0.17f);  // calf
+    add_ball({s * 0.55f, -0.95f, 0.25f}, {0.14f, 0.1f, 0.35f});   // foot
+  }
+  normalize_to_unit(figure);
+  figure.compute_normals();
+  return figure;
+}
+}  // namespace
+
+MeshData make_skeletal_hand(size_t target_triangles) {
+  return build_with_target(build_hand, target_triangles);
+}
+
+MeshData make_skeleton(size_t target_triangles) {
+  return build_with_target(build_skeleton, target_triangles);
+}
+
+MeshData make_galleon(size_t target_triangles) {
+  return build_with_target(build_galleon, target_triangles);
+}
+
+MeshData make_elle(size_t target_triangles) {
+  return build_with_target(build_elle, target_triangles);
+}
+
+MeshData make_skeleton_from_volume(uint32_t grid_resolution, size_t target_triangles) {
+  scene::Aabb bounds;
+  bounds.extend({-1.2f, -1.3f, -0.8f});
+  bounds.extend({1.2f, 1.3f, 0.8f});
+  const VoxelGridData grid =
+      rasterize_field(body_field(), bounds, grid_resolution, grid_resolution, grid_resolution);
+  MeshData surface = extract_isosurface(grid, {.iso_value = 0.5f});
+  if (surface.triangle_count() > target_triangles)
+    surface = decimate_to_target(surface, target_triangles);
+  surface.base_color = {0.93f, 0.90f, 0.82f};
+  normalize_to_unit(surface);
+  return surface;
+}
+
+const std::vector<ModelSpec>& model_catalog() {
+  static const std::vector<ModelSpec> catalog = {
+      {"Skeletal Hand", 830'000, 20ull * 1024 * 1024},
+      {"Skeleton", 2'800'000, 75ull * 1024 * 1024},
+      {"Elle", 50'000, 0},
+      {"Galleon", 5'500, 0},
+  };
+  return catalog;
+}
+
+MeshData make_model(const std::string& name, size_t target_triangles) {
+  const auto pick = [&](size_t paper_count) {
+    return target_triangles != 0 ? target_triangles : paper_count;
+  };
+  if (name == "Skeletal Hand") return make_skeletal_hand(pick(830'000));
+  if (name == "Skeleton") return make_skeleton(pick(2'800'000));
+  if (name == "Elle") return make_elle(pick(50'000));
+  if (name == "Galleon") return make_galleon(pick(5'500));
+  return {};
+}
+
+}  // namespace rave::mesh

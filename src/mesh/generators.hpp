@@ -1,0 +1,50 @@
+// Procedural stand-ins for the paper's benchmark models. The originals
+// (Georgia Tech skeletal hand & Visible Man skeleton, Blaxxun "Elle", Sun
+// "Galleon") are not redistributable, so each generator produces a mesh of
+// equivalent triangle count and structure; the experiments depend only on
+// polygon counts, file sizes and render cost (DESIGN.md, substitutions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scene/node.hpp"
+
+namespace rave::mesh {
+
+using scene::MeshData;
+
+// Articulated hand: palm, wrist, five 3-phalanx fingers. Default target
+// matches Table 1 (0.83 M polygons).
+MeshData make_skeletal_hand(size_t target_triangles = 830'000);
+
+// Full skeleton: skull, spine, ribcage, pelvis, limb long bones. Default
+// target matches Table 1 (2.8 M polygons).
+MeshData make_skeleton(size_t target_triangles = 2'800'000);
+
+// Three-masted ship, ~5.5 k polygons (the Java3D "Galleon" sample).
+MeshData make_galleon(size_t target_triangles = 5'500);
+
+// Humanoid figure, ~50 k polygons (the Blaxxun VRML "Elle" benchmark).
+MeshData make_elle(size_t target_triangles = 50'000);
+
+// Skeleton via the paper's provenance pipeline: analytic body density →
+// voxel grid → isosurface → decimation. Slower than make_skeleton; used by
+// the volume/provenance examples and tests.
+MeshData make_skeleton_from_volume(uint32_t grid_resolution = 96,
+                                   size_t target_triangles = 100'000);
+
+struct ModelSpec {
+  std::string name;
+  size_t paper_triangles;  // count reported in the paper
+  uint64_t paper_file_bytes;  // "Size of Data File" in Table 1 (0 if n/a)
+};
+
+// The four models the paper benchmarks with, in its order.
+const std::vector<ModelSpec>& model_catalog();
+
+// Generate a catalog model by name at its paper triangle count (or a
+// scaled-down count for fast tests).
+MeshData make_model(const std::string& name, size_t target_triangles = 0);
+
+}  // namespace rave::mesh

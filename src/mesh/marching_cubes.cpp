@@ -1,0 +1,165 @@
+#include "mesh/marching_cubes.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+namespace rave::mesh {
+
+using scene::Vec3;
+
+namespace {
+// The 6-tetrahedra decomposition of a cube. Corner numbering:
+//   bit0 = +x, bit1 = +y, bit2 = +z  (corner i at (i&1, (i>>1)&1, (i>>2)&1))
+// All six tets share the main diagonal 0-7, which guarantees consistent
+// face diagonals between neighbouring cubes (no cracks).
+constexpr int kTets[6][4] = {
+    {0, 5, 1, 7}, {0, 1, 3, 7}, {0, 3, 2, 7}, {0, 2, 6, 7}, {0, 6, 4, 7}, {0, 4, 5, 7},
+};
+
+struct VertexKey {
+  // An isosurface vertex lies on a unique grid edge: identify it by the
+  // two global corner indices (ordered).
+  uint64_t a, b;
+  bool operator==(const VertexKey& o) const { return a == o.a && b == o.b; }
+};
+
+struct VertexKeyHash {
+  size_t operator()(const VertexKey& k) const {
+    return std::hash<uint64_t>()(k.a * 0x9E3779B97F4A7C15ULL ^ k.b);
+  }
+};
+}  // namespace
+
+MeshData extract_isosurface(const VoxelGridData& grid, const IsosurfaceOptions& options) {
+  MeshData mesh;
+  if (grid.nx < 2 || grid.ny < 2 || grid.nz < 2) return mesh;
+  const float iso = options.iso_value;
+
+  const auto corner_pos = [&](uint32_t x, uint32_t y, uint32_t z) {
+    // Samples sit at cell centers; the lattice of sample points spans
+    // (nx, ny, nz) positions.
+    return grid.origin + Vec3{(static_cast<float>(x) + 0.5f) * grid.spacing.x,
+                              (static_cast<float>(y) + 0.5f) * grid.spacing.y,
+                              (static_cast<float>(z) + 0.5f) * grid.spacing.z};
+  };
+  const auto corner_index = [&](uint32_t x, uint32_t y, uint32_t z) -> uint64_t {
+    return (static_cast<uint64_t>(z) * grid.ny + y) * grid.nx + x;
+  };
+
+  std::unordered_map<VertexKey, uint32_t, VertexKeyHash> edge_vertices;
+
+  const auto emit_vertex = [&](uint64_t ga, uint64_t gb, const Vec3& pa, const Vec3& pb, float va,
+                               float vb) -> uint32_t {
+    VertexKey key{std::min(ga, gb), std::max(ga, gb)};
+    if (options.weld_vertices) {
+      auto it = edge_vertices.find(key);
+      if (it != edge_vertices.end()) return it->second;
+    }
+    const float denom = vb - va;
+    const float t = std::fabs(denom) < 1e-12f ? 0.5f : (iso - va) / denom;
+    const uint32_t idx = static_cast<uint32_t>(mesh.positions.size());
+    mesh.positions.push_back(util::lerp(pa, pb, std::clamp(t, 0.0f, 1.0f)));
+    if (options.weld_vertices) edge_vertices.emplace(key, idx);
+    return idx;
+  };
+
+  std::array<float, 8> val;
+  std::array<Vec3, 8> pos;
+  std::array<uint64_t, 8> gid;
+
+  for (uint32_t z = 0; z + 1 < grid.nz; ++z) {
+    for (uint32_t y = 0; y + 1 < grid.ny; ++y) {
+      for (uint32_t x = 0; x + 1 < grid.nx; ++x) {
+        for (int c = 0; c < 8; ++c) {
+          const uint32_t cx = x + static_cast<uint32_t>(c & 1);
+          const uint32_t cy = y + static_cast<uint32_t>((c >> 1) & 1);
+          const uint32_t cz = z + static_cast<uint32_t>((c >> 2) & 1);
+          val[static_cast<size_t>(c)] = grid.at(cx, cy, cz);
+          pos[static_cast<size_t>(c)] = corner_pos(cx, cy, cz);
+          gid[static_cast<size_t>(c)] = corner_index(cx, cy, cz);
+        }
+        // Skip cubes entirely inside or outside.
+        bool any_in = false, any_out = false;
+        for (float v : val) (v >= iso ? any_in : any_out) = true;
+        if (!any_in || !any_out) continue;
+
+        for (const auto& tet : kTets) {
+          int mask = 0;
+          for (int i = 0; i < 4; ++i)
+            if (val[static_cast<size_t>(tet[i])] >= iso) mask |= 1 << i;
+          if (mask == 0 || mask == 15) continue;
+
+          const auto vert = [&](int i, int j) {
+            const int a = tet[i], b = tet[j];
+            return emit_vertex(gid[static_cast<size_t>(a)], gid[static_cast<size_t>(b)],
+                               pos[static_cast<size_t>(a)], pos[static_cast<size_t>(b)],
+                               val[static_cast<size_t>(a)], val[static_cast<size_t>(b)]);
+          };
+          const auto tri = [&](uint32_t a, uint32_t b, uint32_t c) {
+            if (a == b || b == c || a == c) return;
+            // Winding flipped so face normals point towards lower density
+            // (outside the surface).
+            mesh.indices.insert(mesh.indices.end(), {a, c, b});
+          };
+
+          // Orientations chosen so triangle normals point towards lower
+          // density (outside).
+          switch (mask) {
+            case 1: tri(vert(0, 1), vert(0, 3), vert(0, 2)); break;
+            case 14: tri(vert(0, 1), vert(0, 2), vert(0, 3)); break;
+            case 2: tri(vert(1, 0), vert(1, 2), vert(1, 3)); break;
+            case 13: tri(vert(1, 0), vert(1, 3), vert(1, 2)); break;
+            case 4: tri(vert(2, 0), vert(2, 3), vert(2, 1)); break;
+            case 11: tri(vert(2, 0), vert(2, 1), vert(2, 3)); break;
+            case 8: tri(vert(3, 0), vert(3, 1), vert(3, 2)); break;
+            case 7: tri(vert(3, 0), vert(3, 2), vert(3, 1)); break;
+            case 3: {  // 0,1 inside
+              const uint32_t a = vert(0, 2), b = vert(0, 3), c = vert(1, 3), d = vert(1, 2);
+              tri(a, c, b);
+              tri(a, d, c);
+              break;
+            }
+            case 12: {
+              const uint32_t a = vert(0, 2), b = vert(0, 3), c = vert(1, 3), d = vert(1, 2);
+              tri(a, b, c);
+              tri(a, c, d);
+              break;
+            }
+            case 5: {  // 0,2 inside
+              const uint32_t a = vert(0, 1), b = vert(2, 1), c = vert(2, 3), d = vert(0, 3);
+              tri(a, c, b);
+              tri(a, d, c);
+              break;
+            }
+            case 10: {
+              const uint32_t a = vert(0, 1), b = vert(2, 1), c = vert(2, 3), d = vert(0, 3);
+              tri(a, b, c);
+              tri(a, c, d);
+              break;
+            }
+            case 6: {  // 1,2 inside
+              const uint32_t a = vert(1, 0), b = vert(2, 0), c = vert(2, 3), d = vert(1, 3);
+              tri(a, b, c);
+              tri(a, c, d);
+              break;
+            }
+            case 9: {
+              const uint32_t a = vert(1, 0), b = vert(2, 0), c = vert(2, 3), d = vert(1, 3);
+              tri(a, c, b);
+              tri(a, d, c);
+              break;
+            }
+            default: break;
+          }
+        }
+      }
+    }
+  }
+
+  mesh.compute_normals();
+  return mesh;
+}
+
+}  // namespace rave::mesh

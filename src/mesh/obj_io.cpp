@@ -1,0 +1,148 @@
+#include "mesh/obj_io.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rave::mesh {
+
+using scene::MeshData;
+using util::make_error;
+using util::Result;
+using util::Status;
+
+namespace {
+void format_float(char* buf, size_t n, float v) { std::snprintf(buf, n, "%.6g", v); }
+
+// Length of "%.6g"-formatted float including leading space.
+uint64_t float_text_len(float v) {
+  char buf[40];
+  format_float(buf, sizeof(buf), v);
+  return 1 + std::char_traits<char>::length(buf);
+}
+
+uint64_t uint_text_len(uint64_t v) {
+  uint64_t len = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++len;
+  }
+  return len;
+}
+}  // namespace
+
+Status write_obj(const MeshData& mesh, std::ostream& out, bool include_normals) {
+  out << "# RAVE OBJ export\n";
+  char bx[40], by[40], bz[40];
+  for (const auto& p : mesh.positions) {
+    format_float(bx, sizeof(bx), p.x);
+    format_float(by, sizeof(by), p.y);
+    format_float(bz, sizeof(bz), p.z);
+    out << "v " << bx << ' ' << by << ' ' << bz << '\n';
+  }
+  const bool has_normals = include_normals && !mesh.normals.empty();
+  if (has_normals) {
+    for (const auto& n : mesh.normals) {
+      format_float(bx, sizeof(bx), n.x);
+      format_float(by, sizeof(by), n.y);
+      format_float(bz, sizeof(bz), n.z);
+      out << "vn " << bx << ' ' << by << ' ' << bz << '\n';
+    }
+  }
+  for (size_t i = 0; i + 2 < mesh.indices.size(); i += 3) {
+    const uint32_t a = mesh.indices[i] + 1;
+    const uint32_t b = mesh.indices[i + 1] + 1;
+    const uint32_t c = mesh.indices[i + 2] + 1;
+    if (has_normals)
+      out << "f " << a << "//" << a << ' ' << b << "//" << b << ' ' << c << "//" << c << '\n';
+    else
+      out << "f " << a << ' ' << b << ' ' << c << '\n';
+  }
+  if (!out) return make_error("write_obj: stream failure");
+  return {};
+}
+
+Status save_obj(const MeshData& mesh, const std::string& path, bool include_normals) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return make_error("save_obj: cannot open " + path);
+  return write_obj(mesh, out, include_normals);
+}
+
+Result<MeshData> read_obj(std::istream& in) {
+  MeshData mesh;
+  std::vector<scene::Vec3> file_normals;
+  std::string line;
+  std::vector<uint32_t> face;  // scratch
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "v") {
+      scene::Vec3 p;
+      ls >> p.x >> p.y >> p.z;
+      if (!ls) return make_error("read_obj: malformed vertex line");
+      mesh.positions.push_back(p);
+    } else if (tag == "vn") {
+      scene::Vec3 n;
+      ls >> n.x >> n.y >> n.z;
+      file_normals.push_back(n);
+    } else if (tag == "f") {
+      face.clear();
+      std::string vert;
+      while (ls >> vert) {
+        // Accept "i", "i/t", "i//n", "i/t/n"; only the position index is
+        // used — OBJ normals are re-attached by index parity below.
+        int idx = 0;
+        const auto end = vert.find('/');
+        const std::string head = end == std::string::npos ? vert : vert.substr(0, end);
+        auto [ptr, ec] = std::from_chars(head.data(), head.data() + head.size(), idx);
+        if (ec != std::errc{} || idx == 0) return make_error("read_obj: malformed face index");
+        const int64_t resolved =
+            idx > 0 ? idx - 1 : static_cast<int64_t>(mesh.positions.size()) + idx;
+        if (resolved < 0 || resolved >= static_cast<int64_t>(mesh.positions.size()))
+          return make_error("read_obj: face index out of range");
+        face.push_back(static_cast<uint32_t>(resolved));
+      }
+      if (face.size() < 3) return make_error("read_obj: face with fewer than 3 vertices");
+      // Fan-triangulate polygons.
+      for (size_t i = 1; i + 1 < face.size(); ++i)
+        mesh.indices.insert(mesh.indices.end(), {face[0], face[i], face[i + 1]});
+    }
+    // Other tags (vt, o, g, s, usemtl, mtllib) are ignored.
+  }
+  if (file_normals.size() == mesh.positions.size()) {
+    mesh.normals = std::move(file_normals);
+  } else if (!mesh.indices.empty()) {
+    mesh.compute_normals();
+  }
+  return mesh;
+}
+
+Result<MeshData> load_obj(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return make_error("load_obj: cannot open " + path);
+  return read_obj(in);
+}
+
+uint64_t obj_file_size(const MeshData& mesh, bool include_normals) {
+  uint64_t size = std::char_traits<char>::length("# RAVE OBJ export\n");
+  for (const auto& p : mesh.positions)
+    size += 1 + float_text_len(p.x) + float_text_len(p.y) + float_text_len(p.z) + 1;  // "v ...\n"
+  const bool has_normals = include_normals && !mesh.normals.empty();
+  if (has_normals)
+    for (const auto& n : mesh.normals)
+      size += 2 + float_text_len(n.x) + float_text_len(n.y) + float_text_len(n.z) + 1;
+  for (size_t i = 0; i + 2 < mesh.indices.size(); i += 3) {
+    size += 2;  // "f "
+    for (int k = 0; k < 3; ++k) {
+      const uint64_t idx = mesh.indices[i + static_cast<size_t>(k)] + 1;
+      size += uint_text_len(idx) + (has_normals ? 2 + uint_text_len(idx) : 0) + 1;
+    }
+  }
+  return size;
+}
+
+}  // namespace rave::mesh

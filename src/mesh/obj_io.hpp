@@ -1,0 +1,28 @@
+// Wavefront OBJ reader/writer. The paper's test models were "converted to
+// Wavefront OBJ and then imported into our data service" (§5); OBJ is the
+// data service's file-import format here too.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "scene/node.hpp"
+#include "util/result.hpp"
+
+namespace rave::mesh {
+
+// `include_normals` = false writes a positions-only OBJ, matching the
+// archive conversions the paper imported (normals recomputed on load).
+util::Status write_obj(const scene::MeshData& mesh, std::ostream& out,
+                       bool include_normals = true);
+util::Status save_obj(const scene::MeshData& mesh, const std::string& path,
+                      bool include_normals = true);
+
+util::Result<scene::MeshData> read_obj(std::istream& in);
+util::Result<scene::MeshData> load_obj(const std::string& path);
+
+// Size in bytes the mesh would occupy as an OBJ file (Table 1's
+// "Size of Data File" column) without materializing the text.
+uint64_t obj_file_size(const scene::MeshData& mesh, bool include_normals = true);
+
+}  // namespace rave::mesh

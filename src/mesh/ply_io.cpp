@@ -1,0 +1,246 @@
+#include "mesh/ply_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rave::mesh {
+
+using scene::MeshData;
+using scene::Vec3;
+using util::make_error;
+using util::Result;
+using util::Status;
+
+namespace {
+void write_le_f32(std::ostream& out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(bits >> (8 * i));
+  out.write(buf, 4);
+}
+
+void write_le_u32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 4);
+}
+
+float read_le_f32(std::istream& in) {
+  unsigned char buf[4];
+  in.read(reinterpret_cast<char*>(buf), 4);
+  uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) bits |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+uint32_t read_le_uint(std::istream& in, int bytes) {
+  unsigned char buf[4] = {0, 0, 0, 0};
+  in.read(reinterpret_cast<char*>(buf), bytes);
+  uint32_t v = 0;
+  for (int i = 0; i < bytes; ++i) v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+struct Property {
+  std::string type;       // scalar type, or list count type
+  std::string item_type;  // list item type (empty for scalars)
+  std::string name;
+  bool is_list = false;
+};
+
+int type_size(const std::string& t) {
+  if (t == "char" || t == "uchar" || t == "int8" || t == "uint8") return 1;
+  if (t == "short" || t == "ushort" || t == "int16" || t == "uint16") return 2;
+  if (t == "int" || t == "uint" || t == "int32" || t == "uint32" || t == "float" ||
+      t == "float32")
+    return 4;
+  if (t == "double" || t == "float64") return 8;
+  return 0;
+}
+
+double read_scalar_binary(std::istream& in, const std::string& t) {
+  const int size = type_size(t);
+  if (t == "float" || t == "float32") return read_le_f32(in);
+  if (t == "double" || t == "float64") {
+    unsigned char buf[8];
+    in.read(reinterpret_cast<char*>(buf), 8);
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits |= static_cast<uint64_t>(buf[i]) << (8 * i);
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  return static_cast<double>(read_le_uint(in, size));
+}
+}  // namespace
+
+Status write_ply(const MeshData& mesh, std::ostream& out, PlyFormat format) {
+  const bool binary = format == PlyFormat::BinaryLittleEndian;
+  out << "ply\nformat " << (binary ? "binary_little_endian" : "ascii") << " 1.0\n";
+  out << "comment RAVE PLY export\n";
+  out << "element vertex " << mesh.positions.size() << "\n";
+  out << "property float x\nproperty float y\nproperty float z\n";
+  const bool has_normals = mesh.normals.size() == mesh.positions.size();
+  if (has_normals) out << "property float nx\nproperty float ny\nproperty float nz\n";
+  out << "element face " << mesh.triangle_count() << "\n";
+  out << "property list uchar uint vertex_indices\n";
+  out << "end_header\n";
+
+  if (binary) {
+    for (size_t i = 0; i < mesh.positions.size(); ++i) {
+      write_le_f32(out, mesh.positions[i].x);
+      write_le_f32(out, mesh.positions[i].y);
+      write_le_f32(out, mesh.positions[i].z);
+      if (has_normals) {
+        write_le_f32(out, mesh.normals[i].x);
+        write_le_f32(out, mesh.normals[i].y);
+        write_le_f32(out, mesh.normals[i].z);
+      }
+    }
+    for (size_t i = 0; i + 2 < mesh.indices.size(); i += 3) {
+      out.put(3);
+      write_le_u32(out, mesh.indices[i]);
+      write_le_u32(out, mesh.indices[i + 1]);
+      write_le_u32(out, mesh.indices[i + 2]);
+    }
+  } else {
+    for (size_t i = 0; i < mesh.positions.size(); ++i) {
+      out << mesh.positions[i].x << ' ' << mesh.positions[i].y << ' ' << mesh.positions[i].z;
+      if (has_normals)
+        out << ' ' << mesh.normals[i].x << ' ' << mesh.normals[i].y << ' ' << mesh.normals[i].z;
+      out << '\n';
+    }
+    for (size_t i = 0; i + 2 < mesh.indices.size(); i += 3)
+      out << "3 " << mesh.indices[i] << ' ' << mesh.indices[i + 1] << ' ' << mesh.indices[i + 2]
+          << '\n';
+  }
+  if (!out) return make_error("write_ply: stream failure");
+  return {};
+}
+
+Status save_ply(const MeshData& mesh, const std::string& path, PlyFormat format) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return make_error("save_ply: cannot open " + path);
+  return write_ply(mesh, out, format);
+}
+
+Result<MeshData> read_ply(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.substr(0, 3) != "ply")
+    return make_error("read_ply: not a PLY file");
+
+  bool binary = false;
+  size_t vertex_count = 0, face_count = 0;
+  std::vector<Property> vertex_props, face_props;
+  std::vector<Property>* current = nullptr;
+
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "comment" || tag == "obj_info") continue;
+    if (tag == "format") {
+      std::string fmt;
+      ls >> fmt;
+      if (fmt == "binary_little_endian")
+        binary = true;
+      else if (fmt != "ascii")
+        return make_error("read_ply: unsupported format " + fmt);
+    } else if (tag == "element") {
+      std::string name;
+      size_t count = 0;
+      ls >> name >> count;
+      if (name == "vertex") {
+        vertex_count = count;
+        current = &vertex_props;
+      } else if (name == "face") {
+        face_count = count;
+        current = &face_props;
+      } else {
+        current = nullptr;  // skip unknown elements' properties
+        if (count != 0) return make_error("read_ply: unsupported element " + name);
+      }
+    } else if (tag == "property") {
+      if (current == nullptr) continue;
+      Property p;
+      ls >> p.type;
+      if (p.type == "list") {
+        p.is_list = true;
+        ls >> p.type >> p.item_type >> p.name;
+      } else {
+        ls >> p.name;
+      }
+      current->push_back(p);
+    } else if (tag == "end_header") {
+      break;
+    }
+  }
+
+  MeshData mesh;
+  mesh.positions.resize(vertex_count);
+  int nx_idx = -1;
+  int x_idx = -1;
+  for (size_t i = 0; i < vertex_props.size(); ++i) {
+    if (vertex_props[i].name == "x") x_idx = static_cast<int>(i);
+    if (vertex_props[i].name == "nx") nx_idx = static_cast<int>(i);
+  }
+  if (x_idx < 0) return make_error("read_ply: vertex element lacks x property");
+  if (nx_idx >= 0) mesh.normals.resize(vertex_count);
+
+  for (size_t v = 0; v < vertex_count; ++v) {
+    std::vector<double> values(vertex_props.size());
+    if (binary) {
+      for (size_t i = 0; i < vertex_props.size(); ++i)
+        values[i] = read_scalar_binary(in, vertex_props[i].type);
+    } else {
+      for (size_t i = 0; i < vertex_props.size(); ++i)
+        if (!(in >> values[i])) return make_error("read_ply: truncated vertex data");
+    }
+    if (!in) return make_error("read_ply: truncated vertex data");
+    mesh.positions[v] = Vec3{static_cast<float>(values[static_cast<size_t>(x_idx)]),
+                             static_cast<float>(values[static_cast<size_t>(x_idx) + 1]),
+                             static_cast<float>(values[static_cast<size_t>(x_idx) + 2])};
+    if (nx_idx >= 0)
+      mesh.normals[v] = Vec3{static_cast<float>(values[static_cast<size_t>(nx_idx)]),
+                             static_cast<float>(values[static_cast<size_t>(nx_idx) + 1]),
+                             static_cast<float>(values[static_cast<size_t>(nx_idx) + 2])};
+  }
+
+  if (face_props.empty() && face_count > 0)
+    return make_error("read_ply: face element lacks properties");
+  for (size_t f = 0; f < face_count; ++f) {
+    size_t n = 0;
+    std::vector<uint32_t> face;
+    if (binary) {
+      n = static_cast<size_t>(read_scalar_binary(in, face_props[0].type));
+      for (size_t i = 0; i < n; ++i)
+        face.push_back(static_cast<uint32_t>(read_scalar_binary(in, face_props[0].item_type)));
+    } else {
+      if (!(in >> n)) return make_error("read_ply: truncated face data");
+      face.resize(n);
+      for (size_t i = 0; i < n; ++i)
+        if (!(in >> face[i])) return make_error("read_ply: truncated face data");
+    }
+    if (!in) return make_error("read_ply: truncated face data");
+    for (uint32_t idx : face)
+      if (idx >= vertex_count) return make_error("read_ply: face index out of range");
+    for (size_t i = 1; i + 1 < face.size(); ++i)
+      mesh.indices.insert(mesh.indices.end(), {face[0], face[i], face[i + 1]});
+  }
+
+  if (mesh.normals.empty() && !mesh.indices.empty()) mesh.compute_normals();
+  return mesh;
+}
+
+Result<MeshData> load_ply(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return make_error("load_ply: cannot open " + path);
+  return read_ply(in);
+}
+
+}  // namespace rave::mesh

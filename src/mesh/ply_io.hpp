@@ -1,0 +1,24 @@
+// Stanford PLY reader/writer (ascii and binary_little_endian). The paper's
+// source models came from the Georgia Tech Large Geometric Models Archive
+// in PLY format before conversion to OBJ; we reproduce that import path.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "scene/node.hpp"
+#include "util/result.hpp"
+
+namespace rave::mesh {
+
+enum class PlyFormat { Ascii, BinaryLittleEndian };
+
+util::Status write_ply(const scene::MeshData& mesh, std::ostream& out,
+                       PlyFormat format = PlyFormat::BinaryLittleEndian);
+util::Status save_ply(const scene::MeshData& mesh, const std::string& path,
+                      PlyFormat format = PlyFormat::BinaryLittleEndian);
+
+util::Result<scene::MeshData> read_ply(std::istream& in);
+util::Result<scene::MeshData> load_ply(const std::string& path);
+
+}  // namespace rave::mesh

@@ -1,0 +1,266 @@
+#include "mesh/primitives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rave::mesh {
+
+using util::kPi;
+
+MeshData make_uv_sphere(float radius, int slices, int stacks) {
+  return make_ellipsoid({radius, radius, radius}, slices, stacks);
+}
+
+MeshData make_ellipsoid(const Vec3& radii, int slices, int stacks) {
+  slices = std::max(slices, 3);
+  stacks = std::max(stacks, 2);
+  MeshData mesh;
+  // Vertices: poles + (stacks-1) rings of `slices`.
+  mesh.positions.push_back({0, radii.y, 0});  // north pole
+  for (int s = 1; s < stacks; ++s) {
+    const float phi = kPi * static_cast<float>(s) / static_cast<float>(stacks);
+    for (int i = 0; i < slices; ++i) {
+      const float theta = 2.0f * kPi * static_cast<float>(i) / static_cast<float>(slices);
+      mesh.positions.push_back({radii.x * std::sin(phi) * std::cos(theta),
+                                radii.y * std::cos(phi),
+                                radii.z * std::sin(phi) * std::sin(theta)});
+    }
+  }
+  mesh.positions.push_back({0, -radii.y, 0});  // south pole
+  const uint32_t south = static_cast<uint32_t>(mesh.positions.size()) - 1;
+
+  const auto ring = [&](int s, int i) {
+    return 1 + static_cast<uint32_t>((s - 1) * slices + (i % slices));
+  };
+  // Cap fans.
+  for (int i = 0; i < slices; ++i) {
+    mesh.indices.insert(mesh.indices.end(), {0u, ring(1, i + 1), ring(1, i)});
+    mesh.indices.insert(mesh.indices.end(), {south, ring(stacks - 1, i), ring(stacks - 1, i + 1)});
+  }
+  // Quads between rings.
+  for (int s = 1; s < stacks - 1; ++s) {
+    for (int i = 0; i < slices; ++i) {
+      const uint32_t a = ring(s, i), b = ring(s, i + 1);
+      const uint32_t c = ring(s + 1, i), d = ring(s + 1, i + 1);
+      mesh.indices.insert(mesh.indices.end(), {a, b, c});
+      mesh.indices.insert(mesh.indices.end(), {b, d, c});
+    }
+  }
+  mesh.compute_normals();
+  return mesh;
+}
+
+MeshData make_cylinder(float radius, float length, int slices, int rings) {
+  slices = std::max(slices, 3);
+  rings = std::max(rings, 1);
+  MeshData mesh;
+  for (int r = 0; r <= rings; ++r) {
+    const float z = length * static_cast<float>(r) / static_cast<float>(rings);
+    for (int i = 0; i < slices; ++i) {
+      const float a = 2.0f * kPi * static_cast<float>(i) / static_cast<float>(slices);
+      mesh.positions.push_back({radius * std::cos(a), radius * std::sin(a), z});
+    }
+  }
+  const auto ring = [&](int r, int i) {
+    return static_cast<uint32_t>(r * slices + (i % slices));
+  };
+  for (int r = 0; r < rings; ++r) {
+    for (int i = 0; i < slices; ++i) {
+      const uint32_t a = ring(r, i), b = ring(r, i + 1);
+      const uint32_t c = ring(r + 1, i), d = ring(r + 1, i + 1);
+      mesh.indices.insert(mesh.indices.end(), {a, b, c});
+      mesh.indices.insert(mesh.indices.end(), {b, d, c});
+    }
+  }
+  // Caps.
+  const uint32_t c0 = static_cast<uint32_t>(mesh.positions.size());
+  mesh.positions.push_back({0, 0, 0});
+  const uint32_t c1 = static_cast<uint32_t>(mesh.positions.size());
+  mesh.positions.push_back({0, 0, length});
+  for (int i = 0; i < slices; ++i) {
+    mesh.indices.insert(mesh.indices.end(), {c0, ring(0, i + 1), ring(0, i)});
+    mesh.indices.insert(mesh.indices.end(), {c1, ring(rings, i), ring(rings, i + 1)});
+  }
+  mesh.compute_normals();
+  return mesh;
+}
+
+MeshData make_capsule(float radius, float length, int slices, int rings) {
+  slices = std::max(slices, 3);
+  rings = std::max(rings, 1);
+  // Hemisphere stacks scale with slices for even tessellation.
+  const int hemi = std::max(2, slices / 4);
+  MeshData mesh = make_cylinder(radius, length, slices, rings);
+  // Remove the caps we just added (last 2 vertices, last 2*slices triangles)
+  mesh.positions.resize(mesh.positions.size() - 2);
+  mesh.indices.resize(mesh.indices.size() - static_cast<size_t>(6 * slices));
+  MeshData cap = make_uv_sphere(radius, slices, 2 * hemi);
+  // Bottom hemisphere at z=0 (sphere's -Y hemisphere rotated to -Z).
+  append_mesh(mesh, cap, Mat4::rotate_x(kPi / 2.0f));
+  // Top hemisphere at z=length.
+  append_mesh(mesh, cap, Mat4::translate({0, 0, length}) * Mat4::rotate_x(kPi / 2.0f));
+  mesh.compute_normals();
+  return mesh;
+}
+
+MeshData make_box(const Vec3& half_extent, int subdivisions) {
+  const int n = std::max(subdivisions, 1);
+  MeshData mesh;
+  // Build one +Z face as a grid and instance it over 6 orientations.
+  MeshData face;
+  for (int y = 0; y <= n; ++y)
+    for (int x = 0; x <= n; ++x)
+      face.positions.push_back({-1.0f + 2.0f * static_cast<float>(x) / n,
+                                -1.0f + 2.0f * static_cast<float>(y) / n, 1.0f});
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const uint32_t a = static_cast<uint32_t>(y * (n + 1) + x);
+      const uint32_t b = a + 1;
+      const uint32_t c = a + static_cast<uint32_t>(n + 1);
+      const uint32_t d = c + 1;
+      face.indices.insert(face.indices.end(), {a, b, c});
+      face.indices.insert(face.indices.end(), {b, d, c});
+    }
+  }
+  const Mat4 orientations[6] = {
+      Mat4::identity(),
+      Mat4::rotate_y(kPi),
+      Mat4::rotate_y(kPi / 2),
+      Mat4::rotate_y(-kPi / 2),
+      Mat4::rotate_x(kPi / 2),
+      Mat4::rotate_x(-kPi / 2),
+  };
+  for (const Mat4& m : orientations) append_mesh(mesh, face, m);
+  for (Vec3& p : mesh.positions) {
+    p.x *= half_extent.x;
+    p.y *= half_extent.y;
+    p.z *= half_extent.z;
+  }
+  mesh.compute_normals();
+  return mesh;
+}
+
+MeshData make_torus(float major_radius, float minor_radius, int major_segments,
+                    int minor_segments) {
+  major_segments = std::max(major_segments, 3);
+  minor_segments = std::max(minor_segments, 3);
+  MeshData mesh;
+  for (int i = 0; i < major_segments; ++i) {
+    const float u = 2.0f * kPi * static_cast<float>(i) / major_segments;
+    for (int j = 0; j < minor_segments; ++j) {
+      const float v = 2.0f * kPi * static_cast<float>(j) / minor_segments;
+      const float r = major_radius + minor_radius * std::cos(v);
+      mesh.positions.push_back({r * std::cos(u), r * std::sin(u), minor_radius * std::sin(v)});
+    }
+  }
+  const auto idx = [&](int i, int j) {
+    return static_cast<uint32_t>((i % major_segments) * minor_segments + (j % minor_segments));
+  };
+  for (int i = 0; i < major_segments; ++i) {
+    for (int j = 0; j < minor_segments; ++j) {
+      const uint32_t a = idx(i, j), b = idx(i + 1, j);
+      const uint32_t c = idx(i, j + 1), d = idx(i + 1, j + 1);
+      mesh.indices.insert(mesh.indices.end(), {a, b, c});
+      mesh.indices.insert(mesh.indices.end(), {b, d, c});
+    }
+  }
+  mesh.compute_normals();
+  return mesh;
+}
+
+MeshData make_cone(float radius, float length, int slices) {
+  slices = std::max(slices, 3);
+  MeshData mesh;
+  mesh.positions.push_back({0, 0, 0});
+  for (int i = 0; i < slices; ++i) {
+    const float a = 2.0f * kPi * static_cast<float>(i) / slices;
+    mesh.positions.push_back({radius * std::cos(a), radius * std::sin(a), length});
+  }
+  mesh.positions.push_back({0, 0, length});
+  const uint32_t base = static_cast<uint32_t>(slices) + 1;
+  for (int i = 0; i < slices; ++i) {
+    const uint32_t b0 = 1 + static_cast<uint32_t>(i);
+    const uint32_t b1 = 1 + static_cast<uint32_t>((i + 1) % slices);
+    mesh.indices.insert(mesh.indices.end(), {0u, b1, b0});
+    mesh.indices.insert(mesh.indices.end(), {base, b0, b1});
+  }
+  mesh.compute_normals();
+  return mesh;
+}
+
+MeshData make_tube(const std::vector<Vec3>& path, float radius, int slices) {
+  slices = std::max(slices, 3);
+  MeshData mesh;
+  if (path.size() < 2) return mesh;
+  // Parallel-transport frames along the path.
+  Vec3 prev_tangent = util::normalize(path[1] - path[0]);
+  Vec3 normal = std::fabs(prev_tangent.y) < 0.9f ? Vec3{0, 1, 0} : Vec3{1, 0, 0};
+  Vec3 side = util::normalize(util::cross(prev_tangent, normal));
+  normal = util::cross(side, prev_tangent);
+  for (size_t k = 0; k < path.size(); ++k) {
+    Vec3 tangent;
+    if (k == 0)
+      tangent = util::normalize(path[1] - path[0]);
+    else if (k == path.size() - 1)
+      tangent = util::normalize(path[k] - path[k - 1]);
+    else
+      tangent = util::normalize(path[k + 1] - path[k - 1]);
+    // Rotate the frame to follow the new tangent.
+    const Vec3 axis = util::cross(prev_tangent, tangent);
+    if (axis.length_sq() > 1e-10f) {
+      side = util::normalize(util::cross(tangent, util::cross(side, tangent)));
+      normal = util::cross(side, tangent);
+    }
+    prev_tangent = tangent;
+    for (int i = 0; i < slices; ++i) {
+      const float a = 2.0f * kPi * static_cast<float>(i) / slices;
+      mesh.positions.push_back(path[k] + side * (radius * std::cos(a)) +
+                               normal * (radius * std::sin(a)));
+    }
+  }
+  const auto idx = [&](size_t k, int i) {
+    return static_cast<uint32_t>(k * static_cast<size_t>(slices) +
+                                 static_cast<size_t>(i % slices));
+  };
+  for (size_t k = 0; k + 1 < path.size(); ++k) {
+    for (int i = 0; i < slices; ++i) {
+      const uint32_t a = idx(k, i), b = idx(k, i + 1);
+      const uint32_t c = idx(k + 1, i), d = idx(k + 1, i + 1);
+      mesh.indices.insert(mesh.indices.end(), {a, b, c});
+      mesh.indices.insert(mesh.indices.end(), {b, d, c});
+    }
+  }
+  mesh.compute_normals();
+  return mesh;
+}
+
+void append_mesh(MeshData& base, const MeshData& extra, const Mat4& transform) {
+  const uint32_t offset = static_cast<uint32_t>(base.positions.size());
+  base.positions.reserve(base.positions.size() + extra.positions.size());
+  for (const Vec3& p : extra.positions) base.positions.push_back(transform.transform_point(p));
+  if (!base.normals.empty() || !extra.normals.empty()) {
+    base.normals.resize(base.positions.size() - extra.positions.size(), Vec3{0, 0, 1});
+    for (const Vec3& n : extra.normals)
+      base.normals.push_back(util::normalize(transform.transform_dir(n)));
+    base.normals.resize(base.positions.size(), Vec3{0, 0, 1});
+  }
+  if (!base.colors.empty() || !extra.colors.empty()) {
+    base.colors.resize(base.positions.size() - extra.positions.size(), base.base_color);
+    for (const Vec3& c : extra.colors) base.colors.push_back(c);
+    base.colors.resize(base.positions.size(), extra.base_color);
+  }
+  base.indices.reserve(base.indices.size() + extra.indices.size());
+  for (uint32_t i : extra.indices) base.indices.push_back(offset + i);
+}
+
+void normalize_to_unit(MeshData& mesh) {
+  const scene::Aabb box = mesh.bounds();
+  if (!box.valid()) return;
+  const Vec3 center = box.center();
+  const Vec3 ext = box.extent();
+  const float max_ext = std::max({ext.x, ext.y, ext.z, 1e-6f});
+  const float scale = 2.0f / max_ext;
+  for (Vec3& p : mesh.positions) p = (p - center) * scale;
+}
+
+}  // namespace rave::mesh

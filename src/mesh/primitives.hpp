@@ -1,0 +1,48 @@
+// Parametric primitives used by the procedural model generators. Every
+// primitive takes explicit tessellation counts so generators can solve for
+// a target triangle count.
+#pragma once
+
+#include "scene/node.hpp"
+
+namespace rave::mesh {
+
+using scene::MeshData;
+using scene::Vec3;
+using util::Mat4;
+
+// UV sphere: 2 * slices * (stacks - 1) triangles.
+MeshData make_uv_sphere(float radius, int slices, int stacks);
+
+// Ellipsoid (scaled sphere), same triangle count as make_uv_sphere.
+MeshData make_ellipsoid(const Vec3& radii, int slices, int stacks);
+
+// Closed cylinder along +Z from z=0 to z=length:
+// 2 * slices * rings side triangles + 2 * slices cap triangles.
+MeshData make_cylinder(float radius, float length, int slices, int rings);
+
+// Capsule along +Z: cylinder with hemispherical ends.
+MeshData make_capsule(float radius, float length, int slices, int rings);
+
+// Box with per-face subdivision: 12 * n * n triangles.
+MeshData make_box(const Vec3& half_extent, int subdivisions = 1);
+
+// Torus in the XY plane: 2 * major_segments * minor_segments triangles.
+MeshData make_torus(float major_radius, float minor_radius, int major_segments,
+                    int minor_segments);
+
+// Flat cone along +Z (apex at origin): 2 * slices triangles.
+MeshData make_cone(float radius, float length, int slices);
+
+// Tube swept along a polyline: 2 * (path.size() - 1) * slices triangles.
+MeshData make_tube(const std::vector<Vec3>& path, float radius, int slices);
+
+// Merge `extra` into `base`, offsetting indices; optionally transforming
+// extra's vertices first.
+void append_mesh(MeshData& base, const MeshData& extra,
+                 const Mat4& transform = Mat4::identity());
+
+// Uniformly scale/translate the mesh so its bounds fit in [-1,1]^3.
+void normalize_to_unit(MeshData& mesh);
+
+}  // namespace rave::mesh

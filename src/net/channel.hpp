@@ -1,0 +1,63 @@
+// Message channels. RAVE uses SOAP/XML only for discovery and
+// subscription, then "backs off from SOAP and uses direct socket
+// communication to send binary information" (paper §4.3). Channel is that
+// socket abstraction: typed, framed binary messages over an in-process
+// queue pair, a real TCP connection (tcp.hpp), or a bandwidth/latency
+// simulated link (simlink.hpp) — all interchangeable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/result.hpp"
+
+namespace rave::net {
+
+struct Message {
+  uint16_t type = 0;
+  std::vector<uint8_t> payload;
+
+  Message() = default;
+  Message(uint16_t t, std::vector<uint8_t> p) : type(t), payload(std::move(p)) {}
+
+  // Frame: 4-byte length + 2-byte type + payload.
+  [[nodiscard]] uint64_t wire_size() const { return 6 + payload.size(); }
+};
+
+struct ChannelStats {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual util::Status send(Message message) = 0;
+
+  // Blocking receive with a timeout in clock seconds; nullopt on timeout or
+  // when the channel is closed and drained.
+  virtual std::optional<Message> receive(double timeout_seconds) = 0;
+
+  // Non-blocking receive.
+  virtual std::optional<Message> try_receive() = 0;
+
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool is_open() const = 0;
+
+  [[nodiscard]] virtual ChannelStats stats() const = 0;
+};
+
+using ChannelPtr = std::shared_ptr<Channel>;
+
+// A connected pair of in-process endpoints: messages sent on one arrive at
+// the other, instantly.
+std::pair<ChannelPtr, ChannelPtr> make_channel_pair();
+
+}  // namespace rave::net

@@ -1,0 +1,40 @@
+#include "net/fanout.hpp"
+
+#include <algorithm>
+
+namespace rave::net {
+
+FanoutHub::SubscriberId FanoutHub::subscribe(ChannelPtr channel, Filter filter) {
+  std::lock_guard lock(mu_);
+  const SubscriberId id = next_id_++;
+  subscribers_.push_back({id, std::move(channel), std::move(filter)});
+  return id;
+}
+
+void FanoutHub::unsubscribe(SubscriberId id) {
+  std::lock_guard lock(mu_);
+  subscribers_.erase(std::remove_if(subscribers_.begin(), subscribers_.end(),
+                                    [&](const Subscriber& s) { return s.id == id; }),
+                     subscribers_.end());
+}
+
+size_t FanoutHub::publish(const Message& message) {
+  std::lock_guard lock(mu_);
+  size_t delivered = 0;
+  for (auto& sub : subscribers_) {
+    if (sub.filter && !sub.filter(message)) continue;
+    if (sub.channel->send(message).ok()) {
+      ++delivered;
+      unicast_bytes_ += message.wire_size();
+    }
+  }
+  if (delivered > 0) multicast_bytes_ += message.wire_size();
+  return delivered;
+}
+
+size_t FanoutHub::subscriber_count() const {
+  std::lock_guard lock(mu_);
+  return subscribers_.size();
+}
+
+}  // namespace rave::net

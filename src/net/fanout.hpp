@@ -1,0 +1,50 @@
+// Fan-out distribution hub. The data service "informs the render service
+// of any changes, using network bandwidth-saving techniques such as
+// multicasting" (paper §3.1.2). FanoutHub models that multicast: one
+// logical send reaches every subscriber, with the payload counted once in
+// the hub's multicast accounting (vs. once per subscriber for unicast).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "net/channel.hpp"
+
+namespace rave::net {
+
+class FanoutHub {
+ public:
+  using SubscriberId = uint64_t;
+  // Optional per-subscriber filter: return false to skip delivery (used
+  // for interest-set filtering of scene updates).
+  using Filter = std::function<bool(const Message&)>;
+
+  SubscriberId subscribe(ChannelPtr channel, Filter filter = {});
+  void unsubscribe(SubscriberId id);
+
+  // Send to all (filtered) subscribers. Returns the number of deliveries.
+  size_t publish(const Message& message);
+
+  [[nodiscard]] size_t subscriber_count() const;
+
+  // Bytes the payload would cost multicast (counted once) vs unicast
+  // (counted per delivery) — the bandwidth-saving the paper cites.
+  [[nodiscard]] uint64_t multicast_bytes() const { return multicast_bytes_; }
+  [[nodiscard]] uint64_t unicast_bytes() const { return unicast_bytes_; }
+
+ private:
+  struct Subscriber {
+    SubscriberId id;
+    ChannelPtr channel;
+    Filter filter;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Subscriber> subscribers_;
+  SubscriberId next_id_ = 1;
+  uint64_t multicast_bytes_ = 0;
+  uint64_t unicast_bytes_ = 0;
+};
+
+}  // namespace rave::net

@@ -1,0 +1,186 @@
+#include "net/simlink.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+
+namespace rave::net {
+
+LinkProfile wireless_11mbit() {
+  return {.name = "wireless-11mbit",
+          .bandwidth_bps = 11e6,
+          .latency_s = 0.003,
+          .efficiency = 0.42,  // 802.11b MAC overhead + shared medium
+          .per_message_overhead_bytes = 60};
+}
+
+LinkProfile ethernet_100mbit() {
+  return {.name = "ethernet-100mbit",
+          .bandwidth_bps = 100e6,
+          .latency_s = 0.0003,
+          .efficiency = 0.9,
+          .per_message_overhead_bytes = 60};
+}
+
+namespace {
+struct TimedMessage {
+  double arrival = 0.0;
+  Message message;
+};
+
+// One direction of a simulated link.
+struct SimPipe {
+  std::mutex mu;
+  std::deque<TimedMessage> queue;  // FIFO: arrivals are monotonic
+  double busy_until = 0.0;         // serialization: one message at a time
+  bool closed = false;
+};
+
+constexpr double kPollQuantum = 0.0005;
+
+class SimChannel final : public Channel {
+ public:
+  SimChannel(std::shared_ptr<SimPipe> outgoing, std::shared_ptr<SimPipe> incoming,
+             util::Clock& clock, LinkProfile profile)
+      : out_(std::move(outgoing)),
+        in_(std::move(incoming)),
+        clock_(&clock),
+        profile_(std::move(profile)) {}
+
+  ~SimChannel() override { close(); }
+
+  util::Status send(Message message) override {
+    std::lock_guard lock(out_->mu);
+    if (out_->closed) return util::make_error("simlink: channel closed");
+    const double now = clock_->now();
+    const double start = std::max(now, out_->busy_until);
+    const double arrival =
+        start + profile_.transmit_seconds(message.wire_size()) + profile_.latency_s;
+    out_->busy_until = start + profile_.transmit_seconds(message.wire_size());
+    stats_.messages_sent++;
+    stats_.bytes_sent += message.wire_size();
+    out_->queue.push_back({arrival, std::move(message)});
+    return {};
+  }
+
+  std::optional<Message> receive(double timeout_seconds) override {
+    const double deadline = clock_->now() + timeout_seconds;
+    for (;;) {
+      {
+        std::lock_guard lock(in_->mu);
+        if (!in_->queue.empty()) {
+          const double arrival = in_->queue.front().arrival;
+          if (arrival <= clock_->now()) return pop_locked();
+          if (arrival <= deadline) {
+            // Wait (or advance virtual time) until the head arrives.
+            const double target = arrival;
+            in_->mu.unlock();
+            clock_->wait_until(target);
+            in_->mu.lock();
+            if (!in_->queue.empty() && in_->queue.front().arrival <= clock_->now())
+              return pop_locked();
+            continue;
+          }
+          // Head arrives after the deadline: a blocking receive consumes
+          // its whole timeout (otherwise virtual-time pollers would spin
+          // without ever advancing the clock).
+          in_->mu.unlock();
+          clock_->wait_until(deadline);
+          in_->mu.lock();
+          return std::nullopt;
+        }
+        if (in_->closed) return std::nullopt;
+      }
+      if (clock_->now() >= deadline) return std::nullopt;
+      clock_->sleep_for(std::min(kPollQuantum, deadline - clock_->now()));
+    }
+  }
+
+  std::optional<Message> try_receive() override {
+    std::lock_guard lock(in_->mu);
+    if (in_->queue.empty() || in_->queue.front().arrival > clock_->now()) return std::nullopt;
+    return pop_locked();
+  }
+
+  void close() override {
+    {
+      std::lock_guard lock(out_->mu);
+      out_->closed = true;
+    }
+    {
+      std::lock_guard lock(in_->mu);
+      in_->closed = true;
+    }
+  }
+
+  [[nodiscard]] bool is_open() const override {
+    std::lock_guard lock(in_->mu);
+    return !in_->closed || !in_->queue.empty();
+  }
+
+  [[nodiscard]] ChannelStats stats() const override { return stats_; }
+
+ private:
+  // in_->mu must be held.
+  std::optional<Message> pop_locked() {
+    Message msg = std::move(in_->queue.front().message);
+    in_->queue.pop_front();
+    stats_.messages_received++;
+    stats_.bytes_received += msg.wire_size();
+    return msg;
+  }
+
+  std::shared_ptr<SimPipe> out_;
+  mutable std::shared_ptr<SimPipe> in_;
+  util::Clock* clock_;
+  LinkProfile profile_;
+  ChannelStats stats_;
+};
+
+// Delays receipt from an inner channel per the profile.
+class LinkWrapper final : public Channel {
+ public:
+  LinkWrapper(ChannelPtr inner, util::Clock& clock, LinkProfile profile)
+      : inner_(std::move(inner)), clock_(&clock), profile_(std::move(profile)) {}
+
+  util::Status send(Message message) override {
+    // Outbound serialization delay is charged to the sender.
+    const double delay = profile_.transmit_seconds(message.wire_size());
+    if (delay > 0) clock_->sleep_for(delay);
+    return inner_->send(std::move(message));
+  }
+
+  std::optional<Message> receive(double timeout_seconds) override {
+    auto msg = inner_->receive(timeout_seconds);
+    if (msg.has_value()) {
+      const double delay = profile_.transmit_seconds(msg->wire_size()) + profile_.latency_s;
+      if (delay > 0) clock_->sleep_for(delay);
+    }
+    return msg;
+  }
+
+  std::optional<Message> try_receive() override { return inner_->try_receive(); }
+  void close() override { inner_->close(); }
+  [[nodiscard]] bool is_open() const override { return inner_->is_open(); }
+  [[nodiscard]] ChannelStats stats() const override { return inner_->stats(); }
+
+ private:
+  ChannelPtr inner_;
+  util::Clock* clock_;
+  LinkProfile profile_;
+};
+}  // namespace
+
+std::pair<ChannelPtr, ChannelPtr> make_simulated_pair(util::Clock& clock,
+                                                      const LinkProfile& profile) {
+  auto a_to_b = std::make_shared<SimPipe>();
+  auto b_to_a = std::make_shared<SimPipe>();
+  return {std::make_shared<SimChannel>(a_to_b, b_to_a, clock, profile),
+          std::make_shared<SimChannel>(b_to_a, a_to_b, clock, profile)};
+}
+
+ChannelPtr wrap_with_link(ChannelPtr inner, util::Clock& clock, const LinkProfile& profile) {
+  return std::make_shared<LinkWrapper>(std::move(inner), clock, profile);
+}
+
+}  // namespace rave::net

@@ -1,0 +1,182 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace rave::net {
+
+using util::make_error;
+using util::Result;
+using util::Status;
+
+namespace {
+class TcpChannel final : public Channel {
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpChannel() override { close(); }
+
+  Status send(Message message) override {
+    std::lock_guard lock(send_mu_);
+    if (fd_ < 0) return make_error("tcp: channel closed");
+    uint8_t header[6];
+    const uint32_t len = static_cast<uint32_t>(message.payload.size());
+    for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
+    header[4] = static_cast<uint8_t>(message.type & 0xFF);
+    header[5] = static_cast<uint8_t>(message.type >> 8);
+    if (!write_all(header, 6)) return make_error("tcp: send failed");
+    if (!message.payload.empty() && !write_all(message.payload.data(), message.payload.size()))
+      return make_error("tcp: send failed");
+    stats_.messages_sent++;
+    stats_.bytes_sent += message.wire_size();
+    return {};
+  }
+
+  std::optional<Message> receive(double timeout_seconds) override {
+    std::lock_guard lock(recv_mu_);
+    if (fd_ < 0) return std::nullopt;
+    if (!wait_readable(timeout_seconds)) return std::nullopt;
+    uint8_t header[6];
+    if (!read_all(header, 6)) return std::nullopt;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+    Message msg;
+    msg.type = static_cast<uint16_t>(header[4] | (header[5] << 8));
+    msg.payload.resize(len);
+    if (len > 0 && !read_all(msg.payload.data(), len)) return std::nullopt;
+    stats_.messages_received++;
+    stats_.bytes_received += msg.wire_size();
+    return msg;
+  }
+
+  std::optional<Message> try_receive() override { return receive(0.0); }
+
+  void close() override {
+    std::lock_guard lock(close_mu_);
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  [[nodiscard]] bool is_open() const override { return fd_ >= 0; }
+
+  [[nodiscard]] ChannelStats stats() const override { return stats_; }
+
+ private:
+  bool write_all(const uint8_t* data, size_t n) {
+    size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+      if (w <= 0) {
+        if (w < 0 && (errno == EINTR)) continue;
+        return false;
+      }
+      off += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  bool read_all(uint8_t* data, size_t n) {
+    size_t off = 0;
+    while (off < n) {
+      const ssize_t r = ::recv(fd_, data + off, n - off, 0);
+      if (r <= 0) {
+        if (r < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(r);
+    }
+    return true;
+  }
+
+  bool wait_readable(double timeout_seconds) {
+    struct pollfd pfd {
+      fd_, POLLIN, 0
+    };
+    const int ms = timeout_seconds <= 0 ? 0 : static_cast<int>(timeout_seconds * 1000.0 + 0.5);
+    const int rc = ::poll(&pfd, 1, ms);
+    return rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+  }
+
+  int fd_ = -1;
+  std::mutex send_mu_;
+  std::mutex recv_mu_;
+  std::mutex close_mu_;
+  ChannelStats stats_;
+};
+}  // namespace
+
+Result<ChannelPtr> tcp_connect(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return make_error("tcp: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return make_error("tcp: bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return make_error("tcp: connect to " + host + " failed: " + std::strerror(errno));
+  }
+  return ChannelPtr(std::make_shared<TcpChannel>(fd));
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::bind(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return make_error("tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return make_error(std::string("tcp: bind failed: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return make_error("tcp: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  return std::unique_ptr<TcpListener>(new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::optional<ChannelPtr> TcpListener::accept(double timeout_seconds) {
+  if (fd_ < 0) return std::nullopt;
+  struct pollfd pfd {
+    fd_, POLLIN, 0
+  };
+  const int ms = timeout_seconds <= 0 ? 0 : static_cast<int>(timeout_seconds * 1000.0 + 0.5);
+  if (::poll(&pfd, 1, ms) <= 0) return std::nullopt;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return std::nullopt;
+  return ChannelPtr(std::make_shared<TcpChannel>(client));
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace rave::net

@@ -1,0 +1,39 @@
+// Real TCP transport (loopback or LAN). Frames are length-prefixed binary —
+// the "direct socket communication" the paper drops to for bulk data after
+// SOAP-based subscription (§4.3). Byte order on the wire is fixed
+// little-endian regardless of host endianness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/channel.hpp"
+
+namespace rave::net {
+
+// Connect to a listening RAVE endpoint.
+util::Result<ChannelPtr> tcp_connect(const std::string& host, uint16_t port);
+
+class TcpListener {
+ public:
+  // Bind to 127.0.0.1:`port`; port 0 picks an ephemeral port.
+  static util::Result<std::unique_ptr<TcpListener>> bind(uint16_t port = 0);
+
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  // Accept one connection; nullopt on timeout.
+  std::optional<ChannelPtr> accept(double timeout_seconds);
+
+  void close();
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace rave::net

@@ -1,0 +1,73 @@
+#include "render/compositor.hpp"
+
+#include <algorithm>
+
+namespace rave::render {
+
+using util::make_error;
+using util::Result;
+using util::Status;
+
+Status depth_composite(FrameBuffer& dst, const FrameBuffer& src) {
+  if (dst.width() != src.width() || dst.height() != src.height())
+    return make_error("depth_composite: size mismatch");
+  const size_t n = src.depth().size();
+  const float* sd = src.depth().data();
+  float* dd = dst.depth().data();
+  const uint8_t* sc = src.color().data();
+  uint8_t* dc = dst.color().data();
+  for (size_t i = 0; i < n; ++i) {
+    if (sd[i] < dd[i]) {
+      dd[i] = sd[i];
+      dc[i * 3] = sc[i * 3];
+      dc[i * 3 + 1] = sc[i * 3 + 1];
+      dc[i * 3 + 2] = sc[i * 3 + 2];
+    }
+  }
+  return {};
+}
+
+Result<FrameBuffer> depth_composite_all(std::vector<FrameBuffer> buffers) {
+  if (buffers.empty()) return make_error("depth_composite_all: no buffers");
+  FrameBuffer out = std::move(buffers.front());
+  for (size_t i = 1; i < buffers.size(); ++i) {
+    const Status st = depth_composite(out, buffers[i]);
+    if (!st.ok()) return make_error(st.error());
+  }
+  return out;
+}
+
+Status assemble_tiles(FrameBuffer& dst, const std::vector<TileResult>& tiles) {
+  for (const TileResult& t : tiles) {
+    if (t.buffer.width() != t.tile.width || t.buffer.height() != t.tile.height)
+      return make_error("assemble_tiles: tile buffer size mismatch");
+    dst.insert(t.tile, t.buffer);
+  }
+  return {};
+}
+
+Status blend_ordered(Image& dst, std::vector<BlendLayer> layers) {
+  for (const BlendLayer& l : layers) {
+    if (l.color.width != dst.width || l.color.height != dst.height ||
+        l.alpha.size() != static_cast<size_t>(dst.width) * dst.height)
+      return make_error("blend_ordered: layer size mismatch");
+  }
+  std::sort(layers.begin(), layers.end(), [](const BlendLayer& a, const BlendLayer& b) {
+    return a.view_distance > b.view_distance;  // farthest first
+  });
+  for (const BlendLayer& l : layers) {
+    for (size_t p = 0; p < l.alpha.size(); ++p) {
+      const float a = std::clamp(l.alpha[p], 0.0f, 1.0f);
+      if (a <= 0.0f) continue;
+      for (int c = 0; c < 3; ++c) {
+        const float src = static_cast<float>(l.color.rgb[p * 3 + static_cast<size_t>(c)]);
+        const float old = static_cast<float>(dst.rgb[p * 3 + static_cast<size_t>(c)]);
+        dst.rgb[p * 3 + static_cast<size_t>(c)] =
+            static_cast<uint8_t>(std::clamp(src * a + old * (1.0f - a), 0.0f, 255.0f));
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace rave::render

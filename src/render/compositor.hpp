@@ -1,0 +1,43 @@
+// Compositing of distributed rendering results. Two modes, mirroring the
+// paper's two distribution schemes (§3.2.5):
+//  - depth compositing: full-frame buffers rendered from the same camera
+//    by different services, merged per-pixel by depth ("compositing is
+//    currently restricted to opaque solids");
+//  - tile assembly: disjoint tiles inserted into the target frame.
+// The ordered-blend path implements the §6 extension for transparent
+// volume sub-blocks (back-to-front by view distance, as in Visapult).
+#pragma once
+
+#include <vector>
+
+#include "render/framebuffer.hpp"
+#include "util/vec.hpp"
+
+namespace rave::render {
+
+// Merge `src` into `dst` per pixel: the fragment nearer the camera wins.
+// Buffers must be the same size and rendered from the same camera.
+util::Status depth_composite(FrameBuffer& dst, const FrameBuffer& src);
+
+// Merge many buffers into one (first buffer is the base).
+util::Result<FrameBuffer> depth_composite_all(std::vector<FrameBuffer> buffers);
+
+// Insert each tile's buffer into the destination frame.
+struct TileResult {
+  Tile tile;
+  FrameBuffer buffer;
+};
+util::Status assemble_tiles(FrameBuffer& dst, const std::vector<TileResult>& tiles);
+
+// A semi-transparent layer with the view distance of its content, for
+// ordered blending of volume sub-blocks.
+struct BlendLayer {
+  Image color;
+  std::vector<float> alpha;  // per pixel
+  float view_distance = 0.0f;
+};
+
+// Blend layers over `dst` back-to-front (largest view_distance first).
+util::Status blend_ordered(Image& dst, std::vector<BlendLayer> layers);
+
+}  // namespace rave::render

@@ -1,0 +1,124 @@
+// Frame and depth buffers. RAVE ships both across the network: tile and
+// subset distribution send "the resulting frame (and depth) buffer" to the
+// compositing render service (paper §3.2.5), so the depth plane is a
+// first-class part of the buffer, not a rasterizer internal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/vec.hpp"
+
+namespace rave::render {
+
+// Axis-aligned pixel rectangle within a target framebuffer.
+struct Tile {
+  int x = 0, y = 0;
+  int width = 0, height = 0;
+
+  [[nodiscard]] int right() const { return x + width; }
+  [[nodiscard]] int bottom() const { return y + height; }
+  [[nodiscard]] uint64_t pixel_count() const {
+    return static_cast<uint64_t>(width) * static_cast<uint64_t>(height);
+  }
+  bool operator==(const Tile& o) const {
+    return x == o.x && y == o.y && width == o.width && height == o.height;
+  }
+};
+
+// Split a w*h target into `count` tiles in a near-square grid (paper
+// §3.2.5: "the render service divides its target frame buffer into tiles").
+std::vector<Tile> split_tiles(int width, int height, int count);
+
+// Weighted horizontal split: tile i receives a share of rows proportional
+// to weights[i] (used to match tile area to render-service capacity).
+std::vector<Tile> split_tiles_weighted(int width, int height,
+                                       const std::vector<double>& weights);
+
+// Packed 24-bit RGB image — exactly what the thin client receives
+// ("200x200 24 bits-per-pixel image", paper §5.1).
+struct Image {
+  int width = 0, height = 0;
+  std::vector<uint8_t> rgb;  // 3 * width * height
+
+  Image() = default;
+  Image(int w, int h) : width(w), height(h), rgb(static_cast<size_t>(w) * h * 3, 0) {}
+
+  [[nodiscard]] size_t byte_size() const { return rgb.size(); }
+  [[nodiscard]] const uint8_t* pixel(int x, int y) const {
+    return &rgb[(static_cast<size_t>(y) * width + x) * 3];
+  }
+  uint8_t* pixel(int x, int y) { return &rgb[(static_cast<size_t>(y) * width + x) * 3]; }
+  void set_pixel(int x, int y, uint8_t r, uint8_t g, uint8_t b) {
+    uint8_t* p = pixel(x, y);
+    p[0] = r;
+    p[1] = g;
+    p[2] = b;
+  }
+
+  // Number of pixels differing in any channel (test/bench helper).
+  [[nodiscard]] uint64_t diff_pixels(const Image& other) const;
+};
+
+// Color + depth planes. Depth is normalized [0,1], 1 = far plane/empty.
+class FrameBuffer {
+ public:
+  FrameBuffer() = default;
+  FrameBuffer(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  void clear(const util::Vec3& color = {0, 0, 0});
+
+  [[nodiscard]] const std::vector<uint8_t>& color() const { return color_; }
+  [[nodiscard]] std::vector<uint8_t>& color() { return color_; }
+  [[nodiscard]] const std::vector<float>& depth() const { return depth_; }
+  [[nodiscard]] std::vector<float>& depth() { return depth_; }
+
+  [[nodiscard]] float depth_at(int x, int y) const {
+    return depth_[static_cast<size_t>(y) * width_ + x];
+  }
+  void set_depth(int x, int y, float d) { depth_[static_cast<size_t>(y) * width_ + x] = d; }
+
+  void set_pixel(int x, int y, uint8_t r, uint8_t g, uint8_t b) {
+    uint8_t* p = &color_[(static_cast<size_t>(y) * width_ + x) * 3];
+    p[0] = r;
+    p[1] = g;
+    p[2] = b;
+  }
+  [[nodiscard]] const uint8_t* pixel(int x, int y) const {
+    return &color_[(static_cast<size_t>(y) * width_ + x) * 3];
+  }
+
+  [[nodiscard]] Image to_image() const;
+
+  // Extract / insert a rectangular region (tile transport).
+  [[nodiscard]] FrameBuffer extract(const Tile& tile) const;
+  void insert(const Tile& tile, const FrameBuffer& src);
+
+  // Wire format for tile shipping: width,height,color,depth.
+  [[nodiscard]] std::vector<uint8_t> serialize() const;
+  static util::Result<FrameBuffer> deserialize(std::span<const uint8_t> data);
+
+ private:
+  int width_ = 0, height_ = 0;
+  std::vector<uint8_t> color_;
+  std::vector<float> depth_;
+};
+
+// Binary PPM (P6) output — how the repo reproduces the paper's screenshots
+// (Figs. 2, 3, 5).
+util::Status write_ppm(const Image& image, const std::string& path);
+util::Result<Image> read_ppm(const std::string& path);
+
+// Client-side image scaling: the Zaurus has a 640x480 display but receives
+// 200x200 frames (paper §5.1, "the 200x200 pixel images are small relative
+// to the display") — the thin client upscales for presentation.
+Image scale_nearest(const Image& src, int width, int height);
+Image scale_bilinear(const Image& src, int width, int height);
+
+}  // namespace rave::render

@@ -1,0 +1,60 @@
+#include "render/frustum.hpp"
+
+#include <cmath>
+
+namespace rave::render {
+
+using util::Mat4;
+using util::Vec3;
+
+Frustum Frustum::from_camera(const scene::Camera& camera, float aspect) {
+  return from_matrix(camera.projection(aspect) * camera.view());
+}
+
+Frustum Frustum::from_matrix(const Mat4& m) {
+  Frustum f;
+  // Rows of the view-projection matrix (column-major storage).
+  const auto row = [&](int r) {
+    return std::array<float, 4>{m.at(r, 0), m.at(r, 1), m.at(r, 2), m.at(r, 3)};
+  };
+  const auto r0 = row(0), r1 = row(1), r2 = row(2), r3 = row(3);
+  const auto make_plane = [](const std::array<float, 4>& a, const std::array<float, 4>& b,
+                             float sign) {
+    Plane p;
+    p.normal = Vec3{a[0] * sign + b[0], a[1] * sign + b[1], a[2] * sign + b[2]};
+    p.d = a[3] * sign + b[3];
+    const float len = p.normal.length();
+    if (len > 1e-12f) {
+      p.normal = p.normal / len;
+      p.d /= len;
+    }
+    return p;
+  };
+  f.planes_[0] = make_plane(r0, r3, 1.0f);   // left:   r3 + r0
+  f.planes_[1] = make_plane(r0, r3, -1.0f);  // right:  r3 - r0
+  f.planes_[2] = make_plane(r1, r3, 1.0f);   // bottom
+  f.planes_[3] = make_plane(r1, r3, -1.0f);  // top
+  f.planes_[4] = make_plane(r2, r3, 1.0f);   // near
+  f.planes_[5] = make_plane(r2, r3, -1.0f);  // far
+  return f;
+}
+
+bool Frustum::intersects(const util::Aabb& box) const {
+  if (!box.valid()) return false;
+  for (const Plane& plane : planes_) {
+    // The box corner farthest along the plane normal ("positive vertex").
+    const Vec3 p{plane.normal.x >= 0 ? box.hi.x : box.lo.x,
+                 plane.normal.y >= 0 ? box.hi.y : box.lo.y,
+                 plane.normal.z >= 0 ? box.hi.z : box.lo.z};
+    if (plane.signed_distance(p) < 0) return false;  // entirely outside this plane
+  }
+  return true;
+}
+
+bool Frustum::contains_point(const Vec3& p) const {
+  for (const Plane& plane : planes_)
+    if (plane.signed_distance(p) < 0) return false;
+  return true;
+}
+
+}  // namespace rave::render

@@ -1,0 +1,44 @@
+// View-frustum culling. The paper's render cost is view-dependent ("the
+// render service pixel rendering times are highly dependent on the number
+// of polygons on-screen", §5.1); culling whole scene-tree nodes against
+// the frustum keeps off-screen subsets from being rasterized at all —
+// important once dataset distribution hands a service nodes scattered
+// through the world.
+#pragma once
+
+#include <array>
+
+#include "scene/camera.hpp"
+#include "util/vec.hpp"
+
+namespace rave::render {
+
+// A plane ax + by + cz + d = 0 with the normal pointing inside.
+struct Plane {
+  util::Vec3 normal;
+  float d = 0;
+
+  [[nodiscard]] float signed_distance(const util::Vec3& p) const {
+    return util::dot(normal, p) + d;
+  }
+};
+
+class Frustum {
+ public:
+  // Extract the six planes from a camera's view-projection matrix
+  // (Gribb/Hartmann method).
+  static Frustum from_camera(const scene::Camera& camera, float aspect);
+  static Frustum from_matrix(const util::Mat4& view_proj);
+
+  // Conservative AABB test: false only when the box is certainly outside.
+  [[nodiscard]] bool intersects(const util::Aabb& box) const;
+
+  [[nodiscard]] bool contains_point(const util::Vec3& p) const;
+
+  [[nodiscard]] const std::array<Plane, 6>& planes() const { return planes_; }
+
+ private:
+  std::array<Plane, 6> planes_{};
+};
+
+}  // namespace rave::render

@@ -1,0 +1,115 @@
+#include "render/offscreen.hpp"
+
+#include <chrono>
+
+namespace rave::render {
+
+namespace {
+void sleep_seconds(double s) {
+  if (s > 0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+}  // namespace
+
+double OffscreenContext::now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+OffscreenContext::OffscreenContext(OffscreenConfig config)
+    : config_(config), worker_([this] { worker_loop(); }) {}
+
+OffscreenContext::~OffscreenContext() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+OffscreenContext::JobId OffscreenContext::submit(RenderFn fn) {
+  std::lock_guard lock(mu_);
+  const JobId id = next_id_++;
+  jobs_[id].fn = std::move(fn);
+  queue_.push_back(id);
+  cv_.notify_all();
+  return id;
+}
+
+bool OffscreenContext::is_complete(JobId job) {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return false;
+  return it->second.done && now_seconds() >= it->second.visible_at;
+}
+
+FrameBuffer OffscreenContext::wait(JobId job) {
+  // Java3D-style poll loop: the caller cannot block on the render itself,
+  // only test completion at poll granularity.
+  while (!is_complete(job)) sleep_seconds(config_.poll_interval);
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(job);
+  FrameBuffer fb = std::move(*it->second.result);
+  jobs_.erase(it);
+  return fb;
+}
+
+void OffscreenContext::worker_loop() {
+  for (;;) {
+    JobId id = 0;
+    RenderFn fn;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      id = queue_.front();
+      queue_.pop_front();
+      fn = std::move(jobs_[id].fn);
+    }
+    FrameBuffer fb = fn();
+    {
+      std::lock_guard lock(mu_);
+      auto it = jobs_.find(id);
+      if (it != jobs_.end()) {
+        it->second.result = std::move(fb);
+        it->second.done = true;
+        it->second.visible_at = now_seconds() + config_.completion_latency;
+      }
+    }
+  }
+}
+
+double run_sequential(OffscreenContext& ctx, const std::vector<OffscreenContext::RenderFn>& jobs,
+                      std::vector<FrameBuffer>* results) {
+  const double start = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+  for (const auto& job : jobs) {
+    const auto id = ctx.submit(job);
+    FrameBuffer fb = ctx.wait(id);
+    if (results != nullptr) results->push_back(std::move(fb));
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         start;
+}
+
+double run_interleaved(OffscreenContext& ctx, const std::vector<OffscreenContext::RenderFn>& jobs,
+                       std::vector<FrameBuffer>* results) {
+  const double start = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+  std::vector<OffscreenContext::JobId> ids;
+  ids.reserve(jobs.size());
+  for (const auto& job : jobs) ids.push_back(ctx.submit(job));
+  if (results != nullptr) {
+    for (auto id : ids) results->push_back(ctx.wait(id));
+  } else {
+    for (auto id : ids) ctx.wait(id);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         start;
+}
+
+}  // namespace rave::render

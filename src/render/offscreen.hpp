@@ -1,0 +1,84 @@
+// Off-screen rendering pipeline, modelled on Java3D's semantics as the
+// paper describes them (§5.4): "to render off-screen initiates a request
+// for an image to be rendered, and then test if it has completed — there
+// is no direct control over the rendering". Completion is only observable
+// by polling, and becomes visible a fixed latency after the actual render
+// finishes. Sequential request/wait loops therefore pay that latency per
+// frame, while interleaved (round-robin) requests overlap rendering with
+// the latency — exactly the effect Tables 3 and 4 measure.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "render/framebuffer.hpp"
+
+namespace rave::render {
+
+struct OffscreenConfig {
+  // Seconds between the worker finishing a render and the completion
+  // becoming observable to pollers (Java3D's hidden copy/notify path).
+  double completion_latency = 0.004;
+  // Poll granularity of is_complete()/wait().
+  double poll_interval = 0.001;
+};
+
+class OffscreenContext {
+ public:
+  using RenderFn = std::function<FrameBuffer()>;
+  using JobId = uint64_t;
+
+  explicit OffscreenContext(OffscreenConfig config = {});
+  ~OffscreenContext();
+
+  OffscreenContext(const OffscreenContext&) = delete;
+  OffscreenContext& operator=(const OffscreenContext&) = delete;
+
+  // Request an off-screen render; returns immediately.
+  JobId submit(RenderFn fn);
+
+  // Non-blocking completion poll.
+  [[nodiscard]] bool is_complete(JobId job);
+
+  // Poll until complete, then take the result.
+  FrameBuffer wait(JobId job);
+
+  [[nodiscard]] const OffscreenConfig& config() const { return config_; }
+
+ private:
+  struct Job {
+    RenderFn fn;
+    std::optional<FrameBuffer> result;
+    double visible_at = 0.0;  // steady-clock seconds
+    bool done = false;
+  };
+
+  void worker_loop();
+  static double now_seconds();
+
+  OffscreenConfig config_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<JobId> queue_;
+  std::unordered_map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+// Drive `count` render jobs through the context one-at-a-time
+// (request → wait → next). Returns elapsed wall seconds.
+double run_sequential(OffscreenContext& ctx, const std::vector<OffscreenContext::RenderFn>& jobs,
+                      std::vector<FrameBuffer>* results = nullptr);
+
+// Submit all jobs up front and poll round-robin, overlapping rendering with
+// completion latency. Returns elapsed wall seconds.
+double run_interleaved(OffscreenContext& ctx, const std::vector<OffscreenContext::RenderFn>& jobs,
+                       std::vector<FrameBuffer>* results = nullptr);
+
+}  // namespace rave::render

@@ -1,0 +1,230 @@
+#include "render/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "render/frustum.hpp"
+
+namespace rave::render {
+
+namespace {
+uint8_t to_byte(float v) { return static_cast<uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f); }
+
+Tile clamp_region(const Tile& region, int width, int height) {
+  Tile t = region;
+  if (t.width <= 0 || t.height <= 0) t = Tile{0, 0, width, height};
+  const int x0 = std::max(0, t.x);
+  const int y0 = std::max(0, t.y);
+  const int x1 = std::min(width, t.right());
+  const int y1 = std::min(height, t.bottom());
+  return Tile{x0, y0, std::max(0, x1 - x0), std::max(0, y1 - y0)};
+}
+}  // namespace
+
+Rasterizer::Rasterizer(int width, int height) : fb_(width, height) {}
+
+void Rasterizer::clear(const RenderOptions& options) {
+  const Tile region = clamp_region(options.region, fb_.width(), fb_.height());
+  if (region.width == fb_.width() && region.height == fb_.height()) {
+    fb_.clear(options.background);
+    return;
+  }
+  for (int y = region.y; y < region.bottom(); ++y) {
+    for (int x = region.x; x < region.right(); ++x) {
+      fb_.set_pixel(x, y, to_byte(options.background.x), to_byte(options.background.y),
+                    to_byte(options.background.z));
+      fb_.set_depth(x, y, 1.0f);
+    }
+  }
+}
+
+void Rasterizer::draw_mesh(const scene::MeshData& mesh, const Mat4& model, const Camera& camera,
+                           const RenderOptions& options) {
+  if (mesh.indices.empty()) return;
+  const Tile region = clamp_region(options.region, fb_.width(), fb_.height());
+  if (region.width == 0 || region.height == 0) return;
+
+  const float aspect = static_cast<float>(fb_.width()) / static_cast<float>(fb_.height());
+  const Mat4 mvp = camera.projection(aspect) * camera.view() * model;
+  const Vec3 light = util::normalize(options.light_dir);
+  // Normal matrix: rotation part of the model matrix (uniform scale
+  // assumed; normals are re-normalized after transform).
+  const bool has_normals = mesh.normals.size() == mesh.positions.size();
+  const bool has_colors = mesh.colors.size() == mesh.positions.size();
+
+  // Shade all vertices once.
+  std::vector<ShadedVertex> shaded(mesh.positions.size());
+  for (size_t i = 0; i < mesh.positions.size(); ++i) {
+    shaded[i].clip = mvp * util::Vec4(mesh.positions[i], 1.0f);
+    const Vec3 albedo = has_colors ? mesh.colors[i] : mesh.base_color;
+    float lambert = 1.0f;
+    if (has_normals) {
+      const Vec3 n = util::normalize(model.transform_dir(mesh.normals[i]));
+      lambert = options.ambient +
+                (1.0f - options.ambient) * std::max(0.0f, util::dot(n, light));
+    }
+    shaded[i].color = albedo * lambert;
+  }
+
+  stats_.triangles_submitted += mesh.triangle_count();
+  const float near_w = 1e-4f;
+
+  for (size_t t = 0; t + 2 < mesh.indices.size(); t += 3) {
+    const ShadedVertex* v[3] = {&shaded[mesh.indices[t]], &shaded[mesh.indices[t + 1]],
+                                &shaded[mesh.indices[t + 2]]};
+    // Near-plane clip (w <= 0 or z < -w). Clip the triangle against
+    // z + w > 0 producing up to 2 triangles.
+    float d[3];
+    int inside = 0;
+    for (int i = 0; i < 3; ++i) {
+      d[i] = v[i]->clip.z + v[i]->clip.w;
+      if (d[i] > near_w) ++inside;
+    }
+    if (inside == 0) continue;
+
+    ShadedVertex clipped[4];
+    int count = 0;
+    if (inside == 3) {
+      clipped[0] = *v[0];
+      clipped[1] = *v[1];
+      clipped[2] = *v[2];
+      count = 3;
+    } else {
+      // Sutherland–Hodgman against the near plane.
+      for (int i = 0; i < 3; ++i) {
+        const ShadedVertex& cur = *v[i];
+        const ShadedVertex& nxt = *v[(i + 1) % 3];
+        const float dc = d[i];
+        const float dn = d[(i + 1) % 3];
+        if (dc > near_w) clipped[count++] = cur;
+        if ((dc > near_w) != (dn > near_w)) {
+          const float s = (near_w - dc) / (dn - dc);
+          ShadedVertex mid;
+          mid.clip = util::lerp(cur.clip, nxt.clip, s);
+          mid.color = util::lerp(cur.color, nxt.color, s);
+          clipped[count++] = mid;
+        }
+      }
+      if (count < 3) continue;
+    }
+
+    for (int i = 1; i + 1 < count; ++i) {
+      // Backface culling happens in raster_triangle via signed area.
+      raster_triangle(clipped[0], clipped[i], clipped[i + 1], region);
+      if (!options.backface_cull) {
+        // Also rasterize the reversed winding so back faces are visible.
+        raster_triangle(clipped[0], clipped[i + 1], clipped[i], region);
+      }
+    }
+  }
+}
+
+void Rasterizer::raster_triangle(const ShadedVertex& a, const ShadedVertex& b,
+                                 const ShadedVertex& c, const Tile& bounds) {
+  const int w = fb_.width(), h = fb_.height();
+  // Perspective divide to NDC, then viewport transform.
+  const auto to_screen = [&](const ShadedVertex& v, float& sx, float& sy, float& sz) {
+    const float inv_w = 1.0f / v.clip.w;
+    sx = (v.clip.x * inv_w * 0.5f + 0.5f) * static_cast<float>(w);
+    sy = (0.5f - v.clip.y * inv_w * 0.5f) * static_cast<float>(h);  // y down
+    sz = v.clip.z * inv_w * 0.5f + 0.5f;  // [0,1]
+  };
+  float ax, ay, az, bx, by, bz, cx, cy, cz;
+  to_screen(a, ax, ay, az);
+  to_screen(b, bx, by, bz);
+  to_screen(c, cx, cy, cz);
+
+  const float area = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+  if (area <= 0.0f) return;  // backface or degenerate (CCW convention)
+  ++stats_.triangles_rasterized;
+
+  const int x0 = std::max(bounds.x, static_cast<int>(std::floor(std::min({ax, bx, cx}))));
+  const int x1 = std::min(bounds.right() - 1, static_cast<int>(std::ceil(std::max({ax, bx, cx}))));
+  const int y0 = std::max(bounds.y, static_cast<int>(std::floor(std::min({ay, by, cy}))));
+  const int y1 =
+      std::min(bounds.bottom() - 1, static_cast<int>(std::ceil(std::max({ay, by, cy}))));
+  if (x0 > x1 || y0 > y1) return;
+
+  const float inv_area = 1.0f / area;
+  for (int y = y0; y <= y1; ++y) {
+    const float py = static_cast<float>(y) + 0.5f;
+    for (int x = x0; x <= x1; ++x) {
+      const float px = static_cast<float>(x) + 0.5f;
+      const float w0 = ((bx - px) * (cy - py) - (by - py) * (cx - px)) * inv_area;
+      const float w1 = ((cx - px) * (ay - py) - (cy - py) * (ax - px)) * inv_area;
+      const float w2 = 1.0f - w0 - w1;
+      if (w0 < 0.0f || w1 < 0.0f || w2 < 0.0f) continue;
+      const float z = w0 * az + w1 * bz + w2 * cz;
+      if (z < 0.0f || z >= fb_.depth_at(x, y)) continue;
+      fb_.set_depth(x, y, z);
+      const Vec3 color = a.color * w0 + b.color * w1 + c.color * w2;
+      fb_.set_pixel(x, y, to_byte(color.x), to_byte(color.y), to_byte(color.z));
+      ++stats_.pixels_shaded;
+    }
+  }
+}
+
+void Rasterizer::draw_points(const scene::PointCloudData& points, const Mat4& model,
+                             const Camera& camera, const RenderOptions& options) {
+  const Tile region = clamp_region(options.region, fb_.width(), fb_.height());
+  if (region.width == 0 || region.height == 0) return;
+  const float aspect = static_cast<float>(fb_.width()) / static_cast<float>(fb_.height());
+  const Mat4 mvp = camera.projection(aspect) * camera.view() * model;
+  const bool has_colors = points.colors.size() == points.positions.size();
+  const int radius = std::max(0, static_cast<int>(points.point_size / 2.0f));
+
+  stats_.points_submitted += points.positions.size();
+  for (size_t i = 0; i < points.positions.size(); ++i) {
+    const util::Vec4 clip = mvp * util::Vec4(points.positions[i], 1.0f);
+    if (clip.w <= 1e-4f || clip.z < -clip.w) continue;
+    const float inv_w = 1.0f / clip.w;
+    const int sx = static_cast<int>((clip.x * inv_w * 0.5f + 0.5f) * fb_.width());
+    const int sy = static_cast<int>((0.5f - clip.y * inv_w * 0.5f) * fb_.height());
+    const float sz = clip.z * inv_w * 0.5f + 0.5f;
+    const Vec3 color = has_colors ? points.colors[i] : points.base_color;
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        const int x = sx + dx, y = sy + dy;
+        if (x < region.x || x >= region.right() || y < region.y || y >= region.bottom()) continue;
+        if (sz >= fb_.depth_at(x, y)) continue;
+        fb_.set_depth(x, y, sz);
+        fb_.set_pixel(x, y, to_byte(color.x), to_byte(color.y), to_byte(color.z));
+        ++stats_.pixels_shaded;
+      }
+    }
+  }
+}
+
+void Rasterizer::draw_tree(const scene::SceneTree& tree, const Camera& camera,
+                           const RenderOptions& options) {
+  const float aspect = static_cast<float>(fb_.width()) / static_cast<float>(fb_.height());
+  const Frustum frustum = Frustum::from_camera(camera, aspect);
+  tree.traverse([&](const scene::SceneNode& node, const Mat4& world) {
+    if (options.frustum_cull && !std::holds_alternative<std::monostate>(node.payload)) {
+      const scene::Aabb bounds = node.local_bounds().transformed(world);
+      if (bounds.valid() && !frustum.intersects(bounds)) {
+        ++stats_.nodes_culled;
+        return;
+      }
+    }
+    if (const auto* mesh = std::get_if<scene::MeshData>(&node.payload)) {
+      draw_mesh(*mesh, world, camera, options);
+    } else if (const auto* pts = std::get_if<scene::PointCloudData>(&node.payload)) {
+      draw_points(*pts, world, camera, options);
+    } else if (const auto* av = std::get_if<scene::AvatarData>(&node.payload)) {
+      draw_mesh(scene::make_avatar_mesh(*av), world, camera, options);
+    }
+    // VoxelGrid nodes are composited by the ray-caster (raycast.hpp).
+  });
+}
+
+FrameBuffer render_tree(const scene::SceneTree& tree, const Camera& camera, int width, int height,
+                        const RenderOptions& options, RenderStats* stats) {
+  Rasterizer raster(width, height);
+  raster.clear(options);
+  raster.draw_tree(tree, camera, options);
+  if (stats != nullptr) *stats = raster.stats();
+  return std::move(raster.framebuffer());
+}
+
+}  // namespace rave::render

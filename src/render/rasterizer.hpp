@@ -1,0 +1,91 @@
+// Software rasterizer — the repo's stand-in for Java3D's hardware pipeline
+// (DESIGN.md substitutions). Renders triangle meshes (Gouraud-shaded,
+// z-buffered, near-plane clipped) and point clouds into a FrameBuffer, the
+// whole frame or one tile of it. Deterministic: identical input produces
+// identical pixels on every host, which is what makes distributed tile /
+// subset compositing testable bit-exactly.
+#pragma once
+
+#include "render/framebuffer.hpp"
+#include "scene/camera.hpp"
+#include "scene/node.hpp"
+#include "scene/tree.hpp"
+
+namespace rave::render {
+
+using scene::Camera;
+using util::Mat4;
+using util::Vec3;
+
+struct RenderStats {
+  uint64_t triangles_submitted = 0;
+  uint64_t triangles_rasterized = 0;  // after cull/clip
+  uint64_t pixels_shaded = 0;
+  uint64_t points_submitted = 0;
+  uint64_t nodes_culled = 0;  // whole nodes skipped by frustum culling
+
+  RenderStats& operator+=(const RenderStats& o) {
+    triangles_submitted += o.triangles_submitted;
+    triangles_rasterized += o.triangles_rasterized;
+    pixels_shaded += o.pixels_shaded;
+    points_submitted += o.points_submitted;
+    nodes_culled += o.nodes_culled;
+    return *this;
+  }
+};
+
+struct RenderOptions {
+  Vec3 background{0.08f, 0.08f, 0.12f};
+  Vec3 light_dir{0.35f, 0.55f, 0.85f};  // towards the light, world space
+  float ambient = 0.35f;
+  bool backface_cull = true;
+  // Skip whole nodes whose world bounds fall outside the view frustum.
+  bool frustum_cull = true;
+  // Restrict rasterization to one tile of the full viewport. Width 0 means
+  // the whole frame. The projection always spans the full frame so tiles
+  // from different services align exactly (paper §3.1.2).
+  Tile region{};
+};
+
+class Rasterizer {
+ public:
+  Rasterizer(int width, int height);
+
+  void clear(const RenderOptions& options = {});
+
+  // Render one mesh under `model` (model-to-world) with the given camera.
+  void draw_mesh(const scene::MeshData& mesh, const Mat4& model, const Camera& camera,
+                 const RenderOptions& options = {});
+
+  void draw_points(const scene::PointCloudData& points, const Mat4& model, const Camera& camera,
+                   const RenderOptions& options = {});
+
+  // Render an entire scene tree: meshes, point clouds, avatars (voxel
+  // grids are handled by the ray-caster, see raycast.hpp).
+  void draw_tree(const scene::SceneTree& tree, const Camera& camera,
+                 const RenderOptions& options = {});
+
+  [[nodiscard]] const FrameBuffer& framebuffer() const { return fb_; }
+  [[nodiscard]] FrameBuffer& framebuffer() { return fb_; }
+
+  [[nodiscard]] const RenderStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct ShadedVertex {
+    util::Vec4 clip;  // clip-space position
+    Vec3 color;
+  };
+
+  void raster_triangle(const ShadedVertex& a, const ShadedVertex& b, const ShadedVertex& c,
+                       const Tile& bounds);
+
+  FrameBuffer fb_;
+  RenderStats stats_;
+};
+
+// Convenience: render a whole tree into a fresh framebuffer.
+FrameBuffer render_tree(const scene::SceneTree& tree, const Camera& camera, int width, int height,
+                        const RenderOptions& options = {}, RenderStats* stats = nullptr);
+
+}  // namespace rave::render

@@ -1,0 +1,140 @@
+#include "render/raycast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rave::render {
+
+using scene::Camera;
+using scene::VoxelGridData;
+using util::Mat4;
+using util::Vec3;
+
+namespace {
+uint8_t to_byte(float v) { return static_cast<uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f); }
+
+bool intersect_aabb(const Vec3& origin, const Vec3& dir, const scene::Aabb& box, float& t0,
+                    float& t1) {
+  t0 = 0.0f;
+  t1 = std::numeric_limits<float>::max();
+  const float o[3] = {origin.x, origin.y, origin.z};
+  const float d[3] = {dir.x, dir.y, dir.z};
+  const float lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+  const float hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+  for (int i = 0; i < 3; ++i) {
+    if (std::fabs(d[i]) < 1e-12f) {
+      if (o[i] < lo[i] || o[i] > hi[i]) return false;
+      continue;
+    }
+    float a = (lo[i] - o[i]) / d[i];
+    float b = (hi[i] - o[i]) / d[i];
+    if (a > b) std::swap(a, b);
+    t0 = std::max(t0, a);
+    t1 = std::min(t1, b);
+  }
+  return t0 <= t1;
+}
+}  // namespace
+
+void raycast_volume(FrameBuffer& fb, const VoxelGridData& grid, const Mat4& model,
+                    const Camera& camera, const RaycastOptions& options) {
+  if (grid.voxel_count() == 0) return;
+  Tile region = options.region;
+  if (region.width <= 0 || region.height <= 0) region = Tile{0, 0, fb.width(), fb.height()};
+  region.x = std::max(0, region.x);
+  region.y = std::max(0, region.y);
+  region.width = std::min(region.width, fb.width() - region.x);
+  region.height = std::min(region.height, fb.height() - region.y);
+
+  const float aspect = static_cast<float>(fb.width()) / static_cast<float>(fb.height());
+  const Mat4 view = camera.view();
+  const Mat4 proj = camera.projection(aspect);
+  const Mat4 view_proj = proj * view;
+  const Mat4 inv_model = model.inverse();
+  // Camera origin and per-pixel ray directions in world space, then mapped
+  // into grid-local space (one inverse transform per ray).
+  const Mat4 inv_view = view.inverse();
+  const Vec3 eye_world = inv_view.transform_point({0, 0, 0});
+  const float tan_half_fov = std::tan(util::deg_to_rad(camera.fov_y_deg) * 0.5f);
+
+  const scene::Aabb box = grid.bounds();
+  const float min_spacing = std::min({grid.spacing.x, grid.spacing.y, grid.spacing.z});
+  const float step = min_spacing / std::max(options.sampling_rate, 0.05f);
+  const float opacity_per_step = std::min(1.0f, grid.opacity_scale * step / min_spacing * 0.25f);
+
+  const auto cast_row = [&](int py) {
+    for (int px = region.x; px < region.x + region.width; ++px) {
+      // NDC pixel center → camera-space ray.
+      const float ndc_x = (2.0f * (static_cast<float>(px) + 0.5f) / fb.width() - 1.0f);
+      const float ndc_y = (1.0f - 2.0f * (static_cast<float>(py) + 0.5f) / fb.height());
+      const Vec3 dir_cam{ndc_x * tan_half_fov * aspect, ndc_y * tan_half_fov, -1.0f};
+      const Vec3 dir_world = util::normalize(inv_view.transform_dir(dir_cam));
+      // Into grid-local space.
+      const Vec3 origin = inv_model.transform_point(eye_world);
+      const Vec3 dir = inv_model.transform_dir(dir_world);
+      const float dir_len = dir.length();
+      if (dir_len < 1e-12f) continue;
+      const Vec3 ndir = dir / dir_len;
+
+      float t0, t1;
+      if (!intersect_aabb(origin, ndir, box, t0, t1)) continue;
+      t0 = std::max(t0, camera.znear * dir_len);
+
+      Vec3 acc_color{0, 0, 0};
+      float acc_alpha = 0.0f;
+      float first_hit_t = -1.0f;
+      for (float t = t0; t <= t1; t += step) {
+        const Vec3 p = origin + ndir * t;
+        const float density = grid.sample(p);
+        if (density < grid.iso_low) continue;
+        const float u = std::clamp((density - grid.iso_low) /
+                                       std::max(grid.iso_high - grid.iso_low, 1e-6f),
+                                   0.0f, 1.0f);
+        const Vec3 sample_color = util::lerp(grid.color_low, grid.color_high, u);
+        const float alpha = opacity_per_step * (0.3f + 0.7f * u);
+        acc_color += sample_color * (alpha * (1.0f - acc_alpha));
+        acc_alpha += alpha * (1.0f - acc_alpha);
+        if (first_hit_t < 0.0f) first_hit_t = t;
+        if (acc_alpha >= options.opacity_cutoff) break;
+      }
+      if (acc_alpha <= 0.003f) continue;
+
+      // Depth of the first hit, in the same normalized space the
+      // rasterizer uses, for cross-occlusion.
+      const Vec3 hit_local = origin + ndir * first_hit_t;
+      const Vec3 hit_world = model.transform_point(hit_local);
+      const util::Vec4 clip = view_proj * util::Vec4(hit_world, 1.0f);
+      if (clip.w <= 1e-6f) continue;
+      const float depth = clip.z / clip.w * 0.5f + 0.5f;
+      const float existing = fb.depth_at(px, py);
+      if (depth >= existing) continue;  // opaque geometry in front
+
+      const uint8_t* back = fb.pixel(px, py);
+      const Vec3 back_color{static_cast<float>(back[0]) / 255.0f,
+                            static_cast<float>(back[1]) / 255.0f,
+                            static_cast<float>(back[2]) / 255.0f};
+      const Vec3 out = acc_color + back_color * (1.0f - acc_alpha);
+      fb.set_pixel(px, py, to_byte(out.x), to_byte(out.y), to_byte(out.z));
+      if (acc_alpha >= options.opacity_cutoff) fb.set_depth(px, py, depth);
+    }
+  };
+
+  // Rays are independent and each row writes disjoint pixels, so the
+  // parallel path is bit-identical to the serial one.
+  if (options.pool != nullptr && region.height > 1) {
+    options.pool->parallel_for(static_cast<size_t>(region.height),
+                               [&](size_t row) { cast_row(region.y + static_cast<int>(row)); });
+  } else {
+    for (int py = region.y; py < region.y + region.height; ++py) cast_row(py);
+  }
+}
+
+void raycast_tree_volumes(FrameBuffer& fb, const scene::SceneTree& tree, const Camera& camera,
+                          const RaycastOptions& options) {
+  tree.traverse([&](const scene::SceneNode& node, const Mat4& world) {
+    if (const auto* grid = std::get_if<VoxelGridData>(&node.payload))
+      raycast_volume(fb, *grid, world, camera, options);
+  });
+}
+
+}  // namespace rave::render

@@ -1,0 +1,121 @@
+#include "scene/audit.hpp"
+
+#include <fstream>
+#include <limits>
+
+#include "scene/serialize.hpp"
+
+namespace rave::scene {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::make_error;
+using util::Result;
+using util::Status;
+
+namespace {
+constexpr uint32_t kAuditMagic = 0x52415531;  // "RAU1"
+}
+
+AuditTrail::AuditTrail(const SceneTree& base_snapshot) { set_base(base_snapshot); }
+
+void AuditTrail::set_base(const SceneTree& base_snapshot) {
+  base_ = serialize_tree(base_snapshot);
+}
+
+void AuditTrail::append(SceneUpdate update) { updates_.push_back(std::move(update)); }
+
+std::vector<uint8_t> AuditTrail::serialize() const {
+  ByteWriter w;
+  w.u32(kAuditMagic);
+  w.bytes(base_);
+  w.u32(static_cast<uint32_t>(updates_.size()));
+  for (const SceneUpdate& u : updates_) write_update(w, u);
+  return w.take();
+}
+
+Result<AuditTrail> AuditTrail::deserialize(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kAuditMagic) return make_error("audit: bad magic");
+  AuditTrail trail;
+  trail.base_ = r.bytes();
+  const uint32_t count = r.u32();
+  if (!r.ok()) return make_error("audit: truncated header");
+  trail.updates_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto u = read_update(r);
+    if (!u.ok()) return make_error(u.error());
+    trail.updates_.push_back(std::move(u).take());
+  }
+  return trail;
+}
+
+Status AuditTrail::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return make_error("audit: cannot open " + path + " for writing");
+  const std::vector<uint8_t> blob = serialize();
+  out.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(blob.size()));
+  if (!out) return make_error("audit: write failed for " + path);
+  return {};
+}
+
+Result<AuditTrail> AuditTrail::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return make_error("audit: cannot open " + path);
+  std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  return deserialize(blob);
+}
+
+SessionPlayer::SessionPlayer(const AuditTrail& trail) : trail_(&trail) {
+  auto tree = deserialize_tree(trail.base_snapshot());
+  if (tree.ok()) {
+    tree_ = std::move(tree).take();
+    valid_ = true;
+  }
+}
+
+size_t SessionPlayer::play_all() {
+  return step_until(std::numeric_limits<double>::infinity());
+}
+
+size_t SessionPlayer::step_until(double t) {
+  size_t applied = 0;
+  const auto& updates = trail_->updates();
+  while (cursor_ < updates.size() && updates[cursor_].timestamp <= t) {
+    // Tolerate stale updates against removed nodes — playback must not
+    // abort because a later author deleted a subtree an earlier update
+    // touches (same-session semantics as the live data service).
+    (void)updates[cursor_].apply(tree_);
+    ++cursor_;
+    ++applied;
+  }
+  return applied;
+}
+
+size_t SessionPlayer::play_paced(util::Clock& clock, double speed,
+                                 const std::function<void(const SceneUpdate&)>& on_update) {
+  const auto& updates = trail_->updates();
+  if (cursor_ >= updates.size()) return 0;
+  if (speed <= 0) speed = 1.0;
+  const double base_timestamp = updates[cursor_].timestamp;
+  const double start = clock.now();
+  size_t applied = 0;
+  while (cursor_ < updates.size()) {
+    const SceneUpdate& update = updates[cursor_];
+    clock.wait_until(start + (update.timestamp - base_timestamp) / speed);
+    (void)update.apply(tree_);
+    if (on_update) on_update(update);
+    ++cursor_;
+    ++applied;
+  }
+  return applied;
+}
+
+double SessionPlayer::next_timestamp() const {
+  const auto& updates = trail_->updates();
+  if (cursor_ >= updates.size()) return std::numeric_limits<double>::infinity();
+  return updates[cursor_].timestamp;
+}
+
+}  // namespace rave::scene

@@ -1,0 +1,82 @@
+// Audit trail and session persistence. "The data are intermittently
+// streamed to disk, recording any changes ... A recorded session may be
+// played back at a later date; this enables users to append to a recorded
+// session, collaborating asynchronously with previous users" (paper §3.1.1).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scene/tree.hpp"
+#include "scene/update.hpp"
+#include "util/clock.hpp"
+#include "util/result.hpp"
+
+namespace rave::scene {
+
+// Append-only log of committed updates, beginning from a base snapshot.
+class AuditTrail {
+ public:
+  AuditTrail() = default;
+  explicit AuditTrail(const SceneTree& base_snapshot);
+
+  void set_base(const SceneTree& base_snapshot);
+  void append(SceneUpdate update);
+
+  [[nodiscard]] size_t size() const { return updates_.size(); }
+  [[nodiscard]] const std::vector<SceneUpdate>& updates() const { return updates_; }
+  [[nodiscard]] const std::vector<uint8_t>& base_snapshot() const { return base_; }
+
+  // Serialize the whole trail (snapshot + updates) to one binary blob.
+  [[nodiscard]] std::vector<uint8_t> serialize() const;
+  static util::Result<AuditTrail> deserialize(std::span<const uint8_t> data);
+
+  // Disk persistence ("intermittently streamed to disk").
+  [[nodiscard]] util::Status save(const std::string& path) const;
+  static util::Result<AuditTrail> load(const std::string& path);
+
+ private:
+  std::vector<uint8_t> base_;
+  std::vector<SceneUpdate> updates_;
+};
+
+// Replays a recorded trail. `play_all` reconstructs the final state;
+// `step_until` replays updates whose timestamps fall at or before `t`,
+// which lets a later session scrub through an earlier one and then append
+// to it (asynchronous collaboration).
+class SessionPlayer {
+ public:
+  explicit SessionPlayer(const AuditTrail& trail);
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] const SceneTree& tree() const { return tree_; }
+  [[nodiscard]] SceneTree& tree() { return tree_; }
+
+  // Apply every remaining update; returns the number applied.
+  size_t play_all();
+
+  // Apply updates with timestamp <= t; returns the number applied.
+  size_t step_until(double t);
+
+  // Replay all remaining updates honoring their original pacing against
+  // `clock` (scaled by `speed`, >1 = faster). Invokes `on_update` after
+  // each application. Under a SimClock this is instant but reproduces the
+  // original virtual timeline; under a RealClock it replays in real time.
+  size_t play_paced(util::Clock& clock, double speed = 1.0,
+                    const std::function<void(const SceneUpdate&)>& on_update = {});
+
+  [[nodiscard]] bool finished() const { return cursor_ >= trail_->updates().size(); }
+  [[nodiscard]] size_t position() const { return cursor_; }
+
+  // Timestamp of the next pending update, or +inf when finished.
+  [[nodiscard]] double next_timestamp() const;
+
+ private:
+  const AuditTrail* trail_;
+  SceneTree tree_;
+  size_t cursor_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace rave::scene

@@ -1,0 +1,69 @@
+#include "scene/camera.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rave::scene {
+
+using util::Mat4;
+using util::Vec3;
+
+void Camera::orbit(float yaw_radians, float pitch_radians) {
+  Vec3 offset = eye - target;
+  const float radius = offset.length();
+  if (radius <= 0.0f) return;
+  float yaw = std::atan2(offset.x, offset.z);
+  float pitch = std::asin(std::clamp(offset.y / radius, -1.0f, 1.0f));
+  yaw += yaw_radians;
+  pitch = std::clamp(pitch + pitch_radians, -1.5f, 1.5f);
+  offset = Vec3{radius * std::cos(pitch) * std::sin(yaw), radius * std::sin(pitch),
+                radius * std::cos(pitch) * std::cos(yaw)};
+  eye = target + offset;
+}
+
+void Camera::dolly(float distance) {
+  const Vec3 dir = view_dir();
+  const float max_in = (target - eye).length() - znear * 2.0f;
+  eye += dir * std::min(distance, max_in);
+}
+
+Camera Camera::framing(const util::Aabb& box, float fov_y_deg) {
+  Camera cam;
+  cam.fov_y_deg = fov_y_deg;
+  if (!box.valid()) return cam;
+  const Vec3 center = box.center();
+  const float radius = box.extent().length() * 0.5f;
+  const float dist = radius / std::tan(util::deg_to_rad(fov_y_deg) * 0.5f) * 1.1f;
+  cam.target = center;
+  cam.eye = center + Vec3{0.0f, 0.0f, std::max(dist, 0.1f)};
+  cam.znear = std::max(dist * 0.01f, 0.001f);
+  cam.zfar = dist + radius * 4.0f;
+  return cam;
+}
+
+Mat4 Camera::avatar_transform() const {
+  // Build a frame whose -Z axis is the view direction, positioned at the
+  // eye, so the avatar cone (apex at origin, opening towards +Z) points
+  // where the user is looking.
+  const Vec3 f = view_dir();
+  Vec3 s = util::cross(f, up);
+  if (s.length_sq() < 1e-12f) s = Vec3{1, 0, 0};
+  s = util::normalize(s);
+  const Vec3 u = util::cross(s, f);
+  Mat4 m = Mat4::identity();
+  m.at(0, 0) = s.x;
+  m.at(1, 0) = s.y;
+  m.at(2, 0) = s.z;
+  m.at(0, 1) = u.x;
+  m.at(1, 1) = u.y;
+  m.at(2, 1) = u.z;
+  m.at(0, 2) = -f.x;
+  m.at(1, 2) = -f.y;
+  m.at(2, 2) = -f.z;
+  m.at(0, 3) = eye.x;
+  m.at(1, 3) = eye.y;
+  m.at(2, 3) = eye.z;
+  return m;
+}
+
+}  // namespace rave::scene

@@ -1,0 +1,45 @@
+// Per-client camera. In RAVE every client owns its view position (unlike
+// OpenGL VizServer, where all collaborators share one view — paper §2), so
+// the camera travels with the client's render requests and drives its
+// avatar pose in the shared scene.
+#pragma once
+
+#include "util/vec.hpp"
+
+namespace rave::scene {
+
+struct Camera {
+  util::Vec3 eye{0.0f, 0.0f, 5.0f};
+  util::Vec3 target{0.0f, 0.0f, 0.0f};
+  util::Vec3 up{0.0f, 1.0f, 0.0f};
+  float fov_y_deg = 45.0f;
+  float znear = 0.05f;
+  float zfar = 1000.0f;
+
+  [[nodiscard]] util::Mat4 view() const { return util::Mat4::look_at(eye, target, up); }
+
+  [[nodiscard]] util::Mat4 projection(float aspect) const {
+    return util::Mat4::perspective(util::deg_to_rad(fov_y_deg), aspect, znear, zfar);
+  }
+
+  [[nodiscard]] util::Vec3 view_dir() const { return util::normalize(target - eye); }
+
+  // Orbit around the target (the GUI's click-and-drag rotation, paper §5.2).
+  void orbit(float yaw_radians, float pitch_radians);
+
+  // Move along the view direction (positive = towards the target).
+  void dolly(float distance);
+
+  // Frame an axis-aligned box so it fills the view.
+  static Camera framing(const util::Aabb& box, float fov_y_deg = 45.0f);
+
+  // Avatar pose: avatar cone sits at the eye pointing along the view.
+  [[nodiscard]] util::Mat4 avatar_transform() const;
+
+  bool operator==(const Camera& o) const {
+    return eye == o.eye && target == o.target && up == o.up && fov_y_deg == o.fov_y_deg &&
+           znear == o.znear && zfar == o.zfar;
+  }
+};
+
+}  // namespace rave::scene

@@ -1,0 +1,142 @@
+// Scene-tree nodes. The RAVE data service stores "data in the form of a
+// scene tree; nodes of the tree may contain various types of data, such as
+// voxels, point clouds or polygons" (paper §3.1.1). Avatars representing
+// collaborating users (§3.2.4) are ordinary nodes so they replicate to all
+// render services through the normal update path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace rave::scene {
+
+using util::Aabb;
+using util::Mat4;
+using util::Vec3;
+
+using NodeId = uint64_t;
+constexpr NodeId kInvalidNode = 0;
+constexpr NodeId kRootNode = 1;
+
+enum class NodeKind : uint8_t { Group = 0, Mesh = 1, PointCloud = 2, VoxelGrid = 3, Avatar = 4 };
+
+const char* node_kind_name(NodeKind kind);
+
+// Indexed triangle mesh. Normals/colors are optional (empty) and, when
+// present, parallel to positions.
+struct MeshData {
+  std::vector<Vec3> positions;
+  std::vector<Vec3> normals;
+  std::vector<Vec3> colors;
+  std::vector<uint32_t> indices;
+  Vec3 base_color{0.8f, 0.8f, 0.8f};
+
+  [[nodiscard]] size_t triangle_count() const { return indices.size() / 3; }
+  [[nodiscard]] Aabb bounds() const;
+
+  // Face-averaged vertex normals; used by loaders and generators that only
+  // produce positions.
+  void compute_normals();
+};
+
+struct PointCloudData {
+  std::vector<Vec3> positions;
+  std::vector<Vec3> colors;  // optional
+  Vec3 base_color{0.8f, 0.8f, 0.8f};
+  float point_size = 1.0f;
+
+  [[nodiscard]] Aabb bounds() const;
+};
+
+// Regular scalar grid with a two-point linear transfer function, enough for
+// the volume-rendering extension (paper §6: "extend ... to include voxel
+// and point based methods").
+struct VoxelGridData {
+  uint32_t nx = 0, ny = 0, nz = 0;
+  Vec3 origin{0, 0, 0};
+  Vec3 spacing{1, 1, 1};
+  std::vector<float> values;  // nx*ny*nz, x fastest
+
+  // Transfer function: density below `iso_low` is transparent; colors ramp
+  // from color_low to color_high as density rises to iso_high.
+  float iso_low = 0.1f;
+  float iso_high = 1.0f;
+  Vec3 color_low{0.2f, 0.2f, 0.8f};
+  Vec3 color_high{1.0f, 1.0f, 1.0f};
+  float opacity_scale = 1.0f;
+
+  [[nodiscard]] size_t voxel_count() const {
+    return static_cast<size_t>(nx) * ny * nz;
+  }
+  [[nodiscard]] float at(uint32_t x, uint32_t y, uint32_t z) const {
+    return values[(static_cast<size_t>(z) * ny + y) * nx + x];
+  }
+  float& at(uint32_t x, uint32_t y, uint32_t z) {
+    return values[(static_cast<size_t>(z) * ny + y) * nx + x];
+  }
+  [[nodiscard]] Aabb bounds() const;
+  // Trilinear sample at a point in grid-local (world) coordinates.
+  [[nodiscard]] float sample(const Vec3& p) const;
+};
+
+// Marker payload for a collaborating user; rendered as a view-direction
+// cone labelled with the user/host name (paper Fig. 3).
+struct AvatarData {
+  std::string user_name;
+  Vec3 color{1.0f, 0.3f, 0.2f};
+  float size = 0.5f;
+};
+
+using NodePayload =
+    std::variant<std::monostate, MeshData, PointCloudData, VoxelGridData, AvatarData>;
+
+// Per-node resource demands. Workload distribution selects node sets by
+// these metrics so migration moves fine-grained amounts of work
+// (paper §3.2.7: "how much data are contained in a given set of nodes").
+struct NodeMetrics {
+  uint64_t triangles = 0;
+  uint64_t points = 0;
+  uint64_t voxels = 0;
+  uint64_t texture_bytes = 0;
+  uint64_t geometry_bytes = 0;
+
+  NodeMetrics& operator+=(const NodeMetrics& o) {
+    triangles += o.triangles;
+    points += o.points;
+    voxels += o.voxels;
+    texture_bytes += o.texture_bytes;
+    geometry_bytes += o.geometry_bytes;
+    return *this;
+  }
+  friend NodeMetrics operator+(NodeMetrics a, const NodeMetrics& b) { return a += b; }
+  [[nodiscard]] bool empty() const {
+    return triangles == 0 && points == 0 && voxels == 0 && texture_bytes == 0;
+  }
+};
+
+struct SceneNode {
+  NodeId id = kInvalidNode;
+  std::string name;
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> children;
+  Mat4 transform = Mat4::identity();
+  NodePayload payload;
+
+  [[nodiscard]] NodeKind kind() const;
+  [[nodiscard]] NodeMetrics metrics() const;
+  [[nodiscard]] Aabb local_bounds() const;  // payload bounds, pre-transform
+
+  [[nodiscard]] bool is_avatar() const {
+    return std::holds_alternative<AvatarData>(payload);
+  }
+};
+
+// The avatar's visible geometry: a cone pointing along -Z (the camera view
+// direction), generated on demand by render clients.
+MeshData make_avatar_mesh(const AvatarData& avatar);
+
+}  // namespace rave::scene

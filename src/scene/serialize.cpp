@@ -1,0 +1,215 @@
+#include "scene/serialize.hpp"
+
+namespace rave::scene {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::make_error;
+using util::Result;
+
+namespace {
+constexpr uint32_t kTreeMagic = 0x52565431;  // "RVT1"
+
+void count_fields(MarshalStats* stats, uint64_t fields, uint64_t bytes) {
+  if (stats == nullptr) return;
+  stats->fields += fields;
+  stats->bytes += bytes;
+}
+
+void write_vec3_list(ByteWriter& w, const std::vector<Vec3>& list) {
+  w.u32(static_cast<uint32_t>(list.size()));
+  for (const Vec3& v : list) w.vec3(v);
+}
+
+std::vector<Vec3> read_vec3_list(ByteReader& r) {
+  const uint32_t n = r.u32();
+  std::vector<Vec3> out;
+  if (static_cast<uint64_t>(n) * 12 > r.remaining()) return out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) out.push_back(r.vec3());
+  return out;
+}
+}  // namespace
+
+void write_payload(ByteWriter& w, const NodePayload& payload, MarshalStats* stats) {
+  const size_t start = w.size();
+  if (const auto* mesh = std::get_if<MeshData>(&payload)) {
+    w.u8(static_cast<uint8_t>(NodeKind::Mesh));
+    write_vec3_list(w, mesh->positions);
+    write_vec3_list(w, mesh->normals);
+    write_vec3_list(w, mesh->colors);
+    w.u32_span(mesh->indices);
+    w.vec3(mesh->base_color);
+    // Introspection walks per-vertex and per-index fields (paper §5.5).
+    count_fields(stats,
+                 mesh->positions.size() + mesh->normals.size() + mesh->colors.size() +
+                     mesh->indices.size() + 2,
+                 0);
+  } else if (const auto* pts = std::get_if<PointCloudData>(&payload)) {
+    w.u8(static_cast<uint8_t>(NodeKind::PointCloud));
+    write_vec3_list(w, pts->positions);
+    write_vec3_list(w, pts->colors);
+    w.vec3(pts->base_color);
+    w.f32(pts->point_size);
+    count_fields(stats, pts->positions.size() + pts->colors.size() + 3, 0);
+  } else if (const auto* vox = std::get_if<VoxelGridData>(&payload)) {
+    w.u8(static_cast<uint8_t>(NodeKind::VoxelGrid));
+    w.u32(vox->nx);
+    w.u32(vox->ny);
+    w.u32(vox->nz);
+    w.vec3(vox->origin);
+    w.vec3(vox->spacing);
+    w.f32_span(vox->values);
+    w.f32(vox->iso_low);
+    w.f32(vox->iso_high);
+    w.vec3(vox->color_low);
+    w.vec3(vox->color_high);
+    w.f32(vox->opacity_scale);
+    count_fields(stats, vox->values.size() + 11, 0);
+  } else if (const auto* av = std::get_if<AvatarData>(&payload)) {
+    w.u8(static_cast<uint8_t>(NodeKind::Avatar));
+    w.str(av->user_name);
+    w.vec3(av->color);
+    w.f32(av->size);
+    count_fields(stats, 3, 0);
+  } else {
+    w.u8(static_cast<uint8_t>(NodeKind::Group));
+    count_fields(stats, 1, 0);
+  }
+  count_fields(stats, 0, w.size() - start);
+}
+
+Result<NodePayload> read_payload(ByteReader& r) {
+  const auto kind = static_cast<NodeKind>(r.u8());
+  switch (kind) {
+    case NodeKind::Group:
+      return NodePayload{std::monostate{}};
+    case NodeKind::Mesh: {
+      MeshData mesh;
+      mesh.positions = read_vec3_list(r);
+      mesh.normals = read_vec3_list(r);
+      mesh.colors = read_vec3_list(r);
+      mesh.indices = r.u32_span();
+      mesh.base_color = r.vec3();
+      if (!r.ok()) return make_error("read_payload: truncated mesh");
+      return NodePayload{std::move(mesh)};
+    }
+    case NodeKind::PointCloud: {
+      PointCloudData pts;
+      pts.positions = read_vec3_list(r);
+      pts.colors = read_vec3_list(r);
+      pts.base_color = r.vec3();
+      pts.point_size = r.f32();
+      if (!r.ok()) return make_error("read_payload: truncated point cloud");
+      return NodePayload{std::move(pts)};
+    }
+    case NodeKind::VoxelGrid: {
+      VoxelGridData vox;
+      vox.nx = r.u32();
+      vox.ny = r.u32();
+      vox.nz = r.u32();
+      vox.origin = r.vec3();
+      vox.spacing = r.vec3();
+      vox.values = r.f32_span();
+      vox.iso_low = r.f32();
+      vox.iso_high = r.f32();
+      vox.color_low = r.vec3();
+      vox.color_high = r.vec3();
+      vox.opacity_scale = r.f32();
+      if (!r.ok()) return make_error("read_payload: truncated voxel grid");
+      if (vox.values.size() != vox.voxel_count())
+        return make_error("read_payload: voxel grid size mismatch");
+      return NodePayload{std::move(vox)};
+    }
+    case NodeKind::Avatar: {
+      AvatarData av;
+      av.user_name = r.str();
+      av.color = r.vec3();
+      av.size = r.f32();
+      if (!r.ok()) return make_error("read_payload: truncated avatar");
+      return NodePayload{std::move(av)};
+    }
+  }
+  return make_error("read_payload: unknown payload kind");
+}
+
+void write_node(ByteWriter& w, const SceneNode& node, MarshalStats* stats) {
+  const size_t start = w.size();
+  w.u64(node.id);
+  w.str(node.name);
+  w.u64(node.parent);
+  w.mat4(node.transform);
+  count_fields(stats, 4, 0);
+  write_payload(w, node.payload, stats);
+  count_fields(stats, 0, w.size() - start);
+}
+
+Result<SceneNode> read_node(ByteReader& r) {
+  SceneNode node;
+  node.id = r.u64();
+  node.name = r.str();
+  node.parent = r.u64();
+  node.transform = r.mat4();
+  if (!r.ok()) return make_error("read_node: truncated header");
+  auto payload = read_payload(r);
+  if (!payload.ok()) return make_error(payload.error());
+  node.payload = std::move(payload).take();
+  return node;
+}
+
+void write_camera(ByteWriter& w, const Camera& camera) {
+  w.vec3(camera.eye);
+  w.vec3(camera.target);
+  w.vec3(camera.up);
+  w.f32(camera.fov_y_deg);
+  w.f32(camera.znear);
+  w.f32(camera.zfar);
+}
+
+Camera read_camera(ByteReader& r) {
+  Camera cam;
+  cam.eye = r.vec3();
+  cam.target = r.vec3();
+  cam.up = r.vec3();
+  cam.fov_y_deg = r.f32();
+  cam.znear = r.f32();
+  cam.zfar = r.f32();
+  return cam;
+}
+
+std::vector<uint8_t> serialize_tree(const SceneTree& tree, MarshalStats* stats) {
+  ByteWriter w;
+  w.u32(kTreeMagic);
+  const std::vector<NodeId> order = tree.ids_depth_first();
+  w.u32(static_cast<uint32_t>(order.size()));
+  w.u64(tree.peek_next_id());
+  for (NodeId id : order) write_node(w, *tree.find(id), stats);
+  if (stats != nullptr) stats->bytes = w.size();
+  return w.take();
+}
+
+Result<SceneTree> deserialize_tree(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kTreeMagic) return make_error("deserialize_tree: bad magic");
+  const uint32_t count = r.u32();
+  const NodeId next_id = r.u64();
+  SceneTree tree;
+  for (uint32_t i = 0; i < count; ++i) {
+    auto node = read_node(r);
+    if (!node.ok()) return make_error(node.error());
+    SceneNode n = std::move(node).take();
+    if (n.id == kRootNode) {
+      // Adopt root name/transform in place.
+      SceneNode* root = tree.find_mutable(kRootNode);
+      root->name = n.name;
+      root->transform = n.transform;
+      continue;
+    }
+    const util::Status st = tree.add_node(n.parent, std::move(n));
+    if (!st.ok()) return make_error("deserialize_tree: " + st.error());
+  }
+  tree.bump_next_id(next_id == 0 ? kRootNode : next_id - 1);
+  return tree;
+}
+
+}  // namespace rave::scene

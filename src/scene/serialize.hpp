@@ -1,0 +1,47 @@
+// Binary serialization of payloads, nodes, cameras and whole trees. This is
+// the "direct socket communication to send binary information" path the
+// paper drops to after SOAP-based discovery (§4.3): bulk geometry never
+// travels as XML.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scene/camera.hpp"
+#include "scene/node.hpp"
+#include "scene/tree.hpp"
+#include "util/result.hpp"
+#include "util/serial.hpp"
+
+namespace rave::scene {
+
+// Introspective marshalling statistics. The paper attributes its slow
+// bootstrap (Table 5) to per-field introspection of every scene-graph node;
+// we count the fields each serialization touches so the simulation layer
+// can reproduce that cost model.
+struct MarshalStats {
+  uint64_t fields = 0;
+  uint64_t bytes = 0;
+
+  MarshalStats& operator+=(const MarshalStats& o) {
+    fields += o.fields;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+void write_payload(util::ByteWriter& w, const NodePayload& payload, MarshalStats* stats = nullptr);
+util::Result<NodePayload> read_payload(util::ByteReader& r);
+
+void write_node(util::ByteWriter& w, const SceneNode& node, MarshalStats* stats = nullptr);
+util::Result<SceneNode> read_node(util::ByteReader& r);
+
+void write_camera(util::ByteWriter& w, const Camera& camera);
+Camera read_camera(util::ByteReader& r);
+
+// Whole-tree snapshot (depth-first node stream), used when a render service
+// bootstraps from the data service.
+std::vector<uint8_t> serialize_tree(const SceneTree& tree, MarshalStats* stats = nullptr);
+util::Result<SceneTree> deserialize_tree(std::span<const uint8_t> data);
+
+}  // namespace rave::scene

@@ -1,0 +1,144 @@
+#include "scene/update.hpp"
+
+#include "scene/serialize.hpp"
+
+namespace rave::scene {
+
+using util::make_error;
+using util::Result;
+using util::Status;
+
+Status SceneUpdate::apply(SceneTree& tree) const {
+  switch (kind) {
+    case UpdateKind::AddNode: {
+      SceneNode copy = new_node;
+      copy.id = node != kInvalidNode ? node : new_node.id;
+      return tree.add_node(parent, std::move(copy));
+    }
+    case UpdateKind::RemoveNode:
+      return tree.remove_node(node);
+    case UpdateKind::SetTransform:
+      return tree.set_transform(node, transform);
+    case UpdateKind::SetPayload:
+      return tree.set_payload(node, payload);
+    case UpdateKind::SetName:
+      return tree.set_name(node, name);
+    case UpdateKind::Reparent:
+      return tree.reparent(node, parent);
+  }
+  return make_error("apply: unknown update kind");
+}
+
+SceneUpdate SceneUpdate::add_node(NodeId parent, SceneNode node) {
+  SceneUpdate u;
+  u.kind = UpdateKind::AddNode;
+  u.parent = parent;
+  u.node = node.id;
+  u.new_node = std::move(node);
+  return u;
+}
+
+SceneUpdate SceneUpdate::remove_node(NodeId node) {
+  SceneUpdate u;
+  u.kind = UpdateKind::RemoveNode;
+  u.node = node;
+  return u;
+}
+
+SceneUpdate SceneUpdate::set_transform(NodeId node, const Mat4& m) {
+  SceneUpdate u;
+  u.kind = UpdateKind::SetTransform;
+  u.node = node;
+  u.transform = m;
+  return u;
+}
+
+SceneUpdate SceneUpdate::set_payload(NodeId node, NodePayload payload) {
+  SceneUpdate u;
+  u.kind = UpdateKind::SetPayload;
+  u.node = node;
+  u.payload = std::move(payload);
+  return u;
+}
+
+SceneUpdate SceneUpdate::set_name(NodeId node, std::string name) {
+  SceneUpdate u;
+  u.kind = UpdateKind::SetName;
+  u.node = node;
+  u.name = std::move(name);
+  return u;
+}
+
+SceneUpdate SceneUpdate::reparent(NodeId node, NodeId new_parent) {
+  SceneUpdate u;
+  u.kind = UpdateKind::Reparent;
+  u.node = node;
+  u.parent = new_parent;
+  return u;
+}
+
+void write_update(util::ByteWriter& w, const SceneUpdate& update) {
+  w.u64(update.sequence);
+  w.u64(update.author);
+  w.f64(update.timestamp);
+  w.u8(static_cast<uint8_t>(update.kind));
+  w.u64(update.node);
+  w.u64(update.parent);
+  switch (update.kind) {
+    case UpdateKind::AddNode:
+      write_node(w, update.new_node);
+      break;
+    case UpdateKind::SetTransform:
+      w.mat4(update.transform);
+      break;
+    case UpdateKind::SetPayload:
+      write_payload(w, update.payload);
+      break;
+    case UpdateKind::SetName:
+      w.str(update.name);
+      break;
+    case UpdateKind::RemoveNode:
+    case UpdateKind::Reparent:
+      break;
+  }
+}
+
+Result<SceneUpdate> read_update(util::ByteReader& r) {
+  SceneUpdate u;
+  u.sequence = r.u64();
+  u.author = r.u64();
+  u.timestamp = r.f64();
+  u.kind = static_cast<UpdateKind>(r.u8());
+  u.node = r.u64();
+  u.parent = r.u64();
+  if (!r.ok()) return make_error("read_update: truncated header");
+  switch (u.kind) {
+    case UpdateKind::AddNode: {
+      auto node = read_node(r);
+      if (!node.ok()) return make_error(node.error());
+      u.new_node = std::move(node).take();
+      break;
+    }
+    case UpdateKind::SetTransform:
+      u.transform = r.mat4();
+      break;
+    case UpdateKind::SetPayload: {
+      auto payload = read_payload(r);
+      if (!payload.ok()) return make_error(payload.error());
+      u.payload = std::move(payload).take();
+      break;
+    }
+    case UpdateKind::SetName:
+      u.name = r.str();
+      break;
+    case UpdateKind::RemoveNode:
+    case UpdateKind::Reparent:
+      break;
+    default:
+      return make_error("read_update: unknown kind");
+  }
+  if (!r.ok()) return make_error("read_update: truncated body");
+  return u;
+}
+
+}  // namespace rave::scene

@@ -1,0 +1,67 @@
+// Scene updates: the unit of collaboration. Clients make local changes,
+// send them to the data service, and the service reflects them to every
+// subscribed render service whose interest set covers the touched nodes
+// (paper §3.1.1/§3.2.4). Updates also form the audit trail for session
+// record and playback.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scene/camera.hpp"
+#include "scene/node.hpp"
+#include "scene/tree.hpp"
+#include "util/result.hpp"
+#include "util/serial.hpp"
+
+namespace rave::scene {
+
+enum class UpdateKind : uint8_t {
+  AddNode = 0,
+  RemoveNode = 1,
+  SetTransform = 2,
+  SetPayload = 3,
+  SetName = 4,
+  Reparent = 5,
+};
+
+struct SceneUpdate {
+  uint64_t sequence = 0;  // assigned by the data service when committed
+  uint64_t author = 0;    // client id that originated the change
+  double timestamp = 0.0;
+
+  UpdateKind kind = UpdateKind::SetTransform;
+  NodeId node = kInvalidNode;
+
+  // AddNode / Reparent
+  NodeId parent = kInvalidNode;
+  // AddNode payload (full node snapshot, id filled in by originator via
+  // data-service id allocation or by the service on commit)
+  SceneNode new_node;
+  // SetTransform
+  Mat4 transform = Mat4::identity();
+  // SetPayload
+  NodePayload payload;
+  // SetName
+  std::string name;
+
+  [[nodiscard]] util::Status apply(SceneTree& tree) const;
+
+  // The node whose subtree this update touches (for interest filtering).
+  [[nodiscard]] NodeId touched_node() const {
+    return kind == UpdateKind::AddNode ? parent : node;
+  }
+
+  static SceneUpdate add_node(NodeId parent, SceneNode node);
+  static SceneUpdate remove_node(NodeId node);
+  static SceneUpdate set_transform(NodeId node, const Mat4& m);
+  static SceneUpdate set_payload(NodeId node, NodePayload payload);
+  static SceneUpdate set_name(NodeId node, std::string name);
+  static SceneUpdate reparent(NodeId node, NodeId new_parent);
+};
+
+void write_update(util::ByteWriter& w, const SceneUpdate& update);
+util::Result<SceneUpdate> read_update(util::ByteReader& r);
+
+}  // namespace rave::scene

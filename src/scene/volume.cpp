@@ -1,0 +1,88 @@
+#include "scene/volume.hpp"
+
+#include <algorithm>
+
+namespace rave::scene {
+
+std::vector<VoxelGridData> split_voxel_grid(const VoxelGridData& grid, uint32_t bx, uint32_t by,
+                                            uint32_t bz) {
+  std::vector<VoxelGridData> blocks;
+  if (grid.voxel_count() == 0) return blocks;
+  bx = std::max<uint32_t>(1, std::min(bx, grid.nx / 2 == 0 ? 1 : grid.nx / 2));
+  by = std::max<uint32_t>(1, std::min(by, grid.ny / 2 == 0 ? 1 : grid.ny / 2));
+  bz = std::max<uint32_t>(1, std::min(bz, grid.nz / 2 == 0 ? 1 : grid.nz / 2));
+
+  const auto split_axis = [](uint32_t n, uint32_t parts, uint32_t part) {
+    // [begin, end) of this part before overlap.
+    const uint32_t begin = n * part / parts;
+    const uint32_t end = n * (part + 1) / parts;
+    return std::pair<uint32_t, uint32_t>(begin, end);
+  };
+
+  for (uint32_t pz = 0; pz < bz; ++pz) {
+    for (uint32_t py = 0; py < by; ++py) {
+      for (uint32_t px = 0; px < bx; ++px) {
+        auto [x0, x1] = split_axis(grid.nx, bx, px);
+        auto [y0, y1] = split_axis(grid.ny, by, py);
+        auto [z0, z1] = split_axis(grid.nz, bz, pz);
+        // One-sample overlap on the low side of internal boundaries keeps
+        // trilinear interpolation continuous across block seams.
+        if (x0 > 0) --x0;
+        if (y0 > 0) --y0;
+        if (z0 > 0) --z0;
+
+        VoxelGridData block;
+        block.nx = x1 - x0;
+        block.ny = y1 - y0;
+        block.nz = z1 - z0;
+        block.spacing = grid.spacing;
+        block.origin = grid.origin + util::Vec3{grid.spacing.x * static_cast<float>(x0),
+                                                grid.spacing.y * static_cast<float>(y0),
+                                                grid.spacing.z * static_cast<float>(z0)};
+        block.iso_low = grid.iso_low;
+        block.iso_high = grid.iso_high;
+        block.color_low = grid.color_low;
+        block.color_high = grid.color_high;
+        block.opacity_scale = grid.opacity_scale;
+        block.values.resize(block.voxel_count());
+        for (uint32_t z = 0; z < block.nz; ++z)
+          for (uint32_t y = 0; y < block.ny; ++y)
+            for (uint32_t x = 0; x < block.nx; ++x)
+              block.at(x, y, z) = grid.at(x0 + x, y0 + y, z0 + z);
+        blocks.push_back(std::move(block));
+      }
+    }
+  }
+  return blocks;
+}
+
+util::Result<std::vector<NodeId>> explode_volume_node(SceneTree& tree, NodeId volume_node,
+                                                      uint32_t bx, uint32_t by, uint32_t bz) {
+  SceneNode* node = tree.find_mutable(volume_node);
+  if (node == nullptr) return util::make_error("explode_volume: unknown node");
+  const auto* grid = std::get_if<VoxelGridData>(&node->payload);
+  if (grid == nullptr) return util::make_error("explode_volume: node is not a voxel grid");
+
+  std::vector<VoxelGridData> blocks = split_voxel_grid(*grid, bx, by, bz);
+  const std::string base_name = node->name;
+  // The volume node becomes a bare group holding the blocks; its transform
+  // is preserved so the blocks stay in place.
+  (void)tree.set_payload(volume_node, std::monostate{});
+  std::vector<NodeId> ids;
+  ids.reserve(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const NodeId id = tree.add_child(volume_node, base_name + "/block" + std::to_string(i),
+                                     std::move(blocks[i]));
+    if (id == kInvalidNode) return util::make_error("explode_volume: insertion failed");
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+float block_view_distance(const VoxelGridData& block, const util::Mat4& world,
+                          const util::Vec3& eye) {
+  const util::Vec3 center_local = block.bounds().center();
+  return (world.transform_point(center_local) - eye).length();
+}
+
+}  // namespace rave::scene

@@ -1,0 +1,31 @@
+// Volume sub-block decomposition — the paper's §6 plan for distributing
+// voxel data across render services: "Subset blocks of the volume can be
+// blended, even though they contain transparency, by considering their
+// relative distance from the view in the order of blending (such as
+// Visapult)." Blocks become ordinary scene nodes, so the existing subset
+// distribution and migration machinery moves them between services.
+#pragma once
+
+#include <vector>
+
+#include "scene/node.hpp"
+#include "scene/tree.hpp"
+
+namespace rave::scene {
+
+// Split a grid into up to bx*by*bz blocks (fewer when a dimension is too
+// small). Each block carries a one-sample overlap at internal boundaries
+// so trilinear sampling across the seam matches the monolithic grid.
+std::vector<VoxelGridData> split_voxel_grid(const VoxelGridData& grid, uint32_t bx, uint32_t by,
+                                            uint32_t bz);
+
+// Replace a VoxelGrid node in place with a group of block children named
+// "<name>/block<i>". Returns the ids of the block nodes.
+util::Result<std::vector<NodeId>> explode_volume_node(SceneTree& tree, NodeId volume_node,
+                                                      uint32_t bx, uint32_t by, uint32_t bz);
+
+// View distance of a block (for back-to-front ordered blending).
+float block_view_distance(const VoxelGridData& block, const util::Mat4& world,
+                          const util::Vec3& eye);
+
+}  // namespace rave::scene

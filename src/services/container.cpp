@@ -1,0 +1,170 @@
+#include "services/container.hpp"
+
+#include <chrono>
+
+namespace rave::services {
+
+using util::make_error;
+using util::Result;
+
+void ServiceContainer::register_method(const std::string& endpoint, const std::string& method,
+                                       Handler handler) {
+  std::lock_guard lock(mu_);
+  endpoints_[endpoint][method] = std::move(handler);
+}
+
+void ServiceContainer::unregister_endpoint(const std::string& endpoint) {
+  std::lock_guard lock(mu_);
+  endpoints_.erase(endpoint);
+}
+
+std::vector<std::string> ServiceContainer::endpoints() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [name, methods] : endpoints_) out.push_back(name);
+  return out;
+}
+
+void ServiceContainer::bind_channel(net::ChannelPtr channel) {
+  std::lock_guard lock(mu_);
+  channels_.push_back(std::move(channel));
+}
+
+SoapResponse ServiceContainer::dispatch(const SoapCall& call) {
+  Handler handler;
+  {
+    std::lock_guard lock(mu_);
+    auto ep = endpoints_.find(call.service);
+    if (ep != endpoints_.end()) {
+      auto m = ep->second.find(call.method);
+      if (m != ep->second.end()) handler = m->second;
+    }
+  }
+  SoapResponse response;
+  response.call_id = call.call_id;
+  if (!handler) {
+    response.is_fault = true;
+    response.fault_message = "no such operation: " + call.service + "." + call.method;
+  } else {
+    Result<SoapValue> result = handler(call.args);
+    if (result.ok()) {
+      response.result = std::move(result).take();
+    } else {
+      response.is_fault = true;
+      response.fault_message = result.error();
+    }
+  }
+  {
+    std::lock_guard lock(mu_);
+    stats_.calls_served++;
+    if (response.is_fault) stats_.faults++;
+  }
+  return response;
+}
+
+bool ServiceContainer::serve_one(net::Channel& channel) {
+  auto msg = channel.try_receive();
+  if (!msg.has_value() || msg->type != kSoapRequestType) return false;
+  const std::string xml(msg->payload.begin(), msg->payload.end());
+  {
+    std::lock_guard lock(mu_);
+    stats_.request_bytes += msg->payload.size();
+  }
+  SoapResponse response;
+  auto call = decode_call(xml);
+  if (!call.ok()) {
+    response.is_fault = true;
+    response.fault_message = call.error();
+  } else {
+    response = dispatch(call.value());
+  }
+  const std::string out = encode_response(response);
+  {
+    std::lock_guard lock(mu_);
+    stats_.response_bytes += out.size();
+  }
+  (void)channel.send({kSoapResponseType, std::vector<uint8_t>(out.begin(), out.end())});
+  return true;
+}
+
+size_t ServiceContainer::pump() {
+  std::vector<net::ChannelPtr> channels;
+  {
+    std::lock_guard lock(mu_);
+    channels = channels_;
+  }
+  size_t served = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& ch : channels) {
+      while (serve_one(*ch)) {
+        ++served;
+        progress = true;
+      }
+    }
+  }
+  return served;
+}
+
+void ServiceContainer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  server_ = std::thread([this] {
+    while (running_.load(std::memory_order_relaxed)) {
+      if (pump() == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+}
+
+void ServiceContainer::stop() {
+  if (!running_.exchange(false)) return;
+  if (server_.joinable()) server_.join();
+}
+
+ServiceContainer::~ServiceContainer() { stop(); }
+
+ContainerStats ServiceContainer::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+ServiceProxy::ServiceProxy(net::ChannelPtr channel, std::string endpoint)
+    : channel_(std::move(channel)), endpoint_(std::move(endpoint)) {}
+
+Result<SoapValue> ServiceProxy::call(const std::string& method, SoapList args,
+                                     double timeout_seconds) {
+  SoapCall request;
+  request.service = endpoint_;
+  request.method = method;
+  request.call_id = next_call_id_++;
+  request.args = std::move(args);
+  const std::string xml = encode_call(request);
+  bytes_exchanged_ += xml.size();
+  const util::Status sent =
+      channel_->send({kSoapRequestType, std::vector<uint8_t>(xml.begin(), xml.end())});
+  if (!sent.ok()) return make_error("proxy: " + sent.error());
+
+  // Await the correlated response; unrelated messages are not expected on
+  // a proxy channel (one logical conversation per channel).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+  for (;;) {
+    const double remaining =
+        std::chrono::duration<double>(deadline - std::chrono::steady_clock::now()).count();
+    if (remaining <= 0) return make_error("proxy: call timed out: " + endpoint_ + "." + method);
+    auto msg = channel_->receive(remaining);
+    if (!msg.has_value()) return make_error("proxy: call timed out: " + endpoint_ + "." + method);
+    if (msg->type != kSoapResponseType) continue;
+    bytes_exchanged_ += msg->payload.size();
+    auto response = decode_response(std::string(msg->payload.begin(), msg->payload.end()));
+    if (!response.ok()) return make_error(response.error());
+    if (response.value().call_id != request.call_id) continue;  // stale
+    if (response.value().is_fault) return make_error(response.value().fault_message);
+    return std::move(response).take().result;
+  }
+}
+
+}  // namespace rave::services

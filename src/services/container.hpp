@@ -1,0 +1,88 @@
+// Service container and client proxy — the Axis/Tomcat analogue. A
+// container hosts named endpoints; SOAP calls arrive on bound channels,
+// are decoded, dispatched, and answered. The paper wraps its service
+// "engine" so that only this layer changes between OGSA, plain Web
+// services and a test environment (§4.3); here the same engine runs over
+// in-process channels, simulated links or TCP without modification.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "services/soap.hpp"
+#include "util/result.hpp"
+
+namespace rave::services {
+
+struct ContainerStats {
+  uint64_t calls_served = 0;
+  uint64_t faults = 0;
+  uint64_t request_bytes = 0;
+  uint64_t response_bytes = 0;
+};
+
+class ServiceContainer {
+ public:
+  using Handler = std::function<util::Result<SoapValue>(const SoapList& args)>;
+
+  // Register `endpoint.method`; replaces any existing handler.
+  void register_method(const std::string& endpoint, const std::string& method, Handler handler);
+  void unregister_endpoint(const std::string& endpoint);
+  [[nodiscard]] std::vector<std::string> endpoints() const;
+
+  // Attach a transport the container will answer requests on.
+  void bind_channel(net::ChannelPtr channel);
+
+  // Drain pending requests on every bound channel; returns the number of
+  // calls served. Single-threaded, deterministic — the test/bench driver.
+  size_t pump();
+
+  // Serve continuously on a background thread until stop().
+  void start();
+  void stop();
+
+  // Dispatch a call directly (no transport) — used by in-process clients
+  // and by transports that already decoded the envelope.
+  SoapResponse dispatch(const SoapCall& call);
+
+  [[nodiscard]] ContainerStats stats() const;
+
+  ~ServiceContainer();
+
+ private:
+  bool serve_one(net::Channel& channel);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, Handler>> endpoints_;
+  std::vector<net::ChannelPtr> channels_;
+  ContainerStats stats_;
+  std::thread server_;
+  std::atomic<bool> running_{false};
+};
+
+// Client-side proxy for one endpoint over one channel. Calls are
+// synchronous: encode → send → await correlated response.
+class ServiceProxy {
+ public:
+  ServiceProxy(net::ChannelPtr channel, std::string endpoint);
+
+  util::Result<SoapValue> call(const std::string& method, SoapList args = {},
+                               double timeout_seconds = 5.0);
+
+  [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+  [[nodiscard]] uint64_t bytes_exchanged() const { return bytes_exchanged_; }
+
+ private:
+  net::ChannelPtr channel_;
+  std::string endpoint_;
+  uint64_t next_call_id_ = 1;
+  uint64_t bytes_exchanged_ = 0;
+};
+
+}  // namespace rave::services

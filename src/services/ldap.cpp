@@ -1,0 +1,169 @@
+#include "services/ldap.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rave::services {
+
+using util::make_error;
+using util::Status;
+
+namespace {
+std::string normalize_dn(const std::string& dn) {
+  // Lower-case attribute types, trim spaces around commas/equals.
+  std::string out;
+  out.reserve(dn.size());
+  bool in_type = true;
+  for (size_t i = 0; i < dn.size(); ++i) {
+    char c = dn[i];
+    if (c == ' ' && (i + 1 >= dn.size() || dn[i + 1] == ',' || (i > 0 && dn[i - 1] == ',') ||
+                     (i > 0 && dn[i - 1] == '=') || (i + 1 < dn.size() && dn[i + 1] == '=')))
+      continue;  // cosmetic whitespace
+    if (c == '=') in_type = false;
+    if (c == ',') in_type = true;
+    out.push_back(in_type ? static_cast<char>(std::tolower(static_cast<unsigned char>(c))) : c);
+  }
+  return out;
+}
+}  // namespace
+
+LdapDirectory::LdapDirectory(std::string suffix) : suffix_(normalize_dn(suffix)) {
+  LdapEntry root;
+  root.dn = suffix_;
+  root.attributes["objectClass"] = {"dcObject"};
+  entries_.emplace(suffix_, std::move(root));
+}
+
+std::string LdapDirectory::parent_dn(const std::string& dn) {
+  // The first unescaped comma separates the RDN from the parent.
+  const size_t comma = dn.find(',');
+  return comma == std::string::npos ? "" : dn.substr(comma + 1);
+}
+
+Status LdapDirectory::add(const std::string& dn,
+                          std::map<std::string, std::vector<std::string>> attributes) {
+  const std::string normalized = normalize_dn(dn);
+  if (entries_.count(normalized) != 0) return make_error("ldap: entryAlreadyExists " + dn);
+  const std::string parent = parent_dn(normalized);
+  if (parent.empty() || entries_.count(parent) == 0)
+    return make_error("ldap: noSuchObject (parent) " + parent);
+  LdapEntry entry;
+  entry.dn = normalized;
+  entry.attributes = std::move(attributes);
+  entries_.emplace(normalized, std::move(entry));
+  return {};
+}
+
+Status LdapDirectory::remove(const std::string& dn) {
+  const std::string normalized = normalize_dn(dn);
+  if (normalized == suffix_) return make_error("ldap: cannot remove the suffix");
+  if (entries_.count(normalized) == 0) return make_error("ldap: noSuchObject " + dn);
+  // Remove the entry and every descendant (",<dn>" suffix match).
+  const std::string tail = "," + normalized;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool descendant = it->first.size() > tail.size() &&
+                            it->first.compare(it->first.size() - tail.size(), tail.size(),
+                                              tail) == 0;
+    if (it->first == normalized || descendant)
+      it = entries_.erase(it);
+    else
+      ++it;
+  }
+  return {};
+}
+
+std::optional<LdapEntry> LdapDirectory::lookup(const std::string& dn) const {
+  auto it = entries_.find(normalize_dn(dn));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool LdapDirectory::wildcard_match(const std::string& pattern, const std::string& value) {
+  // Classic two-pointer wildcard match with backtracking.
+  size_t p = 0, v = 0, star = std::string::npos, match = 0;
+  while (v < value.size()) {
+    if (p < pattern.size() && (pattern[p] == value[v])) {
+      ++p;
+      ++v;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      match = v;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      v = ++match;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<LdapEntry> LdapDirectory::search(const std::string& base, LdapScope scope,
+                                             const std::string& attribute,
+                                             const std::string& pattern) const {
+  std::vector<LdapEntry> out;
+  const std::string normalized_base = normalize_dn(base);
+  if (entries_.count(normalized_base) == 0) return out;
+  const std::string tail = "," + normalized_base;
+  for (const auto& [dn, entry] : entries_) {
+    bool in_scope = false;
+    switch (scope) {
+      case LdapScope::Base:
+        in_scope = dn == normalized_base;
+        break;
+      case LdapScope::OneLevel:
+        in_scope = dn.size() > tail.size() &&
+                   dn.compare(dn.size() - tail.size(), tail.size(), tail) == 0 &&
+                   dn.substr(0, dn.size() - tail.size()).find(',') == std::string::npos;
+        break;
+      case LdapScope::Subtree:
+        in_scope = dn == normalized_base ||
+                   (dn.size() > tail.size() &&
+                    dn.compare(dn.size() - tail.size(), tail.size(), tail) == 0);
+        break;
+    }
+    if (!in_scope) continue;
+    if (!attribute.empty()) {
+      auto it = entry.attributes.find(attribute);
+      if (it == entry.attributes.end()) continue;
+      const bool any = std::any_of(it->second.begin(), it->second.end(),
+                                   [&](const std::string& value) {
+                                     return wildcard_match(pattern, value);
+                                   });
+      if (!any) continue;
+    }
+    out.push_back(entry);
+  }
+  return out;
+}
+
+Status ldap_advertise(LdapDirectory& directory, const std::string& host,
+                      const std::string& service_name, const std::string& access_point,
+                      const std::string& tmodel_name, const std::string& instance_info) {
+  const std::string org = "o=" + host + "," + directory.suffix();
+  if (!directory.lookup(org).has_value()) {
+    const Status added = directory.add(org, {{"objectClass", {"organization"}},
+                                             {"o", {host}}});
+    if (!added.ok()) return added;
+  }
+  const std::string services_ou = "ou=services," + org;
+  if (!directory.lookup(services_ou).has_value()) {
+    const Status added = directory.add(
+        services_ou, {{"objectClass", {"organizationalUnit"}}, {"ou", {"services"}}});
+    if (!added.ok()) return added;
+  }
+  const std::string dn = "cn=" + service_name + "," + services_ou;
+  if (directory.lookup(dn).has_value()) (void)directory.remove(dn);  // re-advertise
+  return directory.add(dn, {{"objectClass", {tmodel_name}},
+                            {"cn", {service_name}},
+                            {"labeledURI", {access_point}},
+                            {"description", {instance_info}}});
+}
+
+std::vector<LdapEntry> ldap_find_services(const LdapDirectory& directory,
+                                          const std::string& tmodel_name) {
+  return directory.search(directory.suffix(), LdapScope::Subtree, "objectClass", tmodel_name);
+}
+
+}  // namespace rave::services

@@ -1,0 +1,87 @@
+// LDAP-style directory service. The paper (§4.3, citing RFC 1777) notes
+// that "Grid and Web services can both be advertised through standard
+// directory services, such as LDAP or UDDI" — UDDI was chosen for its Java
+// support, but the architecture does not depend on it. This module is the
+// LDAP alternative: a hierarchical DN tree with attribute search, plus an
+// adapter exposing the same advertise/discover operations the RAVE
+// services use against the UDDI registry.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace rave::services {
+
+// A distinguished name is stored normalized, e.g.
+// "cn=render:Skull,ou=services,o=tower,dc=rave".
+struct LdapEntry {
+  std::string dn;
+  std::map<std::string, std::vector<std::string>> attributes;
+
+  [[nodiscard]] std::string first(const std::string& attribute) const {
+    auto it = attributes.find(attribute);
+    return it == attributes.end() || it->second.empty() ? "" : it->second.front();
+  }
+};
+
+enum class LdapScope : uint8_t {
+  Base,      // the entry itself
+  OneLevel,  // direct children
+  Subtree,   // entry and all descendants
+};
+
+class LdapDirectory {
+ public:
+  // The directory is rooted at `suffix` (e.g. "dc=rave").
+  explicit LdapDirectory(std::string suffix = "dc=rave");
+
+  [[nodiscard]] const std::string& suffix() const { return suffix_; }
+
+  // Add an entry; its parent must already exist ("dc=rave" always does).
+  util::Status add(const std::string& dn,
+                   std::map<std::string, std::vector<std::string>> attributes);
+
+  // Remove an entry and its whole subtree.
+  util::Status remove(const std::string& dn);
+
+  [[nodiscard]] std::optional<LdapEntry> lookup(const std::string& dn) const;
+
+  // Entries under `base` (per scope) where `attribute` has a value
+  // matching `pattern` ('*' wildcards, as in LDAP filters). Empty
+  // attribute matches every entry in scope.
+  [[nodiscard]] std::vector<LdapEntry> search(const std::string& base, LdapScope scope,
+                                              const std::string& attribute = "",
+                                              const std::string& pattern = "*") const;
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+  // LDAP filter wildcard match ('*' spans any run of characters).
+  static bool wildcard_match(const std::string& pattern, const std::string& value);
+
+  // Parent DN ("cn=a,o=b,dc=rave" → "o=b,dc=rave"; the suffix has none).
+  static std::string parent_dn(const std::string& dn);
+
+ private:
+  std::string suffix_;
+  std::map<std::string, LdapEntry> entries_;
+};
+
+// --- RAVE adapter --------------------------------------------------------------
+// DN layout: cn=<service>,ou=services,o=<host>,<suffix>. The technical
+// model travels as the "objectClass" attribute, the transport address as
+// "labeledURI" — standard-ish LDAP attribute names.
+
+util::Status ldap_advertise(LdapDirectory& directory, const std::string& host,
+                            const std::string& service_name, const std::string& access_point,
+                            const std::string& tmodel_name,
+                            const std::string& instance_info = "");
+
+// The discovery scan: every access point advertising `tmodel_name`.
+std::vector<LdapEntry> ldap_find_services(const LdapDirectory& directory,
+                                          const std::string& tmodel_name);
+
+}  // namespace rave::services

@@ -1,0 +1,234 @@
+#include "services/registry.hpp"
+
+#include <algorithm>
+
+namespace rave::services {
+
+using util::make_error;
+using util::Result;
+
+std::string UddiRegistry::next_key(const char* kind) {
+  return std::string("uddi:") + kind + ":" + std::to_string(next_id_++);
+}
+
+std::string UddiRegistry::register_tmodel(const ServiceDescriptor& descriptor) {
+  std::lock_guard lock(mu_);
+  const std::string signature = api_signature(descriptor);
+  for (const TModel& t : tmodels_)
+    if (t.signature == signature) return t.key;  // idempotent
+  TModel model;
+  model.key = next_key("tmodel");
+  model.name = descriptor.name;
+  model.wsdl = to_wsdl(descriptor);
+  model.signature = signature;
+  tmodels_.push_back(model);
+  return model.key;
+}
+
+std::string UddiRegistry::register_business(const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (const Business& b : businesses_)
+    if (b.name == name) return b.key;
+  Business business;
+  business.key = next_key("business");
+  business.name = name;
+  businesses_.push_back(business);
+  return business.key;
+}
+
+std::string UddiRegistry::register_service(const std::string& business_key,
+                                           const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (Business& b : businesses_) {
+    if (b.key != business_key) continue;
+    // Idempotent by (business, name): re-advertising refreshes bindings on
+    // the same service entry instead of duplicating it.
+    for (BusinessService& existing : b.services)
+      if (existing.name == name) return existing.key;
+    BusinessService service;
+    service.key = next_key("service");
+    service.name = name;
+    b.services.push_back(service);
+    return service.key;
+  }
+  return "";
+}
+
+Result<std::string> UddiRegistry::register_binding(const std::string& service_key,
+                                                   const std::string& access_point,
+                                                   const std::string& tmodel_key,
+                                                   const std::string& instance_info) {
+  std::lock_guard lock(mu_);
+  const bool tmodel_known =
+      std::any_of(tmodels_.begin(), tmodels_.end(),
+                  [&](const TModel& t) { return t.key == tmodel_key; });
+  if (!tmodel_known) return make_error("uddi: unknown tModel " + tmodel_key);
+  for (Business& b : businesses_) {
+    for (BusinessService& s : b.services) {
+      if (s.key != service_key) continue;
+      for (const BindingTemplate& existing : s.bindings)
+        if (existing.access_point == access_point && existing.tmodel_key == tmodel_key &&
+            existing.instance_info == instance_info)
+          return existing.key;  // idempotent re-advertisement
+      BindingTemplate binding;
+      binding.key = next_key("binding");
+      binding.access_point = access_point;
+      binding.tmodel_key = tmodel_key;
+      binding.instance_info = instance_info;
+      s.bindings.push_back(binding);
+      return binding.key;
+    }
+  }
+  return make_error("uddi: unknown service " + service_key);
+}
+
+void UddiRegistry::remove_binding(const std::string& binding_key) {
+  std::lock_guard lock(mu_);
+  for (Business& b : businesses_)
+    for (BusinessService& s : b.services)
+      s.bindings.erase(std::remove_if(s.bindings.begin(), s.bindings.end(),
+                                      [&](const BindingTemplate& t) {
+                                        return t.key == binding_key;
+                                      }),
+                       s.bindings.end());
+}
+
+void UddiRegistry::remove_service(const std::string& service_key) {
+  std::lock_guard lock(mu_);
+  for (Business& b : businesses_)
+    b.services.erase(std::remove_if(b.services.begin(), b.services.end(),
+                                    [&](const BusinessService& s) {
+                                      return s.key == service_key;
+                                    }),
+                     b.services.end());
+}
+
+std::vector<Business> UddiRegistry::find_business(const std::string& name_prefix) const {
+  std::lock_guard lock(mu_);
+  std::vector<Business> out;
+  for (const Business& b : businesses_)
+    if (b.name.rfind(name_prefix, 0) == 0) out.push_back(b);
+  return out;
+}
+
+std::optional<TModel> UddiRegistry::find_tmodel_by_name(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  for (const TModel& t : tmodels_)
+    if (t.name == name) return t;
+  return std::nullopt;
+}
+
+std::optional<TModel> UddiRegistry::get_tmodel(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  for (const TModel& t : tmodels_)
+    if (t.key == key) return t;
+  return std::nullopt;
+}
+
+std::vector<BusinessService> UddiRegistry::find_services_by_tmodel(
+    const std::string& tmodel_key) const {
+  std::lock_guard lock(mu_);
+  std::vector<BusinessService> out;
+  for (const Business& b : businesses_) {
+    for (const BusinessService& s : b.services) {
+      const bool match = std::any_of(
+          s.bindings.begin(), s.bindings.end(),
+          [&](const BindingTemplate& t) { return t.tmodel_key == tmodel_key; });
+      if (match) out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<BindingTemplate> UddiRegistry::access_points(const std::string& tmodel_key) const {
+  std::lock_guard lock(mu_);
+  std::vector<BindingTemplate> out;
+  for (const Business& b : businesses_)
+    for (const BusinessService& s : b.services)
+      for (const BindingTemplate& t : s.bindings)
+        if (t.tmodel_key == tmodel_key) out.push_back(t);
+  return out;
+}
+
+std::vector<Business> UddiRegistry::all_businesses() const {
+  std::lock_guard lock(mu_);
+  return businesses_;
+}
+
+std::vector<TModel> UddiRegistry::all_tmodels() const {
+  std::lock_guard lock(mu_);
+  return tmodels_;
+}
+
+SoapValue to_soap(const BindingTemplate& binding) {
+  SoapStruct out;
+  out["key"] = binding.key;
+  out["accessPoint"] = binding.access_point;
+  out["tModelKey"] = binding.tmodel_key;
+  out["instanceInfo"] = binding.instance_info;
+  return out;
+}
+
+SoapValue to_soap(const BusinessService& service) {
+  SoapStruct out;
+  out["key"] = service.key;
+  out["name"] = service.name;
+  SoapList bindings;
+  for (const BindingTemplate& t : service.bindings) bindings.push_back(to_soap(t));
+  out["bindings"] = std::move(bindings);
+  return out;
+}
+
+SoapValue to_soap(const Business& business) {
+  SoapStruct out;
+  out["key"] = business.key;
+  out["name"] = business.name;
+  SoapList services;
+  for (const BusinessService& s : business.services) services.push_back(to_soap(s));
+  out["services"] = std::move(services);
+  return out;
+}
+
+Result<SoapValue> UddiRegistry::dispatch(const std::string& method, const SoapList& args) {
+  const auto arg_str = [&](size_t i) {
+    return i < args.size() ? args[i].as_string() : std::string{};
+  };
+  if (method == "registerBusiness") return SoapValue{register_business(arg_str(0))};
+  if (method == "registerService") return SoapValue{register_service(arg_str(0), arg_str(1))};
+  if (method == "registerBinding") {
+    auto key = register_binding(arg_str(0), arg_str(1), arg_str(2), arg_str(3));
+    if (!key.ok()) return make_error(key.error());
+    return SoapValue{std::move(key).take()};
+  }
+  if (method == "removeBinding") {
+    remove_binding(arg_str(0));
+    return SoapValue{true};
+  }
+  if (method == "findBusiness") {
+    SoapList out;
+    for (const Business& b : find_business(arg_str(0))) out.push_back(to_soap(b));
+    return SoapValue{std::move(out)};
+  }
+  if (method == "findTModelByName") {
+    const auto t = find_tmodel_by_name(arg_str(0));
+    if (!t.has_value()) return make_error("uddi: no tModel named " + arg_str(0));
+    SoapStruct out;
+    out["key"] = t->key;
+    out["name"] = t->name;
+    out["wsdl"] = t->wsdl;
+    return SoapValue{std::move(out)};
+  }
+  if (method == "findServicesByTModel") {
+    SoapList out;
+    for (const BusinessService& s : find_services_by_tmodel(arg_str(0))) out.push_back(to_soap(s));
+    return SoapValue{std::move(out)};
+  }
+  if (method == "accessPoints") {
+    SoapList out;
+    for (const BindingTemplate& t : access_points(arg_str(0))) out.push_back(to_soap(t));
+    return SoapValue{std::move(out)};
+  }
+  return make_error("uddi: unknown method " + method);
+}
+
+}  // namespace rave::services

@@ -1,0 +1,92 @@
+// UDDI-like service registry. RAVE advertises data and render services
+// through UDDI so that "remote users [can] find our publicly-available
+// resources and connect automatically" (§3.2.2), and the data service uses
+// the registry to *recruit* under-utilised render services when a session
+// is overloaded (§3.2.7). The model follows UDDI v2/v3 structure:
+// businesses own services, services carry binding templates (access
+// points), and technical models (tModels) identify the API via WSDL.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "services/soap.hpp"
+#include "services/wsdl.hpp"
+#include "util/result.hpp"
+
+namespace rave::services {
+
+struct TModel {
+  std::string key;        // "uddi:tmodel:<n>"
+  std::string name;       // e.g. "RaveRenderService"
+  std::string wsdl;       // overview document
+  std::string signature;  // canonical API signature
+};
+
+struct BindingTemplate {
+  std::string key;
+  std::string access_point;  // transport address, e.g. "tcp:127.0.0.1:9000" or "inproc:tower/render0"
+  std::string tmodel_key;
+  std::string instance_info;  // free-form, e.g. dataset name ("Skull-internal")
+};
+
+struct BusinessService {
+  std::string key;
+  std::string name;
+  std::vector<BindingTemplate> bindings;
+};
+
+struct Business {
+  std::string key;
+  std::string name;  // host/organisation ("tower", "adrenochrome")
+  std::vector<BusinessService> services;
+};
+
+class UddiRegistry {
+ public:
+  // Publication API.
+  std::string register_tmodel(const ServiceDescriptor& descriptor);
+  std::string register_business(const std::string& name);
+  std::string register_service(const std::string& business_key, const std::string& name);
+  util::Result<std::string> register_binding(const std::string& service_key,
+                                             const std::string& access_point,
+                                             const std::string& tmodel_key,
+                                             const std::string& instance_info = "");
+  void remove_binding(const std::string& binding_key);
+  void remove_service(const std::string& service_key);
+
+  // Inquiry API.
+  [[nodiscard]] std::vector<Business> find_business(const std::string& name_prefix) const;
+  [[nodiscard]] std::optional<TModel> find_tmodel_by_name(const std::string& name) const;
+  [[nodiscard]] std::optional<TModel> get_tmodel(const std::string& key) const;
+  [[nodiscard]] std::vector<BusinessService> find_services_by_tmodel(
+      const std::string& tmodel_key) const;
+  // The fast "scan for access points" the paper times at ~0.7 s: one
+  // round-trip returning just the access points bound to a tModel.
+  [[nodiscard]] std::vector<BindingTemplate> access_points(const std::string& tmodel_key) const;
+
+  [[nodiscard]] std::vector<Business> all_businesses() const;
+  [[nodiscard]] std::vector<TModel> all_tmodels() const;
+
+  // SOAP surface: dispatch a call addressed to the "uddi" endpoint, so the
+  // registry can be hosted in a ServiceContainer like any other service.
+  util::Result<SoapValue> dispatch(const std::string& method, const SoapList& args);
+
+ private:
+  std::string next_key(const char* kind);
+
+  mutable std::mutex mu_;
+  std::vector<Business> businesses_;
+  std::vector<TModel> tmodels_;
+  uint64_t next_id_ = 1;
+};
+
+// Encode registry structures as SOAP values (used by dispatch and by the
+// registry-browser GUI reproduction).
+SoapValue to_soap(const BindingTemplate& binding);
+SoapValue to_soap(const BusinessService& service);
+SoapValue to_soap(const Business& business);
+
+}  // namespace rave::services

@@ -1,0 +1,224 @@
+#include "services/soap.hpp"
+
+#include <charconv>
+
+#include "util/serial.hpp"
+
+namespace rave::services {
+
+using util::make_error;
+using util::Result;
+
+bool SoapValue::as_bool(bool fallback) const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  if (const int64_t* i = std::get_if<int64_t>(&value_)) return *i != 0;
+  return fallback;
+}
+
+int64_t SoapValue::as_int(int64_t fallback) const {
+  if (const int64_t* i = std::get_if<int64_t>(&value_)) return *i;
+  if (const double* d = std::get_if<double>(&value_)) return static_cast<int64_t>(*d);
+  if (const bool* b = std::get_if<bool>(&value_)) return *b ? 1 : 0;
+  return fallback;
+}
+
+double SoapValue::as_double(double fallback) const {
+  if (const double* d = std::get_if<double>(&value_)) return *d;
+  if (const int64_t* i = std::get_if<int64_t>(&value_)) return static_cast<double>(*i);
+  return fallback;
+}
+
+std::string SoapValue::as_string(const std::string& fallback) const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  return fallback;
+}
+
+std::vector<uint8_t> SoapValue::as_bytes() const {
+  if (const auto* b = std::get_if<std::vector<uint8_t>>(&value_)) return *b;
+  return {};
+}
+
+SoapValue SoapValue::field(const std::string& key) const {
+  if (const SoapStruct* s = as_struct()) {
+    auto it = s->find(key);
+    if (it != s->end()) return it->second;
+  }
+  return {};
+}
+
+XmlNode SoapValue::to_xml(const std::string& element_name) const {
+  XmlNode node(element_name);
+  if (std::holds_alternative<std::monostate>(value_)) {
+    node.attributes["xsi:type"] = "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    node.attributes["xsi:type"] = "xsd:boolean";
+    node.text = *b ? "true" : "false";
+  } else if (const int64_t* i = std::get_if<int64_t>(&value_)) {
+    node.attributes["xsi:type"] = "xsd:long";
+    node.text = std::to_string(*i);
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    node.attributes["xsi:type"] = "xsd:double";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", *d);
+    node.text = buf;
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    node.attributes["xsi:type"] = "xsd:string";
+    node.text = *s;
+  } else if (const auto* bytes = std::get_if<std::vector<uint8_t>>(&value_)) {
+    node.attributes["xsi:type"] = "xsd:base64Binary";
+    node.text = util::base64_encode(*bytes);
+  } else if (const SoapList* list = std::get_if<SoapList>(&value_)) {
+    node.attributes["xsi:type"] = "soapenc:Array";
+    for (const SoapValue& item : *list) node.children.push_back(item.to_xml("item"));
+  } else if (const SoapStruct* st = std::get_if<SoapStruct>(&value_)) {
+    node.attributes["xsi:type"] = "soapenc:Struct";
+    for (const auto& [k, v] : *st) {
+      XmlNode member = v.to_xml("member");
+      member.attributes["name"] = k;
+      node.children.push_back(std::move(member));
+    }
+  }
+  return node;
+}
+
+Result<SoapValue> SoapValue::from_xml(const XmlNode& node) {
+  const std::string type = node.attribute("xsi:type", "xsd:string");
+  if (type == "null") return SoapValue{};
+  if (type == "xsd:boolean") return SoapValue{node.text == "true" || node.text == "1"};
+  if (type == "xsd:long" || type == "xsd:int") {
+    int64_t v = 0;
+    const auto [p, ec] = std::from_chars(node.text.data(), node.text.data() + node.text.size(), v);
+    if (ec != std::errc{}) return make_error("soap: bad integer '" + node.text + "'");
+    return SoapValue{v};
+  }
+  if (type == "xsd:double" || type == "xsd:float") {
+    try {
+      return SoapValue{std::stod(node.text)};
+    } catch (...) {
+      return make_error("soap: bad double '" + node.text + "'");
+    }
+  }
+  if (type == "xsd:string") return SoapValue{node.text};
+  if (type == "xsd:base64Binary") {
+    auto bytes = util::base64_decode(node.text);
+    if (!bytes.ok()) return make_error("soap: " + bytes.error());
+    return SoapValue{std::move(bytes).take()};
+  }
+  if (type == "soapenc:Array") {
+    SoapList list;
+    for (const XmlNode& child : node.children) {
+      auto item = from_xml(child);
+      if (!item.ok()) return item;
+      list.push_back(std::move(item).take());
+    }
+    return SoapValue{std::move(list)};
+  }
+  if (type == "soapenc:Struct") {
+    SoapStruct st;
+    for (const XmlNode& child : node.children) {
+      auto item = from_xml(child);
+      if (!item.ok()) return item;
+      st[child.attribute("name")] = std::move(item).take();
+    }
+    return SoapValue{std::move(st)};
+  }
+  return make_error("soap: unknown xsi:type " + type);
+}
+
+namespace {
+XmlNode make_envelope() {
+  XmlNode env("soap:Envelope");
+  env.attributes["xmlns:soap"] = "http://schemas.xmlsoap.org/soap/envelope/";
+  env.attributes["xmlns:xsd"] = "http://www.w3.org/2001/XMLSchema";
+  env.attributes["xmlns:xsi"] = "http://www.w3.org/2001/XMLSchema-instance";
+  env.attributes["xmlns:soapenc"] = "http://schemas.xmlsoap.org/soap/encoding/";
+  env.attributes["xmlns:rave"] = "http://rave.cs.cf.ac.uk/services";
+  return env;
+}
+
+const XmlNode* find_body_payload(const XmlNode& root, const std::string& payload_name,
+                                 std::string& error) {
+  if (root.name != "soap:Envelope") {
+    error = "not a SOAP envelope";
+    return nullptr;
+  }
+  const XmlNode* body = root.find_child("soap:Body");
+  if (body == nullptr) {
+    error = "missing soap:Body";
+    return nullptr;
+  }
+  const XmlNode* payload = body->find_child(payload_name);
+  if (payload == nullptr) error = "missing " + payload_name;
+  return payload;
+}
+}  // namespace
+
+std::string encode_call(const SoapCall& call) {
+  XmlNode env = make_envelope();
+  XmlNode& body = env.add_child("soap:Body");
+  XmlNode& rpc = body.add_child("rave:Call");
+  rpc.attributes["service"] = call.service;
+  rpc.attributes["method"] = call.method;
+  rpc.attributes["id"] = std::to_string(call.call_id);
+  for (const SoapValue& arg : call.args) rpc.children.push_back(arg.to_xml("arg"));
+  return to_xml(env);
+}
+
+Result<SoapCall> decode_call(const std::string& xml) {
+  auto doc = parse_xml(xml);
+  if (!doc.ok()) return make_error(doc.error());
+  std::string error;
+  const XmlNode* rpc = find_body_payload(doc.value(), "rave:Call", error);
+  if (rpc == nullptr) return make_error("soap: " + error);
+  SoapCall call;
+  call.service = rpc->attribute("service");
+  call.method = rpc->attribute("method");
+  call.call_id = std::strtoull(rpc->attribute("id", "0").c_str(), nullptr, 10);
+  for (const XmlNode* arg : rpc->find_children("arg")) {
+    auto value = SoapValue::from_xml(*arg);
+    if (!value.ok()) return make_error(value.error());
+    call.args.push_back(std::move(value).take());
+  }
+  return call;
+}
+
+std::string encode_response(const SoapResponse& response) {
+  XmlNode env = make_envelope();
+  XmlNode& body = env.add_child("soap:Body");
+  if (response.is_fault) {
+    XmlNode& fault = body.add_child("soap:Fault");
+    fault.attributes["id"] = std::to_string(response.call_id);
+    fault.add_child("faultstring").text = response.fault_message;
+  } else {
+    XmlNode& resp = body.add_child("rave:Response");
+    resp.attributes["id"] = std::to_string(response.call_id);
+    resp.children.push_back(response.result.to_xml("result"));
+  }
+  return to_xml(env);
+}
+
+Result<SoapResponse> decode_response(const std::string& xml) {
+  auto doc = parse_xml(xml);
+  if (!doc.ok()) return make_error(doc.error());
+  SoapResponse out;
+  std::string error;
+  if (const XmlNode* body = doc.value().find_child("soap:Body")) {
+    if (const XmlNode* fault = body->find_child("soap:Fault")) {
+      out.is_fault = true;
+      out.call_id = std::strtoull(fault->attribute("id", "0").c_str(), nullptr, 10);
+      if (const XmlNode* str = fault->find_child("faultstring")) out.fault_message = str->text;
+      return out;
+    }
+  }
+  const XmlNode* resp = find_body_payload(doc.value(), "rave:Response", error);
+  if (resp == nullptr) return make_error("soap: " + error);
+  out.call_id = std::strtoull(resp->attribute("id", "0").c_str(), nullptr, 10);
+  if (const XmlNode* result = resp->find_child("result")) {
+    auto value = SoapValue::from_xml(*result);
+    if (!value.ok()) return make_error(value.error());
+    out.result = std::move(value).take();
+  }
+  return out;
+}
+
+}  // namespace rave::services

@@ -1,0 +1,94 @@
+// SOAP-style RPC envelopes. Calls carry typed arguments as XML inside an
+// Envelope/Body, exactly the shape Apache Axis put on the wire for the
+// paper's services; binary values are base64-encoded ("not suited to large
+// data transmission ... due to the size of the SOAP packets related to the
+// size of the data, and the time required to marshall/demarshall" — §4.3,
+// which ablation_soap_vs_socket quantifies).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "services/xml.hpp"
+#include "util/result.hpp"
+
+namespace rave::services {
+
+class SoapValue;
+using SoapList = std::vector<SoapValue>;
+using SoapStruct = std::map<std::string, SoapValue>;
+
+class SoapValue {
+ public:
+  using Storage = std::variant<std::monostate, bool, int64_t, double, std::string,
+                               std::vector<uint8_t>, SoapList, SoapStruct>;
+
+  SoapValue() = default;
+  SoapValue(bool v) : value_(v) {}                        // NOLINT
+  SoapValue(int v) : value_(static_cast<int64_t>(v)) {}   // NOLINT
+  SoapValue(int64_t v) : value_(v) {}                     // NOLINT
+  SoapValue(uint64_t v) : value_(static_cast<int64_t>(v)) {}  // NOLINT
+  SoapValue(double v) : value_(v) {}                      // NOLINT
+  SoapValue(const char* v) : value_(std::string(v)) {}    // NOLINT
+  SoapValue(std::string v) : value_(std::move(v)) {}      // NOLINT
+  SoapValue(std::vector<uint8_t> v) : value_(std::move(v)) {}  // NOLINT
+  SoapValue(SoapList v) : value_(std::move(v)) {}         // NOLINT
+  SoapValue(SoapStruct v) : value_(std::move(v)) {}       // NOLINT
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::monostate>(value_); }
+  [[nodiscard]] bool as_bool(bool fallback = false) const;
+  [[nodiscard]] int64_t as_int(int64_t fallback = 0) const;
+  [[nodiscard]] double as_double(double fallback = 0.0) const;
+  [[nodiscard]] std::string as_string(const std::string& fallback = "") const;
+  [[nodiscard]] std::vector<uint8_t> as_bytes() const;
+  // Ref-qualified: calling these on a temporary (e.g. `x.field("k").as_list()`)
+  // would return a pointer into a dead object, so it is compile-time
+  // rejected — bind the field to a named SoapValue first.
+  [[nodiscard]] const SoapList* as_list() const& { return std::get_if<SoapList>(&value_); }
+  const SoapList* as_list() const&& = delete;
+  [[nodiscard]] const SoapStruct* as_struct() const& { return std::get_if<SoapStruct>(&value_); }
+  const SoapStruct* as_struct() const&& = delete;
+
+  // Struct field access (null value when absent or not a struct).
+  [[nodiscard]] SoapValue field(const std::string& key) const;
+
+  [[nodiscard]] const Storage& storage() const { return value_; }
+
+  // Encode as a <value> element; decode from one.
+  [[nodiscard]] XmlNode to_xml(const std::string& element_name = "value") const;
+  static util::Result<SoapValue> from_xml(const XmlNode& node);
+
+ private:
+  Storage value_;
+};
+
+struct SoapCall {
+  std::string service;  // endpoint name (e.g. "uddi", "data:Skull")
+  std::string method;
+  uint64_t call_id = 0;
+  SoapList args;
+};
+
+struct SoapResponse {
+  uint64_t call_id = 0;
+  bool is_fault = false;
+  std::string fault_message;
+  SoapValue result;
+};
+
+// Envelope encode/decode (full XML round trip; the XML byte count is what
+// the SOAP-overhead ablation measures).
+std::string encode_call(const SoapCall& call);
+util::Result<SoapCall> decode_call(const std::string& xml);
+
+std::string encode_response(const SoapResponse& response);
+util::Result<SoapResponse> decode_response(const std::string& xml);
+
+// net::Message types carrying SOAP XML.
+constexpr uint16_t kSoapRequestType = 0x0001;
+constexpr uint16_t kSoapResponseType = 0x0002;
+
+}  // namespace rave::services

@@ -1,0 +1,126 @@
+#include "services/wsdl.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rave::services {
+
+using util::make_error;
+using util::Result;
+
+std::string to_wsdl(const ServiceDescriptor& descriptor) {
+  XmlNode defs("wsdl:definitions");
+  defs.attributes["xmlns:wsdl"] = "http://schemas.xmlsoap.org/wsdl/";
+  defs.attributes["xmlns:xsd"] = "http://www.w3.org/2001/XMLSchema";
+  defs.attributes["name"] = descriptor.name;
+  defs.attributes["targetNamespace"] = descriptor.target_namespace;
+
+  // Messages.
+  for (const OperationSpec& op : descriptor.operations) {
+    XmlNode& request = defs.add_child("wsdl:message");
+    request.attributes["name"] = op.name + "Request";
+    for (size_t i = 0; i < op.input_types.size(); ++i) {
+      XmlNode& part = request.add_child("wsdl:part");
+      part.attributes["name"] = "arg" + std::to_string(i);
+      part.attributes["type"] = op.input_types[i];
+    }
+    XmlNode& response = defs.add_child("wsdl:message");
+    response.attributes["name"] = op.name + "Response";
+    XmlNode& part = response.add_child("wsdl:part");
+    part.attributes["name"] = "result";
+    part.attributes["type"] = op.output_type;
+  }
+
+  // Port type.
+  XmlNode& port = defs.add_child("wsdl:portType");
+  port.attributes["name"] = descriptor.name + "PortType";
+  for (const OperationSpec& op : descriptor.operations) {
+    XmlNode& operation = port.add_child("wsdl:operation");
+    operation.attributes["name"] = op.name;
+    operation.add_child("wsdl:input").attributes["message"] = op.name + "Request";
+    operation.add_child("wsdl:output").attributes["message"] = op.name + "Response";
+  }
+  return to_xml(defs, true);
+}
+
+Result<ServiceDescriptor> parse_wsdl(const std::string& xml) {
+  auto doc = parse_xml(xml);
+  if (!doc.ok()) return make_error(doc.error());
+  const XmlNode& defs = doc.value();
+  if (defs.name != "wsdl:definitions") return make_error("wsdl: not a definitions document");
+  ServiceDescriptor out;
+  out.name = defs.attribute("name");
+  out.target_namespace = defs.attribute("targetNamespace", out.target_namespace);
+
+  // Collect messages: name -> part types.
+  std::map<std::string, std::vector<std::string>> messages;
+  for (const XmlNode* msg : defs.find_children("wsdl:message")) {
+    std::vector<std::string> parts;
+    for (const XmlNode* part : msg->find_children("wsdl:part"))
+      parts.push_back(part->attribute("type"));
+    messages[msg->attribute("name")] = std::move(parts);
+  }
+
+  const XmlNode* port = defs.find_child("wsdl:portType");
+  if (port == nullptr) return make_error("wsdl: missing portType");
+  for (const XmlNode* op_node : port->find_children("wsdl:operation")) {
+    OperationSpec op;
+    op.name = op_node->attribute("name");
+    if (const XmlNode* input = op_node->find_child("wsdl:input")) {
+      auto it = messages.find(input->attribute("message"));
+      if (it != messages.end()) op.input_types = it->second;
+    }
+    if (const XmlNode* output = op_node->find_child("wsdl:output")) {
+      auto it = messages.find(output->attribute("message"));
+      if (it != messages.end() && !it->second.empty()) op.output_type = it->second.front();
+    }
+    out.operations.push_back(std::move(op));
+  }
+  return out;
+}
+
+std::string api_signature(const ServiceDescriptor& descriptor) {
+  std::vector<std::string> ops;
+  for (const OperationSpec& op : descriptor.operations) {
+    std::ostringstream sig;
+    sig << op.name << '(';
+    for (size_t i = 0; i < op.input_types.size(); ++i) {
+      if (i != 0) sig << ',';
+      sig << op.input_types[i];
+    }
+    sig << ")->" << op.output_type;
+    ops.push_back(sig.str());
+  }
+  std::sort(ops.begin(), ops.end());
+  std::string out = descriptor.target_namespace + "|";
+  for (const std::string& op : ops) out += op + ";";
+  return out;
+}
+
+ServiceDescriptor data_service_descriptor() {
+  ServiceDescriptor d;
+  d.name = "RaveDataService";
+  d.operations = {
+      {"createSession", {"xsd:string", "xsd:string"}, "xsd:string"},
+      {"listSessions", {}, "soapenc:Array"},
+      {"subscribe", {"xsd:string", "xsd:string"}, "xsd:string"},
+      {"describeSession", {"xsd:string"}, "soapenc:Struct"},
+      {"querySessionLoad", {"xsd:string"}, "soapenc:Struct"},
+  };
+  return d;
+}
+
+ServiceDescriptor render_service_descriptor() {
+  ServiceDescriptor d;
+  d.name = "RaveRenderService";
+  d.operations = {
+      {"createInstance", {"xsd:string"}, "xsd:string"},
+      {"listInstances", {}, "soapenc:Array"},
+      {"queryCapacity", {}, "soapenc:Struct"},
+      {"connectThinClient", {"xsd:string", "xsd:string"}, "xsd:string"},
+      {"requestTileAssist", {"xsd:string", "xsd:string"}, "xsd:string"},
+  };
+  return d;
+}
+
+}  // namespace rave::services

@@ -1,0 +1,43 @@
+// WSDL documents. Each RAVE service type advertises its API as a WSDL
+// document registered as a UDDI "technical model"; any two services
+// adhering to the same technical model are interchangeable ("if any
+// services are advertised as adhering to this technical model, then we
+// know they will have the same API and underlying behaviour" — §4.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "services/xml.hpp"
+#include "util/result.hpp"
+
+namespace rave::services {
+
+struct OperationSpec {
+  std::string name;
+  std::vector<std::string> input_types;  // xsd type names
+  std::string output_type = "xsd:string";
+};
+
+struct ServiceDescriptor {
+  std::string name;
+  std::string target_namespace = "http://rave.cs.cf.ac.uk/services";
+  std::vector<OperationSpec> operations;
+};
+
+// Render a descriptor to a WSDL 1.1-style document.
+std::string to_wsdl(const ServiceDescriptor& descriptor);
+
+// Parse back (only the subset to_wsdl emits).
+util::Result<ServiceDescriptor> parse_wsdl(const std::string& xml);
+
+// Canonical API signature: equal signatures mean the same technical model,
+// regardless of operation ordering.
+std::string api_signature(const ServiceDescriptor& descriptor);
+
+// The two RAVE technical models (paper §4.3: "we have two technical
+// models, one for the data service and one for the render service").
+ServiceDescriptor data_service_descriptor();
+ServiceDescriptor render_service_descriptor();
+
+}  // namespace rave::services

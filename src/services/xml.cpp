@@ -1,0 +1,229 @@
+#include "services/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace rave::services {
+
+using util::make_error;
+using util::Result;
+
+const XmlNode* XmlNode::find_child(const std::string& child_name) const {
+  for (const XmlNode& c : children)
+    if (c.name == child_name) return &c;
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::find_children(const std::string& child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& c : children)
+    if (c.name == child_name) out.push_back(&c);
+  return out;
+}
+
+std::string XmlNode::attribute(const std::string& key, std::string fallback) const {
+  auto it = attributes.find(key);
+  return it == attributes.end() ? std::move(fallback) : it->second;
+}
+
+uint64_t XmlNode::field_count() const {
+  uint64_t count = 1 + attributes.size() + (text.empty() ? 0 : 1);
+  for (const XmlNode& c : children) count += c.field_count();
+  return count;
+}
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+void write_node(std::ostringstream& out, const XmlNode& node, bool pretty, int depth) {
+  const std::string indent = pretty ? std::string(static_cast<size_t>(depth) * 2, ' ') : "";
+  const std::string newline = pretty ? "\n" : "";
+  out << indent << '<' << node.name;
+  for (const auto& [k, v] : node.attributes) out << ' ' << k << "=\"" << xml_escape(v) << '"';
+  if (node.children.empty() && node.text.empty()) {
+    out << "/>" << newline;
+    return;
+  }
+  out << '>';
+  if (!node.text.empty()) out << xml_escape(node.text);
+  if (!node.children.empty()) {
+    out << newline;
+    for (const XmlNode& c : node.children) write_node(out, c, pretty, depth + 1);
+    out << indent;
+  }
+  out << "</" << node.name << '>' << newline;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<XmlNode> parse() {
+    skip_prolog();
+    XmlNode root;
+    if (!parse_element(root)) return make_error("xml: " + error_);
+    return root;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool skip_comment_or_pi() {
+    if (text_.compare(pos_, 4, "<!--") == 0) {
+      const size_t end = text_.find("-->", pos_ + 4);
+      pos_ = end == std::string::npos ? text_.size() : end + 3;
+      return true;
+    }
+    if (text_.compare(pos_, 2, "<?") == 0) {
+      const size_t end = text_.find("?>", pos_ + 2);
+      pos_ = end == std::string::npos ? text_.size() : end + 2;
+      return true;
+    }
+    if (text_.compare(pos_, 2, "<!") == 0) {  // DOCTYPE etc.
+      const size_t end = text_.find('>', pos_ + 2);
+      pos_ = end == std::string::npos ? text_.size() : end + 1;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_prolog() {
+    for (;;) {
+      skip_whitespace();
+      if (pos_ < text_.size() && text_[pos_] == '<' && skip_comment_or_pi()) continue;
+      return;
+    }
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == ':' || c == '_' || c == '-' ||
+           c == '.';
+  }
+
+  std::string parse_name() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && is_name_char(text_[pos_])) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  static std::string unescape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out.push_back(s[i]);
+        continue;
+      }
+      if (s.compare(i, 4, "&lt;") == 0) { out.push_back('<'); i += 3; }
+      else if (s.compare(i, 4, "&gt;") == 0) { out.push_back('>'); i += 3; }
+      else if (s.compare(i, 5, "&amp;") == 0) { out.push_back('&'); i += 4; }
+      else if (s.compare(i, 6, "&quot;") == 0) { out.push_back('"'); i += 5; }
+      else if (s.compare(i, 6, "&apos;") == 0) { out.push_back('\''); i += 5; }
+      else out.push_back(s[i]);
+    }
+    return out;
+  }
+
+  bool fail(std::string message) {
+    error_ = std::move(message) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool parse_element(XmlNode& node) {
+    skip_whitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '<') return fail("expected '<'");
+    ++pos_;
+    node.name = parse_name();
+    if (node.name.empty()) return fail("expected element name");
+    // Attributes.
+    for (;;) {
+      skip_whitespace();
+      if (pos_ >= text_.size()) return fail("unterminated tag");
+      if (text_[pos_] == '/') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          pos_ += 2;
+          return true;  // self-closing
+        }
+        return fail("bad '/'");
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string key = parse_name();
+      if (key.empty()) return fail("expected attribute name");
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '=') return fail("expected '='");
+      ++pos_;
+      skip_whitespace();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\''))
+        return fail("expected quoted attribute value");
+      const char quote = text_[pos_++];
+      const size_t end = text_.find(quote, pos_);
+      if (end == std::string::npos) return fail("unterminated attribute value");
+      node.attributes[key] = unescape(text_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+    // Content.
+    for (;;) {
+      if (pos_ >= text_.size()) return fail("unterminated element " + node.name);
+      if (text_[pos_] == '<') {
+        if (text_.compare(pos_, 2, "</") == 0) {
+          pos_ += 2;
+          const std::string close = parse_name();
+          if (close != node.name) return fail("mismatched close tag " + close);
+          skip_whitespace();
+          if (pos_ >= text_.size() || text_[pos_] != '>') return fail("expected '>'");
+          ++pos_;
+          return true;
+        }
+        if (skip_comment_or_pi()) continue;
+        XmlNode child;
+        if (!parse_element(child)) return false;
+        node.children.push_back(std::move(child));
+      } else {
+        const size_t end = text_.find('<', pos_);
+        const std::string chunk =
+            text_.substr(pos_, end == std::string::npos ? std::string::npos : end - pos_);
+        // Trim pure-whitespace runs between elements, keep real text.
+        const std::string unescaped = unescape(chunk);
+        bool all_space = true;
+        for (char c : unescaped)
+          if (!std::isspace(static_cast<unsigned char>(c))) { all_space = false; break; }
+        if (!all_space) node.text += unescaped;
+        pos_ = end == std::string::npos ? text_.size() : end;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+}  // namespace
+
+std::string to_xml(const XmlNode& root, bool pretty) {
+  std::ostringstream out;
+  write_node(out, root, pretty, 0);
+  return out.str();
+}
+
+Result<XmlNode> parse_xml(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace rave::services

@@ -1,0 +1,49 @@
+// Minimal XML document model, writer and parser — the plain-text substrate
+// for SOAP envelopes and WSDL documents (paper §4.3: procedure arguments
+// and results travel "in XML format ... transmitted as plain text", which
+// is also why the system backs off to raw sockets for bulk data).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace rave::services {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::string text;  // concatenated character data
+  std::vector<XmlNode> children;
+
+  XmlNode() = default;
+  explicit XmlNode(std::string n) : name(std::move(n)) {}
+
+  XmlNode& add_child(std::string child_name) {
+    children.emplace_back(std::move(child_name));
+    return children.back();
+  }
+
+  [[nodiscard]] const XmlNode* find_child(const std::string& child_name) const;
+  [[nodiscard]] std::vector<const XmlNode*> find_children(const std::string& child_name) const;
+  [[nodiscard]] std::string attribute(const std::string& key, std::string fallback = "") const;
+
+  // Total elements + attributes + text nodes — the "fields" a reflective
+  // marshaller would touch (Table 5 cost model).
+  [[nodiscard]] uint64_t field_count() const;
+};
+
+std::string xml_escape(const std::string& text);
+
+// Serialize a document (single root element).
+std::string to_xml(const XmlNode& root, bool pretty = false);
+
+// Parse a document; returns the root element. Supports elements,
+// attributes, character data, self-closing tags, comments, XML
+// declarations and the five standard entities.
+util::Result<XmlNode> parse_xml(const std::string& text);
+
+}  // namespace rave::services

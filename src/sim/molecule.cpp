@@ -1,0 +1,136 @@
+#include "sim/molecule.hpp"
+
+#include <cmath>
+
+namespace rave::sim {
+
+using util::Vec3;
+
+uint32_t Molecule::add_atom(const Vec3& position, const std::string& element) {
+  Atom atom;
+  atom.position = position;
+  atom.element = element;
+  atom.color = element_color(element);
+  if (element == "H") {
+    atom.mass = 0.3f;
+    atom.radius = 0.15f;
+  }
+  atoms_.push_back(atom);
+  pending_impulses_.emplace_back(0, 0, 0);
+  return static_cast<uint32_t>(atoms_.size() - 1);
+}
+
+void Molecule::add_bond(uint32_t a, uint32_t b, float stiffness) {
+  add_bond_with_rest(a, b, (atoms_[a].position - atoms_[b].position).length(), stiffness);
+}
+
+void Molecule::add_bond_with_rest(uint32_t a, uint32_t b, float rest_length, float stiffness) {
+  Bond bond;
+  bond.a = a;
+  bond.b = b;
+  bond.rest_length = rest_length;
+  bond.stiffness = stiffness;
+  bonds_.push_back(bond);
+}
+
+void Molecule::apply_impulse(uint32_t atom, const Vec3& impulse) {
+  if (atom < pending_impulses_.size()) pending_impulses_[atom] += impulse;
+}
+
+void Molecule::pin_atom(uint32_t atom, const Vec3& position) {
+  if (atom >= atoms_.size()) return;
+  atoms_[atom].position = position;
+  atoms_[atom].velocity = {0, 0, 0};
+}
+
+void Molecule::step(float dt) {
+  std::vector<Vec3> forces(atoms_.size(), Vec3{0, 0, 0});
+  for (const Bond& bond : bonds_) {
+    const Vec3 delta = atoms_[bond.b].position - atoms_[bond.a].position;
+    const float length = delta.length();
+    if (length < 1e-6f) continue;
+    const float stretch = length - bond.rest_length;
+    const Vec3 force = delta * (bond.stiffness * stretch / length);
+    forces[bond.a] += force;
+    forces[bond.b] -= force;
+  }
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    Atom& atom = atoms_[i];
+    const Vec3 accel = (forces[i] - atom.velocity * damping) * (1.0f / atom.mass) +
+                       pending_impulses_[i] * (1.0f / (atom.mass * dt));
+    atom.velocity += accel * dt;
+    atom.position += atom.velocity * dt;
+    pending_impulses_[i] = {0, 0, 0};
+  }
+}
+
+double Molecule::potential_energy() const {
+  double energy = 0;
+  for (const Bond& bond : bonds_) {
+    const float stretch =
+        (atoms_[bond.b].position - atoms_[bond.a].position).length() - bond.rest_length;
+    energy += 0.5 * bond.stiffness * stretch * stretch;
+  }
+  return energy;
+}
+
+double Molecule::kinetic_energy() const {
+  double energy = 0;
+  for (const Atom& atom : atoms_)
+    energy += 0.5 * atom.mass * atom.velocity.length_sq();
+  return energy;
+}
+
+Molecule make_ring_molecule(int ring_size, float strain) {
+  Molecule mol;
+  const float radius = 1.0f;
+  std::vector<uint32_t> ring;
+  for (int i = 0; i < ring_size; ++i) {
+    const float angle = 2.0f * util::kPi * static_cast<float>(i) / ring_size;
+    ring.push_back(mol.add_atom({radius * std::cos(angle), radius * std::sin(angle), 0}, "C"));
+  }
+  for (int i = 0; i < ring_size; ++i)
+    mol.add_bond(ring[static_cast<size_t>(i)], ring[static_cast<size_t>((i + 1) % ring_size)]);
+  // Hydrogens pointing outward.
+  for (int i = 0; i < ring_size; ++i) {
+    const float angle = 2.0f * util::kPi * static_cast<float>(i) / ring_size;
+    const uint32_t h = mol.add_atom(
+        {1.6f * std::cos(angle), 1.6f * std::sin(angle), 0.0f}, "H");
+    mol.add_bond(ring[static_cast<size_t>(i)], h, 25.0f);
+  }
+  // Pre-strain: kick the ring out of plane; rest lengths stay those of the
+  // relaxed geometry, so the structure visibly settles back.
+  Molecule rebuilt;
+  const auto& atoms = mol.atoms();
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    Vec3 p = atoms[i].position;
+    p.z += strain * std::sin(static_cast<float>(i) * 1.7f);
+    (void)rebuilt.add_atom(p, atoms[i].element);
+  }
+  for (const Bond& bond : mol.bonds())
+    rebuilt.add_bond_with_rest(bond.a, bond.b, bond.rest_length, bond.stiffness);
+  return rebuilt;
+}
+
+Molecule make_chain_molecule(int length) {
+  Molecule mol;
+  uint32_t prev = 0;
+  for (int i = 0; i < length; ++i) {
+    const uint32_t atom = mol.add_atom(
+        {static_cast<float>(i) * 0.8f, 0.15f * static_cast<float>(i % 2), 0},
+        i % 3 == 2 ? "O" : "C");
+    if (i > 0) mol.add_bond(prev, atom);
+    prev = atom;
+  }
+  return mol;
+}
+
+Vec3 element_color(const std::string& element) {
+  if (element == "H") return {0.9f, 0.9f, 0.9f};
+  if (element == "O") return {0.9f, 0.15f, 0.15f};
+  if (element == "N") return {0.2f, 0.3f, 0.95f};
+  if (element == "C") return {0.25f, 0.25f, 0.28f};
+  return {0.7f, 0.5f, 0.9f};
+}
+
+}  // namespace rave::sim

@@ -1,0 +1,73 @@
+// Toy molecular-dynamics simulator — the paper's §5.2 "third-party
+// simulator" whose molecule RAVE displays: atoms connected by harmonic
+// bonds, damped velocity-Verlet integration, and an impulse hook so a
+// collaborating user can "exert a force on a molecule" from the GUI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace rave::sim {
+
+struct Atom {
+  util::Vec3 position;
+  util::Vec3 velocity;
+  float mass = 1.0f;
+  float radius = 0.25f;
+  util::Vec3 color{0.7f, 0.7f, 0.7f};
+  std::string element = "C";
+};
+
+struct Bond {
+  uint32_t a = 0, b = 0;
+  float rest_length = 1.0f;
+  float stiffness = 40.0f;
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+
+  uint32_t add_atom(const util::Vec3& position, const std::string& element = "C");
+  // Rest length measured from the current atom positions.
+  void add_bond(uint32_t a, uint32_t b, float stiffness = 40.0f);
+  // Explicit rest length (e.g. the relaxed geometry of a strained input).
+  void add_bond_with_rest(uint32_t a, uint32_t b, float rest_length, float stiffness = 40.0f);
+
+  [[nodiscard]] const std::vector<Atom>& atoms() const { return atoms_; }
+  [[nodiscard]] const std::vector<Bond>& bonds() const { return bonds_; }
+
+  // Damped velocity-Verlet step.
+  void step(float dt);
+
+  // The user's steering force (applied over one step).
+  void apply_impulse(uint32_t atom, const util::Vec3& impulse);
+
+  // Clamp an atom to a position (a user dragging it); released next step.
+  void pin_atom(uint32_t atom, const util::Vec3& position);
+
+  // Total spring potential energy — settles as the structure relaxes.
+  [[nodiscard]] double potential_energy() const;
+  [[nodiscard]] double kinetic_energy() const;
+
+  float damping = 2.0f;  // velocity damping coefficient
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<Bond> bonds_;
+  std::vector<util::Vec3> pending_impulses_;
+};
+
+// A benzene-like ring with hydrogens, pre-strained so it visibly relaxes.
+Molecule make_ring_molecule(int ring_size = 6, float strain = 0.4f);
+
+// A flexible chain (polymer-like), n atoms.
+Molecule make_chain_molecule(int length = 8);
+
+// Per-element display color (CPK-ish).
+util::Vec3 element_color(const std::string& element);
+
+}  // namespace rave::sim

@@ -1,0 +1,88 @@
+#include "sim/perf_model.hpp"
+
+#include <algorithm>
+
+namespace rave::sim {
+
+namespace {
+double safe_div(double num, double den) { return den > 0 ? num / den : 0.0; }
+}  // namespace
+
+double onscreen_seconds(const MachineProfile& m, uint64_t triangles, uint64_t pixels) {
+  return m.frame_overhead + safe_div(static_cast<double>(triangles), m.tri_rate) +
+         safe_div(static_cast<double>(pixels), m.fill_rate);
+}
+
+double offscreen_render_seconds(const MachineProfile& m, uint64_t triangles, uint64_t pixels) {
+  return m.frame_overhead +
+         safe_div(static_cast<double>(triangles) * m.off_tri_factor, m.tri_rate) +
+         safe_div(static_cast<double>(pixels) * m.off_fill_factor, m.fill_rate);
+}
+
+double offscreen_sequential_seconds(const MachineProfile& m, uint64_t triangles,
+                                    uint64_t pixels) {
+  return offscreen_render_seconds(m, triangles, pixels) +
+         safe_div(static_cast<double>(pixels), m.off_copy_rate) + m.off_fixed_latency;
+}
+
+OffscreenBatch offscreen_batch(const MachineProfile& m, uint64_t triangles, uint64_t pixels,
+                               int count) {
+  OffscreenBatch batch;
+  const double n = static_cast<double>(std::max(count, 1));
+  batch.onscreen_seconds = n * onscreen_seconds(m, triangles, pixels);
+  batch.sequential_seconds = n * offscreen_sequential_seconds(m, triangles, pixels);
+  // Interleaved: renders run back-to-back; each frame's readback+notify
+  // overlaps the next frame's render, so only the final one is exposed.
+  batch.interleaved_seconds = n * offscreen_render_seconds(m, triangles, pixels) +
+                              safe_div(static_cast<double>(pixels), m.off_copy_rate) +
+                              m.off_fixed_latency;
+  return batch;
+}
+
+ThinClientFrame thin_client_frame(const MachineProfile& server, const MachineProfile& client,
+                                  const net::LinkProfile& link, uint64_t triangles, int width,
+                                  int height, uint64_t compressed_bytes) {
+  ThinClientFrame frame;
+  const uint64_t pixels = static_cast<uint64_t>(width) * static_cast<uint64_t>(height);
+  const uint64_t image_bytes = compressed_bytes != 0 ? compressed_bytes : pixels * 3;
+  frame.render_seconds = offscreen_sequential_seconds(server, triangles, pixels);
+  frame.transfer_seconds = link.delivery_seconds(image_bytes);
+  frame.client_seconds = safe_div(static_cast<double>(pixels), client.pixel_unpack_rate);
+  return frame;
+}
+
+double marshall_seconds(const MachineProfile& m, uint64_t fields) {
+  return safe_div(static_cast<double>(fields), m.marshall_fields_per_sec);
+}
+
+double soap_call_seconds(const MachineProfile& m, uint64_t response_fields) {
+  // Dispatch overhead plus XML marshalling of the response at ~20 fields
+  // per "introspected object" equivalent.
+  return m.soap_call_overhead + marshall_seconds(m, response_fields);
+}
+
+UddiTiming uddi_timing(const MachineProfile& m, uint64_t services_advertised) {
+  UddiTiming t;
+  const uint64_t fields_per_service = 24;  // binding key + access point + info
+  const uint64_t scan_fields = services_advertised * fields_per_service + 64;
+  t.scan_seconds = soap_call_seconds(m, scan_fields);
+  // Full bootstrap: proxy creation, find business, enumerate services,
+  // then the access-point scan (§5.5).
+  t.full_bootstrap = kUddiProxyInitSeconds + soap_call_seconds(m, 128) +
+                     soap_call_seconds(m, services_advertised * 48 + 64) + t.scan_seconds;
+  return t;
+}
+
+double service_bootstrap_seconds(const MachineProfile& data_host,
+                                 const MachineProfile& render_host,
+                                 const net::LinkProfile& link, uint64_t scene_fields,
+                                 uint64_t scene_bytes) {
+  // Instance creation via the Axis container on the render host, then the
+  // introspective scene publish at the data service, the wire transfer,
+  // and the (cheaper, allocation-bound) demarshal at the render service.
+  return render_host.container_instance_creation + marshall_seconds(data_host, scene_fields) +
+         link.delivery_seconds(scene_bytes) +
+         marshall_seconds(render_host, scene_fields / 8);
+}
+
+}  // namespace rave::sim

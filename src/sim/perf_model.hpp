@@ -1,0 +1,86 @@
+// Performance model over machine profiles — the arithmetic that stands in
+// for running on the 2004 testbed. Every formula is a direct model of a
+// mechanism the paper describes; the bench harness evaluates these to
+// regenerate Tables 2-5 and checks their shape against the published rows.
+#pragma once
+
+#include <cstdint>
+
+#include "net/simlink.hpp"
+#include "sim/machine.hpp"
+
+namespace rave::sim {
+
+// --- rendering -----------------------------------------------------------
+
+// On-screen frame time: setup + geometry + fill.
+double onscreen_seconds(const MachineProfile& m, uint64_t triangles, uint64_t pixels);
+
+// Off-screen render work (software-fallback factors applied), excluding
+// the readback/notify path.
+double offscreen_render_seconds(const MachineProfile& m, uint64_t triangles, uint64_t pixels);
+
+// One off-screen frame as a sequential requester observes it:
+// render + readback copy + completion-visibility latency.
+double offscreen_sequential_seconds(const MachineProfile& m, uint64_t triangles, uint64_t pixels);
+
+struct OffscreenBatch {
+  double sequential_seconds = 0;   // request → wait → next
+  double interleaved_seconds = 0;  // all requested up front, round-robin poll
+  double onscreen_seconds = 0;     // baseline: same frames on-screen
+  // Table 3/4 percentages: on-screen time / off-screen time.
+  [[nodiscard]] double sequential_percent() const {
+    return 100.0 * onscreen_seconds / sequential_seconds;
+  }
+  [[nodiscard]] double interleaved_percent() const {
+    return 100.0 * onscreen_seconds / interleaved_seconds;
+  }
+};
+
+// Render `count` images of the given complexity off-screen both ways.
+// Interleaving pipelines readback+latency behind the next frame's render,
+// exposing them only once at the tail.
+OffscreenBatch offscreen_batch(const MachineProfile& m, uint64_t triangles, uint64_t pixels,
+                               int count);
+
+// --- thin-client pipeline (Table 2) ---------------------------------------
+
+struct ThinClientFrame {
+  double render_seconds = 0;    // off-screen render on the render service
+  double transfer_seconds = 0;  // image over the client link
+  double client_seconds = 0;    // unpack + blit on the client
+  [[nodiscard]] double total_latency() const {
+    return render_seconds + transfer_seconds + client_seconds;
+  }
+  [[nodiscard]] double fps() const { return 1.0 / total_latency(); }
+};
+
+ThinClientFrame thin_client_frame(const MachineProfile& server, const MachineProfile& client,
+                                  const net::LinkProfile& link, uint64_t triangles, int width,
+                                  int height, uint64_t compressed_bytes = 0);
+
+// --- marshalling & service bootstrap (Table 5) -----------------------------
+
+// Introspective marshalling of `fields` scene-graph fields (§5.5).
+double marshall_seconds(const MachineProfile& m, uint64_t fields);
+
+// One SOAP call: HTTP/Axis dispatch plus marshalling of `response_fields`.
+double soap_call_seconds(const MachineProfile& m, uint64_t response_fields = 64);
+
+struct UddiTiming {
+  double scan_seconds = 0;       // live proxy: rescan access points (1 call)
+  double full_bootstrap = 0;     // proxy init + find business + find services + access points
+};
+UddiTiming uddi_timing(const MachineProfile& m, uint64_t services_advertised);
+
+// Render-service bootstrap: instance creation + scene marshalling at the
+// data service + transfer + demarshalling at the render service.
+double service_bootstrap_seconds(const MachineProfile& data_host,
+                                 const MachineProfile& render_host,
+                                 const net::LinkProfile& link, uint64_t scene_fields,
+                                 uint64_t scene_bytes);
+
+// UDDI proxy initialisation cost (the "full bootstrap" premium, §5.5).
+constexpr double kUddiProxyInitSeconds = 2.6;
+
+}  // namespace rave::sim

@@ -1,0 +1,75 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace rave::sim {
+
+const char* usage_name(UsageKind kind) {
+  switch (kind) {
+    case UsageKind::Idle: return "idle";
+    case UsageKind::Orbit: return "orbit";
+    case UsageKind::Inspect: return "inspect";
+    case UsageKind::FlyThrough: return "fly-through";
+  }
+  return "?";
+}
+
+std::vector<UsageStep> generate_trace(const UsageProfile& profile,
+                                      const scene::Camera& initial) {
+  std::vector<UsageStep> trace;
+  std::mt19937 rng(profile.seed);
+  std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+  scene::Camera camera = initial;
+  const float base_distance = (camera.eye - camera.target).length();
+
+  for (double t = 0; t <= profile.duration; t += profile.step_interval) {
+    UsageStep step;
+    step.time = t;
+    switch (profile.kind) {
+      case UsageKind::Idle:
+        // Rare small adjustments.
+        if (unit(rng) < 0.05f) camera.orbit(0.05f * (unit(rng) - 0.5f), 0.0f);
+        break;
+      case UsageKind::Orbit:
+        camera.orbit(0.06f, 0.01f * std::sin(static_cast<float>(t)));
+        step.edits_scene = unit(rng) < 0.02f;
+        break;
+      case UsageKind::Inspect: {
+        // Bursty: dolly in for a while, hover, pull back.
+        const float phase = std::fmod(static_cast<float>(t), 6.0f);
+        if (phase < 2.0f)
+          camera.dolly(base_distance * 0.04f);
+        else if (phase > 4.0f)
+          camera.dolly(-base_distance * 0.05f);
+        camera.orbit(0.03f * (unit(rng) - 0.5f), 0.02f * (unit(rng) - 0.5f));
+        step.edits_scene = unit(rng) < 0.08f;
+        break;
+      }
+      case UsageKind::FlyThrough: {
+        // Sweep through the dataset: move eye and target together.
+        const util::Vec3 drift{0.08f * std::cos(static_cast<float>(t) * 0.7f),
+                               0.02f * std::sin(static_cast<float>(t) * 1.3f),
+                               0.08f * std::sin(static_cast<float>(t) * 0.7f)};
+        camera.eye += drift;
+        camera.target += drift * 0.9f;
+        break;
+      }
+    }
+    step.camera = camera;
+    trace.push_back(step);
+  }
+  return trace;
+}
+
+double load_factor(const UsageStep& step, const util::Vec3& scene_center, float scene_radius) {
+  const float distance = (step.camera.eye - scene_center).length();
+  if (scene_radius <= 0) return 1.0;
+  // Screen coverage grows as the camera closes in; clamp to [0.15, 3].
+  const double coverage = static_cast<double>(scene_radius) /
+                          std::max(distance, scene_radius * 0.2f);
+  return std::clamp(coverage * (step.edits_scene ? 1.3 : 1.0), 0.15, 3.0);
+}
+
+}  // namespace rave::sim

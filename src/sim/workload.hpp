@@ -1,0 +1,50 @@
+// Synthetic user-interaction workload profiles. The paper leaves this as
+// the open calibration question of §3.2.7: "Loadings due to user
+// interaction and navigation will have to be analysed to determine these
+// usage profiles and the workload migration trigger thresholds." This
+// module provides the analysis tooling: reproducible camera/interaction
+// traces of typical usage (orbiting, close inspection, fly-through, idle
+// watching) that drive the migration-threshold ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scene/camera.hpp"
+
+namespace rave::sim {
+
+enum class UsageKind : uint8_t {
+  Idle,        // watching: camera still, occasional nudge
+  Orbit,       // steady rotation around the dataset
+  Inspect,     // dolly in/out with small orbits (bursty load)
+  FlyThrough,  // large continuous movement (sustained high load)
+};
+
+const char* usage_name(UsageKind kind);
+
+struct UsageStep {
+  double time = 0;       // seconds from trace start
+  scene::Camera camera;  // viewpoint at this step
+  bool edits_scene = false;  // the user also manipulates an object
+};
+
+struct UsageProfile {
+  UsageKind kind = UsageKind::Orbit;
+  double duration = 10.0;
+  double step_interval = 0.1;  // camera update cadence
+  uint32_t seed = 1;
+};
+
+// Deterministic trace of camera poses (and edit markers) for a profile,
+// starting from `initial` framed on the dataset.
+std::vector<UsageStep> generate_trace(const UsageProfile& profile,
+                                      const scene::Camera& initial);
+
+// Relative render load factor at each step: how much of the scene the
+// camera pose exposes (1 = all of it). Derived from view distance — close
+// inspection fills the screen with geometry, distant watching does not.
+double load_factor(const UsageStep& step, const util::Vec3& scene_center, float scene_radius);
+
+}  // namespace rave::sim

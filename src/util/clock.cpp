@@ -1,0 +1,46 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace rave::util {
+
+namespace {
+double steady_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RealClock::RealClock() : epoch_(steady_seconds()) {}
+
+double RealClock::now() const { return steady_seconds() - epoch_; }
+
+void RealClock::wait_until(double t) {
+  const double delta = t - now();
+  if (delta > 0) std::this_thread::sleep_for(std::chrono::duration<double>(delta));
+}
+
+void SimClock::advance(double dt) {
+  std::lock_guard lock(mu_);
+  now_ += dt;
+  cv_.notify_all();
+}
+
+void SimClock::advance_to(double t) {
+  std::lock_guard lock(mu_);
+  if (t > now_) now_ = t;
+  cv_.notify_all();
+}
+
+void SimClock::wait_until(double t) {
+  std::unique_lock lock(mu_);
+  if (auto_advance_) {
+    if (t > now_) now_ = t;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return now_ >= t; });
+}
+
+}  // namespace rave::util

@@ -1,0 +1,72 @@
+// Result<T>: a lightweight expected-like type (std::expected is C++23).
+// Errors carry a human-readable message — the paper's data service refuses
+// requests "with an explanatory error message", so errors are strings by
+// design, not codes.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rave::util {
+
+struct Error {
+  std::string message;
+};
+
+inline Error make_error(std::string msg) { return Error{std::move(msg)}; }
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : value_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(value_).message;
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+// Specialization-free void flavour.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error.message)), failed_(true) {}  // NOLINT
+
+  static Status ok_status() { return {}; }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::string error_;
+  bool failed_ = false;
+};
+
+}  // namespace rave::util

@@ -1,0 +1,69 @@
+#include "util/serial.hpp"
+
+#include <array>
+
+namespace rave::util {
+
+namespace {
+constexpr char kB64Alphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int8_t, 256> build_decode_table() {
+  std::array<int8_t, 256> t{};
+  t.fill(-1);
+  for (int i = 0; i < 64; ++i) t[static_cast<uint8_t>(kB64Alphabet[i])] = static_cast<int8_t>(i);
+  return t;
+}
+}  // namespace
+
+std::string base64_encode(std::span<const uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const uint32_t v = (static_cast<uint32_t>(data[i]) << 16) |
+                       (static_cast<uint32_t>(data[i + 1]) << 8) | data[i + 2];
+    out.push_back(kB64Alphabet[(v >> 18) & 63]);
+    out.push_back(kB64Alphabet[(v >> 12) & 63]);
+    out.push_back(kB64Alphabet[(v >> 6) & 63]);
+    out.push_back(kB64Alphabet[v & 63]);
+    i += 3;
+  }
+  const size_t rem = data.size() - i;
+  if (rem == 1) {
+    const uint32_t v = static_cast<uint32_t>(data[i]) << 16;
+    out.push_back(kB64Alphabet[(v >> 18) & 63]);
+    out.push_back(kB64Alphabet[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const uint32_t v =
+        (static_cast<uint32_t>(data[i]) << 16) | (static_cast<uint32_t>(data[i + 1]) << 8);
+    out.push_back(kB64Alphabet[(v >> 18) & 63]);
+    out.push_back(kB64Alphabet[(v >> 12) & 63]);
+    out.push_back(kB64Alphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> base64_decode(const std::string& text) {
+  static const std::array<int8_t, 256> table = build_decode_table();
+  std::vector<uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    if (c == '=' || c == '\n' || c == '\r' || c == ' ') continue;
+    const int8_t v = table[static_cast<uint8_t>(c)];
+    if (v < 0) return make_error("base64: invalid character");
+    acc = (acc << 6) | static_cast<uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<uint8_t>((acc >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+}  // namespace rave::util

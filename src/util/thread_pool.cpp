@@ -1,0 +1,72 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace rave::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  const size_t workers = std::min<size_t>(count, workers_.size());
+  for (size_t w = 0; w < workers; ++w) {
+    submit([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        fn(i);
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+          std::lock_guard lock(done_mu);
+          done_cv.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock, [&] { return done.load(std::memory_order_acquire) == count; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace rave::util

@@ -1,0 +1,51 @@
+// Fixed-size worker pool. The rasterizer parallelises over scanline bands
+// and the render service runs concurrent off-screen sessions on it; all
+// parallelism is explicit (tasks are submitted, futures joined) in the
+// message-passing spirit of the substrate.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rave::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  template <typename F>
+  auto submit_future(F&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  // Run fn(i) for i in [0, count) across the pool and wait for completion.
+  void parallel_for(size_t count, const std::function<void(size_t)>& fn);
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace rave::util

@@ -1,0 +1,314 @@
+// Small fixed-size linear algebra used throughout RAVE: 3/4-component
+// vectors, 4x4 column-major matrices, and axis-aligned bounding boxes.
+// Deliberately minimal — only the operations the scene graph, rasterizer
+// and camera math need.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace rave::util {
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float xx, float yy, float zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr bool operator==(const Vec3& o) const { return x == o.x && y == o.y && z == o.z; }
+
+  [[nodiscard]] float length() const { return std::sqrt(x * x + y * y + z * z); }
+  [[nodiscard]] float length_sq() const { return x * x + y * y + z * z; }
+};
+
+constexpr Vec3 operator*(float s, const Vec3& v) { return v * s; }
+
+constexpr float dot(const Vec3& a, const Vec3& b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline Vec3 normalize(const Vec3& v) {
+  const float len = v.length();
+  if (len <= std::numeric_limits<float>::min()) return {0.0f, 0.0f, 0.0f};
+  return v / len;
+}
+
+constexpr Vec3 lerp(const Vec3& a, const Vec3& b, float t) { return a + (b - a) * t; }
+
+constexpr Vec3 min_elem(const Vec3& a, const Vec3& b) {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
+constexpr Vec3 max_elem(const Vec3& a, const Vec3& b) {
+  return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+struct Vec4 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+  float w = 0.0f;
+
+  constexpr Vec4() = default;
+  constexpr Vec4(float xx, float yy, float zz, float ww) : x(xx), y(yy), z(zz), w(ww) {}
+  constexpr Vec4(const Vec3& v, float ww) : x(v.x), y(v.y), z(v.z), w(ww) {}
+
+  constexpr Vec4 operator+(const Vec4& o) const { return {x + o.x, y + o.y, z + o.z, w + o.w}; }
+  constexpr Vec4 operator-(const Vec4& o) const { return {x - o.x, y - o.y, z - o.z, w - o.w}; }
+  constexpr Vec4 operator*(float s) const { return {x * s, y * s, z * s, w * s}; }
+
+  [[nodiscard]] constexpr Vec3 xyz() const { return {x, y, z}; }
+};
+
+constexpr Vec4 lerp(const Vec4& a, const Vec4& b, float t) { return a + (b - a) * t; }
+
+// Column-major 4x4 matrix: m[col * 4 + row], matching OpenGL conventions.
+struct Mat4 {
+  std::array<float, 16> m{};
+
+  static constexpr Mat4 identity() {
+    Mat4 r;
+    r.m[0] = r.m[5] = r.m[10] = r.m[15] = 1.0f;
+    return r;
+  }
+
+  float& at(int row, int col) { return m[col * 4 + row]; }
+  [[nodiscard]] float at(int row, int col) const { return m[col * 4 + row]; }
+
+  constexpr bool operator==(const Mat4& o) const { return m == o.m; }
+
+  Mat4 operator*(const Mat4& o) const {
+    Mat4 r;
+    for (int c = 0; c < 4; ++c) {
+      for (int rr = 0; rr < 4; ++rr) {
+        float sum = 0.0f;
+        for (int k = 0; k < 4; ++k) sum += at(rr, k) * o.at(k, c);
+        r.at(rr, c) = sum;
+      }
+    }
+    return r;
+  }
+
+  Vec4 operator*(const Vec4& v) const {
+    return {
+        m[0] * v.x + m[4] * v.y + m[8] * v.z + m[12] * v.w,
+        m[1] * v.x + m[5] * v.y + m[9] * v.z + m[13] * v.w,
+        m[2] * v.x + m[6] * v.y + m[10] * v.z + m[14] * v.w,
+        m[3] * v.x + m[7] * v.y + m[11] * v.z + m[15] * v.w,
+    };
+  }
+
+  // Transform a point (w = 1) and drop the homogeneous coordinate.
+  [[nodiscard]] Vec3 transform_point(const Vec3& p) const {
+    const Vec4 r = (*this) * Vec4(p, 1.0f);
+    return r.xyz();
+  }
+
+  // Transform a direction (w = 0).
+  [[nodiscard]] Vec3 transform_dir(const Vec3& d) const {
+    const Vec4 r = (*this) * Vec4(d, 0.0f);
+    return r.xyz();
+  }
+
+  static Mat4 translate(const Vec3& t) {
+    Mat4 r = identity();
+    r.m[12] = t.x;
+    r.m[13] = t.y;
+    r.m[14] = t.z;
+    return r;
+  }
+
+  static Mat4 scale(const Vec3& s) {
+    Mat4 r = identity();
+    r.m[0] = s.x;
+    r.m[5] = s.y;
+    r.m[10] = s.z;
+    return r;
+  }
+
+  static Mat4 rotate_x(float radians) {
+    Mat4 r = identity();
+    const float c = std::cos(radians);
+    const float s = std::sin(radians);
+    r.at(1, 1) = c;
+    r.at(1, 2) = -s;
+    r.at(2, 1) = s;
+    r.at(2, 2) = c;
+    return r;
+  }
+
+  static Mat4 rotate_y(float radians) {
+    Mat4 r = identity();
+    const float c = std::cos(radians);
+    const float s = std::sin(radians);
+    r.at(0, 0) = c;
+    r.at(0, 2) = s;
+    r.at(2, 0) = -s;
+    r.at(2, 2) = c;
+    return r;
+  }
+
+  static Mat4 rotate_z(float radians) {
+    Mat4 r = identity();
+    const float c = std::cos(radians);
+    const float s = std::sin(radians);
+    r.at(0, 0) = c;
+    r.at(0, 1) = -s;
+    r.at(1, 0) = s;
+    r.at(1, 1) = c;
+    return r;
+  }
+
+  // Right-handed look-at view matrix (camera at eye, looking at target).
+  static Mat4 look_at(const Vec3& eye, const Vec3& target, const Vec3& up) {
+    const Vec3 f = normalize(target - eye);
+    const Vec3 s = normalize(cross(f, up));
+    const Vec3 u = cross(s, f);
+    Mat4 r = identity();
+    r.at(0, 0) = s.x;
+    r.at(0, 1) = s.y;
+    r.at(0, 2) = s.z;
+    r.at(1, 0) = u.x;
+    r.at(1, 1) = u.y;
+    r.at(1, 2) = u.z;
+    r.at(2, 0) = -f.x;
+    r.at(2, 1) = -f.y;
+    r.at(2, 2) = -f.z;
+    r.at(0, 3) = -dot(s, eye);
+    r.at(1, 3) = -dot(u, eye);
+    r.at(2, 3) = dot(f, eye);
+    return r;
+  }
+
+  // Right-handed perspective projection mapping z into [-1, 1].
+  static Mat4 perspective(float fovy_radians, float aspect, float znear, float zfar) {
+    const float f = 1.0f / std::tan(fovy_radians / 2.0f);
+    Mat4 r;
+    r.at(0, 0) = f / aspect;
+    r.at(1, 1) = f;
+    r.at(2, 2) = (zfar + znear) / (znear - zfar);
+    r.at(2, 3) = (2.0f * zfar * znear) / (znear - zfar);
+    r.at(3, 2) = -1.0f;
+    return r;
+  }
+
+  [[nodiscard]] Mat4 transposed() const {
+    Mat4 r;
+    for (int c = 0; c < 4; ++c)
+      for (int rr = 0; rr < 4; ++rr) r.at(c, rr) = at(rr, c);
+    return r;
+  }
+
+  // General inverse via cofactor expansion; returns identity for singular
+  // input (scene transforms are always invertible in practice).
+  [[nodiscard]] Mat4 inverse() const;
+};
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<float>::max(), std::numeric_limits<float>::max(),
+          std::numeric_limits<float>::max()};
+  Vec3 hi{std::numeric_limits<float>::lowest(), std::numeric_limits<float>::lowest(),
+          std::numeric_limits<float>::lowest()};
+
+  [[nodiscard]] bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+  void extend(const Vec3& p) {
+    lo = min_elem(lo, p);
+    hi = max_elem(hi, p);
+  }
+
+  void extend(const Aabb& b) {
+    if (!b.valid()) return;
+    extend(b.lo);
+    extend(b.hi);
+  }
+
+  [[nodiscard]] Vec3 center() const { return (lo + hi) * 0.5f; }
+  [[nodiscard]] Vec3 extent() const { return hi - lo; }
+
+  [[nodiscard]] bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z && p.z <= hi.z;
+  }
+
+  [[nodiscard]] bool intersects(const Aabb& o) const {
+    return valid() && o.valid() && lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y &&
+           hi.y >= o.lo.y && lo.z <= o.hi.z && hi.z >= o.lo.z;
+  }
+
+  // Bounding box of this box under an affine transform.
+  [[nodiscard]] Aabb transformed(const Mat4& m) const {
+    Aabb out;
+    if (!valid()) return out;
+    for (int i = 0; i < 8; ++i) {
+      const Vec3 corner{(i & 1) ? hi.x : lo.x, (i & 2) ? hi.y : lo.y, (i & 4) ? hi.z : lo.z};
+      out.extend(m.transform_point(corner));
+    }
+    return out;
+  }
+};
+
+inline Mat4 Mat4::inverse() const {
+  // Adapted from the classic MESA gluInvertMatrix cofactor expansion.
+  const auto& a = m;
+  std::array<float, 16> inv;
+  inv[0] = a[5] * a[10] * a[15] - a[5] * a[11] * a[14] - a[9] * a[6] * a[15] +
+           a[9] * a[7] * a[14] + a[13] * a[6] * a[11] - a[13] * a[7] * a[10];
+  inv[4] = -a[4] * a[10] * a[15] + a[4] * a[11] * a[14] + a[8] * a[6] * a[15] -
+           a[8] * a[7] * a[14] - a[12] * a[6] * a[11] + a[12] * a[7] * a[10];
+  inv[8] = a[4] * a[9] * a[15] - a[4] * a[11] * a[13] - a[8] * a[5] * a[15] +
+           a[8] * a[7] * a[13] + a[12] * a[5] * a[11] - a[12] * a[7] * a[9];
+  inv[12] = -a[4] * a[9] * a[14] + a[4] * a[10] * a[13] + a[8] * a[5] * a[14] -
+            a[8] * a[6] * a[13] - a[12] * a[5] * a[10] + a[12] * a[6] * a[9];
+  inv[1] = -a[1] * a[10] * a[15] + a[1] * a[11] * a[14] + a[9] * a[2] * a[15] -
+           a[9] * a[3] * a[14] - a[13] * a[2] * a[11] + a[13] * a[3] * a[10];
+  inv[5] = a[0] * a[10] * a[15] - a[0] * a[11] * a[14] - a[8] * a[2] * a[15] +
+           a[8] * a[3] * a[14] + a[12] * a[2] * a[11] - a[12] * a[3] * a[10];
+  inv[9] = -a[0] * a[9] * a[15] + a[0] * a[11] * a[13] + a[8] * a[1] * a[15] -
+           a[8] * a[3] * a[13] - a[12] * a[1] * a[11] + a[12] * a[3] * a[9];
+  inv[13] = a[0] * a[9] * a[14] - a[0] * a[10] * a[13] - a[8] * a[1] * a[14] +
+            a[8] * a[2] * a[13] + a[12] * a[1] * a[10] - a[12] * a[2] * a[9];
+  inv[2] = a[1] * a[6] * a[15] - a[1] * a[7] * a[14] - a[5] * a[2] * a[15] +
+           a[5] * a[3] * a[14] + a[13] * a[2] * a[7] - a[13] * a[3] * a[6];
+  inv[6] = -a[0] * a[6] * a[15] + a[0] * a[7] * a[14] + a[4] * a[2] * a[15] -
+           a[4] * a[3] * a[14] - a[12] * a[2] * a[7] + a[12] * a[3] * a[6];
+  inv[10] = a[0] * a[5] * a[15] - a[0] * a[7] * a[13] - a[4] * a[1] * a[15] +
+            a[4] * a[3] * a[13] + a[12] * a[1] * a[7] - a[12] * a[3] * a[5];
+  inv[14] = -a[0] * a[5] * a[14] + a[0] * a[6] * a[13] + a[4] * a[1] * a[14] -
+            a[4] * a[2] * a[13] - a[12] * a[1] * a[6] + a[12] * a[2] * a[5];
+  inv[3] = -a[1] * a[6] * a[11] + a[1] * a[7] * a[10] + a[5] * a[2] * a[11] -
+           a[5] * a[3] * a[10] - a[9] * a[2] * a[7] + a[9] * a[3] * a[6];
+  inv[7] = a[0] * a[6] * a[11] - a[0] * a[7] * a[10] - a[4] * a[2] * a[11] +
+           a[4] * a[3] * a[10] + a[8] * a[2] * a[7] - a[8] * a[3] * a[6];
+  inv[11] = -a[0] * a[5] * a[11] + a[0] * a[7] * a[9] + a[4] * a[1] * a[11] -
+            a[4] * a[3] * a[9] - a[8] * a[1] * a[7] + a[8] * a[3] * a[5];
+  inv[15] = a[0] * a[5] * a[10] - a[0] * a[6] * a[9] - a[4] * a[1] * a[10] +
+            a[4] * a[2] * a[9] + a[8] * a[1] * a[6] - a[8] * a[2] * a[5];
+
+  float det = a[0] * inv[0] + a[1] * inv[4] + a[2] * inv[8] + a[3] * inv[12];
+  if (std::fabs(det) < 1e-12f) return identity();
+  det = 1.0f / det;
+  Mat4 out;
+  for (int i = 0; i < 16; ++i) out.m[i] = inv[i] * det;
+  return out;
+}
+
+constexpr float kPi = 3.14159265358979323846f;
+
+constexpr float deg_to_rad(float deg) { return deg * (kPi / 180.0f); }
+
+}  // namespace rave::util

@@ -1,0 +1,175 @@
+// Fabric wiring and SOAP control-plane tests: in-process listeners with
+// per-listener link overrides, TCP fabric round trips, and the data/render
+// services' SOAP endpoints exercised through real proxies.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/fabric.hpp"
+#include "core/grid.hpp"
+#include "mesh/primitives.hpp"
+
+namespace rave::core {
+namespace {
+
+TEST(InProcFabricTest, ListenDialExchange) {
+  util::SimClock clock;
+  InProcFabric fabric(clock);
+  net::ChannelPtr server_side;
+  auto access = fabric.listen("svc", [&](net::ChannelPtr ch) { server_side = std::move(ch); });
+  ASSERT_TRUE(access.ok());
+  EXPECT_EQ(access.value(), "inproc:svc");
+
+  auto client = fabric.dial("inproc:svc");
+  ASSERT_TRUE(client.ok());
+  ASSERT_NE(server_side, nullptr);
+  ASSERT_TRUE(client.value()->send({7, {1, 2}}).ok());
+  auto msg = server_side->try_receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, 7);
+}
+
+TEST(InProcFabricTest, ErrorsAndUnlisten) {
+  util::SimClock clock;
+  InProcFabric fabric(clock);
+  auto ok = fabric.listen("svc", [](net::ChannelPtr) {});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(fabric.listen("svc", [](net::ChannelPtr) {}).ok());  // name in use
+  EXPECT_FALSE(fabric.dial("inproc:nothing").ok());
+  EXPECT_FALSE(fabric.dial("tcp:1.2.3.4:80").ok());  // wrong scheme
+  fabric.unlisten("svc");
+  EXPECT_FALSE(fabric.dial("inproc:svc").ok());
+}
+
+TEST(InProcFabricTest, PerListenerLinkOverrideDelaysDelivery) {
+  util::SimClock clock;
+  InProcFabric fabric(clock);  // default: instant
+  net::ChannelPtr fast_server, slow_server;
+  (void)fabric.listen("fast", [&](net::ChannelPtr ch) { fast_server = std::move(ch); });
+  (void)fabric.listen("slow", [&](net::ChannelPtr ch) { slow_server = std::move(ch); });
+  net::LinkProfile crawl;
+  crawl.bandwidth_bps = 8e3;  // 1 KB/s
+  fabric.set_link("slow", crawl);
+
+  auto fast = fabric.dial("inproc:fast");
+  auto slow = fabric.dial("inproc:slow");
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  (void)fast.value()->send({1, std::vector<uint8_t>(1000)});
+  (void)slow.value()->send({1, std::vector<uint8_t>(1000)});
+  EXPECT_TRUE(fast_server->try_receive().has_value());   // instant
+  EXPECT_FALSE(slow_server->try_receive().has_value());  // ~1 s away
+  clock.advance(2.0);
+  EXPECT_TRUE(slow_server->try_receive().has_value());
+}
+
+TEST(TcpFabricTest, ListenDialRoundTrip) {
+  TcpFabric fabric;
+  std::atomic<int> accepted{0};
+  net::ChannelPtr server_side;
+  std::mutex mu;
+  auto access = fabric.listen("svc", [&](net::ChannelPtr ch) {
+    std::lock_guard lock(mu);
+    server_side = std::move(ch);
+    accepted.fetch_add(1);
+  });
+  ASSERT_TRUE(access.ok()) << access.error();
+  ASSERT_EQ(access.value().rfind("tcp:127.0.0.1:", 0), 0u);
+
+  auto client = fabric.dial(access.value());
+  ASSERT_TRUE(client.ok()) << client.error();
+  for (int i = 0; i < 200 && accepted.load() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_EQ(accepted.load(), 1);
+  ASSERT_TRUE(client.value()->send({0x0101, {42}}).ok());
+  net::ChannelPtr server;
+  {
+    std::lock_guard lock(mu);
+    server = server_side;
+  }
+  auto msg = server->receive(2.0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload[0], 42);
+  EXPECT_FALSE(fabric.dial("tcp:127.0.0.1:notaport").ok());
+  EXPECT_FALSE(fabric.dial("inproc:svc").ok());
+}
+
+class SoapEndpointFixture : public testing::Test {
+ protected:
+  SoapEndpointFixture() : grid_(clock_) {
+    DataService& data = grid_.add_data_service("datahost");
+    scene::SceneTree tree;
+    tree.add_child(scene::kRootNode, "ball", mesh::make_uv_sphere(0.5f, 16, 12));
+    (void)data.create_session("demo", std::move(tree));
+    grid_.add_render_service("laptop");
+    (void)grid_.join("laptop", "datahost", "demo");
+  }
+
+  util::Result<services::SoapValue> call(const std::string& host, const std::string& endpoint,
+                                         const std::string& method,
+                                         services::SoapList args = {}) {
+    auto proxy = grid_.soap_proxy(host, endpoint);
+    if (!proxy.ok()) return util::make_error(proxy.error());
+    grid_.container(host)->start();
+    auto result = proxy.value().call(method, std::move(args), 2.0);
+    grid_.container(host)->stop();
+    return result;
+  }
+
+  util::SimClock clock_;
+  RaveGrid grid_;
+};
+
+TEST_F(SoapEndpointFixture, DescribeSessionReportsState) {
+  auto described = call("datahost", "data", "describeSession", {services::SoapValue{"demo"}});
+  ASSERT_TRUE(described.ok()) << described.error();
+  EXPECT_EQ(described.value().field("name").as_string(), "demo");
+  EXPECT_EQ(described.value().field("nodes").as_int(), 2);
+  EXPECT_GT(described.value().field("triangles").as_int(), 100);
+  EXPECT_EQ(described.value().field("subscribers").as_int(), 1);
+  EXPECT_FALSE(
+      call("datahost", "data", "describeSession", {services::SoapValue{"nope"}}).ok());
+}
+
+TEST_F(SoapEndpointFixture, CreateSessionViaSoap) {
+  auto created = call("datahost", "data", "createSession",
+                      {services::SoapValue{"fresh"}, services::SoapValue{"empty:"}});
+  ASSERT_TRUE(created.ok()) << created.error();
+  EXPECT_NE(grid_.data_service("datahost")->session_tree("fresh"), nullptr);
+  // Duplicate refused with an explanation.
+  auto dup = call("datahost", "data", "createSession",
+                  {services::SoapValue{"fresh"}, services::SoapValue{"empty:"}});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.error().find("exists"), std::string::npos);
+}
+
+TEST_F(SoapEndpointFixture, QuerySessionLoadListsSubscribers) {
+  auto load = call("datahost", "data", "querySessionLoad", {services::SoapValue{"demo"}});
+  ASSERT_TRUE(load.ok()) << load.error();
+  ASSERT_NE(load.value().as_list(), nullptr);
+  ASSERT_EQ(load.value().as_list()->size(), 1u);
+  const auto& entry = load.value().as_list()->front();
+  EXPECT_EQ(entry.field("host").as_string(), "laptop");
+  EXPECT_TRUE(entry.field("wholeTree").as_bool());
+}
+
+TEST_F(SoapEndpointFixture, RenderCapacityInterrogation) {
+  // The §3.2.5 capacity interrogation, over the real control plane.
+  auto capacity = call("laptop", "render", "queryCapacity");
+  ASSERT_TRUE(capacity.ok()) << capacity.error();
+  EXPECT_EQ(capacity.value().field("host").as_string(), "laptop");
+  EXPECT_GT(capacity.value().field("polygonsPerSec").as_double(), 1e6);
+  EXPECT_GT(capacity.value().field("textureMemBytes").as_int(), 0);
+}
+
+TEST_F(SoapEndpointFixture, ConnectThinClientValidatesSession) {
+  auto endpoint = call("laptop", "render", "connectThinClient", {services::SoapValue{"demo"}});
+  ASSERT_TRUE(endpoint.ok());
+  EXPECT_EQ(endpoint.value().as_string(),
+            grid_.render_service("laptop")->client_access_point());
+  EXPECT_FALSE(
+      call("laptop", "render", "connectThinClient", {services::SoapValue{"ghost"}}).ok());
+}
+
+}  // namespace
+}  // namespace rave::core

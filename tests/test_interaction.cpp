@@ -1,0 +1,202 @@
+// Interaction-model tests (paper §5.2): pick rays, triangle-accurate
+// selection with occlusion, per-kind interrogation, and drag execution
+// producing transport-ready SceneUpdates.
+#include <gtest/gtest.h>
+
+#include "core/interaction.hpp"
+#include "mesh/primitives.hpp"
+
+namespace rave::core {
+namespace {
+
+using scene::Camera;
+using scene::kRootNode;
+using scene::NodeId;
+using scene::SceneTree;
+using util::Vec3;
+
+Camera front_camera() {
+  Camera cam;
+  cam.eye = {0, 0, 5};
+  cam.target = {0, 0, 0};
+  return cam;
+}
+
+TEST(PickRay, CenterPixelLooksAlongView) {
+  const Camera cam = front_camera();
+  const PickRay ray = pick_ray(cam, 50, 50, 100, 100);
+  EXPECT_NEAR(ray.origin.x, cam.eye.x, 1e-4f);
+  EXPECT_NEAR(ray.direction.z, -1.0f, 0.02f);
+  // Top-left pixel aims up-left.
+  const PickRay corner = pick_ray(cam, 0, 0, 100, 100);
+  EXPECT_LT(corner.direction.x, 0.0f);
+  EXPECT_GT(corner.direction.y, 0.0f);
+}
+
+TEST(Pick, HitsCenterObjectAndMissesBackground) {
+  SceneTree tree;
+  const NodeId ball = tree.add_child(kRootNode, "ball", mesh::make_uv_sphere(1.0f, 24, 16));
+  const Camera cam = front_camera();
+  auto hit = pick_pixel(tree, cam, 50, 50, 100, 100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->node, ball);
+  // The hit point is on the front of the sphere.
+  EXPECT_NEAR(hit->world_point.z, 1.0f, 0.05f);
+  EXPECT_NEAR(hit->distance, 4.0f, 0.1f);
+  // Far corner misses.
+  EXPECT_FALSE(pick_pixel(tree, cam, 1, 1, 100, 100).has_value());
+}
+
+TEST(Pick, NearestOfTwoOverlappingWins) {
+  SceneTree tree;
+  const NodeId front = tree.add_child(kRootNode, "front", mesh::make_uv_sphere(0.5f, 16, 12),
+                                      util::Mat4::translate({0, 0, 2}));
+  tree.add_child(kRootNode, "back", mesh::make_uv_sphere(1.0f, 16, 12),
+                 util::Mat4::translate({0, 0, -2}));
+  auto hit = pick_pixel(tree, front_camera(), 50, 50, 100, 100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->node, front);
+}
+
+TEST(Pick, RespectsNodeTransforms) {
+  SceneTree tree;
+  const NodeId moved = tree.add_child(kRootNode, "moved", mesh::make_uv_sphere(0.5f, 16, 12),
+                                      util::Mat4::translate({1.0f, 0, 0}));
+  const Camera cam = front_camera();
+  EXPECT_FALSE(pick_pixel(tree, cam, 50, 50, 100, 100).has_value());  // center empty
+  // The sphere at x=+1 projects right of center (~ndc 0.48 at depth 5).
+  auto hit = pick_pixel(tree, cam, 74, 50, 100, 100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->node, moved);
+}
+
+TEST(Pick, BoundsPickForPointsAndVolumes) {
+  SceneTree tree;
+  scene::PointCloudData cloud;
+  cloud.positions = {{-0.2f, -0.2f, -0.1f}, {0.2f, 0.2f, 0.1f}};  // box straddles the origin
+  const NodeId pts = tree.add_child(kRootNode, "pts", std::move(cloud));
+  auto hit = pick_pixel(tree, front_camera(), 50, 50, 100, 100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->node, pts);
+}
+
+TEST(Interrogate, MenusMatchNodeKind) {
+  SceneTree tree;
+  const NodeId mesh_node = tree.add_child(kRootNode, "m", mesh::make_uv_sphere(1, 8, 6));
+  scene::VoxelGridData grid;
+  grid.nx = grid.ny = grid.nz = 2;
+  grid.values.assign(8, 1.0f);
+  const NodeId vol_node = tree.add_child(kRootNode, "v", std::move(grid));
+  scene::AvatarData avatar;
+  const NodeId avatar_node = tree.add_child(kRootNode, "a", std::move(avatar));
+
+  const auto has = [](const std::vector<InteractionSpec>& specs, InteractionKind kind) {
+    for (const auto& s : specs)
+      if (s.kind == kind) return true;
+    return false;
+  };
+  const auto mesh_menu = interrogate(tree, mesh_node);
+  EXPECT_TRUE(has(mesh_menu, InteractionKind::TranslateObject));
+  EXPECT_TRUE(has(mesh_menu, InteractionKind::DeleteObject));
+  EXPECT_FALSE(has(mesh_menu, InteractionKind::AdjustTransfer));
+
+  const auto vol_menu = interrogate(tree, vol_node);
+  EXPECT_TRUE(has(vol_menu, InteractionKind::AdjustTransfer));
+  EXPECT_FALSE(has(vol_menu, InteractionKind::DeleteObject));
+
+  const auto avatar_menu = interrogate(tree, avatar_node);
+  EXPECT_TRUE(has(avatar_menu, InteractionKind::RotateCameraAround));
+  EXPECT_FALSE(has(avatar_menu, InteractionKind::DeleteObject));  // look, don't touch
+
+  EXPECT_TRUE(interrogate(tree, 9999).empty());
+}
+
+TEST(ApplyInteraction, TranslateProducesViewPlaneMove) {
+  SceneTree tree;
+  const NodeId ball = tree.add_child(kRootNode, "ball", mesh::make_uv_sphere(1, 8, 6));
+  Camera cam = front_camera();
+  auto update = apply_interaction(tree, ball, InteractionKind::TranslateObject,
+                                  {.dx = 0.5f, .dy = 0.0f}, cam);
+  ASSERT_TRUE(update.has_value());
+  ASSERT_TRUE(update->apply(tree).ok());
+  const Vec3 pos = tree.find(ball)->transform.transform_point({0, 0, 0});
+  EXPECT_GT(pos.x, 0.5f);            // moved right
+  EXPECT_NEAR(pos.y, 0.0f, 1e-4f);   // not vertically
+  EXPECT_NEAR(pos.z, 0.0f, 1e-4f);   // stayed in the view plane
+}
+
+TEST(ApplyInteraction, DeleteProducesRemove) {
+  SceneTree tree;
+  const NodeId ball = tree.add_child(kRootNode, "ball", mesh::make_uv_sphere(1, 8, 6));
+  Camera cam = front_camera();
+  auto update = apply_interaction(tree, ball, InteractionKind::DeleteObject, {}, cam);
+  ASSERT_TRUE(update.has_value());
+  EXPECT_EQ(update->kind, scene::UpdateKind::RemoveNode);
+  ASSERT_TRUE(update->apply(tree).ok());
+  EXPECT_FALSE(tree.contains(ball));
+}
+
+TEST(ApplyInteraction, RotateCameraAroundRetargetsWithoutUpdate) {
+  SceneTree tree;
+  const NodeId ball = tree.add_child(kRootNode, "ball", mesh::make_uv_sphere(1, 8, 6),
+                                     util::Mat4::translate({3, 0, 0}));
+  Camera cam = front_camera();
+  auto update = apply_interaction(tree, ball, InteractionKind::RotateCameraAround,
+                                  {.dx = 0.25f, .dy = 0.0f}, cam);
+  EXPECT_FALSE(update.has_value());  // camera-local, nothing to transmit
+  EXPECT_NEAR(cam.target.x, 3.0f, 1e-4f);
+  EXPECT_NE(cam.eye, front_camera().eye);
+}
+
+TEST(ApplyInteraction, TransferFunctionEditStaysValid) {
+  SceneTree tree;
+  scene::VoxelGridData grid;
+  grid.nx = grid.ny = grid.nz = 2;
+  grid.values.assign(8, 1.0f);
+  grid.iso_low = 0.2f;
+  grid.iso_high = 0.9f;
+  const NodeId vol = tree.add_child(kRootNode, "v", std::move(grid));
+  Camera cam = front_camera();
+  auto update = apply_interaction(tree, vol, InteractionKind::AdjustTransfer,
+                                  {.dx = 10.0f, .dy = -0.5f}, cam);  // extreme drag
+  ASSERT_TRUE(update.has_value());
+  ASSERT_TRUE(update->apply(tree).ok());
+  const auto& adjusted = std::get<scene::VoxelGridData>(tree.find(vol)->payload);
+  EXPECT_LT(adjusted.iso_low, adjusted.iso_high);  // clamped
+  EXPECT_GT(adjusted.opacity_scale, 0.0f);
+}
+
+TEST(ApplyInteraction, UnsupportedCombinationRefused) {
+  SceneTree tree;
+  const NodeId ball = tree.add_child(kRootNode, "ball", mesh::make_uv_sphere(1, 8, 6));
+  Camera cam = front_camera();
+  // Transfer-function edits are volume-only; the transport validates even
+  // if a buggy GUI offers it.
+  EXPECT_FALSE(
+      apply_interaction(tree, ball, InteractionKind::AdjustTransfer, {}, cam).has_value());
+  EXPECT_FALSE(
+      apply_interaction(tree, 424242, InteractionKind::DeleteObject, {}, cam).has_value());
+}
+
+TEST(ApplyInteraction, EndToEndThroughDataService) {
+  // A picked-and-dragged edit travels the same path as any update: the
+  // returned SceneUpdate is transport-ready.
+  SceneTree tree;
+  const NodeId ball = tree.add_child(kRootNode, "ball", mesh::make_uv_sphere(1, 12, 8));
+  Camera cam = front_camera();
+  auto hit = pick_pixel(tree, cam, 50, 50, 100, 100);
+  ASSERT_TRUE(hit.has_value());
+  auto update = apply_interaction(tree, hit->node, InteractionKind::RotateObject,
+                                  {.dx = 0.5f, .dy = 0.0f}, cam);
+  ASSERT_TRUE(update.has_value());
+  util::ByteWriter w;
+  scene::write_update(w, *update);
+  util::ByteReader r(w.data());
+  auto decoded = scene::read_update(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().node, ball);
+  EXPECT_EQ(decoded.value().kind, scene::UpdateKind::SetTransform);
+}
+
+}  // namespace
+}  // namespace rave::core

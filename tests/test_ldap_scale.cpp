@@ -1,0 +1,150 @@
+// LDAP-alternative directory tests (paper §4.3: "standard directory
+// services, such as LDAP or UDDI") and client-side image scaling tests
+// (the Zaurus' 640x480 display showing 200x200 frames, §5.1).
+#include <gtest/gtest.h>
+
+#include "render/framebuffer.hpp"
+#include "services/ldap.hpp"
+
+namespace rave {
+namespace {
+
+using services::LdapDirectory;
+using services::LdapScope;
+
+TEST(Ldap, AddLookupRemove) {
+  LdapDirectory dir;
+  ASSERT_TRUE(dir.add("o=tower,dc=rave", {{"o", {"tower"}}}).ok());
+  ASSERT_TRUE(dir.add("ou=services,o=tower,dc=rave", {{"ou", {"services"}}}).ok());
+  auto entry = dir.lookup("ou=services,o=tower,dc=rave");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first("ou"), "services");
+
+  // Parent must exist; duplicates refused.
+  EXPECT_FALSE(dir.add("cn=x,o=ghost,dc=rave", {}).ok());
+  EXPECT_FALSE(dir.add("o=tower,dc=rave", {}).ok());
+
+  ASSERT_TRUE(dir.remove("o=tower,dc=rave").ok());
+  EXPECT_FALSE(dir.lookup("o=tower,dc=rave").has_value());
+  EXPECT_FALSE(dir.lookup("ou=services,o=tower,dc=rave").has_value());  // subtree gone
+  EXPECT_FALSE(dir.remove("dc=rave").ok());  // suffix protected
+}
+
+TEST(Ldap, DnNormalization) {
+  LdapDirectory dir;
+  ASSERT_TRUE(dir.add("O=Tower, dc=rave", {{"o", {"Tower"}}}).ok());
+  // Attribute types are case-insensitive, cosmetic spaces ignored.
+  EXPECT_TRUE(dir.lookup("o=Tower,dc=rave").has_value());
+}
+
+TEST(Ldap, ScopedSearch) {
+  LdapDirectory dir;
+  ASSERT_TRUE(dir.add("o=a,dc=rave", {}).ok());
+  ASSERT_TRUE(dir.add("ou=svc,o=a,dc=rave", {}).ok());
+  ASSERT_TRUE(dir.add("cn=one,ou=svc,o=a,dc=rave", {{"cn", {"one"}}}).ok());
+  ASSERT_TRUE(dir.add("o=b,dc=rave", {}).ok());
+
+  EXPECT_EQ(dir.search("dc=rave", LdapScope::Base).size(), 1u);
+  EXPECT_EQ(dir.search("dc=rave", LdapScope::OneLevel).size(), 2u);  // o=a, o=b
+  EXPECT_EQ(dir.search("dc=rave", LdapScope::Subtree).size(), 5u);   // everything
+  EXPECT_EQ(dir.search("o=a,dc=rave", LdapScope::Subtree).size(), 3u);
+  EXPECT_TRUE(dir.search("o=ghost,dc=rave", LdapScope::Subtree).empty());
+}
+
+TEST(Ldap, WildcardFilters) {
+  EXPECT_TRUE(LdapDirectory::wildcard_match("*", "anything"));
+  EXPECT_TRUE(LdapDirectory::wildcard_match("Rave*Service", "RaveRenderService"));
+  EXPECT_TRUE(LdapDirectory::wildcard_match("*render*", "rave-render-1"));
+  EXPECT_FALSE(LdapDirectory::wildcard_match("Rave*Service", "RaveRenderServices"));
+  EXPECT_FALSE(LdapDirectory::wildcard_match("abc", "abd"));
+  EXPECT_TRUE(LdapDirectory::wildcard_match("", ""));
+
+  LdapDirectory dir;
+  ASSERT_TRUE(dir.add("o=a,dc=rave", {}).ok());
+  ASSERT_TRUE(dir.add("cn=render1,o=a,dc=rave",
+                      {{"objectClass", {"RaveRenderService"}}}).ok());
+  ASSERT_TRUE(dir.add("cn=data1,o=a,dc=rave", {{"objectClass", {"RaveDataService"}}}).ok());
+  const auto renders =
+      dir.search("dc=rave", LdapScope::Subtree, "objectClass", "Rave*Service");
+  ASSERT_EQ(renders.size(), 2u);
+  const auto render_only =
+      dir.search("dc=rave", LdapScope::Subtree, "objectClass", "*Render*");
+  ASSERT_EQ(render_only.size(), 1u);
+  EXPECT_EQ(render_only[0].first("objectClass"), "RaveRenderService");
+}
+
+TEST(Ldap, RaveAdapterAdvertiseAndDiscover) {
+  LdapDirectory dir;
+  ASSERT_TRUE(services::ldap_advertise(dir, "tower", "render:Skull", "inproc:tower/soap",
+                                       "RaveRenderService", "Skull-internal")
+                  .ok());
+  ASSERT_TRUE(services::ldap_advertise(dir, "adrenochrome", "render:Skull",
+                                       "inproc:adrenochrome/soap", "RaveRenderService")
+                  .ok());
+  ASSERT_TRUE(services::ldap_advertise(dir, "adrenochrome", "data:Skull",
+                                       "inproc:adrenochrome/soap", "RaveDataService")
+                  .ok());
+
+  const auto renders = services::ldap_find_services(dir, "RaveRenderService");
+  ASSERT_EQ(renders.size(), 2u);
+  for (const auto& entry : renders)
+    EXPECT_NE(entry.first("labeledURI").find("inproc:"), std::string::npos);
+  EXPECT_EQ(services::ldap_find_services(dir, "RaveDataService").size(), 1u);
+
+  // Re-advertising replaces, not duplicates.
+  ASSERT_TRUE(services::ldap_advertise(dir, "tower", "render:Skull", "inproc:tower/soap2",
+                                       "RaveRenderService")
+                  .ok());
+  const auto after = services::ldap_find_services(dir, "RaveRenderService");
+  EXPECT_EQ(after.size(), 2u);
+}
+
+TEST(ImageScale, NearestPreservesBlocks) {
+  render::Image small(2, 2);
+  small.set_pixel(0, 0, 255, 0, 0);
+  small.set_pixel(1, 0, 0, 255, 0);
+  small.set_pixel(0, 1, 0, 0, 255);
+  small.set_pixel(1, 1, 255, 255, 255);
+  const render::Image big = render::scale_nearest(small, 8, 8);
+  EXPECT_EQ(big.pixel(1, 1)[0], 255);  // top-left quadrant stays red
+  EXPECT_EQ(big.pixel(6, 1)[1], 255);  // top-right green
+  EXPECT_EQ(big.pixel(1, 6)[2], 255);  // bottom-left blue
+  EXPECT_EQ(big.pixel(6, 6)[0], 255);  // bottom-right white
+}
+
+TEST(ImageScale, BilinearInterpolatesSmoothly) {
+  render::Image small(2, 1);
+  small.set_pixel(0, 0, 0, 0, 0);
+  small.set_pixel(1, 0, 200, 200, 200);
+  const render::Image big = render::scale_bilinear(small, 8, 1);
+  // Monotone ramp between the two source pixels.
+  for (int x = 1; x < 8; ++x) EXPECT_GE(big.pixel(x, 0)[0], big.pixel(x - 1, 0)[0]);
+  EXPECT_LT(big.pixel(0, 0)[0], 20);
+  EXPECT_GT(big.pixel(7, 0)[0], 180);
+}
+
+TEST(ImageScale, PdaUpscalePath) {
+  // The Zaurus presentation path: 200x200 wire frame → 640x480 display.
+  render::Image frame(200, 200);
+  for (int y = 0; y < 200; ++y)
+    for (int x = 0; x < 200; ++x)
+      frame.set_pixel(x, y, static_cast<uint8_t>(x), static_cast<uint8_t>(y), 0);
+  const render::Image display = render::scale_bilinear(frame, 640, 480);
+  EXPECT_EQ(display.width, 640);
+  EXPECT_EQ(display.height, 480);
+  // Gradient direction preserved.
+  EXPECT_LT(display.pixel(10, 240)[0], display.pixel(600, 240)[0]);
+  EXPECT_LT(display.pixel(320, 10)[1], display.pixel(320, 460)[1]);
+}
+
+TEST(ImageScale, IdentityAndDegenerate) {
+  render::Image src(3, 3);
+  src.set_pixel(1, 1, 42, 43, 44);
+  const render::Image same = render::scale_nearest(src, 3, 3);
+  EXPECT_EQ(same.rgb, src.rgb);
+  const render::Image empty = render::scale_bilinear(render::Image{}, 4, 4);
+  EXPECT_EQ(empty.width, 4);  // defined result, no crash
+}
+
+}  // namespace
+}  // namespace rave

@@ -1,0 +1,105 @@
+// OBJ/PLY I/O tests — the data-import path of the data service (paper §5:
+// models in PLY, converted to OBJ, imported).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mesh/obj_io.hpp"
+#include "mesh/ply_io.hpp"
+#include "mesh/primitives.hpp"
+
+namespace rave::mesh {
+namespace {
+
+TEST(ObjIo, RoundTripPreservesGeometry) {
+  const MeshData mesh = make_uv_sphere(1.0f, 12, 8);
+  std::ostringstream out;
+  ASSERT_TRUE(write_obj(mesh, out).ok());
+  std::istringstream in(out.str());
+  auto back = read_obj(in);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().positions.size(), mesh.positions.size());
+  EXPECT_EQ(back.value().triangle_count(), mesh.triangle_count());
+  for (size_t i = 0; i < mesh.positions.size(); i += 7) {
+    EXPECT_NEAR(back.value().positions[i].x, mesh.positions[i].x, 1e-4f);
+    EXPECT_NEAR(back.value().positions[i].y, mesh.positions[i].y, 1e-4f);
+  }
+}
+
+TEST(ObjIo, ParsesFaceVariantsAndPolygons) {
+  const std::string obj =
+      "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\n"
+      "f 1 2 3 4\n"      // quad → fan triangulated
+      "f 1/5 2/6 3/7\n"  // with texture indices
+      "f -4//-4 -3//-3 -2//-2\n";  // negative indices
+  std::istringstream in(obj);
+  auto mesh = read_obj(in);
+  ASSERT_TRUE(mesh.ok()) << mesh.error();
+  EXPECT_EQ(mesh.value().positions.size(), 4u);
+  EXPECT_EQ(mesh.value().triangle_count(), 4u);  // 2 + 1 + 1
+}
+
+TEST(ObjIo, RejectsMalformedInput) {
+  std::istringstream bad_vertex("v 1 2\nf 1 2 3\n");
+  EXPECT_FALSE(read_obj(bad_vertex).ok());
+  std::istringstream bad_index("v 0 0 0\nf 1 2 9\n");
+  EXPECT_FALSE(read_obj(bad_index).ok());
+  std::istringstream degenerate_face("v 0 0 0\nv 1 0 0\nf 1 2\n");
+  EXPECT_FALSE(read_obj(degenerate_face).ok());
+}
+
+TEST(ObjIo, FileSizeEstimateMatchesActual) {
+  const MeshData mesh = make_uv_sphere(1.0f, 16, 12);
+  std::ostringstream out;
+  ASSERT_TRUE(write_obj(mesh, out).ok());
+  EXPECT_EQ(obj_file_size(mesh), out.str().size());
+}
+
+class PlyFormatTest : public testing::TestWithParam<PlyFormat> {};
+
+TEST_P(PlyFormatTest, RoundTrip) {
+  const MeshData mesh = make_torus(2.0f, 0.5f, 10, 8);
+  std::stringstream stream;
+  ASSERT_TRUE(write_ply(mesh, stream, GetParam()).ok());
+  auto back = read_ply(stream);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().positions.size(), mesh.positions.size());
+  EXPECT_EQ(back.value().triangle_count(), mesh.triangle_count());
+  for (size_t i = 0; i < mesh.positions.size(); i += 13) {
+    EXPECT_NEAR(back.value().positions[i].x, mesh.positions[i].x, 1e-5f);
+    EXPECT_NEAR(back.value().positions[i].z, mesh.positions[i].z, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, PlyFormatTest,
+                         testing::Values(PlyFormat::Ascii, PlyFormat::BinaryLittleEndian));
+
+TEST(PlyIo, RejectsNonPly) {
+  std::istringstream in("OFF\n3 1 0\n");
+  EXPECT_FALSE(read_ply(in).ok());
+}
+
+TEST(PlyIo, RejectsOutOfRangeFaceIndex) {
+  std::istringstream in(
+      "ply\nformat ascii 1.0\nelement vertex 3\nproperty float x\nproperty float y\n"
+      "property float z\nelement face 1\nproperty list uchar uint vertex_indices\n"
+      "end_header\n0 0 0\n1 0 0\n0 1 0\n3 0 1 9\n");
+  EXPECT_FALSE(read_ply(in).ok());
+}
+
+TEST(PlyIo, PaperPipelinePlyToObj) {
+  // The paper's import path: PLY (archive format) → OBJ → data service.
+  const MeshData original = make_capsule(0.5f, 2.0f, 10, 4);
+  std::stringstream ply_stream;
+  ASSERT_TRUE(write_ply(original, ply_stream, PlyFormat::BinaryLittleEndian).ok());
+  auto from_ply = read_ply(ply_stream);
+  ASSERT_TRUE(from_ply.ok());
+  std::stringstream obj_stream;
+  ASSERT_TRUE(write_obj(from_ply.value(), obj_stream).ok());
+  auto from_obj = read_obj(obj_stream);
+  ASSERT_TRUE(from_obj.ok());
+  EXPECT_EQ(from_obj.value().triangle_count(), original.triangle_count());
+}
+
+}  // namespace
+}  // namespace rave::mesh

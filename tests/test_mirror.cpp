@@ -1,0 +1,170 @@
+// Data-service mirroring tests (paper §6 fail-safe): a mirror converges
+// with the primary, survives primary loss, and promotes into a standby
+// that subscribers continue against. Plus paced session replay.
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+#include "core/mirror.hpp"
+#include "mesh/primitives.hpp"
+
+namespace rave::core {
+namespace {
+
+using scene::kRootNode;
+using scene::SceneTree;
+
+scene::MeshData ball() { return mesh::make_uv_sphere(0.7f, 12, 8); }
+
+class MirrorFixture : public testing::Test {
+ protected:
+  MirrorFixture() : fabric_(clock_) {}
+
+  std::unique_ptr<DataService> make_primary() {
+    auto primary = std::make_unique<DataService>(clock_);
+    primary_ap_ =
+        fabric_
+            .listen("primary/data",
+                    [p = primary.get()](net::ChannelPtr ch) { p->accept(std::move(ch)); })
+            .value();
+    return primary;
+  }
+
+  util::SimClock clock_;
+  InProcFabric fabric_;
+  std::string primary_ap_;
+};
+
+TEST_F(MirrorFixture, ConvergesWithPrimary) {
+  auto primary = make_primary();
+  SceneTree tree;
+  const scene::NodeId node = tree.add_child(kRootNode, "obj", ball());
+  ASSERT_TRUE(primary->create_session("demo", std::move(tree)).ok());
+
+  SessionMirror mirror(clock_, fabric_);
+  ASSERT_TRUE(mirror.attach(primary_ap_, "demo").ok());
+  for (int i = 0; i < 20 && !mirror.synced(); ++i) {
+    primary->pump();
+    mirror.pump();
+  }
+  ASSERT_TRUE(mirror.synced());
+  EXPECT_EQ(mirror.tree()->node_count(), 2u);
+
+  // A render service joins the primary and edits; the mirror follows.
+  RenderService render(clock_, fabric_);
+  ASSERT_TRUE(render.connect_session(primary_ap_, "demo").ok());
+  for (int i = 0; i < 20; ++i) {
+    primary->pump();
+    render.pump();
+    mirror.pump();
+  }
+  ASSERT_TRUE(render.bootstrapped("demo"));
+  ASSERT_TRUE(render
+                  .submit_update("demo", scene::SceneUpdate::set_transform(
+                                             node, util::Mat4::translate({7, 0, 0})))
+                  .ok());
+  for (int i = 0; i < 20; ++i) {
+    primary->pump();
+    render.pump();
+    mirror.pump();
+  }
+  EXPECT_EQ(mirror.updates_mirrored(), 1u);
+  EXPECT_EQ(mirror.tree()->find(node)->transform.transform_point({0, 0, 0}),
+            (util::Vec3{7, 0, 0}));
+}
+
+TEST_F(MirrorFixture, PromotionServesSubscribersAfterPrimaryLoss) {
+  auto primary = make_primary();
+  SceneTree tree;
+  const scene::NodeId node = tree.add_child(kRootNode, "obj", ball());
+  ASSERT_TRUE(primary->create_session("demo", std::move(tree)).ok());
+
+  SessionMirror mirror(clock_, fabric_);
+  ASSERT_TRUE(mirror.attach(primary_ap_, "demo").ok());
+  RenderService editor(clock_, fabric_);
+  ASSERT_TRUE(editor.connect_session(primary_ap_, "demo").ok());
+  for (int i = 0; i < 20; ++i) {
+    primary->pump();
+    editor.pump();
+    mirror.pump();
+  }
+  ASSERT_TRUE(editor
+                  .submit_update("demo", scene::SceneUpdate::set_transform(
+                                             node, util::Mat4::translate({1, 2, 3})))
+                  .ok());
+  for (int i = 0; i < 20; ++i) {
+    primary->pump();
+    editor.pump();
+    mirror.pump();
+  }
+  ASSERT_EQ(mirror.updates_mirrored(), 1u);
+
+  // Primary dies.
+  primary.reset();
+  fabric_.unlisten("primary/data");
+  for (int i = 0; i < 5; ++i) mirror.pump();
+
+  // Failover: promote into a standby data service at a new access point.
+  DataService standby(clock_);
+  ASSERT_TRUE(mirror.promote_into(standby).ok());
+  const std::string standby_ap =
+      fabric_
+          .listen("standby/data",
+                  [&standby](net::ChannelPtr ch) { standby.accept(std::move(ch)); })
+          .value();
+
+  // The standby serves the mirrored state, edits included.
+  EXPECT_EQ(standby.session_tree("demo")->find(node)->transform.transform_point({0, 0, 0}),
+            (util::Vec3{1, 2, 3}));
+
+  // A client re-subscribes against the standby and keeps working.
+  RenderService survivor(clock_, fabric_);
+  ASSERT_TRUE(survivor.connect_session(standby_ap, "demo").ok());
+  for (int i = 0; i < 20; ++i) {
+    standby.pump();
+    survivor.pump();
+  }
+  ASSERT_TRUE(survivor.bootstrapped("demo"));
+  ASSERT_TRUE(survivor
+                  .submit_update("demo", scene::SceneUpdate::set_name(node, "post-failover"))
+                  .ok());
+  for (int i = 0; i < 20; ++i) {
+    standby.pump();
+    survivor.pump();
+  }
+  EXPECT_EQ(standby.session_tree("demo")->find(node)->name, "post-failover");
+}
+
+TEST_F(MirrorFixture, PromoteBeforeSyncRefused) {
+  SessionMirror mirror(clock_, fabric_);
+  DataService standby(clock_);
+  EXPECT_FALSE(mirror.promote_into(standby).ok());
+}
+
+TEST(PacedReplay, HonorsOriginalTimeline) {
+  SceneTree tree;
+  scene::AuditTrail trail(tree);
+  for (int i = 0; i < 4; ++i) {
+    scene::SceneNode node;
+    node.id = static_cast<scene::NodeId>(10 + i);
+    node.name = "n" + std::to_string(i);
+    scene::SceneUpdate update = scene::SceneUpdate::add_node(kRootNode, std::move(node));
+    update.timestamp = 100.0 + i * 2.0;  // updates 2 s apart
+    trail.append(update);
+  }
+  util::SimClock clock(50.0);
+  scene::SessionPlayer player(trail);
+  std::vector<double> applied_at;
+  const size_t applied = player.play_paced(clock, 2.0, [&](const scene::SceneUpdate&) {
+    applied_at.push_back(clock.now());
+  });
+  EXPECT_EQ(applied, 4u);
+  ASSERT_EQ(applied_at.size(), 4u);
+  // 2 s gaps at 2x speed → 1 s apart, starting immediately.
+  EXPECT_NEAR(applied_at[0], 50.0, 1e-9);
+  EXPECT_NEAR(applied_at[1], 51.0, 1e-9);
+  EXPECT_NEAR(applied_at[3], 53.0, 1e-9);
+  EXPECT_EQ(player.tree().node_count(), 5u);
+}
+
+}  // namespace
+}  // namespace rave::core

@@ -1,0 +1,206 @@
+// Network substrate tests: in-process channels, TCP, simulated links,
+// fan-out distribution.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/channel.hpp"
+#include "net/fanout.hpp"
+#include "net/simlink.hpp"
+#include "net/tcp.hpp"
+#include "util/clock.hpp"
+
+namespace rave::net {
+namespace {
+
+TEST(InProcChannel, SendReceive) {
+  auto [a, b] = make_channel_pair();
+  ASSERT_TRUE(a->send({7, {1, 2, 3}}).ok());
+  auto msg = b->try_receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, 7);
+  EXPECT_EQ(msg->payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(b->try_receive().has_value());
+}
+
+TEST(InProcChannel, Bidirectional) {
+  auto [a, b] = make_channel_pair();
+  ASSERT_TRUE(a->send({1, {}}).ok());
+  ASSERT_TRUE(b->send({2, {}}).ok());
+  EXPECT_EQ(a->try_receive()->type, 2);
+  EXPECT_EQ(b->try_receive()->type, 1);
+}
+
+TEST(InProcChannel, CloseUnblocksAndRefusesSend) {
+  auto [a, b] = make_channel_pair();
+  a->close();
+  EXPECT_FALSE(a->send({1, {}}).ok());
+  EXPECT_FALSE(b->receive(0.05).has_value());
+}
+
+TEST(InProcChannel, BlockingReceiveWaitsForSender) {
+  auto [a, b] = make_channel_pair();
+  std::thread sender([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    (void)a->send({42, {}});
+  });
+  auto msg = b->receive(1.0);
+  sender.join();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, 42);
+}
+
+TEST(InProcChannel, StatsCountTraffic) {
+  auto [a, b] = make_channel_pair();
+  (void)a->send({1, std::vector<uint8_t>(10)});
+  (void)b->try_receive();
+  EXPECT_EQ(a->stats().messages_sent, 1u);
+  EXPECT_EQ(a->stats().bytes_sent, 16u);  // 6-byte frame + payload
+  EXPECT_EQ(b->stats().messages_received, 1u);
+}
+
+TEST(Tcp, ConnectSendReceive) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.error();
+  auto client = tcp_connect("127.0.0.1", listener.value()->port());
+  ASSERT_TRUE(client.ok()) << client.error();
+  auto server = listener.value()->accept(1.0);
+  ASSERT_TRUE(server.has_value());
+
+  std::vector<uint8_t> payload(1000);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<uint8_t>(i * 7);
+  ASSERT_TRUE(client.value()->send({0x0111, payload}).ok());
+  auto msg = (*server)->receive(1.0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, 0x0111);
+  EXPECT_EQ(msg->payload, payload);
+
+  // And back.
+  ASSERT_TRUE((*server)->send({0x0112, {9}}).ok());
+  auto reply = client.value()->receive(1.0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->payload[0], 9);
+}
+
+TEST(Tcp, ReceiveTimesOutWithoutData) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = tcp_connect("127.0.0.1", listener.value()->port());
+  ASSERT_TRUE(client.ok());
+  auto server = listener.value()->accept(1.0);
+  ASSERT_TRUE(server.has_value());
+  EXPECT_FALSE(client.value()->receive(0.05).has_value());
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = listener.value()->port();
+  listener.value()->close();
+  EXPECT_FALSE(tcp_connect("127.0.0.1", port).ok());
+}
+
+TEST(LinkProfile, TransmitArithmetic) {
+  LinkProfile link;
+  link.bandwidth_bps = 8e6;  // 1 MB/s
+  link.efficiency = 1.0;
+  link.latency_s = 0.01;
+  EXPECT_NEAR(link.transmit_seconds(1'000'000), 1.0, 1e-9);
+  EXPECT_NEAR(link.delivery_seconds(500'000), 0.51, 1e-9);
+  LinkProfile infinite;
+  EXPECT_DOUBLE_EQ(infinite.delivery_seconds(1'000'000), 0.0);
+}
+
+TEST(LinkProfile, PaperWirelessMatchesMeasuredReceipt) {
+  // Paper §5.1: 200x200x24bpp (120 KB) over 11 Mbit/s wireless took
+  // ~0.2 s — "a bandwidth of around 580Kb/sec".
+  const LinkProfile link = wireless_11mbit();
+  const double t = link.delivery_seconds(200 * 200 * 3);
+  EXPECT_GT(t, 0.15);
+  EXPECT_LT(t, 0.28);
+}
+
+TEST(SimulatedLink, DelaysDeliveryOnVirtualClock) {
+  util::SimClock clock;
+  LinkProfile link;
+  link.bandwidth_bps = 8e6;
+  link.latency_s = 0.5;
+  auto [a, b] = make_simulated_pair(clock, link);
+  ASSERT_TRUE(a->send({1, std::vector<uint8_t>(100'000)}).ok());
+  EXPECT_FALSE(b->try_receive().has_value());  // not yet arrived
+  auto msg = b->receive(2.0);                  // auto-advances virtual time
+  ASSERT_TRUE(msg.has_value());
+  // ~0.1 s serialization + 0.5 s latency.
+  EXPECT_NEAR(clock.now(), 0.6, 0.05);
+}
+
+TEST(SimulatedLink, SerializesBackToBackMessages) {
+  util::SimClock clock;
+  LinkProfile link;
+  link.bandwidth_bps = 8e6;
+  auto [a, b] = make_simulated_pair(clock, link);
+  ASSERT_TRUE(a->send({1, std::vector<uint8_t>(1'000'000)}).ok());
+  ASSERT_TRUE(a->send({2, std::vector<uint8_t>(1'000'000)}).ok());
+  ASSERT_TRUE(b->receive(10.0).has_value());
+  ASSERT_TRUE(b->receive(10.0).has_value());
+  // Two 1 MB messages over 1 MB/s share the pipe: ~2 s total.
+  EXPECT_NEAR(clock.now(), 2.0, 0.1);
+}
+
+TEST(SimulatedLink, TimeoutRespected) {
+  util::SimClock clock;
+  LinkProfile link;
+  link.bandwidth_bps = 1e3;  // very slow
+  auto [a, b] = make_simulated_pair(clock, link);
+  ASSERT_TRUE(a->send({1, std::vector<uint8_t>(100'000)}).ok());
+  EXPECT_FALSE(b->receive(0.5).has_value());  // arrival far beyond timeout
+  EXPECT_LE(clock.now(), 0.6);
+}
+
+TEST(Fanout, PublishReachesAllSubscribers) {
+  FanoutHub hub;
+  auto [a1, a2] = make_channel_pair();
+  auto [b1, b2] = make_channel_pair();
+  hub.subscribe(a1);
+  hub.subscribe(b1);
+  EXPECT_EQ(hub.publish({5, {1}}), 2u);
+  EXPECT_TRUE(a2->try_receive().has_value());
+  EXPECT_TRUE(b2->try_receive().has_value());
+}
+
+TEST(Fanout, FilterSkipsUninterested) {
+  FanoutHub hub;
+  auto [a1, a2] = make_channel_pair();
+  auto [b1, b2] = make_channel_pair();
+  hub.subscribe(a1, [](const Message& m) { return m.type == 1; });
+  hub.subscribe(b1);
+  EXPECT_EQ(hub.publish({2, {}}), 1u);
+  EXPECT_FALSE(a2->try_receive().has_value());
+  EXPECT_TRUE(b2->try_receive().has_value());
+}
+
+TEST(Fanout, MulticastAccountingCountsPayloadOnce) {
+  FanoutHub hub;
+  auto [a1, a2] = make_channel_pair();
+  auto [b1, b2] = make_channel_pair();
+  auto [c1, c2] = make_channel_pair();
+  hub.subscribe(a1);
+  hub.subscribe(b1);
+  hub.subscribe(c1);
+  const Message msg{1, std::vector<uint8_t>(100)};
+  hub.publish(msg);
+  EXPECT_EQ(hub.multicast_bytes(), msg.wire_size());
+  EXPECT_EQ(hub.unicast_bytes(), 3 * msg.wire_size());
+}
+
+TEST(Fanout, UnsubscribeStopsDelivery) {
+  FanoutHub hub;
+  auto [a1, a2] = make_channel_pair();
+  const auto id = hub.subscribe(a1);
+  hub.unsubscribe(id);
+  EXPECT_EQ(hub.publish({1, {}}), 0u);
+  EXPECT_EQ(hub.subscriber_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rave::net

@@ -1,0 +1,203 @@
+// RenderService unit tests: error paths, stats accounting, active-client
+// restrictions, mixed-payload (mesh + points + volume) distribution — the
+// §6 "voxel and point based methods ... will distribute across multiple
+// render services".
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+#include "mesh/fields.hpp"
+#include "mesh/primitives.hpp"
+#include "scene/volume.hpp"
+
+namespace rave::core {
+namespace {
+
+using scene::kRootNode;
+using scene::SceneTree;
+
+TEST(RenderServiceUnit, ErrorsOnUnknownSessions) {
+  util::SimClock clock;
+  InProcFabric fabric(clock);
+  RenderService render(clock, fabric);
+  scene::Camera cam;
+  EXPECT_FALSE(render.render_console("nope", cam, 32, 32).ok());
+  EXPECT_FALSE(render.render_distributed("nope", cam, 32, 32).ok());
+  EXPECT_FALSE(render.enable_tile_assist("nope", {}).ok());
+  EXPECT_FALSE(render.request_tile_assist("nope", 1).ok());
+  EXPECT_FALSE(render.submit_update("nope", scene::SceneUpdate::remove_node(5)).ok());
+  EXPECT_EQ(render.replica("nope"), nullptr);
+  EXPECT_FALSE(render.bootstrapped("nope"));
+}
+
+TEST(RenderServiceUnit, ActiveClientHasNoPeerEndpointOrAdvert) {
+  util::SimClock clock;
+  InProcFabric fabric(clock);
+  RenderService::Options options;
+  options.active_client_only = true;
+  RenderService active(clock, fabric, options);
+  EXPECT_FALSE(active.listen_peer("x/peer").ok());
+  services::UddiRegistry registry;
+  EXPECT_FALSE(active.advertise(registry, "inproc:x/soap").ok());
+  EXPECT_TRUE(registry.all_businesses().empty());
+}
+
+TEST(RenderServiceUnit, DoubleJoinSameSessionRefused) {
+  util::SimClock clock;
+  RaveGrid grid(clock);
+  DataService& data = grid.add_data_service("datahost");
+  SceneTree tree;
+  tree.add_child(kRootNode, "ball", mesh::make_uv_sphere(0.5f, 8, 6));
+  ASSERT_TRUE(data.create_session("demo", std::move(tree)).ok());
+  grid.add_render_service("laptop");
+  ASSERT_TRUE(grid.join("laptop", "datahost", "demo").ok());
+  EXPECT_FALSE(grid.render_service("laptop")->connect_session(
+                   grid.data_access_point("datahost"), "demo").ok());
+}
+
+TEST(RenderServiceUnit, StatsCountFramesAndUpdates) {
+  util::SimClock clock;
+  RaveGrid grid(clock);
+  DataService& data = grid.add_data_service("datahost");
+  SceneTree tree;
+  const scene::NodeId ball = tree.add_child(kRootNode, "ball", mesh::make_uv_sphere(0.5f, 8, 6));
+  ASSERT_TRUE(data.create_session("demo", std::move(tree)).ok());
+  grid.add_render_service("laptop");
+  ASSERT_TRUE(grid.join("laptop", "datahost", "demo").ok());
+  RenderService& render = *grid.render_service("laptop");
+
+  scene::Camera cam;
+  cam.eye = {0, 0, 3};
+  (void)render.render_console("demo", cam, 32, 32);
+  (void)render.render_console("demo", cam, 32, 32);
+  EXPECT_EQ(render.stats().frames_rendered, 2u);
+  EXPECT_GT(render.last_frame_seconds(), 0.0);
+
+  ASSERT_TRUE(render
+                  .submit_update("demo", scene::SceneUpdate::set_transform(
+                                             ball, util::Mat4::translate({1, 0, 0})))
+                  .ok());
+  grid.pump_until_idle();
+  EXPECT_EQ(render.stats().updates_applied, 1u);  // the committed echo
+}
+
+TEST(RenderServiceUnit, LoadReportsReachDataService) {
+  util::SimClock clock;
+  RaveGrid grid(clock);
+  DataService& data = grid.add_data_service("datahost");
+  SceneTree tree;
+  tree.add_child(kRootNode, "ball", mesh::make_uv_sphere(0.5f, 16, 12));
+  ASSERT_TRUE(data.create_session("demo", std::move(tree)).ok());
+  RenderService::Options options;
+  options.simulate_timing = true;
+  options.load_report_interval = 0.0;  // report every frame
+  grid.add_render_service("laptop", options);
+  ASSERT_TRUE(grid.join("laptop", "datahost", "demo").ok());
+
+  scene::Camera cam;
+  cam.eye = {0, 0, 3};
+  for (int i = 0; i < 5; ++i) {
+    clock.advance(0.1);
+    (void)grid.render_service("laptop")->render_console("demo", cam, 32, 32);
+    grid.pump_until_idle();
+  }
+  const auto views = data.subscribers("demo");
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_GT(views[0].fps, 0.0);  // tracker fed by the wire reports
+}
+
+TEST(RenderServiceUnit, MixedPayloadDistribution) {
+  // Mesh + point cloud + volume blocks packed across two services — every
+  // payload kind is a distribution unit (§6).
+  util::SimClock clock;
+  RaveGrid grid(clock);
+  DataService& data = grid.add_data_service("datahost");
+
+  SceneTree tree;
+  tree.add_child(kRootNode, "mesh", mesh::make_uv_sphere(0.5f, 32, 24));
+  scene::PointCloudData cloud;
+  for (int i = 0; i < 30'000; ++i)
+    cloud.positions.push_back({static_cast<float>(i % 100) * 0.01f,
+                               static_cast<float>(i / 100) * 0.003f, 0.0f});
+  tree.add_child(kRootNode, "points", std::move(cloud));
+  scene::Aabb bounds;
+  bounds.extend({-1, -1, -1});
+  bounds.extend({1, 1, 1});
+  const scene::NodeId vol = tree.add_child(
+      kRootNode, "volume",
+      mesh::rasterize_field(mesh::ball_field({0, 0, 0}, 0.8f), bounds, 16, 16, 16));
+  ASSERT_TRUE(scene::explode_volume_node(tree, vol, 2, 1, 1).ok());
+  ASSERT_TRUE(data.create_session("mixed", std::move(tree)).ok());
+
+  const auto costs = payload_costs(*data.session_tree("mixed"));
+  ASSERT_EQ(costs.size(), 4u);  // mesh + points + 2 volume blocks
+  double total = 0;
+  for (const auto& c : costs) total += c.work_units();
+
+  // Each service holds most-but-not-all of the scene, so the pack must
+  // split it (the largest single node still fits one service).
+  RenderService::Options half;
+  half.profile.tri_rate = total * 0.95 * 15.0;
+  grid.add_render_service("a", half);
+  grid.add_render_service("b", half);
+  ASSERT_TRUE(grid.join("a", "datahost", "mixed").ok());
+  ASSERT_TRUE(grid.join("b", "datahost", "mixed").ok());
+  ASSERT_TRUE(data.distribute("mixed").ok());
+  grid.pump_until_idle();
+
+  const auto views = data.subscribers("mixed");
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_FALSE(views[0].interest.empty());
+  EXPECT_FALSE(views[1].interest.empty());
+  size_t covered = views[0].interest.size() + views[1].interest.size();
+  EXPECT_EQ(covered, 4u);
+}
+
+TEST(RenderServiceUnit, ConsoleRenderSeesAllPayloadKinds) {
+  util::SimClock clock;
+  RaveGrid grid(clock);
+  DataService& data = grid.add_data_service("datahost");
+  SceneTree tree;
+  tree.add_child(kRootNode, "mesh", mesh::make_uv_sphere(0.4f, 16, 12),
+                 util::Mat4::translate({-0.8f, 0, 0}));
+  scene::PointCloudData cloud;
+  cloud.base_color = {0, 1, 0};
+  cloud.point_size = 4.0f;
+  for (int i = 0; i < 200; ++i)
+    cloud.positions.push_back({0.8f, -0.5f + 0.005f * static_cast<float>(i), 0});
+  tree.add_child(kRootNode, "points", std::move(cloud));
+  scene::Aabb bounds;
+  bounds.extend({-0.3f, -0.3f, -0.3f});
+  bounds.extend({0.3f, 0.3f, 0.3f});
+  auto grid_data = mesh::rasterize_field(mesh::ball_field({0, 0, 0}, 0.28f), bounds, 12, 12, 12);
+  grid_data.opacity_scale = 4.0f;
+  grid_data.iso_low = 0.05f;
+  tree.add_child(kRootNode, "volume", std::move(grid_data),
+                 util::Mat4::translate({0, 0.7f, 0}));
+  ASSERT_TRUE(data.create_session("zoo", std::move(tree)).ok());
+  grid.add_render_service("laptop");
+  ASSERT_TRUE(grid.join("laptop", "datahost", "zoo").ok());
+
+  scene::Camera cam;
+  cam.eye = {0, 0, 3};
+  auto frame = grid.render_service("laptop")->render_console("zoo", cam, 96, 96);
+  ASSERT_TRUE(frame.ok());
+  // Mesh on the left, points on the right, volume above: all present.
+  EXPECT_LT(frame.value().depth_at(24, 48), 1.0f);                     // mesh
+  const render::Image img = frame.value().to_image();
+  bool points_lit = false;
+  for (int x = 66; x < 96; ++x)
+    for (int y = 0; y < 96; ++y)
+      if (img.pixel(x, y)[1] > 128 && img.pixel(x, y)[0] < 100) points_lit = true;
+  EXPECT_TRUE(points_lit);
+  bool volume_lit = false;
+  for (int x = 30; x < 66; ++x)
+    for (int y = 8; y < 40; ++y) {
+      const uint8_t* p = img.pixel(x, y);
+      if (p[2] > 60 && frame.value().depth_at(x, y) >= 1.0f) volume_lit = true;  // translucent
+      if (p[0] + p[1] + p[2] > 100) volume_lit = true;
+    }
+  EXPECT_TRUE(volume_lit);
+}
+
+}  // namespace
+}  // namespace rave::core

@@ -1,0 +1,237 @@
+// Update, serialization and audit-trail tests — the collaboration and
+// persistence substrate (paper §3.1.1, §3.2.4).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "scene/audit.hpp"
+#include "scene/serialize.hpp"
+#include "scene/update.hpp"
+
+namespace rave::scene {
+namespace {
+
+MeshData tri() {
+  MeshData mesh;
+  mesh.positions = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  mesh.indices = {0, 1, 2};
+  mesh.compute_normals();
+  return mesh;
+}
+
+SceneNode make_node(NodeId id, const std::string& name, NodePayload payload = std::monostate{}) {
+  SceneNode node;
+  node.id = id;
+  node.name = name;
+  node.payload = std::move(payload);
+  return node;
+}
+
+TEST(SceneUpdate, ApplyAddRemove) {
+  SceneTree tree;
+  const NodeId id = tree.allocate_id();
+  ASSERT_TRUE(SceneUpdate::add_node(kRootNode, make_node(id, "n", tri())).apply(tree).ok());
+  EXPECT_TRUE(tree.contains(id));
+  ASSERT_TRUE(SceneUpdate::remove_node(id).apply(tree).ok());
+  EXPECT_FALSE(tree.contains(id));
+}
+
+TEST(SceneUpdate, ApplySetTransformAndName) {
+  SceneTree tree;
+  const NodeId id = tree.add_child(kRootNode, "n");
+  ASSERT_TRUE(SceneUpdate::set_transform(id, util::Mat4::translate({1, 2, 3})).apply(tree).ok());
+  EXPECT_EQ(tree.find(id)->transform.transform_point({0, 0, 0}), (util::Vec3{1, 2, 3}));
+  ASSERT_TRUE(SceneUpdate::set_name(id, "renamed").apply(tree).ok());
+  EXPECT_EQ(tree.find(id)->name, "renamed");
+}
+
+TEST(SceneUpdate, ApplyToMissingNodeFails) {
+  SceneTree tree;
+  EXPECT_FALSE(SceneUpdate::remove_node(777).apply(tree).ok());
+  EXPECT_FALSE(SceneUpdate::set_transform(777, util::Mat4::identity()).apply(tree).ok());
+}
+
+TEST(SceneUpdate, SerializationRoundTripAllKinds) {
+  SceneTree scratch;
+  std::vector<SceneUpdate> updates;
+  updates.push_back(SceneUpdate::add_node(kRootNode, make_node(10, "mesh", tri())));
+  updates.push_back(SceneUpdate::remove_node(10));
+  updates.push_back(SceneUpdate::set_transform(4, util::Mat4::translate({1, 1, 1})));
+  updates.push_back(SceneUpdate::set_payload(5, tri()));
+  updates.push_back(SceneUpdate::set_name(6, "renamed"));
+  updates.push_back(SceneUpdate::reparent(7, 8));
+  for (SceneUpdate& u : updates) {
+    u.sequence = 42;
+    u.author = 7;
+    u.timestamp = 1.25;
+    util::ByteWriter w;
+    write_update(w, u);
+    util::ByteReader r(w.data());
+    auto back = read_update(r);
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(back.value().kind, u.kind);
+    EXPECT_EQ(back.value().sequence, 42u);
+    EXPECT_EQ(back.value().author, 7u);
+    EXPECT_EQ(back.value().node, u.node);
+    EXPECT_EQ(back.value().parent, u.parent);
+  }
+}
+
+TEST(Serialize, PayloadRoundTripMesh) {
+  MeshData mesh = tri();
+  mesh.colors = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  util::ByteWriter w;
+  write_payload(w, NodePayload{mesh});
+  util::ByteReader r(w.data());
+  auto back = read_payload(r);
+  ASSERT_TRUE(back.ok());
+  const auto* out = std::get_if<MeshData>(&back.value());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->positions.size(), 3u);
+  EXPECT_EQ(out->colors.size(), 3u);
+  EXPECT_EQ(out->indices, mesh.indices);
+}
+
+TEST(Serialize, PayloadRoundTripVoxelsAndPoints) {
+  VoxelGridData grid;
+  grid.nx = grid.ny = grid.nz = 2;
+  grid.values = {0, 1, 2, 3, 4, 5, 6, 7};
+  grid.opacity_scale = 2.5f;
+  util::ByteWriter w;
+  write_payload(w, NodePayload{grid});
+  PointCloudData cloud;
+  cloud.positions = {{1, 2, 3}};
+  cloud.point_size = 4.0f;
+  write_payload(w, NodePayload{cloud});
+  util::ByteReader r(w.data());
+  auto vox = read_payload(r);
+  ASSERT_TRUE(vox.ok());
+  EXPECT_EQ(std::get<VoxelGridData>(vox.value()).values[5], 5.0f);
+  auto pts = read_payload(r);
+  ASSERT_TRUE(pts.ok());
+  EXPECT_FLOAT_EQ(std::get<PointCloudData>(pts.value()).point_size, 4.0f);
+}
+
+TEST(Serialize, TreeRoundTripPreservesStructureAndIds) {
+  SceneTree tree;
+  const NodeId group = tree.add_child(kRootNode, "group", std::monostate{},
+                                      util::Mat4::translate({1, 0, 0}));
+  const NodeId mesh = tree.add_child(group, "mesh", tri());
+  AvatarData avatar;
+  avatar.user_name = "alice";
+  const NodeId av = tree.add_child(kRootNode, "avatar", avatar);
+
+  const std::vector<uint8_t> bytes = serialize_tree(tree);
+  auto back = deserialize_tree(bytes);
+  ASSERT_TRUE(back.ok()) << back.error();
+  const SceneTree& copy = back.value();
+  EXPECT_EQ(copy.node_count(), tree.node_count());
+  EXPECT_TRUE(copy.contains(group));
+  EXPECT_TRUE(copy.contains(mesh));
+  EXPECT_EQ(copy.find(mesh)->parent, group);
+  EXPECT_EQ(std::get<AvatarData>(copy.find(av)->payload).user_name, "alice");
+  // Id allocation continues above the highest seen id.
+  EXPECT_GT(copy.peek_next_id(), av);
+}
+
+TEST(Serialize, MarshalStatsCountPerVertexFields) {
+  SceneTree tree;
+  tree.add_child(kRootNode, "mesh", tri());
+  MarshalStats stats;
+  (void)serialize_tree(tree, &stats);
+  // 3 positions + 3 normals + 3 indices + header fields — introspection
+  // touches every per-vertex field (Table 5's cost driver).
+  EXPECT_GE(stats.fields, 9u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(Serialize, RejectsCorruptTree) {
+  std::vector<uint8_t> garbage{1, 2, 3, 4, 5};
+  EXPECT_FALSE(deserialize_tree(garbage).ok());
+}
+
+TEST(AuditTrail, RecordsAndReplays) {
+  SceneTree tree;
+  AuditTrail trail(tree);
+
+  SceneUpdate add = SceneUpdate::add_node(kRootNode, make_node(2, "obj", tri()));
+  add.timestamp = 1.0;
+  ASSERT_TRUE(add.apply(tree).ok());
+  trail.append(add);
+
+  SceneUpdate move = SceneUpdate::set_transform(2, util::Mat4::translate({3, 0, 0}));
+  move.timestamp = 2.0;
+  ASSERT_TRUE(move.apply(tree).ok());
+  trail.append(move);
+
+  SessionPlayer player(trail);
+  ASSERT_TRUE(player.valid());
+  EXPECT_EQ(player.play_all(), 2u);
+  EXPECT_TRUE(player.tree().contains(2));
+  EXPECT_EQ(player.tree().find(2)->transform.transform_point({0, 0, 0}), (util::Vec3{3, 0, 0}));
+}
+
+TEST(AuditTrail, ScrubByTimestamp) {
+  SceneTree tree;
+  AuditTrail trail(tree);
+  for (int i = 0; i < 5; ++i) {
+    SceneUpdate add = SceneUpdate::add_node(
+        kRootNode, make_node(static_cast<NodeId>(10 + i), "n" + std::to_string(i)));
+    add.timestamp = static_cast<double>(i);
+    trail.append(add);
+  }
+  SessionPlayer player(trail);
+  EXPECT_EQ(player.step_until(2.5), 3u);  // t=0,1,2
+  EXPECT_EQ(player.tree().node_count(), 4u);
+  EXPECT_DOUBLE_EQ(player.next_timestamp(), 3.0);
+  EXPECT_EQ(player.play_all(), 2u);
+  EXPECT_TRUE(player.finished());
+}
+
+TEST(AuditTrail, SaveLoadRoundTrip) {
+  SceneTree tree;
+  tree.add_child(kRootNode, "base", tri());
+  AuditTrail trail(tree);
+  SceneUpdate update = SceneUpdate::set_name(kRootNode, "renamed-root");
+  update.timestamp = 5.0;
+  trail.append(update);
+
+  const std::string path = testing::TempDir() + "/rave_audit_test.bin";
+  ASSERT_TRUE(trail.save(path).ok());
+  auto loaded = AuditTrail::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded.value().size(), 1u);
+  SessionPlayer player(loaded.value());
+  player.play_all();
+  EXPECT_EQ(player.tree().root().name, "renamed-root");
+  std::remove(path.c_str());
+}
+
+TEST(AuditTrail, AsynchronousCollaborationAppends) {
+  // User A records a session; user B later replays it and appends — the
+  // paper's asynchronous collaboration story (§3.1.1).
+  SceneTree tree;
+  AuditTrail trail(tree);
+  SceneUpdate a_change = SceneUpdate::add_node(kRootNode, make_node(2, "a-object", tri()));
+  a_change.author = 1;
+  a_change.timestamp = 1.0;
+  trail.append(a_change);
+
+  SessionPlayer player(trail);
+  player.play_all();
+  SceneTree resumed = player.tree();
+  AuditTrail extended = trail;
+  SceneUpdate b_change = SceneUpdate::add_node(kRootNode, make_node(3, "b-object", tri()));
+  b_change.author = 2;
+  b_change.timestamp = 100.0;
+  ASSERT_TRUE(b_change.apply(resumed).ok());
+  extended.append(b_change);
+
+  SessionPlayer replay(extended);
+  replay.play_all();
+  EXPECT_TRUE(replay.tree().contains(2));
+  EXPECT_TRUE(replay.tree().contains(3));
+}
+
+}  // namespace
+}  // namespace rave::scene

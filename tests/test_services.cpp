@@ -1,0 +1,279 @@
+// Grid-services substrate tests: XML, SOAP envelopes, WSDL technical
+// models, the UDDI registry and the service container/proxy pair.
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+#include "services/container.hpp"
+#include "services/registry.hpp"
+#include "services/soap.hpp"
+#include "services/wsdl.hpp"
+#include "services/xml.hpp"
+
+namespace rave::services {
+namespace {
+
+TEST(Xml, WriteParseRoundTrip) {
+  XmlNode root("doc");
+  root.attributes["version"] = "1.0";
+  XmlNode& child = root.add_child("item");
+  child.attributes["name"] = "a<b&c";
+  child.text = "text with \"quotes\" & <angles>";
+  root.add_child("empty");
+
+  auto parsed = parse_xml(to_xml(root));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().name, "doc");
+  EXPECT_EQ(parsed.value().attribute("version"), "1.0");
+  const XmlNode* item = parsed.value().find_child("item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->attribute("name"), "a<b&c");
+  EXPECT_EQ(item->text, "text with \"quotes\" & <angles>");
+  EXPECT_NE(parsed.value().find_child("empty"), nullptr);
+}
+
+TEST(Xml, ParserHandlesPrologCommentsSelfClosing) {
+  const std::string doc =
+      "<?xml version=\"1.0\"?>\n<!-- comment -->\n"
+      "<root><a/><!-- inner --><b x='1'/></root>";
+  auto parsed = parse_xml(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().children.size(), 2u);
+  EXPECT_EQ(parsed.value().children[1].attribute("x"), "1");
+}
+
+TEST(Xml, ParserRejectsMalformed) {
+  EXPECT_FALSE(parse_xml("<a><b></a></b>").ok());
+  EXPECT_FALSE(parse_xml("<a").ok());
+  EXPECT_FALSE(parse_xml("just text").ok());
+  EXPECT_FALSE(parse_xml("<a x=1></a>").ok());  // unquoted attribute
+}
+
+TEST(Xml, FieldCountCountsIntrospectedFields) {
+  XmlNode root("a");
+  root.attributes["k"] = "v";
+  root.add_child("b").text = "t";
+  // a(1) + attr(1) + b(1) + text(1)
+  EXPECT_EQ(root.field_count(), 4u);
+}
+
+TEST(Soap, ValueRoundTripAllTypes) {
+  SoapStruct st;
+  st["int"] = int64_t{-42};
+  st["double"] = 3.5;
+  st["string"] = "hello";
+  st["bool"] = true;
+  st["bytes"] = std::vector<uint8_t>{1, 2, 255};
+  st["list"] = SoapList{SoapValue{1}, SoapValue{"two"}};
+  const SoapValue value{st};
+
+  auto back = SoapValue::from_xml(value.to_xml());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().field("int").as_int(), -42);
+  EXPECT_DOUBLE_EQ(back.value().field("double").as_double(), 3.5);
+  EXPECT_EQ(back.value().field("string").as_string(), "hello");
+  EXPECT_TRUE(back.value().field("bool").as_bool());
+  EXPECT_EQ(back.value().field("bytes").as_bytes(), (std::vector<uint8_t>{1, 2, 255}));
+  const SoapValue list_value = back.value().field("list");
+  ASSERT_NE(list_value.as_list(), nullptr);
+  EXPECT_EQ(list_value.as_list()->size(), 2u);
+}
+
+TEST(Soap, CallEnvelopeRoundTrip) {
+  SoapCall call;
+  call.service = "render";
+  call.method = "createInstance";
+  call.call_id = 99;
+  call.args = {SoapValue{"inproc:host/data"}, SoapValue{"Skull"}};
+  auto back = decode_call(encode_call(call));
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().service, "render");
+  EXPECT_EQ(back.value().method, "createInstance");
+  EXPECT_EQ(back.value().call_id, 99u);
+  ASSERT_EQ(back.value().args.size(), 2u);
+  EXPECT_EQ(back.value().args[1].as_string(), "Skull");
+}
+
+TEST(Soap, FaultRoundTrip) {
+  SoapResponse fault;
+  fault.call_id = 7;
+  fault.is_fault = true;
+  fault.fault_message = "no such session";
+  auto back = decode_response(encode_response(fault));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().is_fault);
+  EXPECT_EQ(back.value().fault_message, "no such session");
+  EXPECT_EQ(back.value().call_id, 7u);
+}
+
+TEST(Soap, BinaryPayloadSurvivesBase64) {
+  std::vector<uint8_t> pixels(301);
+  for (size_t i = 0; i < pixels.size(); ++i) pixels[i] = static_cast<uint8_t>(i * 13);
+  SoapResponse response;
+  response.result = SoapValue{pixels};
+  auto back = decode_response(encode_response(response));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().result.as_bytes(), pixels);
+}
+
+TEST(Wsdl, RoundTripAndSignature) {
+  const ServiceDescriptor original = render_service_descriptor();
+  auto parsed = parse_wsdl(to_wsdl(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().name, original.name);
+  EXPECT_EQ(parsed.value().operations.size(), original.operations.size());
+  EXPECT_EQ(api_signature(parsed.value()), api_signature(original));
+}
+
+TEST(Wsdl, SignatureIgnoresOperationOrder) {
+  ServiceDescriptor a;
+  a.name = "S";
+  a.operations = {{"foo", {"xsd:int"}, "xsd:string"}, {"bar", {}, "xsd:int"}};
+  ServiceDescriptor b = a;
+  std::swap(b.operations[0], b.operations[1]);
+  EXPECT_EQ(api_signature(a), api_signature(b));
+}
+
+TEST(Wsdl, DifferentApisDiffer) {
+  EXPECT_NE(api_signature(data_service_descriptor()),
+            api_signature(render_service_descriptor()));
+}
+
+TEST(Uddi, RegisterAndFind) {
+  UddiRegistry registry;
+  const std::string tmodel = registry.register_tmodel(render_service_descriptor());
+  const std::string business = registry.register_business("tower");
+  const std::string service = registry.register_service(business, "render:Skull-internal");
+  auto binding = registry.register_binding(service, "inproc:tower/soap", tmodel, "Skull-internal");
+  ASSERT_TRUE(binding.ok()) << binding.error();
+
+  const auto found = registry.find_business("tow");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].name, "tower");
+  ASSERT_EQ(found[0].services.size(), 1u);
+  EXPECT_EQ(found[0].services[0].bindings[0].access_point, "inproc:tower/soap");
+
+  const auto points = registry.access_points(tmodel);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].instance_info, "Skull-internal");
+}
+
+TEST(Uddi, TModelRegistrationIsIdempotentBySignature) {
+  UddiRegistry registry;
+  const std::string k1 = registry.register_tmodel(render_service_descriptor());
+  const std::string k2 = registry.register_tmodel(render_service_descriptor());
+  EXPECT_EQ(k1, k2);
+  const std::string k3 = registry.register_tmodel(data_service_descriptor());
+  EXPECT_NE(k1, k3);
+}
+
+TEST(Uddi, BindingRequiresKnownTModelAndService) {
+  UddiRegistry registry;
+  EXPECT_FALSE(registry.register_binding("nope", "ap", "uddi:tmodel:1").ok());
+  const std::string tmodel = registry.register_tmodel(data_service_descriptor());
+  EXPECT_FALSE(registry.register_binding("nope", "ap", tmodel).ok());
+}
+
+TEST(Uddi, RemoveBindingHidesAccessPoint) {
+  UddiRegistry registry;
+  const std::string tmodel = registry.register_tmodel(render_service_descriptor());
+  const std::string business = registry.register_business("host");
+  const std::string service = registry.register_service(business, "render");
+  const auto binding = registry.register_binding(service, "ap1", tmodel);
+  ASSERT_TRUE(binding.ok());
+  registry.remove_binding(binding.value());
+  EXPECT_TRUE(registry.access_points(tmodel).empty());
+}
+
+TEST(Uddi, SoapDispatchSurface) {
+  UddiRegistry registry;
+  const std::string tmodel = registry.register_tmodel(render_service_descriptor());
+  auto business = registry.dispatch("registerBusiness", {SoapValue{"adrenochrome"}});
+  ASSERT_TRUE(business.ok());
+  auto service = registry.dispatch("registerService",
+                                   {business.value(), SoapValue{"render:Skull"}});
+  ASSERT_TRUE(service.ok());
+  auto binding = registry.dispatch(
+      "registerBinding", {service.value(), SoapValue{"inproc:a/soap"}, SoapValue{tmodel},
+                          SoapValue{"Skull"}});
+  ASSERT_TRUE(binding.ok()) << binding.error();
+  auto points = registry.dispatch("accessPoints", {SoapValue{tmodel}});
+  ASSERT_TRUE(points.ok());
+  ASSERT_NE(points.value().as_list(), nullptr);
+  EXPECT_EQ(points.value().as_list()->size(), 1u);
+  EXPECT_FALSE(registry.dispatch("noSuchMethod", {}).ok());
+}
+
+TEST(Container, DispatchAndFaults) {
+  ServiceContainer container;
+  container.register_method("math", "add", [](const SoapList& args) -> util::Result<SoapValue> {
+    return SoapValue{args[0].as_int() + args[1].as_int()};
+  });
+  SoapCall call;
+  call.service = "math";
+  call.method = "add";
+  call.args = {SoapValue{2}, SoapValue{3}};
+  EXPECT_EQ(container.dispatch(call).result.as_int(), 5);
+
+  call.method = "subtract";
+  EXPECT_TRUE(container.dispatch(call).is_fault);
+  EXPECT_EQ(container.stats().calls_served, 2u);
+  EXPECT_EQ(container.stats().faults, 1u);
+}
+
+TEST(Container, ProxyOverChannelPump) {
+  ServiceContainer container;
+  container.register_method("echo", "shout",
+                            [](const SoapList& args) -> util::Result<SoapValue> {
+                              return SoapValue{args[0].as_string() + "!"};
+                            });
+  auto [client_end, server_end] = net::make_channel_pair();
+  container.bind_channel(server_end);
+  ServiceProxy proxy(client_end, "echo");
+
+  // Deterministic single-threaded call: send, pump, then read the reply.
+  SoapCall call;
+  call.service = "echo";
+  call.method = "shout";
+  call.call_id = 1;
+  call.args = {SoapValue{"hello"}};
+  const std::string xml = encode_call(call);
+  ASSERT_TRUE(client_end->send({kSoapRequestType,
+                                std::vector<uint8_t>(xml.begin(), xml.end())}).ok());
+  EXPECT_EQ(container.pump(), 1u);
+  auto reply = client_end->try_receive();
+  ASSERT_TRUE(reply.has_value());
+  auto response = decode_response(std::string(reply->payload.begin(), reply->payload.end()));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().result.as_string(), "hello!");
+}
+
+TEST(Container, ThreadedProxyCall) {
+  ServiceContainer container;
+  container.register_method("echo", "twice",
+                            [](const SoapList& args) -> util::Result<SoapValue> {
+                              return SoapValue{args[0].as_int() * 2};
+                            });
+  auto [client_end, server_end] = net::make_channel_pair();
+  container.bind_channel(server_end);
+  container.start();
+  ServiceProxy proxy(client_end, "echo");
+  auto result = proxy.call("twice", {SoapValue{21}}, 2.0);
+  container.stop();
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().as_int(), 42);
+}
+
+TEST(Container, ProxySurfacesFaults) {
+  ServiceContainer container;
+  auto [client_end, server_end] = net::make_channel_pair();
+  container.bind_channel(server_end);
+  container.start();
+  ServiceProxy proxy(client_end, "ghost");
+  auto result = proxy.call("anything", {}, 1.0);
+  container.stop();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("no such operation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rave::services

@@ -1,0 +1,159 @@
+// Stereo rendering and usage-profile workload tests.
+#include <gtest/gtest.h>
+
+#include "mesh/primitives.hpp"
+#include "render/stereo.hpp"
+#include "sim/workload.hpp"
+
+namespace rave {
+namespace {
+
+using scene::Camera;
+using scene::SceneTree;
+
+SceneTree sphere_at(const util::Vec3& pos) {
+  SceneTree tree;
+  tree.add_child(scene::kRootNode, "ball", mesh::make_uv_sphere(0.4f, 20, 14),
+                 util::Mat4::translate(pos));
+  return tree;
+}
+
+Camera front_camera() {
+  Camera cam;
+  cam.eye = {0, 0, 4};
+  cam.target = {0, 0, 0};
+  return cam;
+}
+
+int leftmost_lit_column(const render::FrameBuffer& fb) {
+  for (int x = 0; x < fb.width(); ++x)
+    for (int y = 0; y < fb.height(); ++y)
+      if (fb.depth_at(x, y) < 1.0f) return x;
+  return -1;
+}
+
+TEST(Stereo, EyeCamerasStraddleCenter) {
+  const Camera center = front_camera();
+  const Camera left = render::left_eye(center, 0.1f);
+  const Camera right = render::right_eye(center, 0.1f);
+  EXPECT_LT(left.eye.x, center.eye.x);
+  EXPECT_GT(right.eye.x, center.eye.x);
+  EXPECT_NEAR((left.eye - right.eye).length(), 0.1f, 1e-5f);
+  // Toe-in: both converge on the shared target.
+  EXPECT_EQ(left.target, center.target);
+  EXPECT_EQ(right.target, center.target);
+}
+
+TEST(Stereo, ParallaxShiftsForegroundObject) {
+  // An object in front of the convergence point projects left in the right
+  // eye and right in the left eye (negative parallax).
+  const SceneTree tree = sphere_at({0, 0, 2.0f});  // in front of target plane
+  const render::StereoPair pair =
+      render::render_stereo(tree, front_camera(), 96, 96, {.eye_separation = 0.5f});
+  const int left_col = leftmost_lit_column(pair.left);
+  const int right_col = leftmost_lit_column(pair.right);
+  ASSERT_GE(left_col, 0);
+  ASSERT_GE(right_col, 0);
+  EXPECT_GT(left_col, right_col);  // left eye sees it shifted right
+}
+
+TEST(Stereo, ZeroSeparationEyesMatch) {
+  const SceneTree tree = sphere_at({0.2f, 0.1f, 0});
+  const render::StereoPair pair =
+      render::render_stereo(tree, front_camera(), 64, 64, {.eye_separation = 0.0f});
+  EXPECT_EQ(pair.left.color(), pair.right.color());
+}
+
+TEST(Stereo, SideBySidePackingLayout) {
+  const SceneTree tree = sphere_at({0, 0, 0});
+  const render::StereoPair pair = render::render_stereo(tree, front_camera(), 40, 30, {});
+  const render::Image packed = render::pack_side_by_side(pair);
+  EXPECT_EQ(packed.width, 80);
+  EXPECT_EQ(packed.height, 30);
+  // Left half pixels come from the left eye.
+  const render::Image left = pair.left.to_image();
+  for (int x = 0; x < 40; x += 7)
+    EXPECT_EQ(packed.pixel(x, 15)[0], left.pixel(x, 15)[0]);
+}
+
+TEST(Stereo, AnaglyphMixesChannels) {
+  const SceneTree tree = sphere_at({0, 0, 1.0f});
+  const render::StereoPair pair =
+      render::render_stereo(tree, front_camera(), 64, 64, {.eye_separation = 0.6f});
+  const render::Image ana = render::anaglyph(pair);
+  EXPECT_EQ(ana.width, 64);
+  // Parallax regions show channel separation: some pixel has red but no
+  // green (left-eye only) or green/blue but dim red (right-eye only).
+  bool red_only = false;
+  for (size_t i = 0; i + 2 < ana.rgb.size(); i += 3)
+    if (ana.rgb[i] > 80 && ana.rgb[i + 1] < 40) red_only = true;
+  EXPECT_TRUE(red_only);
+}
+
+TEST(Workload, TracesAreDeterministicPerSeed) {
+  sim::UsageProfile profile;
+  profile.kind = sim::UsageKind::Inspect;
+  profile.seed = 42;
+  const Camera cam = front_camera();
+  const auto a = sim::generate_trace(profile, cam);
+  const auto b = sim::generate_trace(profile, cam);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 13) {
+    EXPECT_EQ(a[i].camera.eye, b[i].camera.eye) << i;
+    EXPECT_EQ(a[i].edits_scene, b[i].edits_scene) << i;
+  }
+  profile.seed = 43;
+  const auto c = sim::generate_trace(profile, cam);
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && i < c.size(); ++i)
+    if (!(a[i].camera.eye == c[i].camera.eye)) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, ProfilesHaveDistinctCharacters) {
+  const Camera cam = front_camera();
+  const auto movement = [&](sim::UsageKind kind) {
+    sim::UsageProfile profile;
+    profile.kind = kind;
+    profile.duration = 10.0;
+    const auto trace = sim::generate_trace(profile, cam);
+    double total = 0;
+    for (size_t i = 1; i < trace.size(); ++i)
+      total += (trace[i].camera.eye - trace[i - 1].camera.eye).length();
+    return total;
+  };
+  // Idle barely moves; fly-through moves the most.
+  EXPECT_LT(movement(sim::UsageKind::Idle), movement(sim::UsageKind::Orbit));
+  EXPECT_GT(movement(sim::UsageKind::FlyThrough), movement(sim::UsageKind::Idle) * 5.0);
+}
+
+TEST(Workload, InspectDollyRaisesLoadFactor) {
+  sim::UsageProfile profile;
+  profile.kind = sim::UsageKind::Inspect;
+  profile.duration = 6.0;
+  const auto trace = sim::generate_trace(profile, front_camera());
+  double max_load = 0, min_load = 10;
+  for (const auto& step : trace) {
+    const double load = sim::load_factor(step, {0, 0, 0}, 1.0);
+    max_load = std::max(max_load, load);
+    min_load = std::min(min_load, load);
+  }
+  // Bursty by design: the close-in phase loads >1.5x the pull-back phase.
+  EXPECT_GT(max_load, min_load * 1.5);
+  EXPECT_GE(min_load, 0.15);
+  EXPECT_LE(max_load, 3.0);
+}
+
+TEST(Workload, OrbitKeepsDistanceSoLoadIsFlat) {
+  sim::UsageProfile profile;
+  profile.kind = sim::UsageKind::Orbit;
+  profile.duration = 8.0;
+  const auto trace = sim::generate_trace(profile, front_camera());
+  for (const auto& step : trace) {
+    const double load = sim::load_factor(step, {0, 0, 0}, 1.0);
+    EXPECT_NEAR(load, sim::load_factor(trace.front(), {0, 0, 0}, 1.0), 0.6);
+  }
+}
+
+}  // namespace
+}  // namespace rave

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_soap_vs_socket.cpp" "bench/CMakeFiles/ablation_soap_vs_socket.dir/ablation_soap_vs_socket.cpp.o" "gcc" "bench/CMakeFiles/ablation_soap_vs_socket.dir/ablation_soap_vs_socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rave_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/rave_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/rave_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rave_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rave_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rave_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/rave_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/rave_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rave_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

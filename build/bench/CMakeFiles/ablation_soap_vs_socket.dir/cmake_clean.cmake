@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_soap_vs_socket.dir/ablation_soap_vs_socket.cpp.o"
+  "CMakeFiles/ablation_soap_vs_socket.dir/ablation_soap_vs_socket.cpp.o.d"
+  "ablation_soap_vs_socket"
+  "ablation_soap_vs_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_soap_vs_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

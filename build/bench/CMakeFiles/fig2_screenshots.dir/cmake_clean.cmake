@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_screenshots.dir/fig2_screenshots.cpp.o"
+  "CMakeFiles/fig2_screenshots.dir/fig2_screenshots.cpp.o.d"
+  "fig2_screenshots"
+  "fig2_screenshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_screenshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

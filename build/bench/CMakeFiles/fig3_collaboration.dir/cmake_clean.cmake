@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_collaboration.dir/fig3_collaboration.cpp.o"
+  "CMakeFiles/fig3_collaboration.dir/fig3_collaboration.cpp.o.d"
+  "fig3_collaboration"
+  "fig3_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

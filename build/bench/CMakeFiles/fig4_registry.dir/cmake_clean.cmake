@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_registry.dir/fig4_registry.cpp.o"
+  "CMakeFiles/fig4_registry.dir/fig4_registry.cpp.o.d"
+  "fig4_registry"
+  "fig4_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tearing.dir/fig5_tearing.cpp.o"
+  "CMakeFiles/fig5_tearing.dir/fig5_tearing.cpp.o.d"
+  "fig5_tearing"
+  "fig5_tearing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tearing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

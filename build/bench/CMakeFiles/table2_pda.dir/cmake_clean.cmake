@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pda.dir/table2_pda.cpp.o"
+  "CMakeFiles/table2_pda.dir/table2_pda.cpp.o.d"
+  "table2_pda"
+  "table2_pda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

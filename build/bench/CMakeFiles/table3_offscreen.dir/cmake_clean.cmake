@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_offscreen.dir/table3_offscreen.cpp.o"
+  "CMakeFiles/table3_offscreen.dir/table3_offscreen.cpp.o.d"
+  "table3_offscreen"
+  "table3_offscreen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_offscreen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_interleaved.dir/table4_interleaved.cpp.o"
+  "CMakeFiles/table4_interleaved.dir/table4_interleaved.cpp.o.d"
+  "table4_interleaved"
+  "table4_interleaved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_interleaved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_recruitment.dir/table5_recruitment.cpp.o"
+  "CMakeFiles/table5_recruitment.dir/table5_recruitment.cpp.o.d"
+  "table5_recruitment"
+  "table5_recruitment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_recruitment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

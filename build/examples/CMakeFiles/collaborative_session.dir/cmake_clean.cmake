@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_session.dir/collaborative_session.cpp.o"
+  "CMakeFiles/collaborative_session.dir/collaborative_session.cpp.o.d"
+  "collaborative_session"
+  "collaborative_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_recruitment.dir/grid_recruitment.cpp.o"
+  "CMakeFiles/grid_recruitment.dir/grid_recruitment.cpp.o.d"
+  "grid_recruitment"
+  "grid_recruitment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_recruitment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/immersive_wall.dir/immersive_wall.cpp.o"
+  "CMakeFiles/immersive_wall.dir/immersive_wall.cpp.o.d"
+  "immersive_wall"
+  "immersive_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/immersive_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

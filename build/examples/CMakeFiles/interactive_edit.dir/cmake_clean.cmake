@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_edit.dir/interactive_edit.cpp.o"
+  "CMakeFiles/interactive_edit.dir/interactive_edit.cpp.o.d"
+  "interactive_edit"
+  "interactive_edit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_edit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

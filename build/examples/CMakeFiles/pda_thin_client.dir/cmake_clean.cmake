@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pda_thin_client.dir/pda_thin_client.cpp.o"
+  "CMakeFiles/pda_thin_client.dir/pda_thin_client.cpp.o.d"
+  "pda_thin_client"
+  "pda_thin_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pda_thin_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

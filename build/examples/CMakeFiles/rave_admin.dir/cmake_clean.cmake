@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rave_admin.dir/rave_admin.cpp.o"
+  "CMakeFiles/rave_admin.dir/rave_admin.cpp.o.d"
+  "rave_admin"
+  "rave_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rave_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

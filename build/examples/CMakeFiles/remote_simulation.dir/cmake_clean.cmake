@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_simulation.dir/remote_simulation.cpp.o"
+  "CMakeFiles/remote_simulation.dir/remote_simulation.cpp.o.d"
+  "remote_simulation"
+  "remote_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

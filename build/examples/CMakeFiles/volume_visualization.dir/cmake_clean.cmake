@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_visualization.dir/volume_visualization.cpp.o"
+  "CMakeFiles/volume_visualization.dir/volume_visualization.cpp.o.d"
+  "volume_visualization"
+  "volume_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rave_compress.dir/adaptive.cpp.o"
+  "CMakeFiles/rave_compress.dir/adaptive.cpp.o.d"
+  "CMakeFiles/rave_compress.dir/codec.cpp.o"
+  "CMakeFiles/rave_compress.dir/codec.cpp.o.d"
+  "librave_compress.a"
+  "librave_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rave_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

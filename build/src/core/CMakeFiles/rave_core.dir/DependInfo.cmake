@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/rave_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/data_service.cpp" "src/core/CMakeFiles/rave_core.dir/data_service.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/data_service.cpp.o.d"
+  "/root/repo/src/core/distribution.cpp" "src/core/CMakeFiles/rave_core.dir/distribution.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/distribution.cpp.o.d"
+  "/root/repo/src/core/fabric.cpp" "src/core/CMakeFiles/rave_core.dir/fabric.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/fabric.cpp.o.d"
+  "/root/repo/src/core/grid.cpp" "src/core/CMakeFiles/rave_core.dir/grid.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/grid.cpp.o.d"
+  "/root/repo/src/core/interaction.cpp" "src/core/CMakeFiles/rave_core.dir/interaction.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/interaction.cpp.o.d"
+  "/root/repo/src/core/live_feed.cpp" "src/core/CMakeFiles/rave_core.dir/live_feed.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/live_feed.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/rave_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/mirror.cpp" "src/core/CMakeFiles/rave_core.dir/mirror.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/mirror.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/rave_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/render_service.cpp" "src/core/CMakeFiles/rave_core.dir/render_service.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/render_service.cpp.o.d"
+  "/root/repo/src/core/status.cpp" "src/core/CMakeFiles/rave_core.dir/status.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/status.cpp.o.d"
+  "/root/repo/src/core/thin_client.cpp" "src/core/CMakeFiles/rave_core.dir/thin_client.cpp.o" "gcc" "src/core/CMakeFiles/rave_core.dir/thin_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scene/CMakeFiles/rave_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/rave_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/rave_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rave_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/rave_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rave_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/rave_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rave_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rave_core.dir/capacity.cpp.o"
+  "CMakeFiles/rave_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/rave_core.dir/data_service.cpp.o"
+  "CMakeFiles/rave_core.dir/data_service.cpp.o.d"
+  "CMakeFiles/rave_core.dir/distribution.cpp.o"
+  "CMakeFiles/rave_core.dir/distribution.cpp.o.d"
+  "CMakeFiles/rave_core.dir/fabric.cpp.o"
+  "CMakeFiles/rave_core.dir/fabric.cpp.o.d"
+  "CMakeFiles/rave_core.dir/grid.cpp.o"
+  "CMakeFiles/rave_core.dir/grid.cpp.o.d"
+  "CMakeFiles/rave_core.dir/interaction.cpp.o"
+  "CMakeFiles/rave_core.dir/interaction.cpp.o.d"
+  "CMakeFiles/rave_core.dir/live_feed.cpp.o"
+  "CMakeFiles/rave_core.dir/live_feed.cpp.o.d"
+  "CMakeFiles/rave_core.dir/migration.cpp.o"
+  "CMakeFiles/rave_core.dir/migration.cpp.o.d"
+  "CMakeFiles/rave_core.dir/mirror.cpp.o"
+  "CMakeFiles/rave_core.dir/mirror.cpp.o.d"
+  "CMakeFiles/rave_core.dir/protocol.cpp.o"
+  "CMakeFiles/rave_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/rave_core.dir/render_service.cpp.o"
+  "CMakeFiles/rave_core.dir/render_service.cpp.o.d"
+  "CMakeFiles/rave_core.dir/status.cpp.o"
+  "CMakeFiles/rave_core.dir/status.cpp.o.d"
+  "CMakeFiles/rave_core.dir/thin_client.cpp.o"
+  "CMakeFiles/rave_core.dir/thin_client.cpp.o.d"
+  "librave_core.a"
+  "librave_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rave_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

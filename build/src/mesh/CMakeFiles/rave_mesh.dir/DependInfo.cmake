@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/decimate.cpp" "src/mesh/CMakeFiles/rave_mesh.dir/decimate.cpp.o" "gcc" "src/mesh/CMakeFiles/rave_mesh.dir/decimate.cpp.o.d"
+  "/root/repo/src/mesh/fields.cpp" "src/mesh/CMakeFiles/rave_mesh.dir/fields.cpp.o" "gcc" "src/mesh/CMakeFiles/rave_mesh.dir/fields.cpp.o.d"
+  "/root/repo/src/mesh/generators.cpp" "src/mesh/CMakeFiles/rave_mesh.dir/generators.cpp.o" "gcc" "src/mesh/CMakeFiles/rave_mesh.dir/generators.cpp.o.d"
+  "/root/repo/src/mesh/marching_cubes.cpp" "src/mesh/CMakeFiles/rave_mesh.dir/marching_cubes.cpp.o" "gcc" "src/mesh/CMakeFiles/rave_mesh.dir/marching_cubes.cpp.o.d"
+  "/root/repo/src/mesh/obj_io.cpp" "src/mesh/CMakeFiles/rave_mesh.dir/obj_io.cpp.o" "gcc" "src/mesh/CMakeFiles/rave_mesh.dir/obj_io.cpp.o.d"
+  "/root/repo/src/mesh/ply_io.cpp" "src/mesh/CMakeFiles/rave_mesh.dir/ply_io.cpp.o" "gcc" "src/mesh/CMakeFiles/rave_mesh.dir/ply_io.cpp.o.d"
+  "/root/repo/src/mesh/primitives.cpp" "src/mesh/CMakeFiles/rave_mesh.dir/primitives.cpp.o" "gcc" "src/mesh/CMakeFiles/rave_mesh.dir/primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scene/CMakeFiles/rave_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rave_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rave_mesh.dir/decimate.cpp.o"
+  "CMakeFiles/rave_mesh.dir/decimate.cpp.o.d"
+  "CMakeFiles/rave_mesh.dir/fields.cpp.o"
+  "CMakeFiles/rave_mesh.dir/fields.cpp.o.d"
+  "CMakeFiles/rave_mesh.dir/generators.cpp.o"
+  "CMakeFiles/rave_mesh.dir/generators.cpp.o.d"
+  "CMakeFiles/rave_mesh.dir/marching_cubes.cpp.o"
+  "CMakeFiles/rave_mesh.dir/marching_cubes.cpp.o.d"
+  "CMakeFiles/rave_mesh.dir/obj_io.cpp.o"
+  "CMakeFiles/rave_mesh.dir/obj_io.cpp.o.d"
+  "CMakeFiles/rave_mesh.dir/ply_io.cpp.o"
+  "CMakeFiles/rave_mesh.dir/ply_io.cpp.o.d"
+  "CMakeFiles/rave_mesh.dir/primitives.cpp.o"
+  "CMakeFiles/rave_mesh.dir/primitives.cpp.o.d"
+  "librave_mesh.a"
+  "librave_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rave_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

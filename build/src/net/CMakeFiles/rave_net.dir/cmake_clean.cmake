@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rave_net.dir/channel.cpp.o"
+  "CMakeFiles/rave_net.dir/channel.cpp.o.d"
+  "CMakeFiles/rave_net.dir/fanout.cpp.o"
+  "CMakeFiles/rave_net.dir/fanout.cpp.o.d"
+  "CMakeFiles/rave_net.dir/simlink.cpp.o"
+  "CMakeFiles/rave_net.dir/simlink.cpp.o.d"
+  "CMakeFiles/rave_net.dir/tcp.cpp.o"
+  "CMakeFiles/rave_net.dir/tcp.cpp.o.d"
+  "librave_net.a"
+  "librave_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rave_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

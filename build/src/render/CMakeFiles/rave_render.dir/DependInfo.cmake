@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/compositor.cpp" "src/render/CMakeFiles/rave_render.dir/compositor.cpp.o" "gcc" "src/render/CMakeFiles/rave_render.dir/compositor.cpp.o.d"
+  "/root/repo/src/render/framebuffer.cpp" "src/render/CMakeFiles/rave_render.dir/framebuffer.cpp.o" "gcc" "src/render/CMakeFiles/rave_render.dir/framebuffer.cpp.o.d"
+  "/root/repo/src/render/frustum.cpp" "src/render/CMakeFiles/rave_render.dir/frustum.cpp.o" "gcc" "src/render/CMakeFiles/rave_render.dir/frustum.cpp.o.d"
+  "/root/repo/src/render/offscreen.cpp" "src/render/CMakeFiles/rave_render.dir/offscreen.cpp.o" "gcc" "src/render/CMakeFiles/rave_render.dir/offscreen.cpp.o.d"
+  "/root/repo/src/render/rasterizer.cpp" "src/render/CMakeFiles/rave_render.dir/rasterizer.cpp.o" "gcc" "src/render/CMakeFiles/rave_render.dir/rasterizer.cpp.o.d"
+  "/root/repo/src/render/raycast.cpp" "src/render/CMakeFiles/rave_render.dir/raycast.cpp.o" "gcc" "src/render/CMakeFiles/rave_render.dir/raycast.cpp.o.d"
+  "/root/repo/src/render/stereo.cpp" "src/render/CMakeFiles/rave_render.dir/stereo.cpp.o" "gcc" "src/render/CMakeFiles/rave_render.dir/stereo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scene/CMakeFiles/rave_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rave_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rave_render.dir/compositor.cpp.o"
+  "CMakeFiles/rave_render.dir/compositor.cpp.o.d"
+  "CMakeFiles/rave_render.dir/framebuffer.cpp.o"
+  "CMakeFiles/rave_render.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/rave_render.dir/frustum.cpp.o"
+  "CMakeFiles/rave_render.dir/frustum.cpp.o.d"
+  "CMakeFiles/rave_render.dir/offscreen.cpp.o"
+  "CMakeFiles/rave_render.dir/offscreen.cpp.o.d"
+  "CMakeFiles/rave_render.dir/rasterizer.cpp.o"
+  "CMakeFiles/rave_render.dir/rasterizer.cpp.o.d"
+  "CMakeFiles/rave_render.dir/raycast.cpp.o"
+  "CMakeFiles/rave_render.dir/raycast.cpp.o.d"
+  "CMakeFiles/rave_render.dir/stereo.cpp.o"
+  "CMakeFiles/rave_render.dir/stereo.cpp.o.d"
+  "librave_render.a"
+  "librave_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rave_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/audit.cpp" "src/scene/CMakeFiles/rave_scene.dir/audit.cpp.o" "gcc" "src/scene/CMakeFiles/rave_scene.dir/audit.cpp.o.d"
+  "/root/repo/src/scene/camera.cpp" "src/scene/CMakeFiles/rave_scene.dir/camera.cpp.o" "gcc" "src/scene/CMakeFiles/rave_scene.dir/camera.cpp.o.d"
+  "/root/repo/src/scene/node.cpp" "src/scene/CMakeFiles/rave_scene.dir/node.cpp.o" "gcc" "src/scene/CMakeFiles/rave_scene.dir/node.cpp.o.d"
+  "/root/repo/src/scene/serialize.cpp" "src/scene/CMakeFiles/rave_scene.dir/serialize.cpp.o" "gcc" "src/scene/CMakeFiles/rave_scene.dir/serialize.cpp.o.d"
+  "/root/repo/src/scene/tree.cpp" "src/scene/CMakeFiles/rave_scene.dir/tree.cpp.o" "gcc" "src/scene/CMakeFiles/rave_scene.dir/tree.cpp.o.d"
+  "/root/repo/src/scene/update.cpp" "src/scene/CMakeFiles/rave_scene.dir/update.cpp.o" "gcc" "src/scene/CMakeFiles/rave_scene.dir/update.cpp.o.d"
+  "/root/repo/src/scene/volume.cpp" "src/scene/CMakeFiles/rave_scene.dir/volume.cpp.o" "gcc" "src/scene/CMakeFiles/rave_scene.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rave_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

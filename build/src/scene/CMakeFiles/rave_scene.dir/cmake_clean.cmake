@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rave_scene.dir/audit.cpp.o"
+  "CMakeFiles/rave_scene.dir/audit.cpp.o.d"
+  "CMakeFiles/rave_scene.dir/camera.cpp.o"
+  "CMakeFiles/rave_scene.dir/camera.cpp.o.d"
+  "CMakeFiles/rave_scene.dir/node.cpp.o"
+  "CMakeFiles/rave_scene.dir/node.cpp.o.d"
+  "CMakeFiles/rave_scene.dir/serialize.cpp.o"
+  "CMakeFiles/rave_scene.dir/serialize.cpp.o.d"
+  "CMakeFiles/rave_scene.dir/tree.cpp.o"
+  "CMakeFiles/rave_scene.dir/tree.cpp.o.d"
+  "CMakeFiles/rave_scene.dir/update.cpp.o"
+  "CMakeFiles/rave_scene.dir/update.cpp.o.d"
+  "CMakeFiles/rave_scene.dir/volume.cpp.o"
+  "CMakeFiles/rave_scene.dir/volume.cpp.o.d"
+  "librave_scene.a"
+  "librave_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rave_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/container.cpp" "src/services/CMakeFiles/rave_services.dir/container.cpp.o" "gcc" "src/services/CMakeFiles/rave_services.dir/container.cpp.o.d"
+  "/root/repo/src/services/ldap.cpp" "src/services/CMakeFiles/rave_services.dir/ldap.cpp.o" "gcc" "src/services/CMakeFiles/rave_services.dir/ldap.cpp.o.d"
+  "/root/repo/src/services/registry.cpp" "src/services/CMakeFiles/rave_services.dir/registry.cpp.o" "gcc" "src/services/CMakeFiles/rave_services.dir/registry.cpp.o.d"
+  "/root/repo/src/services/soap.cpp" "src/services/CMakeFiles/rave_services.dir/soap.cpp.o" "gcc" "src/services/CMakeFiles/rave_services.dir/soap.cpp.o.d"
+  "/root/repo/src/services/wsdl.cpp" "src/services/CMakeFiles/rave_services.dir/wsdl.cpp.o" "gcc" "src/services/CMakeFiles/rave_services.dir/wsdl.cpp.o.d"
+  "/root/repo/src/services/xml.cpp" "src/services/CMakeFiles/rave_services.dir/xml.cpp.o" "gcc" "src/services/CMakeFiles/rave_services.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/rave_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rave_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

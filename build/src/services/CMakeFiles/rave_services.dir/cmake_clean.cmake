@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rave_services.dir/container.cpp.o"
+  "CMakeFiles/rave_services.dir/container.cpp.o.d"
+  "CMakeFiles/rave_services.dir/ldap.cpp.o"
+  "CMakeFiles/rave_services.dir/ldap.cpp.o.d"
+  "CMakeFiles/rave_services.dir/registry.cpp.o"
+  "CMakeFiles/rave_services.dir/registry.cpp.o.d"
+  "CMakeFiles/rave_services.dir/soap.cpp.o"
+  "CMakeFiles/rave_services.dir/soap.cpp.o.d"
+  "CMakeFiles/rave_services.dir/wsdl.cpp.o"
+  "CMakeFiles/rave_services.dir/wsdl.cpp.o.d"
+  "CMakeFiles/rave_services.dir/xml.cpp.o"
+  "CMakeFiles/rave_services.dir/xml.cpp.o.d"
+  "librave_services.a"
+  "librave_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rave_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/rave_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/rave_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/molecule.cpp" "src/sim/CMakeFiles/rave_sim.dir/molecule.cpp.o" "gcc" "src/sim/CMakeFiles/rave_sim.dir/molecule.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/rave_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/rave_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/rave_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/rave_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rave_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rave_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/rave_scene.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rave_sim.dir/machine.cpp.o"
+  "CMakeFiles/rave_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/rave_sim.dir/molecule.cpp.o"
+  "CMakeFiles/rave_sim.dir/molecule.cpp.o.d"
+  "CMakeFiles/rave_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/rave_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/rave_sim.dir/workload.cpp.o"
+  "CMakeFiles/rave_sim.dir/workload.cpp.o.d"
+  "librave_sim.a"
+  "librave_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rave_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rave_util.dir/clock.cpp.o"
+  "CMakeFiles/rave_util.dir/clock.cpp.o.d"
+  "CMakeFiles/rave_util.dir/log.cpp.o"
+  "CMakeFiles/rave_util.dir/log.cpp.o.d"
+  "CMakeFiles/rave_util.dir/serial.cpp.o"
+  "CMakeFiles/rave_util.dir/serial.cpp.o.d"
+  "CMakeFiles/rave_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/rave_util.dir/thread_pool.cpp.o.d"
+  "librave_util.a"
+  "librave_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rave_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

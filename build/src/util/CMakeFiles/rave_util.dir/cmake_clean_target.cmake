@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librave_util.a"
+)

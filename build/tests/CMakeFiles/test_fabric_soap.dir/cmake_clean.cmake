@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fabric_soap.dir/test_fabric_soap.cpp.o"
+  "CMakeFiles/test_fabric_soap.dir/test_fabric_soap.cpp.o.d"
+  "test_fabric_soap"
+  "test_fabric_soap.pdb"
+  "test_fabric_soap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fabric_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

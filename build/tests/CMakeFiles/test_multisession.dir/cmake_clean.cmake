@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multisession.dir/test_multisession.cpp.o"
+  "CMakeFiles/test_multisession.dir/test_multisession.cpp.o.d"
+  "test_multisession"
+  "test_multisession.pdb"
+  "test_multisession[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multisession.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

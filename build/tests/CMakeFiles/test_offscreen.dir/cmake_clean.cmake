@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offscreen.dir/test_offscreen.cpp.o"
+  "CMakeFiles/test_offscreen.dir/test_offscreen.cpp.o.d"
+  "test_offscreen"
+  "test_offscreen.pdb"
+  "test_offscreen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offscreen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_service.dir/test_render_service.cpp.o"
+  "CMakeFiles/test_render_service.dir/test_render_service.cpp.o.d"
+  "test_render_service"
+  "test_render_service.pdb"
+  "test_render_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scene_update.dir/test_scene_update.cpp.o"
+  "CMakeFiles/test_scene_update.dir/test_scene_update.cpp.o.d"
+  "test_scene_update"
+  "test_scene_update.pdb"
+  "test_scene_update[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scene_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stereo_workload.dir/test_stereo_workload.cpp.o"
+  "CMakeFiles/test_stereo_workload.dir/test_stereo_workload.cpp.o.d"
+  "test_stereo_workload"
+  "test_stereo_workload.pdb"
+  "test_stereo_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stereo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_volume.dir/test_volume.cpp.o"
+  "CMakeFiles/test_volume.dir/test_volume.cpp.o.d"
+  "test_volume"
+  "test_volume.pdb"
+  "test_volume[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_scene[1]_include.cmake")
+include("/root/repo/build/tests/test_scene_update[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh_io[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_render[1]_include.cmake")
+include("/root/repo/build/tests/test_offscreen[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_services[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_distribution[1]_include.cmake")
+include("/root/repo/build/tests/test_rave_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_interaction[1]_include.cmake")
+include("/root/repo/build/tests/test_volume[1]_include.cmake")
+include("/root/repo/build/tests/test_mirror[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_stereo_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric_soap[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_multisession[1]_include.cmake")
+include("/root/repo/build/tests/test_render_service[1]_include.cmake")
+include("/root/repo/build/tests/test_ldap_scale[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_e2e[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[TcpEndToEnd.BootstrapFrameAndEdit]=]  /root/repo/build/tests/test_tcp_e2e [==[--gtest_filter=TcpEndToEnd.BootstrapFrameAndEdit]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[TcpEndToEnd.BootstrapFrameAndEdit]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_tcp_e2e_TESTS TcpEndToEnd.BootstrapFrameAndEdit)

@@ -4,6 +4,9 @@
 // not paper reproductions; they bound what the simulation layer abstracts.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
 #include "compress/codec.hpp"
 #include "mesh/generators.hpp"
 #include "mesh/decimate.hpp"
@@ -30,26 +33,56 @@ const scene::SceneTree& elle_tree() {
 
 void BM_RasterizeElle(benchmark::State& state) {
   const int size = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<util::ThreadPool>(static_cast<unsigned>(threads));
+  render::RenderOptions opts;
+  opts.pool = pool.get();
   const scene::Camera cam = scene::Camera::framing(elle_tree().world_bounds());
   for (auto _ : state) {
     render::RenderStats stats;
-    benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, size, size, {}, &stats));
+    benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, size, size, opts, &stats));
   }
   state.SetItemsProcessed(state.iterations() * 50'000);
+  state.SetLabel(threads > 0 ? std::to_string(threads) + " threads" : "serial");
 }
-BENCHMARK(BM_RasterizeElle)->Arg(200)->Arg(400);
+BENCHMARK(BM_RasterizeElle)
+    ->Args({200, 0})
+    ->Args({400, 0})
+    ->Args({400, 2})
+    ->Args({400, 4})
+    ->Args({400, 8});
 
+// Deterministic pseudo-random depth planes: with both buffers cleared to
+// 1.0 the `src < dst` branch was never taken and only the pass-through
+// path was measured. Roughly half the pixels now exercise the copy path;
+// dst is restored from a pristine copy each iteration so the mix stays
+// constant instead of decaying to all-pass after the first merge.
 void BM_DepthComposite(benchmark::State& state) {
   const int size = static_cast<int>(state.range(0));
-  render::FrameBuffer a(size, size), b(size, size);
-  a.clear({0, 0, 0});
-  b.clear({0, 0, 0});
+  const int threads = static_cast<int>(state.range(1));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<util::ThreadPool>(static_cast<unsigned>(threads));
+  render::FrameBuffer pristine(size, size), src(size, size);
+  uint32_t rng = 0x9e3779b9u;
+  const auto next_unit = [&rng] {
+    rng = rng * 1664525u + 1013904223u;
+    return static_cast<float>(rng >> 8) * (1.0f / 16777216.0f);
+  };
+  for (float& d : pristine.depth()) d = next_unit();
+  for (float& d : src.depth()) d = next_unit();
+  for (uint8_t& c : src.color()) c = static_cast<uint8_t>(255.0f * next_unit());
+  render::FrameBuffer dst = pristine;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(render::depth_composite(a, b));
+    state.PauseTiming();
+    dst = pristine;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(render::depth_composite(dst, src, pool.get()));
   }
   state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size) * size * 7);
+  state.SetLabel(threads > 0 ? std::to_string(threads) + " threads" : "serial");
 }
-BENCHMARK(BM_DepthComposite)->Arg(200)->Arg(640);
+BENCHMARK(BM_DepthComposite)->Args({200, 0})->Args({640, 0})->Args({640, 4});
 
 void BM_CodecEncode(benchmark::State& state) {
   const auto kind = static_cast<compress::CodecKind>(state.range(0));

@@ -308,6 +308,7 @@ render::FrameBuffer RenderService::render_local(Replica& replica, const Camera& 
                                                 const render::Tile& region) {
   render::RenderOptions opts;
   opts.region = region;
+  opts.pool = options_.pool;
   render::Rasterizer raster(width, height);
   raster.clear(opts);
   if (replica.whole_tree) {
@@ -331,6 +332,7 @@ render::FrameBuffer RenderService::render_local(Replica& replica, const Camera& 
   }
   render::RaycastOptions ray_opts;
   ray_opts.region = region;
+  ray_opts.pool = options_.pool;
   render::raycast_tree_volumes(raster.framebuffer(), replica.tree, camera, ray_opts);
 
   const uint64_t tris = raster.stats().triangles_submitted;
@@ -432,7 +434,7 @@ Result<render::FrameBuffer> RenderService::render_distributed(const std::string&
         ++stats_.locally_covered_tiles;
         continue;
       }
-      (void)render::depth_composite(frame, remote.buffer);
+      (void)render::depth_composite(frame, remote.buffer, options_.pool);
       ++stats_.remote_tiles_used;
       if (remote.generation != generation) ++stats_.stale_tiles_used;
     }

@@ -48,6 +48,11 @@ class RenderService {
     // Stand-alone active render client: renders and collaborates but has
     // no service interface to advertise (paper §3.1.2).
     bool active_client_only = false;
+    // Worker pool for tile-parallel rasterization, ray-casting and
+    // compositing (shared across sessions; null = serial). Output is
+    // byte-identical either way, so migration/capacity logic only sees
+    // the rate change.
+    util::ThreadPool* pool = nullptr;
   };
 
   struct Stats {

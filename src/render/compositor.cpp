@@ -2,36 +2,59 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.hpp"
+
 namespace rave::render {
 
 using util::make_error;
 using util::Result;
 using util::Status;
 
-Status depth_composite(FrameBuffer& dst, const FrameBuffer& src) {
-  if (dst.width() != src.width() || dst.height() != src.height())
-    return make_error("depth_composite: size mismatch");
-  const size_t n = src.depth().size();
-  const float* sd = src.depth().data();
-  float* dd = dst.depth().data();
-  const uint8_t* sc = src.color().data();
-  uint8_t* dc = dst.color().data();
-  for (size_t i = 0; i < n; ++i) {
-    if (sd[i] < dd[i]) {
-      dd[i] = sd[i];
-      dc[i * 3] = sc[i * 3];
-      dc[i * 3 + 1] = sc[i * 3 + 1];
-      dc[i * 3 + 2] = sc[i * 3 + 2];
+namespace {
+void composite_rows(FrameBuffer& dst, const FrameBuffer& src, int y0, int y1) {
+  const int width = dst.width();
+  for (int y = y0; y < y1; ++y) {
+    const float* sd = src.depth_row(y);
+    float* dd = dst.depth_row(y);
+    const uint8_t* sc = src.color_row(y);
+    uint8_t* dc = dst.color_row(y);
+    for (int i = 0; i < width; ++i) {
+      if (sd[i] < dd[i]) {
+        dd[i] = sd[i];
+        dc[i * 3] = sc[i * 3];
+        dc[i * 3 + 1] = sc[i * 3 + 1];
+        dc[i * 3 + 2] = sc[i * 3 + 2];
+      }
     }
   }
+}
+}  // namespace
+
+Status depth_composite(FrameBuffer& dst, const FrameBuffer& src, util::ThreadPool* pool) {
+  if (dst.width() != src.width() || dst.height() != src.height())
+    return make_error("depth_composite: size mismatch");
+  const int height = dst.height();
+  if (pool == nullptr || height < 2) {
+    composite_rows(dst, src, 0, height);
+    return {};
+  }
+  // Disjoint row bands; per-pixel merges are independent, so banding
+  // cannot change the result.
+  const int bands = std::min<int>(height, static_cast<int>(pool->size()) * 4);
+  pool->parallel_for(static_cast<size_t>(bands), [&](size_t band) {
+    const int y0 = height * static_cast<int>(band) / bands;
+    const int y1 = height * (static_cast<int>(band) + 1) / bands;
+    composite_rows(dst, src, y0, y1);
+  });
   return {};
 }
 
-Result<FrameBuffer> depth_composite_all(std::vector<FrameBuffer> buffers) {
+Result<FrameBuffer> depth_composite_all(std::vector<FrameBuffer> buffers,
+                                        util::ThreadPool* pool) {
   if (buffers.empty()) return make_error("depth_composite_all: no buffers");
   FrameBuffer out = std::move(buffers.front());
   for (size_t i = 1; i < buffers.size(); ++i) {
-    const Status st = depth_composite(out, buffers[i]);
+    const Status st = depth_composite(out, buffers[i], pool);
     if (!st.ok()) return make_error(st.error());
   }
   return out;

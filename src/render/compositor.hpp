@@ -13,14 +13,22 @@
 #include "render/framebuffer.hpp"
 #include "util/vec.hpp"
 
+namespace rave::util {
+class ThreadPool;
+}
+
 namespace rave::render {
 
 // Merge `src` into `dst` per pixel: the fragment nearer the camera wins.
-// Buffers must be the same size and rendered from the same camera.
-util::Status depth_composite(FrameBuffer& dst, const FrameBuffer& src);
+// Buffers must be the same size and rendered from the same camera. With a
+// pool the merge runs over disjoint row bands; pixels are independent so
+// the result is identical to the serial pass.
+util::Status depth_composite(FrameBuffer& dst, const FrameBuffer& src,
+                             util::ThreadPool* pool = nullptr);
 
 // Merge many buffers into one (first buffer is the base).
-util::Result<FrameBuffer> depth_composite_all(std::vector<FrameBuffer> buffers);
+util::Result<FrameBuffer> depth_composite_all(std::vector<FrameBuffer> buffers,
+                                              util::ThreadPool* pool = nullptr);
 
 // Insert each tile's buffer into the destination frame.
 struct TileResult {

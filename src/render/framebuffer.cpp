@@ -85,6 +85,20 @@ void FrameBuffer::clear(const util::Vec3& color) {
   std::fill(depth_.begin(), depth_.end(), 1.0f);
 }
 
+void FrameBuffer::fill_color_row(int x, int y, int count, uint8_t r, uint8_t g, uint8_t b) {
+  uint8_t* p = color_row(y) + static_cast<size_t>(x) * 3;
+  for (int i = 0; i < count; ++i) {
+    p[0] = r;
+    p[1] = g;
+    p[2] = b;
+    p += 3;
+  }
+}
+
+void FrameBuffer::fill_depth_row(int x, int y, int count, float d) {
+  std::fill_n(depth_row(y) + x, count, d);
+}
+
 Image FrameBuffer::to_image() const {
   Image img(width_, height_);
   img.rgb = color_;

@@ -94,6 +94,22 @@ class FrameBuffer {
     return &color_[(static_cast<size_t>(y) * width_ + x) * 3];
   }
 
+  // Row-span access: raw plane rows for the compositor's row-band passes
+  // and contiguous fills for partial-region clears.
+  [[nodiscard]] uint8_t* color_row(int y) {
+    return &color_[static_cast<size_t>(y) * width_ * 3];
+  }
+  [[nodiscard]] const uint8_t* color_row(int y) const {
+    return &color_[static_cast<size_t>(y) * width_ * 3];
+  }
+  [[nodiscard]] float* depth_row(int y) { return &depth_[static_cast<size_t>(y) * width_]; }
+  [[nodiscard]] const float* depth_row(int y) const {
+    return &depth_[static_cast<size_t>(y) * width_];
+  }
+  // Fill `count` pixels of row `y` starting at column `x`.
+  void fill_color_row(int x, int y, int count, uint8_t r, uint8_t g, uint8_t b);
+  void fill_depth_row(int x, int y, int count, float d);
+
   [[nodiscard]] Image to_image() const;
 
   // Extract / insert a rectangular region (tile transport).

@@ -2,12 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "render/frustum.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rave::render {
 
 namespace {
+
+// Edge length of the binning grid cells used by the pooled raster path.
+// The grid is anchored at the framebuffer origin and only decides which
+// thread owns which pixels — per-pixel arithmetic is anchored at each
+// triangle's own bbox, so cell shape never changes a single pixel value.
+constexpr int kRasterCell = 64;
+
+// Vertex-shading work is chunked at this granularity on the pool.
+constexpr size_t kVertexChunk = 4096;
+// Triangle clip/setup work is chunked at this granularity on the pool.
+constexpr size_t kTriangleChunk = 8192;
+
 uint8_t to_byte(float v) { return static_cast<uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f); }
 
 Tile clamp_region(const Tile& region, int width, int height) {
@@ -19,6 +33,221 @@ Tile clamp_region(const Tile& region, int width, int height) {
   const int y1 = std::min(height, t.bottom());
   return Tile{x0, y0, std::max(0, x1 - x0), std::max(0, y1 - y0)};
 }
+
+struct ShadedVertex {
+  util::Vec4 clip;  // clip-space position
+  Vec3 color;
+};
+
+// Screen-space triangle after perspective divide, with the edge functions
+// e_i(px,py) = ea[i]*px + eb[i]*py + ec[i] precomputed once: the raster
+// loop steps them across x/y with additions instead of re-deriving
+// barycentrics per pixel. e_i >= 0 for all three edges means inside.
+// Stepping always starts at the bbox origin (x0,y0) — a property of the
+// triangle alone — so accumulated values at any pixel are identical no
+// matter which region, cell, or thread rasterizes it.
+struct ScreenTriangle {
+  float ea[3], eb[3], ec[3];
+  float z[3];
+  Vec3 color[3];
+  float inv_area;
+  int x0, y0, x1, y1;  // inclusive pixel bbox, clamped to the framebuffer
+};
+
+// Point splat after projection; color is pre-quantized (it is constant
+// across the splat, so per-pixel conversion would repeat the same work).
+struct ScreenSplat {
+  int x, y, radius;
+  float depth;
+  uint8_t r, g, b;
+};
+
+int floor_to_int(float v) {
+  return static_cast<int>(std::floor(std::clamp(v, -1e9f, 1e9f)));
+}
+int ceil_to_int(float v) {
+  return static_cast<int>(std::ceil(std::clamp(v, -1e9f, 1e9f)));
+}
+
+// Build the screen triangle. Returns false for backfacing/degenerate
+// triangles (CCW convention, matching the previous signed-area test); the
+// bbox may still be empty when the triangle lies outside the framebuffer.
+bool setup_triangle(const ShadedVertex& a, const ShadedVertex& b, const ShadedVertex& c, int w,
+                    int h, ScreenTriangle& out) {
+  const auto to_screen = [&](const ShadedVertex& v, float& sx, float& sy, float& sz) {
+    const float inv_w = 1.0f / v.clip.w;
+    sx = (v.clip.x * inv_w * 0.5f + 0.5f) * static_cast<float>(w);
+    sy = (0.5f - v.clip.y * inv_w * 0.5f) * static_cast<float>(h);  // y down
+    sz = v.clip.z * inv_w * 0.5f + 0.5f;                            // [0,1]
+  };
+  float ax, ay, az, bx, by, bz, cx, cy, cz;
+  to_screen(a, ax, ay, az);
+  to_screen(b, bx, by, bz);
+  to_screen(c, cx, cy, cz);
+
+  const float area = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+  if (area <= 0.0f) return false;  // backface or degenerate
+  out.inv_area = 1.0f / area;
+
+  // Edge i opposes vertex i: e0 spans b->c, e1 c->a, e2 a->b.
+  const auto edge = [](float ux, float uy, float vx, float vy, float& A, float& B, float& C) {
+    A = uy - vy;
+    B = vx - ux;
+    C = (vy - uy) * ux - (vx - ux) * uy;
+  };
+  edge(bx, by, cx, cy, out.ea[0], out.eb[0], out.ec[0]);
+  edge(cx, cy, ax, ay, out.ea[1], out.eb[1], out.ec[1]);
+  edge(ax, ay, bx, by, out.ea[2], out.eb[2], out.ec[2]);
+
+  out.z[0] = az;
+  out.z[1] = bz;
+  out.z[2] = cz;
+  out.color[0] = a.color;
+  out.color[1] = b.color;
+  out.color[2] = c.color;
+
+  out.x0 = std::max(0, floor_to_int(std::min({ax, bx, cx})));
+  out.x1 = std::min(w - 1, ceil_to_int(std::max({ax, bx, cx})));
+  out.y0 = std::max(0, floor_to_int(std::min({ay, by, cy})));
+  out.y1 = std::min(h - 1, ceil_to_int(std::max({ay, by, cy})));
+  return true;
+}
+
+// Rasterize the triangle into the window `win` (already intersected with
+// the triangle bbox by the caller). Edge values are accumulated from the
+// bbox origin; rows/columns outside the window are skipped with the same
+// additions the full pass would perform, so every pixel sees bit-identical
+// values regardless of the window.
+void raster_triangle_window(FrameBuffer& fb, RenderStats& stats, const ScreenTriangle& t,
+                            const Tile& win) {
+  const int wx0 = std::max(t.x0, win.x);
+  const int wx1 = std::min(t.x1, win.right() - 1);
+  const int wy0 = std::max(t.y0, win.y);
+  const int wy1 = std::min(t.y1, win.bottom() - 1);
+  if (wx0 > wx1 || wy0 > wy1) return;
+
+  const float px = static_cast<float>(t.x0) + 0.5f;
+  const float py = static_cast<float>(t.y0) + 0.5f;
+  float row0 = t.ea[0] * px + t.eb[0] * py + t.ec[0];
+  float row1 = t.ea[1] * px + t.eb[1] * py + t.ec[1];
+  float row2 = t.ea[2] * px + t.eb[2] * py + t.ec[2];
+  for (int y = t.y0; y < wy0; ++y) {
+    row0 += t.eb[0];
+    row1 += t.eb[1];
+    row2 += t.eb[2];
+  }
+  for (int y = wy0; y <= wy1; ++y) {
+    float e0 = row0, e1 = row1, e2 = row2;
+    for (int x = t.x0; x < wx0; ++x) {
+      e0 += t.ea[0];
+      e1 += t.ea[1];
+      e2 += t.ea[2];
+    }
+    for (int x = wx0; x <= wx1; ++x) {
+      if (e0 >= 0.0f && e1 >= 0.0f && e2 >= 0.0f) {
+        const float w0 = e0 * t.inv_area;
+        const float w1 = e1 * t.inv_area;
+        const float w2 = e2 * t.inv_area;
+        const float z = w0 * t.z[0] + w1 * t.z[1] + w2 * t.z[2];
+        if (z >= 0.0f && z < fb.depth_at(x, y)) {
+          fb.set_depth(x, y, z);
+          const Vec3 color = t.color[0] * w0 + t.color[1] * w1 + t.color[2] * w2;
+          fb.set_pixel(x, y, to_byte(color.x), to_byte(color.y), to_byte(color.z));
+          ++stats.pixels_shaded;
+        }
+      }
+      e0 += t.ea[0];
+      e1 += t.ea[1];
+      e2 += t.ea[2];
+    }
+    row0 += t.eb[0];
+    row1 += t.eb[1];
+    row2 += t.eb[2];
+  }
+}
+
+void raster_splat_window(FrameBuffer& fb, RenderStats& stats, const ScreenSplat& s,
+                         const Tile& win) {
+  const int x0 = std::max(s.x - s.radius, win.x);
+  const int x1 = std::min(s.x + s.radius, win.right() - 1);
+  const int y0 = std::max(s.y - s.radius, win.y);
+  const int y1 = std::min(s.y + s.radius, win.bottom() - 1);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      if (s.depth >= fb.depth_at(x, y)) continue;
+      fb.set_depth(x, y, s.depth);
+      fb.set_pixel(x, y, s.r, s.g, s.b);
+      ++stats.pixels_shaded;
+    }
+  }
+}
+
+// Pooled raster stage: bucket primitives into the grid cells intersecting
+// `region` (submission order preserved inside each bucket), then give each
+// cell to one worker. Every pixel belongs to exactly one cell and each
+// cell replays its bucket in submission order, so the per-pixel z-pass
+// sequence — and therefore the output — is byte-identical to the serial
+// whole-region pass. Per-cell stats are merged afterwards so workers never
+// share a counter.
+template <typename Prim, typename BoxFn, typename RasterFn>
+void raster_parallel(const std::vector<Prim>& prims, const Tile& region, FrameBuffer& fb,
+                     util::ThreadPool& pool, RenderStats& stats, const BoxFn& box,
+                     const RasterFn& raster) {
+  if (prims.empty() || region.width <= 0 || region.height <= 0) return;
+  const int cx0 = region.x / kRasterCell;
+  const int cx1 = (region.right() - 1) / kRasterCell;
+  const int cy0 = region.y / kRasterCell;
+  const int cy1 = (region.bottom() - 1) / kRasterCell;
+  const int ncx = cx1 - cx0 + 1;
+  const size_t ncells = static_cast<size_t>(ncx) * (cy1 - cy0 + 1);
+
+  // Counting-sort binning: one pass to size the buckets, one to fill.
+  std::vector<uint32_t> counts(ncells + 1, 0);
+  const auto cell_span = [&](const Prim& p, int& gx0, int& gy0, int& gx1, int& gy1) {
+    int bx0, by0, bx1, by1;
+    box(p, bx0, by0, bx1, by1);
+    gx0 = std::max(bx0 / kRasterCell, cx0);
+    gx1 = std::min(bx1 / kRasterCell, cx1);
+    gy0 = std::max(by0 / kRasterCell, cy0);
+    gy1 = std::min(by1 / kRasterCell, cy1);
+  };
+  for (const Prim& p : prims) {
+    int gx0, gy0, gx1, gy1;
+    cell_span(p, gx0, gy0, gx1, gy1);
+    for (int gy = gy0; gy <= gy1; ++gy)
+      for (int gx = gx0; gx <= gx1; ++gx)
+        ++counts[static_cast<size_t>(gy - cy0) * ncx + (gx - cx0) + 1];
+  }
+  for (size_t c = 1; c <= ncells; ++c) counts[c] += counts[c - 1];
+  std::vector<uint32_t> order(counts[ncells]);
+  std::vector<uint32_t> fill(counts.begin(), counts.end() - 1);
+  for (uint32_t i = 0; i < prims.size(); ++i) {
+    int gx0, gy0, gx1, gy1;
+    cell_span(prims[i], gx0, gy0, gx1, gy1);
+    for (int gy = gy0; gy <= gy1; ++gy)
+      for (int gx = gx0; gx <= gx1; ++gx)
+        order[fill[static_cast<size_t>(gy - cy0) * ncx + (gx - cx0)]++] = i;
+  }
+
+  std::vector<RenderStats> cell_stats(ncells);
+  pool.parallel_for(ncells, [&](size_t ci) {
+    if (counts[ci] == counts[ci + 1]) return;
+    const int gx = cx0 + static_cast<int>(ci) % ncx;
+    const int gy = cy0 + static_cast<int>(ci) / ncx;
+    // The cell clipped to the region: the write window for this worker.
+    Tile win{gx * kRasterCell, gy * kRasterCell, kRasterCell, kRasterCell};
+    const int x1 = std::min(win.right(), region.right());
+    const int y1 = std::min(win.bottom(), region.bottom());
+    win.x = std::max(win.x, region.x);
+    win.y = std::max(win.y, region.y);
+    win.width = x1 - win.x;
+    win.height = y1 - win.y;
+    for (uint32_t k = counts[ci]; k < counts[ci + 1]; ++k)
+      raster(prims[order[k]], win, cell_stats[ci]);
+  });
+  for (const RenderStats& s : cell_stats) stats += s;
+}
+
 }  // namespace
 
 Rasterizer::Rasterizer(int width, int height) : fb_(width, height) {}
@@ -29,12 +258,12 @@ void Rasterizer::clear(const RenderOptions& options) {
     fb_.clear(options.background);
     return;
   }
+  const uint8_t r = to_byte(options.background.x);
+  const uint8_t g = to_byte(options.background.y);
+  const uint8_t b = to_byte(options.background.z);
   for (int y = region.y; y < region.bottom(); ++y) {
-    for (int x = region.x; x < region.right(); ++x) {
-      fb_.set_pixel(x, y, to_byte(options.background.x), to_byte(options.background.y),
-                    to_byte(options.background.z));
-      fb_.set_depth(x, y, 1.0f);
-    }
+    fb_.fill_color_row(region.x, y, region.width, r, g, b);
+    fb_.fill_depth_row(region.x, y, region.width, 1.0f);
   }
 }
 
@@ -52,116 +281,150 @@ void Rasterizer::draw_mesh(const scene::MeshData& mesh, const Mat4& model, const
   const bool has_normals = mesh.normals.size() == mesh.positions.size();
   const bool has_colors = mesh.colors.size() == mesh.positions.size();
 
-  // Shade all vertices once.
+  // Shade all vertices once. Vertices are independent and each chunk
+  // writes disjoint slots, so pooled shading is bit-identical to serial.
   std::vector<ShadedVertex> shaded(mesh.positions.size());
-  for (size_t i = 0; i < mesh.positions.size(); ++i) {
-    shaded[i].clip = mvp * util::Vec4(mesh.positions[i], 1.0f);
-    const Vec3 albedo = has_colors ? mesh.colors[i] : mesh.base_color;
-    float lambert = 1.0f;
-    if (has_normals) {
-      const Vec3 n = util::normalize(model.transform_dir(mesh.normals[i]));
-      lambert = options.ambient +
-                (1.0f - options.ambient) * std::max(0.0f, util::dot(n, light));
+  const auto shade_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      shaded[i].clip = mvp * util::Vec4(mesh.positions[i], 1.0f);
+      const Vec3 albedo = has_colors ? mesh.colors[i] : mesh.base_color;
+      float lambert = 1.0f;
+      if (has_normals) {
+        const Vec3 n = util::normalize(model.transform_dir(mesh.normals[i]));
+        lambert = options.ambient +
+                  (1.0f - options.ambient) * std::max(0.0f, util::dot(n, light));
+      }
+      shaded[i].color = albedo * lambert;
     }
-    shaded[i].color = albedo * lambert;
+  };
+  if (options.pool != nullptr && shaded.size() > kVertexChunk) {
+    const size_t chunks = (shaded.size() + kVertexChunk - 1) / kVertexChunk;
+    options.pool->parallel_for(chunks, [&](size_t c) {
+      shade_range(c * kVertexChunk, std::min(shaded.size(), (c + 1) * kVertexChunk));
+    });
+  } else {
+    shade_range(0, shaded.size());
   }
 
   stats_.triangles_submitted += mesh.triangle_count();
   const float near_w = 1e-4f;
 
-  for (size_t t = 0; t + 2 < mesh.indices.size(); t += 3) {
-    const ShadedVertex* v[3] = {&shaded[mesh.indices[t]], &shaded[mesh.indices[t + 1]],
-                                &shaded[mesh.indices[t + 2]]};
-    // Near-plane clip (w <= 0 or z < -w). Clip the triangle against
-    // z + w > 0 producing up to 2 triangles.
-    float d[3];
-    int inside = 0;
-    for (int i = 0; i < 3; ++i) {
-      d[i] = v[i]->clip.z + v[i]->clip.w;
-      if (d[i] > near_w) ++inside;
-    }
-    if (inside == 0) continue;
-
-    ShadedVertex clipped[4];
-    int count = 0;
-    if (inside == 3) {
-      clipped[0] = *v[0];
-      clipped[1] = *v[1];
-      clipped[2] = *v[2];
-      count = 3;
-    } else {
-      // Sutherland–Hodgman against the near plane.
+  // Clip and set up the triangles of [t_begin, t_end) in submission order,
+  // handing survivors to `sink`. `rasterized` counts area-passing
+  // triangles (the previous immediate-mode counter).
+  const auto process_triangles = [&](size_t t_begin, size_t t_end, uint64_t& rasterized,
+                                     const auto& sink) {
+    const auto submit = [&](const ShadedVertex& a, const ShadedVertex& b,
+                            const ShadedVertex& c) {
+      ScreenTriangle tri;
+      if (!setup_triangle(a, b, c, fb_.width(), fb_.height(), tri)) return;
+      ++rasterized;
+      if (tri.x0 <= tri.x1 && tri.y0 <= tri.y1) sink(tri);
+    };
+    for (size_t t = t_begin * 3; t + 2 < mesh.indices.size() && t < t_end * 3; t += 3) {
+      const ShadedVertex* v[3] = {&shaded[mesh.indices[t]], &shaded[mesh.indices[t + 1]],
+                                  &shaded[mesh.indices[t + 2]]};
+      // Near-plane clip (w <= 0 or z < -w). Clip the triangle against
+      // z + w > 0 producing up to 2 triangles.
+      float d[3];
+      int inside = 0;
       for (int i = 0; i < 3; ++i) {
-        const ShadedVertex& cur = *v[i];
-        const ShadedVertex& nxt = *v[(i + 1) % 3];
-        const float dc = d[i];
-        const float dn = d[(i + 1) % 3];
-        if (dc > near_w) clipped[count++] = cur;
-        if ((dc > near_w) != (dn > near_w)) {
-          const float s = (near_w - dc) / (dn - dc);
-          ShadedVertex mid;
-          mid.clip = util::lerp(cur.clip, nxt.clip, s);
-          mid.color = util::lerp(cur.color, nxt.color, s);
-          clipped[count++] = mid;
+        d[i] = v[i]->clip.z + v[i]->clip.w;
+        if (d[i] > near_w) ++inside;
+      }
+      if (inside == 0) continue;
+
+      ShadedVertex clipped[4];
+      int count = 0;
+      if (inside == 3) {
+        clipped[0] = *v[0];
+        clipped[1] = *v[1];
+        clipped[2] = *v[2];
+        count = 3;
+      } else {
+        // Sutherland–Hodgman against the near plane.
+        for (int i = 0; i < 3; ++i) {
+          const ShadedVertex& cur = *v[i];
+          const ShadedVertex& nxt = *v[(i + 1) % 3];
+          const float dc = d[i];
+          const float dn = d[(i + 1) % 3];
+          if (dc > near_w) clipped[count++] = cur;
+          if ((dc > near_w) != (dn > near_w)) {
+            const float s = (near_w - dc) / (dn - dc);
+            ShadedVertex mid;
+            mid.clip = util::lerp(cur.clip, nxt.clip, s);
+            mid.color = util::lerp(cur.color, nxt.color, s);
+            clipped[count++] = mid;
+          }
+        }
+        if (count < 3) continue;
+      }
+
+      for (int i = 1; i + 1 < count; ++i) {
+        // Backface culling happens in setup_triangle via signed area.
+        submit(clipped[0], clipped[i], clipped[i + 1]);
+        if (!options.backface_cull) {
+          // Also rasterize the reversed winding so back faces are visible.
+          submit(clipped[0], clipped[i + 1], clipped[i]);
         }
       }
-      if (count < 3) continue;
     }
-
-    for (int i = 1; i + 1 < count; ++i) {
-      // Backface culling happens in raster_triangle via signed area.
-      raster_triangle(clipped[0], clipped[i], clipped[i + 1], region);
-      if (!options.backface_cull) {
-        // Also rasterize the reversed winding so back faces are visible.
-        raster_triangle(clipped[0], clipped[i + 1], clipped[i], region);
-      }
-    }
-  }
-}
-
-void Rasterizer::raster_triangle(const ShadedVertex& a, const ShadedVertex& b,
-                                 const ShadedVertex& c, const Tile& bounds) {
-  const int w = fb_.width(), h = fb_.height();
-  // Perspective divide to NDC, then viewport transform.
-  const auto to_screen = [&](const ShadedVertex& v, float& sx, float& sy, float& sz) {
-    const float inv_w = 1.0f / v.clip.w;
-    sx = (v.clip.x * inv_w * 0.5f + 0.5f) * static_cast<float>(w);
-    sy = (0.5f - v.clip.y * inv_w * 0.5f) * static_cast<float>(h);  // y down
-    sz = v.clip.z * inv_w * 0.5f + 0.5f;  // [0,1]
   };
-  float ax, ay, az, bx, by, bz, cx, cy, cz;
-  to_screen(a, ax, ay, az);
-  to_screen(b, bx, by, bz);
-  to_screen(c, cx, cy, cz);
 
-  const float area = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
-  if (area <= 0.0f) return;  // backface or degenerate (CCW convention)
-  ++stats_.triangles_rasterized;
-
-  const int x0 = std::max(bounds.x, static_cast<int>(std::floor(std::min({ax, bx, cx}))));
-  const int x1 = std::min(bounds.right() - 1, static_cast<int>(std::ceil(std::max({ax, bx, cx}))));
-  const int y0 = std::max(bounds.y, static_cast<int>(std::floor(std::min({ay, by, cy}))));
-  const int y1 =
-      std::min(bounds.bottom() - 1, static_cast<int>(std::ceil(std::max({ay, by, cy}))));
-  if (x0 > x1 || y0 > y1) return;
-
-  const float inv_area = 1.0f / area;
-  for (int y = y0; y <= y1; ++y) {
-    const float py = static_cast<float>(y) + 0.5f;
-    for (int x = x0; x <= x1; ++x) {
-      const float px = static_cast<float>(x) + 0.5f;
-      const float w0 = ((bx - px) * (cy - py) - (by - py) * (cx - px)) * inv_area;
-      const float w1 = ((cx - px) * (ay - py) - (cy - py) * (ax - px)) * inv_area;
-      const float w2 = 1.0f - w0 - w1;
-      if (w0 < 0.0f || w1 < 0.0f || w2 < 0.0f) continue;
-      const float z = w0 * az + w1 * bz + w2 * cz;
-      if (z < 0.0f || z >= fb_.depth_at(x, y)) continue;
-      fb_.set_depth(x, y, z);
-      const Vec3 color = a.color * w0 + b.color * w1 + c.color * w2;
-      fb_.set_pixel(x, y, to_byte(color.x), to_byte(color.y), to_byte(color.z));
-      ++stats_.pixels_shaded;
-    }
+  const size_t triangle_count = mesh.indices.size() / 3;
+  if (options.pool == nullptr) {
+    // Serial: raster each surviving triangle immediately — no binning, no
+    // buffering. Identical pixels to the pooled path because per-pixel
+    // arithmetic is anchored at the triangle bbox either way.
+    uint64_t rasterized = 0;
+    process_triangles(0, triangle_count, rasterized, [&](const ScreenTriangle& tri) {
+      raster_triangle_window(fb_, stats_, tri, region);
+    });
+    stats_.triangles_rasterized += rasterized;
+    return;
   }
+
+  // Pooled: clip/setup in ordered chunks (each chunk collects survivors
+  // locally; chunks are concatenated in submission order), then bin the
+  // survivors into cells and raster cell-parallel.
+  std::vector<ScreenTriangle> tris;
+  const size_t chunks = (triangle_count + kTriangleChunk - 1) / kTriangleChunk;
+  if (chunks > 1) {
+    std::vector<std::vector<ScreenTriangle>> chunk_tris(chunks);
+    std::vector<uint64_t> chunk_rasterized(chunks, 0);
+    options.pool->parallel_for(chunks, [&](size_t c) {
+      chunk_tris[c].reserve(kTriangleChunk);
+      process_triangles(c * kTriangleChunk,
+                        std::min(triangle_count, (c + 1) * kTriangleChunk),
+                        chunk_rasterized[c],
+                        [&](const ScreenTriangle& tri) { chunk_tris[c].push_back(tri); });
+    });
+    size_t total = 0;
+    for (const auto& ct : chunk_tris) total += ct.size();
+    tris.reserve(total);
+    for (size_t c = 0; c < chunks; ++c) {
+      tris.insert(tris.end(), chunk_tris[c].begin(), chunk_tris[c].end());
+      stats_.triangles_rasterized += chunk_rasterized[c];
+    }
+  } else {
+    tris.reserve(triangle_count);
+    uint64_t rasterized = 0;
+    process_triangles(0, triangle_count, rasterized,
+                      [&](const ScreenTriangle& tri) { tris.push_back(tri); });
+    stats_.triangles_rasterized += rasterized;
+  }
+
+  raster_parallel(
+      tris, region, fb_, *options.pool, stats_,
+      [](const ScreenTriangle& t, int& bx0, int& by0, int& bx1, int& by1) {
+        bx0 = t.x0;
+        by0 = t.y0;
+        bx1 = t.x1;
+        by1 = t.y1;
+      },
+      [&](const ScreenTriangle& t, const Tile& win, RenderStats& s) {
+        raster_triangle_window(fb_, s, t, win);
+      });
 }
 
 void Rasterizer::draw_points(const scene::PointCloudData& points, const Mat4& model,
@@ -174,25 +437,48 @@ void Rasterizer::draw_points(const scene::PointCloudData& points, const Mat4& mo
   const int radius = std::max(0, static_cast<int>(points.point_size / 2.0f));
 
   stats_.points_submitted += points.positions.size();
-  for (size_t i = 0; i < points.positions.size(); ++i) {
+
+  const auto project = [&](size_t i, ScreenSplat& s) {
     const util::Vec4 clip = mvp * util::Vec4(points.positions[i], 1.0f);
-    if (clip.w <= 1e-4f || clip.z < -clip.w) continue;
+    if (clip.w <= 1e-4f || clip.z < -clip.w) return false;
     const float inv_w = 1.0f / clip.w;
-    const int sx = static_cast<int>((clip.x * inv_w * 0.5f + 0.5f) * fb_.width());
-    const int sy = static_cast<int>((0.5f - clip.y * inv_w * 0.5f) * fb_.height());
-    const float sz = clip.z * inv_w * 0.5f + 0.5f;
+    s.x = static_cast<int>((clip.x * inv_w * 0.5f + 0.5f) * fb_.width());
+    s.y = static_cast<int>((0.5f - clip.y * inv_w * 0.5f) * fb_.height());
+    s.depth = clip.z * inv_w * 0.5f + 0.5f;
+    s.radius = radius;
     const Vec3 color = has_colors ? points.colors[i] : points.base_color;
-    for (int dy = -radius; dy <= radius; ++dy) {
-      for (int dx = -radius; dx <= radius; ++dx) {
-        const int x = sx + dx, y = sy + dy;
-        if (x < region.x || x >= region.right() || y < region.y || y >= region.bottom()) continue;
-        if (sz >= fb_.depth_at(x, y)) continue;
-        fb_.set_depth(x, y, sz);
-        fb_.set_pixel(x, y, to_byte(color.x), to_byte(color.y), to_byte(color.z));
-        ++stats_.pixels_shaded;
-      }
+    s.r = to_byte(color.x);
+    s.g = to_byte(color.y);
+    s.b = to_byte(color.z);
+    return s.x + radius >= 0 && s.x - radius < fb_.width() && s.y + radius >= 0 &&
+           s.y - radius < fb_.height();
+  };
+
+  if (options.pool == nullptr) {
+    for (size_t i = 0; i < points.positions.size(); ++i) {
+      ScreenSplat s;
+      if (project(i, s)) raster_splat_window(fb_, stats_, s, region);
     }
+    return;
   }
+
+  std::vector<ScreenSplat> splats;
+  splats.reserve(points.positions.size());
+  for (size_t i = 0; i < points.positions.size(); ++i) {
+    ScreenSplat s;
+    if (project(i, s)) splats.push_back(s);
+  }
+  raster_parallel(
+      splats, region, fb_, *options.pool, stats_,
+      [&](const ScreenSplat& s, int& bx0, int& by0, int& bx1, int& by1) {
+        bx0 = std::max(0, s.x - s.radius);
+        by0 = std::max(0, s.y - s.radius);
+        bx1 = std::min(fb_.width() - 1, s.x + s.radius);
+        by1 = std::min(fb_.height() - 1, s.y + s.radius);
+      },
+      [&](const ScreenSplat& s, const Tile& win, RenderStats& st) {
+        raster_splat_window(fb_, st, s, win);
+      });
 }
 
 void Rasterizer::draw_tree(const scene::SceneTree& tree, const Camera& camera,

@@ -4,12 +4,28 @@
 // whole frame or one tile of it. Deterministic: identical input produces
 // identical pixels on every host, which is what makes distributed tile /
 // subset compositing testable bit-exactly.
+//
+// The triangle kernel is an incremental edge-function raster: the three
+// edge equations are set up once per triangle and stepped across x/y with
+// additions, always starting from the triangle's own bbox origin. Because
+// the accumulation anchor is a property of the triangle alone, any window
+// (full frame, a region tile, or a 64-px binning cell) reproduces the
+// same per-pixel values bit-exactly. Serial draws raster each triangle
+// immediately; with RenderOptions.pool set, vertex shading and clip/setup
+// run in ordered chunks on the pool and survivors are bucketed into grid
+// cells rasterized one-cell-per-worker (no two threads share a pixel).
+// Output is byte-identical to the serial path for every thread count —
+// see DESIGN.md "Tile-binned parallel rasterization".
 #pragma once
 
 #include "render/framebuffer.hpp"
 #include "scene/camera.hpp"
 #include "scene/node.hpp"
 #include "scene/tree.hpp"
+
+namespace rave::util {
+class ThreadPool;
+}
 
 namespace rave::render {
 
@@ -45,6 +61,9 @@ struct RenderOptions {
   // the whole frame. The projection always spans the full frame so tiles
   // from different services align exactly (paper §3.1.2).
   Tile region{};
+  // Rasterize binned cells on this pool (null = serial). Output is
+  // byte-identical for every thread count, including serial.
+  util::ThreadPool* pool = nullptr;
 };
 
 class Rasterizer {
@@ -72,14 +91,6 @@ class Rasterizer {
   void reset_stats() { stats_ = {}; }
 
  private:
-  struct ShadedVertex {
-    util::Vec4 clip;  // clip-space position
-    Vec3 color;
-  };
-
-  void raster_triangle(const ShadedVertex& a, const ShadedVertex& b, const ShadedVertex& c,
-                       const Tile& bounds);
-
   FrameBuffer fb_;
   RenderStats stats_;
 };

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <memory>
 
 namespace rave::util {
 
@@ -33,26 +34,43 @@ void ThreadPool::parallel_for(size_t count, const std::function<void(size_t)>& f
     fn(0);
     return;
   }
-  std::atomic<size_t> next{0};
-  std::atomic<size_t> done{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  const size_t workers = std::min<size_t>(count, workers_.size());
-  for (size_t w = 0; w < workers; ++w) {
-    submit([&] {
+  // Shared control block: helper tasks may be scheduled after the caller
+  // has already drained every index (and returned), so the state they
+  // touch must outlive this stack frame.
+  struct Control {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto ctl = std::make_shared<Control>();
+  const auto* fn_ptr = &fn;  // only dereferenced for indices < count
+
+  const size_t helpers = std::min(count - 1, static_cast<size_t>(workers_.size()));
+  for (size_t h = 0; h < helpers; ++h) {
+    submit([ctl, count, fn_ptr] {
       for (;;) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) break;
-        fn(i);
-        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
-          std::lock_guard lock(done_mu);
-          done_cv.notify_all();
+        const size_t i = ctl->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        (*fn_ptr)(i);
+        if (ctl->done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+          std::lock_guard lock(ctl->mu);
+          ctl->cv.notify_all();
         }
       }
     });
   }
-  std::unique_lock lock(done_mu);
-  done_cv.wait(lock, [&] { return done.load(std::memory_order_acquire) == count; });
+  // The caller drains the same chunk queue instead of blocking: a pool
+  // worker calling parallel_for still makes progress even when every
+  // other worker is busy (or itself blocked in a nested call).
+  for (;;) {
+    const size_t i = ctl->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    fn(i);
+    ctl->done.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::unique_lock lock(ctl->mu);
+  ctl->cv.wait(lock, [&] { return ctl->done.load(std::memory_order_acquire) == count; });
 }
 
 void ThreadPool::worker_loop() {

@@ -1,7 +1,12 @@
-// Fixed-size worker pool. The rasterizer parallelises over scanline bands
-// and the render service runs concurrent off-screen sessions on it; all
-// parallelism is explicit (tasks are submitted, futures joined) in the
-// message-passing spirit of the substrate.
+// Fixed-size worker pool shared by the rendering substrate: the rasterizer
+// parallelises over framebuffer tiles, the ray-caster over scanline rows,
+// and the compositor over row bands — all bit-deterministic because work
+// items never share pixels. parallel_for fans an index range out to the
+// workers *and* to the calling thread: the caller drains the same chunk
+// queue, so it is safe to call from a pool worker (nested use makes
+// progress even when every other worker is busy or blocked in its own
+// parallel_for). All parallelism is explicit (tasks are submitted, futures
+// joined) in the message-passing spirit of the substrate.
 #pragma once
 
 #include <condition_variable>
@@ -33,7 +38,10 @@ class ThreadPool {
     return future;
   }
 
-  // Run fn(i) for i in [0, count) across the pool and wait for completion.
+  // Run fn(i) for i in [0, count) across the pool and the calling thread,
+  // returning once every index has completed. Reentrant: may be called
+  // from inside a pool task (the caller helps drain its own range rather
+  // than parking a worker slot).
   void parallel_for(size_t count, const std::function<void(size_t)>& fn);
 
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }

@@ -2,7 +2,10 @@
 // thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <numeric>
 #include <thread>
 
@@ -227,12 +230,11 @@ TEST(RealClock, MonotonicAndSleeps) {
 TEST(ThreadPool, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
-  for (int i = 0; i < 100; ++i) pool.submit([&] { count.fetch_add(1); });
-  auto done = pool.submit_future([] { return 99; });
-  EXPECT_EQ(done.get(), 99);
-  // Drain: parallel_for waits for completion of its own work; use it to
-  // flush.
-  pool.parallel_for(8, [](size_t) {});
+  std::vector<std::future<void>> done;
+  done.reserve(100);
+  for (int i = 0; i < 100; ++i)
+    done.push_back(pool.submit_future([&] { count.fetch_add(1); }));
+  for (auto& f : done) f.get();
   EXPECT_EQ(count.load(), 100);
 }
 
@@ -241,6 +243,34 @@ TEST(ThreadPool, ParallelForCoversRange) {
   std::vector<std::atomic<int>> hits(257);
   pool.parallel_for(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
   for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForFromPoolWorkersDoesNotDeadlock) {
+  // Regression: render-service sessions run on the pool and call
+  // parallel_for from worker threads. Before the caller helped drain its
+  // own range this deadlocked once every worker was blocked waiting.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 4; ++i) {
+    done.push_back(pool.submit_future(
+        [&] { pool.parallel_for(16, [&](size_t) { total.fetch_add(1); }); }));
+  }
+  for (auto& f : done) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(60)), std::future_status::ready)
+        << "nested parallel_for deadlocked";
+    f.get();
+  }
+  EXPECT_EQ(total.load(), 4 * 16);
+}
+
+TEST(ThreadPool, ParallelForNestedInsideParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](size_t) {
+    pool.parallel_for(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 4 * 8);
 }
 
 }  // namespace

@@ -85,7 +85,7 @@ Outcome run(bool migration_enabled, bool verbose) {
       const auto planned = data.rebalance("lab");
       grid.pump_until_idle();
       size_t moves = 0, recruits = 0;
-      for (const auto& action : planned) {
+      for (const auto& action : planned.value()) {
         if (action.kind == core::MigrationAction::Kind::MoveNodes) ++moves;
         if (action.kind == core::MigrationAction::Kind::RecruitNeeded) ++recruits;
       }

@@ -183,6 +183,7 @@ void DataService::handle_subscribe(net::ChannelPtr channel, const SubscribeReque
   sub.capacity = request.capacity;
   sub.tracker = LoadTracker(options_.thresholds);
   sub.whole_tree = true;
+  sub.last_seen = clock_->now();
 
   SubscribeAck ack;
   ack.client_id = sub.id;
@@ -300,6 +301,7 @@ size_t DataService::pump_session(Session& session) {
         break;
       }
       ++handled;
+      sub.last_seen = clock_->now();  // any traffic renews the lease
       switch (msg->type) {
         case kMsgUpdate: {
           auto update = decode_update(*msg);
@@ -349,6 +351,8 @@ size_t DataService::pump_session(Session& session) {
       }
     }
   }
+
+  recover_failed(session);
 
   // Departed subscribers: retire their avatars, drop them.
   for (Subscriber& sub : session.subscribers) {
@@ -415,10 +419,76 @@ void DataService::send_interest(Session& session, Subscriber& subscriber,
   (void)subscriber.channel->send(encode(snapshot));
 }
 
-std::vector<MigrationAction> DataService::rebalance(const std::string& session_name) {
+util::Result<std::vector<MigrationAction>> DataService::rebalance(
+    const std::string& session_name) {
   Session* session = find_session(session_name);
-  if (session == nullptr) return {};
+  if (session == nullptr) return make_error("data: no such session: " + session_name);
   return rebalance_locked(*session);
+}
+
+std::vector<MigrationAction> DataService::last_failure_plan(
+    const std::string& session_name) const {
+  const Session* session = find_session(session_name);
+  return session == nullptr ? std::vector<MigrationAction>{} : session->last_failure_plan;
+}
+
+void DataService::recover_failed(Session& session) {
+  // Lease expiry: a whole lease of silence means failed even while the
+  // channel still reports open (hung service, half-dead link).
+  if (options_.lease_seconds > 0) {
+    const double now = clock_->now();
+    for (Subscriber& sub : session.subscribers) {
+      if (!sub.alive || now - sub.last_seen <= options_.lease_seconds) continue;
+      util::log_warn("data") << "subscriber " << sub.id << " (" << sub.host
+                             << ") lease expired after " << options_.lease_seconds
+                             << "s of silence; declaring failed";
+      sub.channel->close();
+      sub.alive = false;
+    }
+  }
+
+  // Re-dispatch: feed the planner every render service, dead ones carrying
+  // the ServiceFailed flag plus their stranded node set.
+  std::vector<ServiceLoadView> views;
+  bool any_stranded = false;
+  const double now = clock_->now();
+  for (const Subscriber& sub : session.subscribers) {
+    if (sub.kind != SubscriberKind::RenderService) continue;
+    if (!sub.alive && (sub.whole_tree || sub.interest.empty())) continue;  // nothing stranded
+    ServiceLoadView view;
+    view.subscriber_id = sub.id;
+    view.capacity = sub.capacity;
+    view.fps = sub.tracker.fps();
+    view.failed = !sub.alive;
+    if (sub.alive) {
+      view.overloaded = sub.tracker.overloaded(now);
+      view.underloaded = sub.tracker.underloaded(now);
+    }
+    if (sub.whole_tree) {
+      view.assigned = payload_costs(session.tree);
+    } else {
+      for (NodeId id : sub.interest)
+        if (session.tree.contains(id)) view.assigned.push_back(node_cost(session.tree, id));
+    }
+    any_stranded = any_stranded || (view.failed && !view.assigned.empty());
+    views.push_back(std::move(view));
+  }
+  if (!any_stranded) return;
+
+  MigrationConfig config;
+  config.target_fps = options_.target_fps;
+  std::vector<MigrationAction> plan = plan_migration(std::move(views), config);
+  // Keep only the recovery part: load-balancing moves ride the regular
+  // rebalance path, not the failure path.
+  plan.erase(std::remove_if(plan.begin(), plan.end(),
+                            [&](const MigrationAction& a) {
+                              return a.kind == MigrationAction::Kind::MarkAvailable;
+                            }),
+             plan.end());
+  apply_actions(session, plan);
+  session.last_failure_plan = std::move(plan);
+  util::log_info("data") << "recovered session " << session.name << " with "
+                         << session.last_failure_plan.size() << " re-dispatch action(s)";
 }
 
 std::vector<MigrationAction> DataService::rebalance_locked(Session& session) {
@@ -444,7 +514,11 @@ std::vector<MigrationAction> DataService::rebalance_locked(Session& session) {
   MigrationConfig config;
   config.target_fps = options_.target_fps;
   std::vector<MigrationAction> actions = plan_migration(views, config);
+  apply_actions(session, actions);
+  return actions;
+}
 
+void DataService::apply_actions(Session& session, const std::vector<MigrationAction>& actions) {
   bool recruit_needed = false;
   for (const MigrationAction& action : actions) {
     switch (action.kind) {
@@ -494,7 +568,6 @@ std::vector<MigrationAction> DataService::rebalance_locked(Session& session) {
     util::log_info("data") << "recruited " << joined << " render services for session "
                            << session.name;
   }
-  return actions;
 }
 
 void DataService::register_soap(services::ServiceContainer& container) {
@@ -559,8 +632,10 @@ Status DataService::advertise(services::UddiRegistry& registry,
   const std::string tmodel = registry.register_tmodel(services::data_service_descriptor());
   const std::string business = registry.register_business(options_.host_name);
   for (const std::string& name : session_names()) {
-    const std::string service_key = registry.register_service(business, "data:" + name);
-    auto bound = registry.register_binding(service_key, access_point, tmodel, name);
+    auto service_key = registry.register_service(business, "data:" + name);
+    if (!service_key.ok()) return make_error(service_key.error());
+    auto bound =
+        registry.register_binding(service_key.value(), access_point, tmodel, name, clock_->now());
     if (!bound.ok()) return make_error(bound.error());
   }
   return {};

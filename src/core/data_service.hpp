@@ -21,6 +21,7 @@
 #include "core/distribution.hpp"
 #include "core/migration.hpp"
 #include "core/protocol.hpp"
+#include "core/service_config.hpp"
 #include "net/channel.hpp"
 #include "scene/audit.hpp"
 #include "scene/tree.hpp"
@@ -32,10 +33,13 @@ namespace rave::core {
 
 class DataService {
  public:
-  struct Options {
+  // Shared fabric knobs (target_fps, thresholds, retry, lease_seconds…)
+  // live in ServiceConfig; only data-service-specific ones are added here.
+  // lease_seconds > 0 additionally arms data-plane failure detection: a
+  // subscriber that sends nothing for a whole lease is declared failed and
+  // its assigned nodes are re-dispatched to survivors.
+  struct Options : ServiceConfig {
     std::string host_name = "datahost";
-    double target_fps = 15.0;
-    LoadTracker::Thresholds thresholds{};
     // Re-run migration planning at most this often per session (seconds).
     double rebalance_interval = 0.5;
     // Automatically rebalance on over/underload reports.
@@ -83,7 +87,14 @@ class DataService {
   util::Status distribute(const std::string& session);
 
   // One migration planning+execution round; returns the actions taken.
-  std::vector<MigrationAction> rebalance(const std::string& session);
+  // Errors (unknown session) now carry an explanatory message instead of
+  // silently returning an empty plan.
+  util::Result<std::vector<MigrationAction>> rebalance(const std::string& session);
+
+  // The recovery plan produced when this session's subscribers last
+  // failed (channel closed or lease expired): the actions that reassigned
+  // the dead services' node sets. Empty if no failure has occurred.
+  [[nodiscard]] std::vector<MigrationAction> last_failure_plan(const std::string& session) const;
 
   // Recruitment callback: must try to bring new render services into
   // `session` (e.g. via UDDI discovery) and return how many joined.
@@ -127,6 +138,7 @@ class DataService {
     LoadTracker tracker;
     std::vector<scene::NodeId> own_avatars;
     bool alive = true;
+    double last_seen = 0.0;  // lease renewal: any received message counts
   };
 
   struct Session {
@@ -138,16 +150,22 @@ class DataService {
     double last_rebalance = -1e9;
     // Empty = open to all; otherwise the permitted host names.
     std::vector<std::string> allowed_hosts;
+    std::vector<MigrationAction> last_failure_plan;
   };
 
   size_t pump_pending();
   size_t pump_session(Session& session);
+  // Declare lease-expired subscribers dead, then re-dispatch every dead
+  // render service's assigned nodes to survivors via plan_migration with
+  // the ServiceFailed input. Runs inside pump_session.
+  void recover_failed(Session& session);
   void handle_subscribe(net::ChannelPtr channel, const SubscribeRequest& request);
   void commit_update(Session& session, Subscriber* origin, scene::SceneUpdate update);
   void send_interest(Session& session, Subscriber& subscriber, bool include_snapshot);
   bool interest_covers(const Session& session, const Subscriber& subscriber,
                        scene::NodeId node) const;
   std::vector<MigrationAction> rebalance_locked(Session& session);
+  void apply_actions(Session& session, const std::vector<MigrationAction>& actions);
   Session* find_session(const std::string& name);
   [[nodiscard]] const Session* find_session(const std::string& name) const;
 

@@ -1,5 +1,6 @@
 #include "core/fabric.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -8,25 +9,52 @@ namespace rave::core {
 using util::make_error;
 using util::Result;
 
+Result<net::ChannelPtr> Fabric::dial_retry(const std::string& access_point,
+                                           const RetryPolicy& policy, util::Clock& clock) {
+  const int attempts = std::max(1, policy.max_attempts);
+  std::string last_error;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) clock.sleep_for(policy.backoff_after(attempt - 1));
+    auto channel = dial(access_point);
+    if (channel.ok()) return channel;
+    last_error = channel.error();
+  }
+  return make_error("fabric: dial " + access_point + " failed after " +
+                    std::to_string(attempts) + (attempts == 1 ? " attempt: " : " attempts: ") +
+                    last_error);
+}
+
 InProcFabric::InProcFabric(util::Clock& clock, net::LinkProfile default_link)
     : clock_(&clock), default_link_(std::move(default_link)) {}
 
 Result<std::string> InProcFabric::listen(const std::string& name, AcceptFn on_accept) {
   std::lock_guard lock(mu_);
   if (listeners_.count(name) != 0) return make_error("fabric: name in use: " + name);
-  listeners_[name] = Listener{std::move(on_accept), std::nullopt};
+  listeners_[name] =
+      std::make_shared<Listener>(Listener{std::move(on_accept), std::nullopt, nullptr});
   return "inproc:" + name;
 }
 
 void InProcFabric::unlisten(const std::string& name) {
-  std::lock_guard lock(mu_);
+  // Removing the map entry is not enough: a concurrent dial may have
+  // resolved the listener under mu_ and be invoking its AcceptFn outside
+  // it. Wait for those dials to drain so the caller may safely destroy
+  // whatever the callback captures.
+  std::unique_lock lock(mu_);
   listeners_.erase(name);
+  idle_cv_.wait(lock, [&] { return dials_in_flight_.count(name) == 0; });
 }
 
 void InProcFabric::set_link(const std::string& name, net::LinkProfile profile) {
   std::lock_guard lock(mu_);
   auto it = listeners_.find(name);
-  if (it != listeners_.end()) it->second.link = std::move(profile);
+  if (it != listeners_.end()) it->second->link = std::move(profile);
+}
+
+void InProcFabric::set_fault(const std::string& name, ChannelWrapFn wrap) {
+  std::lock_guard lock(mu_);
+  auto it = listeners_.find(name);
+  if (it != listeners_.end()) it->second->fault_wrap = std::move(wrap);
 }
 
 Result<net::ChannelPtr> InProcFabric::dial(const std::string& access_point) {
@@ -34,20 +62,30 @@ Result<net::ChannelPtr> InProcFabric::dial(const std::string& access_point) {
   if (access_point.rfind(prefix, 0) != 0)
     return make_error("fabric: not an inproc access point: " + access_point);
   const std::string name = access_point.substr(prefix.size());
-  AcceptFn accept;
+  std::shared_ptr<Listener> listener;
   net::LinkProfile link = default_link_;
   {
     std::lock_guard lock(mu_);
     auto it = listeners_.find(name);
     if (it == listeners_.end()) return make_error("fabric: no listener at " + access_point);
-    accept = it->second.on_accept;
-    if (it->second.link.has_value()) link = *it->second.link;
+    listener = it->second;
+    if (listener->link.has_value()) link = *listener->link;
+    ++dials_in_flight_[name];
   }
   auto [client_end, server_end] =
       link.bandwidth_bps > 0 || link.latency_s > 0
           ? net::make_simulated_pair(*clock_, link)
           : net::make_channel_pair();
-  accept(std::move(server_end));
+  // The shared_ptr keeps the listener alive even if unlisten() runs now;
+  // unlisten blocks until the in-flight count drains.
+  if (listener->fault_wrap) client_end = listener->fault_wrap(std::move(client_end));
+  listener->on_accept(std::move(server_end));
+  {
+    std::lock_guard lock(mu_);
+    auto it = dials_in_flight_.find(name);
+    if (--it->second == 0) dials_in_flight_.erase(it);
+  }
+  idle_cv_.notify_all();
   return client_end;
 }
 

@@ -7,12 +7,15 @@
 // virtual time.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
+#include "core/failure_detector.hpp"
 #include "net/channel.hpp"
 #include "net/simlink.hpp"
 #include "net/tcp.hpp"
@@ -32,6 +35,12 @@ class Fabric {
 
   // Connect to an advertised access point.
   virtual util::Result<net::ChannelPtr> dial(const std::string& access_point) = 0;
+
+  // dial() with the policy's bounded exponential backoff between
+  // attempts, slept on `clock` so the schedule is deterministic under
+  // virtual time. With max_attempts <= 1 this is a plain dial.
+  util::Result<net::ChannelPtr> dial_retry(const std::string& access_point,
+                                           const RetryPolicy& policy, util::Clock& clock);
 };
 
 class InProcFabric final : public Fabric {
@@ -48,16 +57,28 @@ class InProcFabric final : public Fabric {
   // Per-listener link override, applied to later dials of that name.
   void set_link(const std::string& name, net::LinkProfile profile);
 
+  // Fault-injection hook: wrap the client end of later dials of `name`
+  // (e.g. with sim::wrap_faulty) so tests can sever a live service's
+  // connections deterministically. Empty function clears the hook.
+  using ChannelWrapFn = std::function<net::ChannelPtr(net::ChannelPtr)>;
+  void set_fault(const std::string& name, ChannelWrapFn wrap);
+
  private:
   struct Listener {
     AcceptFn on_accept;
     std::optional<net::LinkProfile> link;
+    ChannelWrapFn fault_wrap;
   };
 
   util::Clock* clock_;
   net::LinkProfile default_link_;
   std::mutex mu_;
-  std::map<std::string, Listener> listeners_;
+  std::condition_variable idle_cv_;
+  // Held by shared_ptr so a listener stays alive while an in-flight dial
+  // is invoking its AcceptFn outside mu_; unlisten() waits for the
+  // in-flight count to drain before returning (see fabric.cpp).
+  std::map<std::string, std::shared_ptr<Listener>> listeners_;
+  std::map<std::string, int> dials_in_flight_;
 };
 
 // Real sockets on loopback; access points are "tcp:127.0.0.1:<port>".

@@ -1,0 +1,57 @@
+#include "core/failure_detector.hpp"
+
+#include <algorithm>
+
+namespace rave::core {
+
+double RetryPolicy::backoff_after(int attempt) const {
+  double wait = initial_backoff;
+  for (int i = 0; i < attempt; ++i) wait *= multiplier;
+  return std::min(wait, max_backoff);
+}
+
+std::vector<double> RetryPolicy::schedule() const {
+  std::vector<double> waits;
+  for (int attempt = 0; attempt + 1 < max_attempts; ++attempt)
+    waits.push_back(backoff_after(attempt));
+  return waits;
+}
+
+double RetryPolicy::total_backoff() const {
+  double total = 0;
+  for (double wait : schedule()) total += wait;
+  return total;
+}
+
+void FailureDetector::watch(const std::string& key, double now) { last_seen_[key] = now; }
+
+util::Status FailureDetector::heartbeat(const std::string& key, double now) {
+  auto it = last_seen_.find(key);
+  if (it == last_seen_.end())
+    return util::make_error("failure-detector: heartbeat from unwatched peer '" + key +
+                            "' (lease already expired, or never watched)");
+  it->second = std::max(it->second, now);
+  return {};
+}
+
+void FailureDetector::forget(const std::string& key) { last_seen_.erase(key); }
+
+bool FailureDetector::watching(const std::string& key) const {
+  return last_seen_.count(key) != 0;
+}
+
+std::vector<std::string> FailureDetector::expired(double now) {
+  std::vector<std::string> out;
+  if (lease_seconds_ <= 0) return out;  // leases disabled
+  for (auto it = last_seen_.begin(); it != last_seen_.end();) {
+    if (now - it->second > lease_seconds_) {
+      out.push_back(it->first);
+      it = last_seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+}  // namespace rave::core

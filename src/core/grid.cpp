@@ -24,7 +24,8 @@ RaveGrid::RaveGrid(util::Clock& clock, net::LinkProfile default_link)
   // Also expose each registry method directly.
   for (const char* method :
        {"registerBusiness", "registerService", "registerBinding", "removeBinding",
-        "findBusiness", "findTModelByName", "findServicesByTModel", "accessPoints"}) {
+        "heartbeat", "pruneExpired", "findBusiness", "findTModelByName",
+        "findServicesByTModel", "accessPoints"}) {
     registry_container_.register_method(
         "uddi", method,
         [this, method = std::string(method)](

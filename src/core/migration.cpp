@@ -25,8 +25,52 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
                                             const MigrationConfig& config) {
   std::vector<MigrationAction> actions;
 
+  // --- failure reassignment -----------------------------------------------
+  // A failed service's nodes must land somewhere even if that overloads
+  // the survivors: a degraded frame rate beats a hole in the scene. The
+  // overload phase below then sheds or recruits as usual.
+  for (ServiceLoadView& dead : services) {
+    if (!dead.failed || dead.assigned.empty()) continue;
+    std::vector<ServiceLoadView*> survivors;
+    for (ServiceLoadView& candidate : services)
+      if (!candidate.failed && candidate.subscriber_id != dead.subscriber_id)
+        survivors.push_back(&candidate);
+    if (survivors.empty()) {
+      MigrationAction recruit;
+      recruit.kind = MigrationAction::Kind::RecruitNeeded;
+      recruit.from = dead.subscriber_id;
+      recruit.nodes = std::move(dead.assigned);  // the stranded set
+      actions.push_back(std::move(recruit));
+      dead.assigned.clear();
+      continue;
+    }
+    // Largest node first onto the survivor with the most remaining
+    // headroom — deterministic greedy balance (ties break by input order).
+    std::vector<NodeCost> orphans = std::move(dead.assigned);
+    dead.assigned.clear();
+    std::stable_sort(orphans.begin(), orphans.end(), [](const NodeCost& a, const NodeCost& b) {
+      return a.work_units() > b.work_units();
+    });
+    std::vector<MigrationAction> per_survivor(survivors.size());
+    for (const NodeCost& node : orphans) {
+      size_t best = 0;
+      for (size_t i = 1; i < survivors.size(); ++i)
+        if (headroom_of(*survivors[i], config) > headroom_of(*survivors[best], config)) best = i;
+      survivors[best]->assigned.push_back(node);
+      per_survivor[best].nodes.push_back(node);
+    }
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      if (per_survivor[i].nodes.empty()) continue;
+      per_survivor[i].kind = MigrationAction::Kind::MoveNodes;
+      per_survivor[i].from = dead.subscriber_id;
+      per_survivor[i].to = survivors[i]->subscriber_id;
+      actions.push_back(std::move(per_survivor[i]));
+    }
+  }
+
   // --- overload relief ----------------------------------------------------
   for (ServiceLoadView& overloaded : services) {
+    if (overloaded.failed) continue;
     if (!overloaded.overloaded || overloaded.assigned.empty()) continue;
     // How much work must leave for the service to meet its budget.
     double deficit = overloaded.assigned_work() -
@@ -41,7 +85,8 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
     // Receivers ordered by descending headroom.
     std::vector<ServiceLoadView*> receivers;
     for (ServiceLoadView& candidate : services)
-      if (candidate.subscriber_id != overloaded.subscriber_id && !candidate.overloaded)
+      if (candidate.subscriber_id != overloaded.subscriber_id && !candidate.overloaded &&
+          !candidate.failed)
         receivers.push_back(&candidate);
     std::sort(receivers.begin(), receivers.end(),
               [&](const ServiceLoadView* a, const ServiceLoadView* b) {
@@ -79,6 +124,7 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
 
   // --- underload fill -------------------------------------------------------
   for (ServiceLoadView& underloaded : services) {
+    if (underloaded.failed) continue;
     if (!underloaded.underloaded || underloaded.overloaded) continue;
     const double headroom = headroom_of(underloaded, config) * config.headroom_fill_fraction;
     if (headroom <= 0) continue;
@@ -86,7 +132,7 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
     ServiceLoadView* donor = nullptr;
     double donor_work = 0;
     for (ServiceLoadView& candidate : services) {
-      if (candidate.subscriber_id == underloaded.subscriber_id) continue;
+      if (candidate.subscriber_id == underloaded.subscriber_id || candidate.failed) continue;
       const double work = candidate.assigned_work();
       if (work > donor_work) {
         donor = &candidate;

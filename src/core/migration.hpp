@@ -19,6 +19,10 @@ struct ServiceLoadView {
   double fps = 0;
   bool overloaded = false;
   bool underloaded = false;
+  // ServiceFailed: the service is gone (channel closed or lease expired).
+  // Its whole assigned set is reassigned to survivors before any load
+  // balancing; it neither donates nor receives in the other phases.
+  bool failed = false;
   std::vector<NodeCost> assigned;
 
   [[nodiscard]] double assigned_work() const {
@@ -32,6 +36,7 @@ struct MigrationAction {
   enum class Kind {
     MoveNodes,      // move `nodes` from `from` to `to`
     RecruitNeeded,  // no spare capacity: discover new services via UDDI
+                    // (for a failed service, `nodes` lists the stranded set)
     MarkAvailable,  // underloaded service has no more work to take
   };
   Kind kind = Kind::MoveNodes;

@@ -40,7 +40,7 @@ Result<std::string> RenderService::listen_peer(const std::string& name) {
 Result<uint64_t> RenderService::connect_session(const std::string& data_access_point,
                                                 const std::string& session) {
   if (replicas_.count(session) != 0) return make_error("render: already joined " + session);
-  auto channel = fabric_->dial(data_access_point);
+  auto channel = fabric_->dial_retry(data_access_point, options_.retry, *clock_);
   if (!channel.ok()) return make_error(channel.error());
 
   SubscribeRequest request;
@@ -287,8 +287,10 @@ size_t RenderService::pump_peers() {
         remote.buffer = std::move(buffer).take();
         remote.generation = result.value().generation;
         remote.valid = true;
+        remote.awaiting = false;  // assistant proved alive
       }
     }
+    prune_dead_remotes(replica);
   }
   peer_channels_.erase(std::remove_if(peer_channels_.begin(), peer_channels_.end(),
                                       [](const net::ChannelPtr& c) { return !c->is_open(); }),
@@ -383,6 +385,13 @@ Result<render::FrameBuffer> RenderService::render_distributed(const std::string&
   if (replica == nullptr || !replica->ready)
     return make_error("render: session not bootstrapped: " + session);
 
+  // Failure detection before dispatch: drop assistants whose channel died
+  // or whose pending tile timed out. The tile split below is recomputed
+  // over the survivors, so a dead assistant's tile is implicitly
+  // re-dispatched (or rendered locally when nobody is left) — the frame
+  // always completes, at degraded rate (§3.2.7 graceful degradation).
+  prune_dead_remotes(*replica);
+
   if (replica->remotes.empty())
     return render_local(*replica, camera, width, height, render::Tile{0, 0, width, height});
 
@@ -404,7 +413,14 @@ Result<render::FrameBuffer> RenderService::render_distributed(const std::string&
     } else {
       assign.tile = render::Tile{0, 0, width, height};
     }
-    (void)remote.channel->send(encode(assign));
+    const Status sent = remote.channel->send(encode(assign));
+    if (!sent.ok()) {
+      util::log_warn("render") << "tile dispatch to " << remote.access_point
+                               << " failed: " << sent.error();
+      continue;  // pruned on the next frame; local render covers the tile
+    }
+    remote.awaiting = true;
+    remote.dispatched_at = clock_->now();
   }
 
   // Local portion.
@@ -451,7 +467,7 @@ Status RenderService::setup_remotes(Replica& replica,
   replica.tile_mode = tile_mode;
   for (const std::string& ap : access_points) {
     if (ap.empty() || ap == peer_access_point_) continue;
-    auto channel = fabric_->dial(ap);
+    auto channel = fabric_->dial_retry(ap, options_.retry, *clock_);
     if (!channel.ok()) {
       util::log_warn("render") << "cannot dial assistant " << ap << ": " << channel.error();
       continue;
@@ -464,6 +480,26 @@ Status RenderService::setup_remotes(Replica& replica,
   if (replica.remotes.empty() && !access_points.empty())
     return make_error("render: no assistants reachable");
   return {};
+}
+
+void RenderService::prune_dead_remotes(Replica& replica) {
+  const double now = clock_->now();
+  auto dead = [&](const RemoteTile& remote) {
+    if (!remote.channel || !remote.channel->is_open()) return true;
+    return options_.tile_timeout > 0 && remote.awaiting &&
+           now - remote.dispatched_at > options_.tile_timeout;
+  };
+  auto it = std::remove_if(replica.remotes.begin(), replica.remotes.end(),
+                           [&](const RemoteTile& remote) {
+                             if (!dead(remote)) return false;
+                             ++stats_.peer_failures;
+                             if (remote.awaiting) ++stats_.tiles_redispatched;
+                             util::log_warn("render")
+                                 << "assistant " << remote.access_point << " lost for "
+                                 << replica.name << "; re-dispatching its tile";
+                             return true;
+                           });
+  replica.remotes.erase(it, replica.remotes.end());
 }
 
 Status RenderService::enable_tile_assist(const std::string& session,
@@ -591,19 +627,35 @@ Status RenderService::advertise(services::UddiRegistry& registry,
     return make_error("render: active render clients are not advertised");
   const std::string tmodel = registry.register_tmodel(services::render_service_descriptor());
   const std::string business = registry.register_business(options_.profile.name);
+  advertised_bindings_.clear();
   for (const std::string& session : session_names()) {
-    const std::string service_key = registry.register_service(business, "render:" + session);
-    auto bound = registry.register_binding(service_key, access_point, tmodel, session);
+    auto service_key = registry.register_service(business, "render:" + session);
+    if (!service_key.ok()) return make_error(service_key.error());
+    auto bound =
+        registry.register_binding(service_key.value(), access_point, tmodel, session, clock_->now());
     if (!bound.ok()) return make_error(bound.error());
+    advertised_bindings_.push_back(bound.value());
   }
   // A render service with no sessions yet is still discoverable (it can be
   // recruited and bootstrapped from a data service).
   if (session_names().empty()) {
-    const std::string service_key = registry.register_service(business, "render:idle");
-    auto bound = registry.register_binding(service_key, access_point, tmodel, "");
+    auto service_key = registry.register_service(business, "render:idle");
+    if (!service_key.ok()) return make_error(service_key.error());
+    auto bound =
+        registry.register_binding(service_key.value(), access_point, tmodel, "", clock_->now());
     if (!bound.ok()) return make_error(bound.error());
+    advertised_bindings_.push_back(bound.value());
   }
   return {};
+}
+
+Status RenderService::renew_advertisements(services::UddiRegistry& registry) {
+  Status first_error;
+  for (const std::string& key : advertised_bindings_) {
+    const Status renewed = registry.heartbeat(key, clock_->now());
+    if (!renewed.ok() && first_error.ok()) first_error = renewed;
+  }
+  return first_error;
 }
 
 RenderService::Replica* RenderService::find_replica(const std::string& session) {

@@ -23,6 +23,7 @@
 #include "core/capacity.hpp"
 #include "core/fabric.hpp"
 #include "core/protocol.hpp"
+#include "core/service_config.hpp"
 #include "render/compositor.hpp"
 #include "render/rasterizer.hpp"
 #include "render/raycast.hpp"
@@ -36,23 +37,20 @@ namespace rave::core {
 
 class RenderService {
  public:
-  struct Options {
+  // Shared fabric knobs (target_fps, thresholds, retry, tile_timeout,
+  // pool, codec…) live in ServiceConfig; only render-service-specific
+  // ones are added here. `retry` governs every fabric dial this service
+  // makes; `tile_timeout` > 0 abandons unresponsive assistants so their
+  // tiles are re-dispatched.
+  struct Options : ServiceConfig {
     sim::MachineProfile profile = sim::centrino_laptop();
-    double target_fps = 15.0;
     // Advance the clock by modelled render times (heterogeneous-testbed
     // benches); rasterization still runs for real either way.
     bool simulate_timing = false;
-    LoadTracker::Thresholds thresholds{};
     double load_report_interval = 0.1;  // seconds between LoadReports
-    compress::AdaptiveConfig codec{};
     // Stand-alone active render client: renders and collaborates but has
     // no service interface to advertise (paper §3.1.2).
     bool active_client_only = false;
-    // Worker pool for tile-parallel rasterization, ray-casting and
-    // compositing (shared across sessions; null = serial). Output is
-    // byte-identical either way, so migration/capacity logic only sees
-    // the rate change.
-    util::ThreadPool* pool = nullptr;
   };
 
   struct Stats {
@@ -62,6 +60,8 @@ class RenderService {
     uint64_t stale_tiles_used = 0;  // tearing events (fig. 5)
     uint64_t locally_covered_tiles = 0;  // bootstrap fallback renders
     uint64_t updates_applied = 0;
+    uint64_t peer_failures = 0;       // assistants lost (closed or timed out)
+    uint64_t tiles_redispatched = 0;  // in-flight tiles re-covered after a loss
   };
 
   RenderService(util::Clock& clock, Fabric& fabric) : RenderService(clock, fabric, Options()) {}
@@ -135,6 +135,11 @@ class RenderService {
   // exchanged during subscription.
   util::Status advertise(services::UddiRegistry& registry, const std::string& access_point);
 
+  // Renew this service's registry advertisements (lease heartbeats for
+  // every binding created by advertise()). Call at least once per
+  // lease_seconds; no-op before the first advertise.
+  util::Status renew_advertisements(services::UddiRegistry& registry);
+
  private:
   struct RemoteTile {
     std::string access_point;
@@ -143,6 +148,10 @@ class RenderService {
     render::FrameBuffer buffer;
     uint64_t generation = 0;
     bool valid = false;
+    // Re-dispatch bookkeeping: a request is in flight until any result
+    // arrives; an assistant silent past tile_timeout is abandoned.
+    bool awaiting = false;
+    double dispatched_at = 0.0;
   };
 
   struct Replica {
@@ -191,6 +200,9 @@ class RenderService {
   [[nodiscard]] const Replica* find_replica(const std::string& session) const;
   util::Status setup_remotes(Replica& replica, const std::vector<std::string>& access_points,
                              bool tile_mode, int width, int height);
+  // Drop assistants whose channel closed or whose pending tile timed out;
+  // their tiles fall back to survivors/local on the next dispatch.
+  void prune_dead_remotes(Replica& replica);
 
   util::Clock* clock_;
   Fabric* fabric_;
@@ -201,6 +213,7 @@ class RenderService {
   std::deque<DelayedSend> delayed_;
   std::string client_access_point_;
   std::string peer_access_point_;
+  std::vector<std::string> advertised_bindings_;  // lease keys to renew
   Stats stats_;
   double last_frame_seconds_ = 0;
   double assist_stall_seconds_ = 0;

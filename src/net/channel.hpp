@@ -39,6 +39,9 @@ class Channel {
  public:
   virtual ~Channel() = default;
 
+  // Status (and Result) are [[nodiscard]] at class scope: a dropped send
+  // error is a silent message loss, the bug class the fault-tolerance
+  // layer exists to surface. Use (void) to opt out deliberately.
   virtual util::Status send(Message message) = 0;
 
   // Blocking receive with a timeout in clock seconds; nullopt on timeout or
@@ -47,6 +50,16 @@ class Channel {
 
   // Non-blocking receive.
   virtual std::optional<Message> try_receive() = 0;
+
+  // receive() with the failure cause spelled out: distinguishes "nothing
+  // arrived in time" from "the peer is gone", which callers need to pick
+  // between retrying and re-dispatching (paper §3.2.7 recovery).
+  [[nodiscard]] util::Result<Message> receive_result(double timeout_seconds) {
+    if (auto msg = receive(timeout_seconds)) return *std::move(msg);
+    if (!is_open()) return util::make_error("channel: closed by peer");
+    return util::make_error("channel: receive timed out after " +
+                            std::to_string(timeout_seconds) + "s");
+  }
 
   virtual void close() = 0;
   [[nodiscard]] virtual bool is_open() const = 0;

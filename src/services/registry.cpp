@@ -36,8 +36,8 @@ std::string UddiRegistry::register_business(const std::string& name) {
   return business.key;
 }
 
-std::string UddiRegistry::register_service(const std::string& business_key,
-                                           const std::string& name) {
+Result<std::string> UddiRegistry::register_service(const std::string& business_key,
+                                                   const std::string& name) {
   std::lock_guard lock(mu_);
   for (Business& b : businesses_) {
     if (b.key != business_key) continue;
@@ -51,14 +51,17 @@ std::string UddiRegistry::register_service(const std::string& business_key,
     b.services.push_back(service);
     return service.key;
   }
-  return "";
+  return make_error("uddi: unknown business " + business_key +
+                    " (register the business before its services)");
 }
 
 Result<std::string> UddiRegistry::register_binding(const std::string& service_key,
                                                    const std::string& access_point,
                                                    const std::string& tmodel_key,
-                                                   const std::string& instance_info) {
+                                                   const std::string& instance_info,
+                                                   double now) {
   std::lock_guard lock(mu_);
+  last_known_now_ = std::max(last_known_now_, now);
   const bool tmodel_known =
       std::any_of(tmodels_.begin(), tmodels_.end(),
                   [&](const TModel& t) { return t.key == tmodel_key; });
@@ -66,15 +69,20 @@ Result<std::string> UddiRegistry::register_binding(const std::string& service_ke
   for (Business& b : businesses_) {
     for (BusinessService& s : b.services) {
       if (s.key != service_key) continue;
-      for (const BindingTemplate& existing : s.bindings)
+      for (BindingTemplate& existing : s.bindings)
         if (existing.access_point == access_point && existing.tmodel_key == tmodel_key &&
-            existing.instance_info == instance_info)
-          return existing.key;  // idempotent re-advertisement
+            existing.instance_info == instance_info) {
+          // Idempotent re-advertisement doubles as a lease renewal.
+          existing.last_heartbeat = std::max(existing.last_heartbeat, last_known_now_);
+          return existing.key;
+        }
       BindingTemplate binding;
       binding.key = next_key("binding");
       binding.access_point = access_point;
       binding.tmodel_key = tmodel_key;
       binding.instance_info = instance_info;
+      binding.lease_seconds = default_lease_seconds_;
+      binding.last_heartbeat = last_known_now_;
       s.bindings.push_back(binding);
       return binding.key;
     }
@@ -82,25 +90,60 @@ Result<std::string> UddiRegistry::register_binding(const std::string& service_ke
   return make_error("uddi: unknown service " + service_key);
 }
 
-void UddiRegistry::remove_binding(const std::string& binding_key) {
+util::Status UddiRegistry::remove_binding(const std::string& binding_key) {
   std::lock_guard lock(mu_);
   for (Business& b : businesses_)
     for (BusinessService& s : b.services)
-      s.bindings.erase(std::remove_if(s.bindings.begin(), s.bindings.end(),
-                                      [&](const BindingTemplate& t) {
-                                        return t.key == binding_key;
-                                      }),
-                       s.bindings.end());
+      for (auto it = s.bindings.begin(); it != s.bindings.end(); ++it)
+        if (it->key == binding_key) {
+          s.bindings.erase(it);
+          return {};
+        }
+  return make_error("uddi: unknown binding " + binding_key);
 }
 
-void UddiRegistry::remove_service(const std::string& service_key) {
+util::Status UddiRegistry::remove_service(const std::string& service_key) {
   std::lock_guard lock(mu_);
   for (Business& b : businesses_)
-    b.services.erase(std::remove_if(b.services.begin(), b.services.end(),
-                                    [&](const BusinessService& s) {
-                                      return s.key == service_key;
-                                    }),
-                     b.services.end());
+    for (auto it = b.services.begin(); it != b.services.end(); ++it)
+      if (it->key == service_key) {
+        b.services.erase(it);
+        return {};
+      }
+  return make_error("uddi: unknown service " + service_key);
+}
+
+util::Status UddiRegistry::heartbeat(const std::string& binding_key, double now) {
+  std::lock_guard lock(mu_);
+  last_known_now_ = std::max(last_known_now_, now);
+  for (Business& b : businesses_)
+    for (BusinessService& s : b.services)
+      for (BindingTemplate& t : s.bindings)
+        if (t.key == binding_key) {
+          t.last_heartbeat = std::max(t.last_heartbeat, now);
+          return {};
+        }
+  return make_error("uddi: heartbeat for unknown binding " + binding_key +
+                    " (advertisement expired or was removed — re-register)");
+}
+
+std::vector<BindingTemplate> UddiRegistry::prune_expired(double now) {
+  std::lock_guard lock(mu_);
+  last_known_now_ = std::max(last_known_now_, now);
+  std::vector<BindingTemplate> pruned;
+  for (Business& b : businesses_) {
+    for (BusinessService& s : b.services) {
+      for (auto it = s.bindings.begin(); it != s.bindings.end();) {
+        if (it->lease_expired(now)) {
+          pruned.push_back(*it);
+          it = s.bindings.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return pruned;
 }
 
 std::vector<Business> UddiRegistry::find_business(const std::string& name_prefix) const {
@@ -166,6 +209,7 @@ SoapValue to_soap(const BindingTemplate& binding) {
   out["accessPoint"] = binding.access_point;
   out["tModelKey"] = binding.tmodel_key;
   out["instanceInfo"] = binding.instance_info;
+  out["leaseSeconds"] = binding.lease_seconds;
   return out;
 }
 
@@ -193,16 +237,34 @@ Result<SoapValue> UddiRegistry::dispatch(const std::string& method, const SoapLi
   const auto arg_str = [&](size_t i) {
     return i < args.size() ? args[i].as_string() : std::string{};
   };
+  const auto arg_num = [&](size_t i) {
+    return i < args.size() ? args[i].as_double(0.0) : 0.0;
+  };
   if (method == "registerBusiness") return SoapValue{register_business(arg_str(0))};
-  if (method == "registerService") return SoapValue{register_service(arg_str(0), arg_str(1))};
+  if (method == "registerService") {
+    auto key = register_service(arg_str(0), arg_str(1));
+    if (!key.ok()) return make_error(key.error());
+    return SoapValue{std::move(key).take()};
+  }
   if (method == "registerBinding") {
-    auto key = register_binding(arg_str(0), arg_str(1), arg_str(2), arg_str(3));
+    auto key = register_binding(arg_str(0), arg_str(1), arg_str(2), arg_str(3), arg_num(4));
     if (!key.ok()) return make_error(key.error());
     return SoapValue{std::move(key).take()};
   }
   if (method == "removeBinding") {
-    remove_binding(arg_str(0));
+    const auto removed = remove_binding(arg_str(0));
+    if (!removed.ok()) return make_error(removed.error());
     return SoapValue{true};
+  }
+  if (method == "heartbeat") {
+    const auto renewed = heartbeat(arg_str(0), arg_num(1));
+    if (!renewed.ok()) return make_error(renewed.error());
+    return SoapValue{true};
+  }
+  if (method == "pruneExpired") {
+    SoapList out;
+    for (const BindingTemplate& t : prune_expired(arg_num(0))) out.push_back(to_soap(t));
+    return SoapValue{std::move(out)};
   }
   if (method == "findBusiness") {
     SoapList out;

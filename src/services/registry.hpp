@@ -30,6 +30,15 @@ struct BindingTemplate {
   std::string access_point;  // transport address, e.g. "tcp:127.0.0.1:9000" or "inproc:tower/render0"
   std::string tmodel_key;
   std::string instance_info;  // free-form, e.g. dataset name ("Skull-internal")
+  // Lease state: the advertisement stays visible while heartbeats keep
+  // arriving within lease_seconds; 0 = no lease (never expires). The
+  // paper's registry never forgot a dead service — leases fix that.
+  double lease_seconds = 0.0;
+  double last_heartbeat = 0.0;
+
+  [[nodiscard]] bool lease_expired(double now) const {
+    return lease_seconds > 0.0 && now - last_heartbeat > lease_seconds;
+  }
 };
 
 struct BusinessService {
@@ -46,16 +55,34 @@ struct Business {
 
 class UddiRegistry {
  public:
-  // Publication API.
+  // Publication API. Failures (unknown keys) carry the paper-mandated
+  // explanatory message instead of silently returning "" or dropping the
+  // request on the floor.
   std::string register_tmodel(const ServiceDescriptor& descriptor);
   std::string register_business(const std::string& name);
-  std::string register_service(const std::string& business_key, const std::string& name);
+  util::Result<std::string> register_service(const std::string& business_key,
+                                             const std::string& name);
+  // `now` stamps the binding's lease; re-advertising an identical binding
+  // renews it (idempotent heartbeat). Callers without a clock may omit it.
   util::Result<std::string> register_binding(const std::string& service_key,
                                              const std::string& access_point,
                                              const std::string& tmodel_key,
-                                             const std::string& instance_info = "");
-  void remove_binding(const std::string& binding_key);
-  void remove_service(const std::string& service_key);
+                                             const std::string& instance_info = "",
+                                             double now = 0.0);
+  util::Status remove_binding(const std::string& binding_key);
+  util::Status remove_service(const std::string& service_key);
+
+  // --- leases (failure detection, §3.2.7) ---------------------------------
+  // Bindings registered while a default lease is set expire unless
+  // renewed; `now` comes from the caller's clock so expiry is
+  // deterministic under virtual time. 0 disables leasing (the default).
+  void set_default_lease(double lease_seconds) { default_lease_seconds_ = lease_seconds; }
+  [[nodiscard]] double default_lease() const { return default_lease_seconds_; }
+  // Renew one advertisement's lease.
+  util::Status heartbeat(const std::string& binding_key, double now);
+  // Drop every binding whose lease lapsed; returns what was pruned so the
+  // caller can plan recovery (e.g. migrate the dead service's workload).
+  std::vector<BindingTemplate> prune_expired(double now);
 
   // Inquiry API.
   [[nodiscard]] std::vector<Business> find_business(const std::string& name_prefix) const;
@@ -81,6 +108,8 @@ class UddiRegistry {
   std::vector<Business> businesses_;
   std::vector<TModel> tmodels_;
   uint64_t next_id_ = 1;
+  double default_lease_seconds_ = 0.0;
+  double last_known_now_ = 0.0;  // latest `now` seen; stamps new bindings
 };
 
 // Encode registry structures as SOAP values (used by dispatch and by the

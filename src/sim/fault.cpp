@@ -1,0 +1,101 @@
+#include "sim/fault.hpp"
+
+namespace rave::sim {
+
+void KillSwitch::kill() {
+  killed_.store(true, std::memory_order_release);
+  std::vector<std::weak_ptr<net::Channel>> doomed;
+  {
+    std::lock_guard lock(mu_);
+    doomed.swap(channels_);
+  }
+  for (auto& weak : doomed)
+    if (auto channel = weak.lock()) channel->close();
+}
+
+void KillSwitch::attach(const net::ChannelPtr& channel) {
+  if (killed()) {
+    channel->close();
+    return;
+  }
+  std::lock_guard lock(mu_);
+  channels_.push_back(channel);
+}
+
+size_t KillSwitch::attached_count() const {
+  std::lock_guard lock(mu_);
+  return channels_.size();
+}
+
+namespace {
+
+class FaultyChannel final : public net::Channel {
+ public:
+  FaultyChannel(net::ChannelPtr inner, KillSwitchPtr kill_switch, FaultPlan plan)
+      : inner_(std::move(inner)), kill_switch_(std::move(kill_switch)), plan_(plan) {}
+
+  util::Status send(net::Message message) override {
+    std::lock_guard lock(mu_);
+    if (dead()) {
+      inner_->close();
+      return util::make_error("fault: link is dead (killed or byte budget exhausted)");
+    }
+    ++messages_sent_;
+    if (plan_.drop_every_n > 0 && messages_sent_ % plan_.drop_every_n == 0)
+      return {};  // silently lost in transit — the sender cannot tell
+    bytes_sent_ += message.wire_size();
+    util::Status sent = inner_->send(std::move(message));
+    // The byte budget covers this message, then the link dies.
+    if (plan_.fail_after_bytes > 0 && bytes_sent_ >= plan_.fail_after_bytes) {
+      exhausted_ = true;
+      inner_->close();
+    }
+    return sent;
+  }
+
+  std::optional<net::Message> receive(double timeout_seconds) override {
+    if (dead_unlocked()) return std::nullopt;
+    return inner_->receive(timeout_seconds);
+  }
+
+  std::optional<net::Message> try_receive() override {
+    if (dead_unlocked()) return std::nullopt;
+    return inner_->try_receive();
+  }
+
+  void close() override { inner_->close(); }
+
+  [[nodiscard]] bool is_open() const override {
+    if (dead_unlocked()) return false;
+    return inner_->is_open();
+  }
+
+  [[nodiscard]] net::ChannelStats stats() const override { return inner_->stats(); }
+
+ private:
+  // mu_ must be held.
+  [[nodiscard]] bool dead() const {
+    return exhausted_ || (kill_switch_ && kill_switch_->killed());
+  }
+  [[nodiscard]] bool dead_unlocked() const {
+    std::lock_guard lock(mu_);
+    return dead();
+  }
+
+  net::ChannelPtr inner_;
+  KillSwitchPtr kill_switch_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_sent_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+net::ChannelPtr wrap_faulty(net::ChannelPtr inner, KillSwitchPtr kill_switch, FaultPlan plan) {
+  if (kill_switch) kill_switch->attach(inner);
+  return std::make_shared<FaultyChannel>(std::move(inner), std::move(kill_switch), plan);
+}
+
+}  // namespace rave::sim

@@ -1,0 +1,63 @@
+// Fault injection for the simulated testbed. Wraps any net::Channel (an
+// in-process pair, a SimulatedLink, a TCP channel) with a failure model
+// so every recovery path in the service fabric can be exercised in ctest
+// under virtual time:
+//
+//  * KillSwitch — shared "service died" signal. All channels attached to
+//    one switch fail simultaneously when kill() fires, which is what a
+//    crashed render service looks like to its peers (paper §3.2.7's
+//    "conditions change on the remote service").
+//  * FaultPlan — deterministic link degradation: a link that dies after
+//    carrying N bytes, or silently drops every K-th message.
+//
+// Wrapped channels report closed once the fault has fired, so existing
+// is_open()/Result-based error paths observe failures with no special
+// cases.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/channel.hpp"
+
+namespace rave::sim {
+
+// Shared kill signal. kill() closes every attached channel (both
+// directions) and makes later wrap attempts fail immediately.
+class KillSwitch {
+ public:
+  // Trip the switch: every attached channel closes now.
+  void kill();
+  [[nodiscard]] bool killed() const { return killed_.load(std::memory_order_acquire); }
+
+  // Attach a live channel so kill() can close it. Attaching to an
+  // already-tripped switch closes the channel immediately.
+  void attach(const net::ChannelPtr& channel);
+
+  [[nodiscard]] size_t attached_count() const;
+
+ private:
+  std::atomic<bool> killed_{false};
+  mutable std::mutex mu_;
+  std::vector<std::weak_ptr<net::Channel>> channels_;
+};
+
+using KillSwitchPtr = std::shared_ptr<KillSwitch>;
+
+struct FaultPlan {
+  // Link dies (permanently, both directions) after this many payload
+  // bytes have been sent through the wrapper. 0 = no byte limit.
+  uint64_t fail_after_bytes = 0;
+  // Drop (silently lose) every `drop_every_n`-th sent message; 0 = never.
+  // Models lossy links without killing them.
+  uint64_t drop_every_n = 0;
+};
+
+// Wrap `inner` so the fault plan and/or kill switch govern it. Either
+// argument may be empty/default for a plan-only or switch-only wrapper.
+net::ChannelPtr wrap_faulty(net::ChannelPtr inner, KillSwitchPtr kill_switch,
+                            FaultPlan plan = {});
+
+}  // namespace rave::sim

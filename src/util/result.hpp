@@ -17,8 +17,11 @@ struct Error {
 
 inline Error make_error(std::string msg) { return Error{std::move(msg)}; }
 
+// [[nodiscard]] at class scope: a dropped Result is a silently swallowed
+// failure, which is exactly the bug class the fault-tolerance layer exists
+// to eliminate. Callers that truly don't care must say so with (void).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   Result(Error error) : value_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
@@ -53,7 +56,7 @@ class Result {
 };
 
 // Specialization-free void flavour.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(Error error) : error_(std::move(error.message)), failed_(true) {}  // NOLINT
@@ -67,6 +70,16 @@ class Status {
  private:
   std::string error_;
   bool failed_ = false;
+};
+
+// Result<void> spells "Status" in generic code: APIs can be written
+// uniformly as Result<T> for any T including void.
+template <>
+class [[nodiscard]] Result<void> : public Status {
+ public:
+  using Status::Status;
+  Result() = default;
+  Result(Status status) : Status(std::move(status)) {}  // NOLINT(google-explicit-constructor)
 };
 
 }  // namespace rave::util

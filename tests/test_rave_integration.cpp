@@ -340,6 +340,7 @@ TEST_F(RaveFixture, MigrationMovesWorkFromOverloaded) {
   }
   // LoadTracker on the data side now has samples; force a rebalance round.
   const auto actions = data_.rebalance("demo");
+  ASSERT_TRUE(actions.ok()) << actions.error();
   // Whether moves trigger depends on measured fps; at minimum the call is
   // safe and leaves a consistent system.
   pump_all();

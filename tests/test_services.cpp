@@ -142,8 +142,10 @@ TEST(Uddi, RegisterAndFind) {
   UddiRegistry registry;
   const std::string tmodel = registry.register_tmodel(render_service_descriptor());
   const std::string business = registry.register_business("tower");
-  const std::string service = registry.register_service(business, "render:Skull-internal");
-  auto binding = registry.register_binding(service, "inproc:tower/soap", tmodel, "Skull-internal");
+  auto service = registry.register_service(business, "render:Skull-internal");
+  ASSERT_TRUE(service.ok()) << service.error();
+  auto binding =
+      registry.register_binding(service.value(), "inproc:tower/soap", tmodel, "Skull-internal");
   ASSERT_TRUE(binding.ok()) << binding.error();
 
   const auto found = registry.find_business("tow");
@@ -177,11 +179,16 @@ TEST(Uddi, RemoveBindingHidesAccessPoint) {
   UddiRegistry registry;
   const std::string tmodel = registry.register_tmodel(render_service_descriptor());
   const std::string business = registry.register_business("host");
-  const std::string service = registry.register_service(business, "render");
-  const auto binding = registry.register_binding(service, "ap1", tmodel);
+  auto service = registry.register_service(business, "render");
+  ASSERT_TRUE(service.ok()) << service.error();
+  const auto binding = registry.register_binding(service.value(), "ap1", tmodel);
   ASSERT_TRUE(binding.ok());
-  registry.remove_binding(binding.value());
+  EXPECT_TRUE(registry.remove_binding(binding.value()).ok());
   EXPECT_TRUE(registry.access_points(tmodel).empty());
+  // Removing it twice is an explanatory error, not a silent no-op.
+  const auto again = registry.remove_binding(binding.value());
+  EXPECT_FALSE(again.ok());
+  EXPECT_NE(again.error().find("unknown binding"), std::string::npos);
 }
 
 TEST(Uddi, SoapDispatchSurface) {

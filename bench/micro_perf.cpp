@@ -18,9 +18,23 @@
 #include "render/rasterizer.hpp"
 #include "scene/serialize.hpp"
 #include "services/soap.hpp"
+#include "util/simd.hpp"
 
 namespace {
 using namespace rave;
+
+// Benchmark arg 0 = scalar twin, 1 = widest level the host executes.
+// Restores the native level when the benchmark scope ends so later
+// benchmarks are unaffected by the forced-scalar runs.
+struct SimdArg {
+  explicit SimdArg(int64_t sel) {
+    util::set_simd_level(sel == 0 ? util::SimdLevel::Scalar : util::max_simd_level());
+  }
+  ~SimdArg() { util::set_simd_level(util::max_simd_level()); }
+  [[nodiscard]] std::string label() const {
+    return util::simd_level_name(util::active_simd_level());
+  }
+};
 
 const scene::SceneTree& elle_tree() {
   static const scene::SceneTree tree = [] {
@@ -34,6 +48,7 @@ const scene::SceneTree& elle_tree() {
 void BM_RasterizeElle(benchmark::State& state) {
   const int size = static_cast<int>(state.range(0));
   const int threads = static_cast<int>(state.range(1));
+  const SimdArg simd(state.range(2));
   std::unique_ptr<util::ThreadPool> pool;
   if (threads > 0) pool = std::make_unique<util::ThreadPool>(static_cast<unsigned>(threads));
   render::RenderOptions opts;
@@ -44,14 +59,16 @@ void BM_RasterizeElle(benchmark::State& state) {
     benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, size, size, opts, &stats));
   }
   state.SetItemsProcessed(state.iterations() * 50'000);
-  state.SetLabel(threads > 0 ? std::to_string(threads) + " threads" : "serial");
+  state.SetLabel((threads > 0 ? std::to_string(threads) + " threads" : "serial") + " " +
+                 simd.label());
 }
 BENCHMARK(BM_RasterizeElle)
-    ->Args({200, 0})
-    ->Args({400, 0})
-    ->Args({400, 2})
-    ->Args({400, 4})
-    ->Args({400, 8});
+    ->Args({200, 0, 1})
+    ->Args({400, 0, 0})
+    ->Args({400, 0, 1})
+    ->Args({400, 2, 1})
+    ->Args({400, 4, 1})
+    ->Args({400, 8, 1});
 
 // Deterministic pseudo-random depth planes: with both buffers cleared to
 // 1.0 the `src < dst` branch was never taken and only the pass-through
@@ -61,6 +78,7 @@ BENCHMARK(BM_RasterizeElle)
 void BM_DepthComposite(benchmark::State& state) {
   const int size = static_cast<int>(state.range(0));
   const int threads = static_cast<int>(state.range(1));
+  const SimdArg simd(state.range(2));
   std::unique_ptr<util::ThreadPool> pool;
   if (threads > 0) pool = std::make_unique<util::ThreadPool>(static_cast<unsigned>(threads));
   render::FrameBuffer pristine(size, size), src(size, size);
@@ -80,9 +98,14 @@ void BM_DepthComposite(benchmark::State& state) {
     benchmark::DoNotOptimize(render::depth_composite(dst, src, pool.get()));
   }
   state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size) * size * 7);
-  state.SetLabel(threads > 0 ? std::to_string(threads) + " threads" : "serial");
+  state.SetLabel((threads > 0 ? std::to_string(threads) + " threads" : "serial") + " " +
+                 simd.label());
 }
-BENCHMARK(BM_DepthComposite)->Args({200, 0})->Args({640, 0})->Args({640, 4});
+BENCHMARK(BM_DepthComposite)
+    ->Args({200, 0, 1})
+    ->Args({640, 0, 0})
+    ->Args({640, 0, 1})
+    ->Args({640, 4, 1});
 
 void BM_CodecEncode(benchmark::State& state) {
   const auto kind = static_cast<compress::CodecKind>(state.range(0));
@@ -98,6 +121,54 @@ void BM_CodecEncode(benchmark::State& state) {
 BENCHMARK(BM_CodecEncode)
     ->Arg(static_cast<int>(compress::CodecKind::Rle))
     ->Arg(static_cast<int>(compress::CodecKind::Quantize));
+
+// Per-codec encode/decode throughput with the SIMD level pinned: arg 0
+// selects scalar (0) or the widest native level (1), arg 1 the direction
+// (0 = encode, 1 = decode). The decode numbers are what the pre-sized
+// pointer-walk rewrite (no per-pixel push_back triple) is measured by.
+void codec_bench(benchmark::State& state, compress::CodecKind kind) {
+  const SimdArg simd(state.range(0));
+  const bool decode = state.range(1) != 0;
+  const scene::Camera cam = scene::Camera::framing(elle_tree().world_bounds());
+  const render::Image frame = render::render_tree(elle_tree(), cam, 200, 200).to_image();
+  render::Image previous = frame;
+  previous.rgb[777] ^= 0x40;  // delta sees a non-trivial diff
+  const auto codec = compress::make_codec(kind);
+  const compress::EncodedImage encoded = codec->encode(frame, &previous);
+  for (auto _ : state) {
+    if (decode)
+      benchmark::DoNotOptimize(codec->decode(encoded, &previous));
+    else
+      benchmark::DoNotOptimize(codec->encode(frame, &previous));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(frame.byte_size()));
+  state.SetLabel(std::string(decode ? "decode " : "encode ") + simd.label());
+}
+void BM_CodecRle(benchmark::State& state) { codec_bench(state, compress::CodecKind::Rle); }
+void BM_CodecDelta(benchmark::State& state) {
+  codec_bench(state, compress::CodecKind::Delta);
+}
+void BM_CodecQuantize(benchmark::State& state) {
+  codec_bench(state, compress::CodecKind::Quantize);
+}
+BENCHMARK(BM_CodecRle)->Args({0, 0})->Args({1, 0})->Args({0, 1})->Args({1, 1});
+BENCHMARK(BM_CodecDelta)->Args({0, 0})->Args({1, 0})->Args({0, 1})->Args({1, 1});
+BENCHMARK(BM_CodecQuantize)->Args({0, 0})->Args({1, 0})->Args({0, 1})->Args({1, 1});
+
+void BM_FrameClear(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const SimdArg simd(state.range(1));
+  render::FrameBuffer fb(size, size);
+  for (auto _ : state) {
+    fb.clear({0.08f, 0.08f, 0.12f});
+    benchmark::DoNotOptimize(fb.color().data());
+    benchmark::DoNotOptimize(fb.depth().data());
+  }
+  // 3 color bytes + 4 depth bytes per pixel.
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size) * size * 7);
+  state.SetLabel(simd.label());
+}
+BENCHMARK(BM_FrameClear)->Args({640, 0})->Args({640, 1});
 
 void BM_SceneSerialize(benchmark::State& state) {
   for (auto _ : state) {

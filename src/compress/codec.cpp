@@ -1,13 +1,16 @@
 #include "compress/codec.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/serial.hpp"
+#include "util/simd.hpp"
 
 namespace rave::compress {
 
 using util::make_error;
 using util::Result;
+using util::SimdLevel;
 
 const char* codec_name(CodecKind kind) {
   switch (kind) {
@@ -44,40 +47,49 @@ Result<EncodedImage> EncodedImage::deserialize(std::span<const uint8_t> bytes) {
 namespace {
 // --- RLE over RGB triples --------------------------------------------------
 // Stream of runs: [count:u8][r][g][b], count in 1..255.
+//
+// Run scanning is a vectorized self-overlapping compare: the pixels
+// i..i+k are all equal iff every byte j in [i*3, (i+k)*3) satisfies
+// rgb[j] == rgb[j+3], so the run length is the first mismatch of the
+// stream against itself shifted by one pixel — an integer kernel, so every
+// SIMD level emits the identical encoding.
 std::vector<uint8_t> rle_encode(const std::vector<uint8_t>& rgb) {
+  const SimdLevel level = util::active_simd_level();
   std::vector<uint8_t> out;
   const size_t pixels = rgb.size() / 3;
+  out.reserve(16 + pixels / 4);  // grows only for run-poor images
   size_t i = 0;
   while (i < pixels) {
-    const uint8_t r = rgb[i * 3], g = rgb[i * 3 + 1], b = rgb[i * 3 + 2];
+    const uint8_t* p = rgb.data() + i * 3;
+    const size_t cap = std::min<size_t>(255, pixels - i);  // run limit
     size_t run = 1;
-    while (run < 255 && i + run < pixels && rgb[(i + run) * 3] == r &&
-           rgb[(i + run) * 3 + 1] == g && rgb[(i + run) * 3 + 2] == b)
-      ++run;
+    if (cap > 1) run = util::simd::mismatch(p, p + 3, (cap - 1) * 3, level) / 3 + 1;
     out.push_back(static_cast<uint8_t>(run));
-    out.push_back(r);
-    out.push_back(g);
-    out.push_back(b);
+    out.push_back(p[0]);
+    out.push_back(p[1]);
+    out.push_back(p[2]);
     i += run;
   }
   return out;
 }
 
 util::Result<std::vector<uint8_t>> rle_decode(const std::vector<uint8_t>& data, size_t pixels) {
-  std::vector<uint8_t> rgb;
-  rgb.reserve(pixels * 3);
+  const SimdLevel level = util::active_simd_level();
+  // Pre-sized output written through a pointer (no per-pixel push_back
+  // triple); each run is a pattern fill of the SIMD layer.
+  std::vector<uint8_t> rgb(pixels * 3);
+  uint8_t* dst = rgb.data();
+  const uint8_t* const end = rgb.data() + rgb.size();
   size_t i = 0;
-  while (i + 4 <= data.size() && rgb.size() < pixels * 3) {
+  while (i + 4 <= data.size() && dst < end) {
     const size_t run = data[i];
     if (run == 0) return make_error("rle: zero run");
-    for (size_t k = 0; k < run && rgb.size() < pixels * 3; ++k) {
-      rgb.push_back(data[i + 1]);
-      rgb.push_back(data[i + 2]);
-      rgb.push_back(data[i + 3]);
-    }
+    const size_t fill = std::min(run, static_cast<size_t>(end - dst) / 3);
+    util::simd::fill_rgb(dst, fill, data[i + 1], data[i + 2], data[i + 3], level);
+    dst += fill * 3;
     i += 4;
   }
-  if (rgb.size() != pixels * 3) return make_error("rle: truncated stream");
+  if (dst != end) return make_error("rle: truncated stream");
   return rgb;
 }
 
@@ -141,8 +153,9 @@ class DeltaCodec final : public ImageCodec {
     }
     out.keyframe = false;
     std::vector<uint8_t> diff(image.rgb.size());
-    for (size_t i = 0; i < diff.size(); ++i)
-      diff[i] = static_cast<uint8_t>(image.rgb[i] - previous->rgb[i]);  // mod-256
+    // Mod-256 byte difference; integer, so bit-exact at every SIMD level.
+    util::simd::byte_sub(diff.data(), image.rgb.data(), previous->rgb.data(),
+                         diff.size(), util::active_simd_level());
     out.data = rle_encode(diff);
     return out;
   }
@@ -159,8 +172,8 @@ class DeltaCodec final : public ImageCodec {
         previous->height != encoded.height)
       return make_error("delta: missing previous frame");
     const std::vector<uint8_t> diff = std::move(payload).take();
-    for (size_t i = 0; i < img.rgb.size(); ++i)
-      img.rgb[i] = static_cast<uint8_t>(previous->rgb[i] + diff[i]);
+    util::simd::byte_add(img.rgb.data(), previous->rgb.data(), diff.data(),
+                         img.rgb.size(), util::active_simd_level());
     return img;
   }
 };
@@ -176,18 +189,22 @@ class QuantizeCodec final : public ImageCodec {
     out.codec = CodecKind::Quantize;
     out.width = image.width;
     out.height = image.height;
+    const SimdLevel level = util::active_simd_level();
     const size_t pixels = image.rgb.size() / 3;
     std::vector<uint16_t> packed(pixels);
-    for (size_t i = 0; i < pixels; ++i) {
-      const uint16_t r = image.rgb[i * 3] >> 3;
-      const uint16_t g = image.rgb[i * 3 + 1] >> 2;
-      const uint16_t b = image.rgb[i * 3 + 2] >> 3;
-      packed[i] = static_cast<uint16_t>((r << 11) | (g << 5) | b);
-    }
+    util::simd::pack_rgb565(image.rgb.data(), packed.data(), pixels, level);
+    // Run scan: same self-overlapping byte compare as the RLE codec, with
+    // a 2-byte element (consecutive codes equal iff every byte matches its
+    // neighbour one element over).
+    const uint8_t* bytes = reinterpret_cast<const uint8_t*>(packed.data());
+    out.data.reserve(16 + pixels / 4);
     size_t i = 0;
     while (i < pixels) {
+      const size_t cap = std::min<size_t>(255, pixels - i);
       size_t run = 1;
-      while (run < 255 && i + run < pixels && packed[i + run] == packed[i]) ++run;
+      if (cap > 1)
+        run = util::simd::mismatch(bytes + i * 2, bytes + i * 2 + 2, (cap - 1) * 2,
+                                   level) / 2 + 1;
       out.data.push_back(static_cast<uint8_t>(run));
       out.data.push_back(static_cast<uint8_t>(packed[i] & 0xFF));
       out.data.push_back(static_cast<uint8_t>(packed[i] >> 8));
@@ -197,8 +214,10 @@ class QuantizeCodec final : public ImageCodec {
   }
 
   Result<Image> decode(const EncodedImage& encoded, const Image*) const override {
+    const SimdLevel level = util::active_simd_level();
     Image img(encoded.width, encoded.height);
     const size_t pixels = static_cast<size_t>(encoded.width) * encoded.height;
+    // Pre-sized output, each run unpacked once and pattern-filled.
     size_t px = 0, i = 0;
     while (i + 3 <= encoded.data.size() && px < pixels) {
       const size_t run = encoded.data[i];
@@ -208,11 +227,9 @@ class QuantizeCodec final : public ImageCodec {
       const uint8_t r = static_cast<uint8_t>(((code >> 11) & 0x1F) << 3);
       const uint8_t g = static_cast<uint8_t>(((code >> 5) & 0x3F) << 2);
       const uint8_t b = static_cast<uint8_t>((code & 0x1F) << 3);
-      for (size_t k = 0; k < run && px < pixels; ++k, ++px) {
-        img.rgb[px * 3] = r;
-        img.rgb[px * 3 + 1] = g;
-        img.rgb[px * 3 + 2] = b;
-      }
+      const size_t fill = std::min(run, pixels - px);
+      util::simd::fill_rgb(img.rgb.data() + px * 3, fill, r, g, b, level);
+      px += fill;
       i += 3;
     }
     if (px != pixels) return make_error("quantize: truncated stream");

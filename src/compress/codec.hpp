@@ -31,7 +31,12 @@ struct EncodedImage {
   bool keyframe = true;  // false = delta against the previous frame
   std::vector<uint8_t> data;
 
-  [[nodiscard]] uint64_t byte_size() const { return data.size() + 8; }
+  // Exact wire size: serialize() writes a 6-byte fixed header (codec,
+  // keyframe, width, height) plus a 4-byte length prefix before the
+  // payload. AdaptiveEncoder feeds its bandwidth/transfer-time predictions
+  // from this number, so it must equal serialize().size() exactly
+  // (asserted by a test) without allocating the serialized buffer.
+  [[nodiscard]] uint64_t byte_size() const { return data.size() + 10; }
 
   [[nodiscard]] std::vector<uint8_t> serialize() const;
   static util::Result<EncodedImage> deserialize(std::span<const uint8_t> bytes);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rave::render {
@@ -11,21 +12,16 @@ using util::Result;
 using util::Status;
 
 namespace {
-void composite_rows(FrameBuffer& dst, const FrameBuffer& src, int y0, int y1) {
+// Per-pixel "keep the nearer sample" merge, one row at a time through the
+// SIMD depth-compare/select kernel. Pure compare + copy, so every lane
+// width produces identical bytes; the level is resolved once per composite
+// and shared by all bands.
+void composite_rows(FrameBuffer& dst, const FrameBuffer& src, int y0, int y1,
+                    util::SimdLevel level) {
   const int width = dst.width();
   for (int y = y0; y < y1; ++y) {
-    const float* sd = src.depth_row(y);
-    float* dd = dst.depth_row(y);
-    const uint8_t* sc = src.color_row(y);
-    uint8_t* dc = dst.color_row(y);
-    for (int i = 0; i < width; ++i) {
-      if (sd[i] < dd[i]) {
-        dd[i] = sd[i];
-        dc[i * 3] = sc[i * 3];
-        dc[i * 3 + 1] = sc[i * 3 + 1];
-        dc[i * 3 + 2] = sc[i * 3 + 2];
-      }
-    }
+    util::simd::depth_select_row(dst.depth_row(y), src.depth_row(y), dst.color_row(y),
+                                 src.color_row(y), width, level);
   }
 }
 }  // namespace
@@ -34,8 +30,9 @@ Status depth_composite(FrameBuffer& dst, const FrameBuffer& src, util::ThreadPoo
   if (dst.width() != src.width() || dst.height() != src.height())
     return make_error("depth_composite: size mismatch");
   const int height = dst.height();
+  const util::SimdLevel level = util::active_simd_level();
   if (pool == nullptr || height < 2) {
-    composite_rows(dst, src, 0, height);
+    composite_rows(dst, src, 0, height, level);
     return {};
   }
   // Disjoint row bands; per-pixel merges are independent, so banding
@@ -44,7 +41,7 @@ Status depth_composite(FrameBuffer& dst, const FrameBuffer& src, util::ThreadPoo
   pool->parallel_for(static_cast<size_t>(bands), [&](size_t band) {
     const int y0 = height * static_cast<int>(band) / bands;
     const int y1 = height * (static_cast<int>(band) + 1) / bands;
-    composite_rows(dst, src, y0, y1);
+    composite_rows(dst, src, y0, y1, level);
   });
   return {};
 }

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "util/serial.hpp"
+#include "util/simd.hpp"
 
 namespace rave::render {
 
@@ -76,27 +77,22 @@ void FrameBuffer::clear(const util::Vec3& color) {
   const auto to_byte = [](float v) {
     return static_cast<uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f);
   };
-  const uint8_t r = to_byte(color.x), g = to_byte(color.y), b = to_byte(color.z);
-  for (size_t i = 0; i + 2 < color_.size(); i += 3) {
-    color_[i] = r;
-    color_[i + 1] = g;
-    color_[i + 2] = b;
-  }
-  std::fill(depth_.begin(), depth_.end(), 1.0f);
+  const util::SimdLevel level = util::active_simd_level();
+  util::simd::fill_rgb(color_.data(), static_cast<size_t>(width_) * height_,
+                       to_byte(color.x), to_byte(color.y), to_byte(color.z), level);
+  util::simd::fill_f32(depth_.data(), depth_.size(), 1.0f, level);
 }
 
 void FrameBuffer::fill_color_row(int x, int y, int count, uint8_t r, uint8_t g, uint8_t b) {
-  uint8_t* p = color_row(y) + static_cast<size_t>(x) * 3;
-  for (int i = 0; i < count; ++i) {
-    p[0] = r;
-    p[1] = g;
-    p[2] = b;
-    p += 3;
-  }
+  if (count <= 0) return;
+  util::simd::fill_rgb(color_row(y) + static_cast<size_t>(x) * 3,
+                       static_cast<size_t>(count), r, g, b, util::active_simd_level());
 }
 
 void FrameBuffer::fill_depth_row(int x, int y, int count, float d) {
-  std::fill_n(depth_row(y) + x, count, d);
+  if (count <= 0) return;
+  util::simd::fill_f32(depth_row(y) + x, static_cast<size_t>(count), d,
+                       util::active_simd_level());
 }
 
 Image FrameBuffer::to_image() const {

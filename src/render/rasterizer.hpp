@@ -5,17 +5,20 @@
 // identical pixels on every host, which is what makes distributed tile /
 // subset compositing testable bit-exactly.
 //
-// The triangle kernel is an incremental edge-function raster: the three
-// edge equations are set up once per triangle and stepped across x/y with
-// additions, always starting from the triangle's own bbox origin. Because
-// the accumulation anchor is a property of the triangle alone, any window
-// (full frame, a region tile, or a 64-px binning cell) reproduces the
-// same per-pixel values bit-exactly. Serial draws raster each triangle
-// immediately; with RenderOptions.pool set, vertex shading and clip/setup
-// run in ordered chunks on the pool and survivors are bucketed into grid
-// cells rasterized one-cell-per-worker (no two threads share a pixel).
-// Output is byte-identical to the serial path for every thread count —
-// see DESIGN.md "Tile-binned parallel rasterization".
+// The triangle kernel is a position-anchored edge-function raster: the
+// three edge equations are set up once per triangle and evaluated directly
+// at every pixel center (row base per row, ea*px + base per pixel), so the
+// value at a pixel is a function of the triangle and the absolute pixel
+// position alone. Any window (full frame, a region tile, or a 64-px
+// binning cell) and any SIMD lane width (scalar, SSE2, AVX2, NEON — picked
+// by util::active_simd_level, override with RAVE_SIMD) performs the exact
+// same float operations per pixel and reproduces the same bytes. Serial
+// draws raster each triangle immediately; with RenderOptions.pool set,
+// vertex shading and clip/setup run in ordered chunks on the pool and
+// survivors are bucketed into grid cells rasterized one-cell-per-worker
+// (no two threads share a pixel). Output is byte-identical to the serial
+// scalar path for every thread count × SIMD level combination — see
+// DESIGN.md "SIMD dispatch & determinism".
 #pragma once
 
 #include "render/framebuffer.hpp"

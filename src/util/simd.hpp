@@ -1,0 +1,72 @@
+// Portable SIMD dispatch layer. Every hot per-pixel/per-byte kernel in the
+// renderer and the codecs has a vectorized body (SSE2/AVX2 on x86-64, NEON
+// on aarch64) and a scalar twin that performs the *same* arithmetic per
+// element, so the two are byte-identical on any input — the determinism
+// guarantee the distributed tile/subset compositing relies on extends
+// across instruction sets. The level is detected once at startup from the
+// CPU and can be forced down with RAVE_SIMD=scalar|sse2|avx2|neon (or
+// set_simd_level) for testing; requesting a level the host cannot execute
+// falls back to scalar. See DESIGN.md "SIMD dispatch & determinism".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rave::util {
+
+enum class SimdLevel : uint8_t {
+  Scalar = 0,
+  Sse2 = 1,  // x86-64 baseline, 16-byte lanes
+  Avx2 = 2,  // 32-byte lanes, needs CPU support
+  Neon = 3,  // aarch64 baseline, 16-byte lanes
+};
+
+const char* simd_level_name(SimdLevel level);
+
+// Highest level this binary can execute on this CPU (detected once).
+SimdLevel max_simd_level();
+
+// The level kernels dispatch on: max_simd_level() clamped by the RAVE_SIMD
+// environment variable on first use; overridable with set_simd_level.
+SimdLevel active_simd_level();
+
+// Force a level (tests/benches). Clamped to what the host can execute:
+// an unsupported request (wrong ISA family or missing CPU feature beyond
+// the x86 baseline) degrades to Scalar, never to an illegal instruction.
+void set_simd_level(SimdLevel level);
+
+// Parse "scalar"|"sse2"|"avx2"|"neon" (case-sensitive). False on unknown.
+bool parse_simd_level(const char* name, SimdLevel& out);
+
+namespace simd {
+
+// Index of the first byte where a[i] != b[i], or n if the ranges match.
+// (With b = a + stride this scans run lengths: chain equality a[i]==a[i+stride]
+// over i < k*stride is equivalent to elements 0..k all being equal.)
+size_t mismatch(const uint8_t* a, const uint8_t* b, size_t n, SimdLevel level);
+
+// dst[i] = a[i] - b[i] (mod 256). Ranges may alias only exactly (dst==a).
+void byte_sub(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t n,
+              SimdLevel level);
+// dst[i] = a[i] + b[i] (mod 256).
+void byte_add(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t n,
+              SimdLevel level);
+
+// Fill `pixels` RGB triples (3*pixels bytes) with the byte pattern r,g,b.
+void fill_rgb(uint8_t* dst, size_t pixels, uint8_t r, uint8_t g, uint8_t b,
+              SimdLevel level);
+// Fill `count` floats with `value`.
+void fill_f32(float* dst, size_t count, float value, SimdLevel level);
+
+// RGB888 -> RGB565: out[i] = (r>>3)<<11 | (g>>2)<<5 | (b>>3).
+void pack_rgb565(const uint8_t* rgb, uint16_t* out, size_t pixels,
+                 SimdLevel level);
+
+// One compositor row: where src_depth[i] < dst_depth[i], copy depth and the
+// RGB triple from src to dst. Pure compare/select — bit-exact by nature.
+void depth_select_row(float* dst_depth, const float* src_depth,
+                      uint8_t* dst_rgb, const uint8_t* src_rgb, int width,
+                      SimdLevel level);
+
+}  // namespace simd
+}  // namespace rave::util

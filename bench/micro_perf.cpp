@@ -13,6 +13,7 @@
 #include "mesh/primitives.hpp"
 #include "mesh/fields.hpp"
 #include "mesh/marching_cubes.hpp"
+#include "obs/trace.hpp"
 #include "render/compositor.hpp"
 #include "render/raycast.hpp"
 #include "render/rasterizer.hpp"
@@ -223,6 +224,32 @@ void BM_Raycast(benchmark::State& state) {
   state.SetLabel(parallel ? "parallel" : "serial");
 }
 BENCHMARK(BM_Raycast)->Arg(0)->Arg(1);
+
+// Observability overhead: a full Elle 400² frame with tracing disabled
+// (the production default — instruments reduce to relaxed atomic counter
+// adds and one cold load per would-be span) vs force-enabled under a root
+// span (every shade/bin/raster stage recorded). The acceptance budget is
+// <2% regression for the disabled arm vs the pre-observability build.
+void BM_ObsOverhead(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  obs::Tracer::global().reset();
+  obs::Tracer::global().set_enabled(traced);
+  const scene::Camera cam = scene::Camera::framing(elle_tree().world_bounds());
+  for (auto _ : state) {
+    render::RenderStats stats;
+    if (traced) {
+      obs::ScopedSpan frame_span = obs::ScopedSpan::root("frame", "bench");
+      benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, 400, 400, {}, &stats));
+    } else {
+      benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, 400, 400, {}, &stats));
+    }
+  }
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().reset();
+  state.SetItemsProcessed(state.iterations() * 50'000);
+  state.SetLabel(traced ? "tracing on" : "tracing off");
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
 
 void BM_SoapCallRoundTrip(benchmark::State& state) {
   services::SoapCall call;

@@ -1,11 +1,42 @@
 #include "compress/adaptive.hpp"
 
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
 namespace rave::compress {
+
+namespace {
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Per-scheme traffic/time accounting. Labels are the codec name, so the
+// scrape shows which schemes the adaptive selector is actually using.
+void account_encode(CodecKind kind, uint64_t in_bytes, uint64_t out_bytes, uint64_t ns) {
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Labels labels = {{"scheme", codec_name(kind)}};
+  reg.counter("rave_codec_frames_total", labels).inc();
+  reg.counter("rave_codec_bytes_in_total", labels).inc(in_bytes);
+  reg.counter("rave_codec_bytes_out_total", labels).inc(out_bytes);
+  reg.counter("rave_codec_encode_ns_total", labels).inc(ns);
+}
+
+void account_decode(CodecKind kind, uint64_t ns) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("rave_codec_decode_ns_total", {{"scheme", codec_name(kind)}}).inc(ns);
+}
+
+}  // namespace
 
 AdaptiveEncoder::AdaptiveEncoder(AdaptiveConfig config)
     : config_(config), bandwidth_Bps_(config.initial_bandwidth_Bps) {}
 
 EncodedImage AdaptiveEncoder::encode(const Image& image) {
+  const uint64_t t0 = now_ns();
   const double budget_bytes = bandwidth_Bps_ / config_.target_fps;
   const Image* prev = have_previous_ ? &previous_ : nullptr;
 
@@ -31,6 +62,10 @@ EncodedImage AdaptiveEncoder::encode(const Image& image) {
   last_codec_ = best.codec;
   previous_ = image;
   have_previous_ = true;
+  const uint64_t raw_bytes = static_cast<uint64_t>(image.width) * image.height * 3;
+  bytes_in_ += raw_bytes;
+  bytes_out_ += best.byte_size();
+  account_encode(best.codec, raw_bytes, best.byte_size(), now_ns() - t0);
   return best;
 }
 
@@ -41,12 +76,14 @@ void AdaptiveEncoder::observe_transfer(uint64_t bytes, double seconds) {
 }
 
 util::Result<Image> AdaptiveDecoder::decode(const EncodedImage& encoded) {
+  const uint64_t t0 = now_ns();
   const Image* prev = have_previous_ ? &previous_ : nullptr;
   auto img = make_codec(encoded.codec)->decode(encoded, prev);
   if (img.ok()) {
     previous_ = img.value();
     have_previous_ = true;
   }
+  account_decode(encoded.codec, now_ns() - t0);
   return img;
 }
 

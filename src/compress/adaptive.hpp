@@ -34,12 +34,20 @@ class AdaptiveEncoder {
   [[nodiscard]] double bandwidth_estimate_Bps() const { return bandwidth_Bps_; }
   [[nodiscard]] CodecKind last_codec() const { return last_codec_; }
 
+  // Cumulative raw pixel bytes in and encoded bytes out over this
+  // encoder's lifetime — the per-service "codec bytes saved" figure the
+  // status endpoint reports.
+  [[nodiscard]] uint64_t bytes_in() const { return bytes_in_; }
+  [[nodiscard]] uint64_t bytes_out() const { return bytes_out_; }
+
  private:
   AdaptiveConfig config_;
   double bandwidth_Bps_;
   CodecKind last_codec_ = CodecKind::Raw;
   Image previous_;
   bool have_previous_ = false;
+  uint64_t bytes_in_ = 0;
+  uint64_t bytes_out_ = 0;
 };
 
 // Receiver side: decodes whatever the encoder chose, tracking the previous

@@ -1,9 +1,13 @@
 #include "core/data_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_set>
 
 #include "mesh/obj_io.hpp"
+#include "obs/event.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "scene/serialize.hpp"
 #include "util/log.hpp"
 
@@ -15,6 +19,23 @@ using scene::SceneUpdate;
 using util::make_error;
 using util::Result;
 using util::Status;
+
+namespace {
+// One line per migration action for flight-recorder decisions.
+std::string describe_action(const MigrationAction& action) {
+  switch (action.kind) {
+    case MigrationAction::Kind::MoveNodes:
+      return "move " + std::to_string(action.nodes.size()) + " node(s) from service " +
+             std::to_string(action.from) + " to " + std::to_string(action.to);
+    case MigrationAction::Kind::RecruitNeeded:
+      return "recruit via UDDI for service " + std::to_string(action.from) + " (" +
+             std::to_string(action.nodes.size()) + " stranded node(s))";
+    case MigrationAction::Kind::MarkAvailable:
+      return "mark service " + std::to_string(action.from) + " available";
+  }
+  return "unknown action";
+}
+}  // namespace
 
 DataService::DataService(util::Clock& clock, Options options)
     : clock_(&clock), options_(std::move(options)) {}
@@ -247,6 +268,10 @@ void DataService::commit_update(Session& session, Subscriber* origin, SceneUpdat
     return;
   }
   session.trail.append(update);
+  ++stats_.updates_committed;
+  static obs::Counter& committed =
+      obs::MetricsRegistry::global().counter("rave_data_updates_committed_total", {});
+  committed.inc();
   if (origin != nullptr && update.kind == scene::UpdateKind::AddNode &&
       std::holds_alternative<scene::AvatarData>(update.new_node.payload))
     origin->own_avatars.push_back(update.node);
@@ -297,7 +322,17 @@ size_t DataService::pump_session(Session& session) {
     for (;;) {
       auto msg = sub.channel->try_receive();
       if (!msg.has_value()) {
-        if (!sub.channel->is_open()) sub.alive = false;
+        if (!sub.channel->is_open()) {
+          sub.alive = false;
+          // Failure-detector event: a render service dropping its data
+          // channel is a crash from this side, worth a post-mortem.
+          if (sub.kind == SubscriberKind::RenderService)
+            obs::FlightRecorder::global().record_failure(
+                "data",
+                "subscriber " + std::to_string(sub.id) + " (" + sub.host +
+                    ") channel closed on " + session.name,
+                clock_->now());
+        }
         break;
       }
       ++handled;
@@ -345,9 +380,12 @@ size_t DataService::pump_session(Session& session) {
           (void)sub.channel->send(encode(grant));
           break;
         }
-        default:
-          util::log_warn("data") << "unhandled message type 0x" << std::hex << msg->type;
+        default: {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "type 0x%04x", msg->type);
+          obs::log_event(util::LogLevel::Warn, "data", "unhandled_message", buf);
           break;
+        }
       }
     }
   }
@@ -387,7 +425,7 @@ Status DataService::distribute(const std::string& session_name) {
   const DistributionPlan plan =
       plan_distribution(payload_costs(session->tree), slots, options_.target_fps);
   if (!plan.feasible) {
-    util::log_warn("data") << "distribution refused: " << plan.refusal_reason;
+    obs::log_event(util::LogLevel::Warn, "data", "distribution_refused", plan.refusal_reason);
     return make_error(plan.refusal_reason);
   }
 
@@ -439,9 +477,18 @@ void DataService::recover_failed(Session& session) {
     const double now = clock_->now();
     for (Subscriber& sub : session.subscribers) {
       if (!sub.alive || now - sub.last_seen <= options_.lease_seconds) continue;
-      util::log_warn("data") << "subscriber " << sub.id << " (" << sub.host
-                             << ") lease expired after " << options_.lease_seconds
-                             << "s of silence; declaring failed";
+      ++stats_.lease_expiries;
+      // Failure-detector event: recorded in the flight ring (with an
+      // automatic post-mortem snapshot) as well as logged/counted.
+      obs::FlightRecorder::global().record_failure(
+          "data",
+          "subscriber " + std::to_string(sub.id) + " (" + sub.host + ") lease expired for " +
+              session.name,
+          now);
+      obs::log_event(util::LogLevel::Warn, "data", "lease_expired",
+                     "subscriber " + std::to_string(sub.id) + " (" + sub.host +
+                         ") silent past " + std::to_string(options_.lease_seconds) +
+                         "s; declaring failed");
       sub.channel->close();
       sub.alive = false;
     }
@@ -477,7 +524,8 @@ void DataService::recover_failed(Session& session) {
 
   MigrationConfig config;
   config.target_fps = options_.target_fps;
-  std::vector<MigrationAction> plan = plan_migration(std::move(views), config);
+  MigrationExplain explain;
+  std::vector<MigrationAction> plan = plan_migration(std::move(views), config, &explain);
   // Keep only the recovery part: load-balancing moves ride the regular
   // rebalance path, not the failure path.
   plan.erase(std::remove_if(plan.begin(), plan.end(),
@@ -486,6 +534,15 @@ void DataService::recover_failed(Session& session) {
                             }),
              plan.end());
   apply_actions(session, plan);
+  ++stats_.recoveries;
+  // The full decision — capacity inputs the planner saw, the chosen
+  // actions, and the alternatives it passed over — goes into the flight
+  // ring, followed by a post-mortem snapshot so a dump taken later still
+  // shows what drove this plan.
+  std::string decision = "recovery for " + session.name + ":\n" + explain.summary();
+  for (const MigrationAction& a : plan) decision += "  chosen: " + describe_action(a) + "\n";
+  obs::FlightRecorder::global().record_decision("data", decision, now);
+  obs::FlightRecorder::global().capture_postmortem("recovery for " + session.name);
   session.last_failure_plan = std::move(plan);
   util::log_info("data") << "recovered session " << session.name << " with "
                          << session.last_failure_plan.size() << " re-dispatch action(s)";
@@ -513,8 +570,15 @@ std::vector<MigrationAction> DataService::rebalance_locked(Session& session) {
 
   MigrationConfig config;
   config.target_fps = options_.target_fps;
-  std::vector<MigrationAction> actions = plan_migration(views, config);
+  MigrationExplain explain;
+  std::vector<MigrationAction> actions = plan_migration(views, config, &explain);
   apply_actions(session, actions);
+  ++stats_.rebalances;
+  if (!actions.empty()) {
+    std::string decision = "rebalance for " + session.name + ":\n" + explain.summary();
+    for (const MigrationAction& a : actions) decision += "  chosen: " + describe_action(a) + "\n";
+    obs::FlightRecorder::global().record_decision("data", decision, now);
+  }
   return actions;
 }
 

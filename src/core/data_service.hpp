@@ -122,6 +122,14 @@ class DataService {
   };
   [[nodiscard]] std::vector<SubscriberView> subscribers(const std::string& session) const;
 
+  struct Stats {
+    uint64_t lease_expiries = 0;    // subscribers declared failed by silence
+    uint64_t recoveries = 0;        // failure-recovery planning rounds run
+    uint64_t rebalances = 0;        // load-balancing planning rounds run
+    uint64_t updates_committed = 0; // scene updates accepted across sessions
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
   [[nodiscard]] const Options& options() const { return options_; }
   [[nodiscard]] util::Clock& clock() { return *clock_; }
 
@@ -175,6 +183,7 @@ class DataService {
   std::vector<net::ChannelPtr> pending_;  // connected, not yet subscribed
   uint64_t next_subscriber_id_ = 1;
   RecruitFn recruiter_;
+  Stats stats_;
 };
 
 }  // namespace rave::core

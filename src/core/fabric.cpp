@@ -4,6 +4,9 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+
 namespace rave::core {
 
 using util::make_error;
@@ -11,14 +14,26 @@ using util::Result;
 
 Result<net::ChannelPtr> Fabric::dial_retry(const std::string& access_point,
                                            const RetryPolicy& policy, util::Clock& clock) {
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& dials = reg.counter("rave_fabric_dials_total");
+  static obs::Counter& retries = reg.counter("rave_fabric_dial_retries_total");
+  static obs::Counter& failures = reg.counter("rave_fabric_dial_failures_total");
   const int attempts = std::max(1, policy.max_attempts);
   std::string last_error;
   for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) clock.sleep_for(policy.backoff_after(attempt - 1));
+    if (attempt > 0) {
+      retries.inc();
+      clock.sleep_for(policy.backoff_after(attempt - 1));
+    }
+    dials.inc();
     auto channel = dial(access_point);
     if (channel.ok()) return channel;
     last_error = channel.error();
   }
+  failures.inc();
+  obs::log_event(util::LogLevel::Warn, "fabric", "dial_failed",
+                 access_point + " unreachable after " + std::to_string(attempts) +
+                     " attempt(s): " + last_error);
   return make_error("fabric: dial " + access_point + " failed after " +
                     std::to_string(attempts) + (attempts == 1 ? " attempt: " : " attempts: ") +
                     last_error);

@@ -1,12 +1,33 @@
 #include "core/migration.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace rave::core {
 
 namespace {
 double headroom_of(const ServiceLoadView& s, const MigrationConfig& config) {
   return s.capacity.polygon_budget(config.target_fps) - s.assigned_work();
+}
+
+void explain_inputs(MigrationExplain* explain, const std::vector<ServiceLoadView>& services,
+                    const MigrationConfig& config) {
+  if (explain == nullptr) return;
+  for (const ServiceLoadView& s : services) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "service %llu: budget=%.0f work=%.0f fps=%.2f nodes=%zu%s%s%s",
+                  static_cast<unsigned long long>(s.subscriber_id),
+                  s.capacity.polygon_budget(config.target_fps), s.assigned_work(), s.fps,
+                  s.assigned.size(), s.failed ? " FAILED" : "",
+                  s.overloaded ? " overloaded" : "", s.underloaded ? " underloaded" : "");
+    explain->inputs.push_back(line);
+  }
+}
+
+void reject(MigrationExplain* explain, uint64_t candidate, std::string reason) {
+  if (explain == nullptr) return;
+  explain->rejected.push_back({candidate, std::move(reason)});
 }
 
 void remove_nodes(ServiceLoadView& s, const std::vector<NodeCost>& moved) {
@@ -21,9 +42,19 @@ void remove_nodes(ServiceLoadView& s, const std::vector<NodeCost>& moved) {
 }
 }  // namespace
 
+std::string MigrationExplain::summary() const {
+  std::string out;
+  for (const std::string& line : inputs) out += "  input: " + line + "\n";
+  for (const Rejection& r : rejected)
+    out += "  rejected service " + std::to_string(r.candidate) + ": " + r.reason + "\n";
+  return out;
+}
+
 std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> services,
-                                            const MigrationConfig& config) {
+                                            const MigrationConfig& config,
+                                            MigrationExplain* explain) {
   std::vector<MigrationAction> actions;
+  explain_inputs(explain, services, config);
 
   // --- failure reassignment -----------------------------------------------
   // A failed service's nodes must land somewhere even if that overloads
@@ -60,7 +91,12 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
       per_survivor[best].nodes.push_back(node);
     }
     for (size_t i = 0; i < survivors.size(); ++i) {
-      if (per_survivor[i].nodes.empty()) continue;
+      if (per_survivor[i].nodes.empty()) {
+        reject(explain, survivors[i]->subscriber_id,
+               "survivor passed over for failure reassignment: less headroom than chosen "
+               "receivers");
+        continue;
+      }
       per_survivor[i].kind = MigrationAction::Kind::MoveNodes;
       per_survivor[i].from = dead.subscriber_id;
       per_survivor[i].to = survivors[i]->subscriber_id;
@@ -95,10 +131,16 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
     for (ServiceLoadView* receiver : receivers) {
       if (deficit <= 0) break;
       const double headroom = headroom_of(*receiver, config) * config.headroom_fill_fraction;
-      if (headroom <= 0) continue;
+      if (headroom <= 0) {
+        reject(explain, receiver->subscriber_id, "no headroom for overload relief");
+        continue;
+      }
       std::vector<NodeCost> moved =
           select_nodes_to_move(overloaded.assigned, std::min(deficit, headroom), headroom);
-      if (moved.empty()) continue;
+      if (moved.empty()) {
+        reject(explain, receiver->subscriber_id, "no movable node fits its headroom");
+        continue;
+      }
       double moved_work = 0;
       for (const NodeCost& n : moved) moved_work += n.work_units();
       MigrationAction action;
@@ -139,6 +181,8 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
         donor_work = work;
       }
     }
+    if (donor != nullptr && (donor->assigned.empty() || donor_work <= underloaded.assigned_work()))
+      reject(explain, donor->subscriber_id, "not a useful donor for underload fill");
     if (donor == nullptr || donor->assigned.empty() ||
         donor_work <= underloaded.assigned_work()) {
       // "If no more nodes can be added, the service is marked as available

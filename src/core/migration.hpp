@@ -6,6 +6,7 @@
 // most loaded service.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/capacity.hpp"
@@ -52,9 +53,26 @@ struct MigrationConfig {
   double headroom_fill_fraction = 0.8;
 };
 
+// Why the planner chose what it chose: the capacity inputs it saw and the
+// alternatives it considered but rejected, for the flight recorder. Filled
+// only when a non-null explain is passed — the planning hot path pays
+// nothing otherwise.
+struct MigrationExplain {
+  struct Rejection {
+    uint64_t candidate = 0;  // subscriber id of the passed-over alternative
+    std::string reason;
+  };
+  std::vector<std::string> inputs;  // one line per service view at entry
+  std::vector<Rejection> rejected;
+
+  // Render inputs + rejections as indented text lines for a dump.
+  [[nodiscard]] std::string summary() const;
+};
+
 // One planning round. Actions are ordered and non-conflicting: each source
 // node set is disjoint.
 std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> services,
-                                            const MigrationConfig& config = {});
+                                            const MigrationConfig& config = {},
+                                            MigrationExplain* explain = nullptr);
 
 }  // namespace rave::core

@@ -346,4 +346,13 @@ Result<AssistGrantMsg> decode_assist_grant(const net::Message& msg) {
   return out;
 }
 
+void stamp_trace(net::Message& msg) {
+  const obs::TraceContext ctx = obs::Tracer::current();
+  if (!ctx.valid()) return;
+  msg.trace_id = ctx.trace_id;
+  msg.span_id = ctx.span_id;
+}
+
+obs::TraceContext trace_of(const net::Message& msg) { return {msg.trace_id, msg.span_id}; }
+
 }  // namespace rave::core

@@ -10,6 +10,7 @@
 
 #include "core/capacity.hpp"
 #include "net/channel.hpp"
+#include "obs/trace.hpp"
 #include "render/framebuffer.hpp"
 #include "scene/camera.hpp"
 #include "scene/update.hpp"
@@ -163,5 +164,12 @@ util::Result<TileAssignMsg> decode_tile_assign(const net::Message& msg);
 util::Result<TileResultMsg> decode_tile_result(const net::Message& msg);
 util::Result<AssistRequestMsg> decode_assist_request(const net::Message& msg);
 util::Result<AssistGrantMsg> decode_assist_grant(const net::Message& msg);
+
+// Trace propagation. stamp_trace() copies the sending thread's current
+// trace context onto the message (no-op when tracing is off or no trace is
+// in flight); trace_of() reads the context a received message carried, for
+// the receiver to parent its spans under. Both are free on untraced paths.
+void stamp_trace(net::Message& msg);
+obs::TraceContext trace_of(const net::Message& msg);
 
 }  // namespace rave::core

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/event.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "render/frustum.hpp"
 #include "scene/serialize.hpp"
 #include "util/log.hpp"
@@ -78,11 +82,18 @@ bool RenderService::bootstrapped(const std::string& session) const {
 }
 
 size_t RenderService::pump() {
+  // Spans recorded while this service drives the rasterizer/codec carry
+  // its host label.
+  obs::Tracer::set_current_host(options_.profile.name);
   size_t handled = 0;
   for (auto& [name, replica] : replicas_) handled += pump_replica(replica);
   handled += pump_clients();
   handled += pump_peers();
   flush_delayed();
+  if (delayed_gauge_ == nullptr)
+    delayed_gauge_ = &obs::MetricsRegistry::global().gauge(
+        "rave_render_delayed_sends", {{"host", options_.profile.name}});
+  delayed_gauge_->set(static_cast<double>(delayed_.size()));
   return handled;
 }
 
@@ -127,7 +138,7 @@ size_t RenderService::pump_replica(Replica& replica) {
         if (!snapshot.ok()) break;
         auto tree = scene::deserialize_tree(snapshot.value().tree_bytes);
         if (!tree.ok()) {
-          util::log_error("render") << "bad snapshot: " << tree.error();
+          obs::log_event(util::LogLevel::Error, "render", "bad_snapshot", tree.error());
           break;
         }
         if (snapshot.value().merge && replica.ready) {
@@ -175,7 +186,7 @@ size_t RenderService::pump_replica(Replica& replica) {
       case kMsgRefusal: {
         auto refusal = decode_refusal(*msg);
         if (refusal.ok())
-          util::log_warn("render") << "data service refused: " << refusal.value().reason;
+          obs::log_event(util::LogLevel::Warn, "render", "data_refused", refusal.value().reason);
         break;
       }
       default:
@@ -212,7 +223,7 @@ size_t RenderService::pump_clients() {
         }
         case kMsgFrameRequest: {
           auto request = decode_frame_request(*msg);
-          if (request.ok()) serve_frame(*client, request.value());
+          if (request.ok()) serve_frame(*client, request.value(), trace_of(*msg));
           break;
         }
         case kMsgClientUpdate: {
@@ -254,6 +265,9 @@ size_t RenderService::pump_peers() {
       if (!assign.ok()) continue;
       Replica* replica = find_replica(assign.value().session);
       if (replica == nullptr || !replica->ready) continue;
+      // Adopt the requester's context so this host's raster spans land in
+      // the same frame timeline.
+      obs::ScopedSpan span("peer_tile", options_.profile.name, trace_of(*msg));
       render::FrameBuffer full = render_local(*replica, assign.value().camera,
                                               assign.value().frame_width,
                                               assign.value().frame_height, assign.value().tile);
@@ -263,6 +277,7 @@ size_t RenderService::pump_peers() {
       result.generation = assign.value().generation;
       result.framebuffer = full.extract(assign.value().tile).serialize();
       net::Message wire = encode(result);
+      stamp_trace(wire);
       if (assist_stall_seconds_ > 0) {
         delayed_.push_back({channel, std::move(wire), clock_->now() + assist_stall_seconds_});
       } else {
@@ -357,6 +372,10 @@ void RenderService::account_frame(Replica& replica, uint64_t triangles, uint64_t
   }
   last_frame_seconds_ = frame_seconds;
   ++stats_.frames_rendered;
+  if (frame_latency_ == nullptr)
+    frame_latency_ = &obs::MetricsRegistry::global().histogram(
+        "rave_frame_seconds", {{"host", options_.profile.name}});
+  frame_latency_->observe(frame_seconds);
   replica.tracker.record_frame(frame_seconds, clock_->now());
   if (clock_->now() - replica.last_report >= options_.load_report_interval) {
     replica.last_report = clock_->now();
@@ -413,10 +432,12 @@ Result<render::FrameBuffer> RenderService::render_distributed(const std::string&
     } else {
       assign.tile = render::Tile{0, 0, width, height};
     }
-    const Status sent = remote.channel->send(encode(assign));
+    net::Message assign_wire = encode(assign);
+    stamp_trace(assign_wire);
+    const Status sent = remote.channel->send(std::move(assign_wire));
     if (!sent.ok()) {
-      util::log_warn("render") << "tile dispatch to " << remote.access_point
-                               << " failed: " << sent.error();
+      obs::log_event(util::LogLevel::Warn, "render", "tile_dispatch_failed",
+                     remote.access_point + ": " + sent.error());
       continue;  // pruned on the next frame; local render covers the tile
     }
     remote.awaiting = true;
@@ -432,6 +453,7 @@ Result<render::FrameBuffer> RenderService::render_distributed(const std::string&
   }
   render::FrameBuffer frame =
       render_local(*replica, camera, width, height, render::Tile{0, 0, width, height});
+  obs::ScopedSpan composite_span("composite", options_.profile.name);
   if (replica->tile_mode) {
     // Keep only the locally-owned tile; peer tiles overwrite the rest, or
     // the local rendering stands in until they arrive (bootstrap, §5.5).
@@ -469,7 +491,8 @@ Status RenderService::setup_remotes(Replica& replica,
     if (ap.empty() || ap == peer_access_point_) continue;
     auto channel = fabric_->dial_retry(ap, options_.retry, *clock_);
     if (!channel.ok()) {
-      util::log_warn("render") << "cannot dial assistant " << ap << ": " << channel.error();
+      obs::log_event(util::LogLevel::Warn, "render", "assistant_unreachable",
+                     ap + ": " + channel.error());
       continue;
     }
     RemoteTile remote;
@@ -489,16 +512,25 @@ void RenderService::prune_dead_remotes(Replica& replica) {
     return options_.tile_timeout > 0 && remote.awaiting &&
            now - remote.dispatched_at > options_.tile_timeout;
   };
-  auto it = std::remove_if(replica.remotes.begin(), replica.remotes.end(),
-                           [&](const RemoteTile& remote) {
-                             if (!dead(remote)) return false;
-                             ++stats_.peer_failures;
-                             if (remote.awaiting) ++stats_.tiles_redispatched;
-                             util::log_warn("render")
-                                 << "assistant " << remote.access_point << " lost for "
-                                 << replica.name << "; re-dispatching its tile";
-                             return true;
-                           });
+  auto it = std::remove_if(
+      replica.remotes.begin(), replica.remotes.end(), [&](const RemoteTile& remote) {
+        if (!dead(remote)) return false;
+        ++stats_.peer_failures;
+        if (remote.awaiting) {
+          ++stats_.tiles_redispatched;
+          obs::log_event(util::LogLevel::Warn, "render", "tile_redispatched",
+                         "tile of " + remote.access_point + " re-covered for " + replica.name);
+        }
+        // A lost assistant is a failure-detector event: record it and
+        // snapshot the flight-recorder ring for post-mortem reading.
+        obs::FlightRecorder::global().record_failure(
+            "render", "assistant " + remote.access_point + " lost for " + replica.name,
+            clock_->now());
+        obs::log_event(util::LogLevel::Warn, "render", "assistant_lost",
+                       "assistant " + remote.access_point + " lost for " + replica.name +
+                           "; re-dispatching its tile");
+        return true;
+      });
   replica.remotes.erase(it, replica.remotes.end());
 }
 
@@ -533,7 +565,12 @@ Status RenderService::submit_update(const std::string& session, SceneUpdate upda
   return replica->data_channel->send(encode(UpdateMsg{session, std::move(update)}));
 }
 
-void RenderService::serve_frame(Client& client, const FrameRequest& request) {
+void RenderService::serve_frame(Client& client, const FrameRequest& request,
+                                obs::TraceContext trace) {
+  // Adopt the context the frame request carried: everything below (raster
+  // spans, peer tile spans on assisting hosts, encode) stitches into the
+  // requesting client's frame timeline.
+  obs::ScopedSpan span("serve_frame", options_.profile.name, trace);
   Replica* replica = find_replica(client.session);
   if (replica == nullptr || !replica->ready) {
     (void)client.channel->send(encode(RefusalMsg{"session not ready"}));
@@ -546,16 +583,34 @@ void RenderService::serve_frame(Client& client, const FrameRequest& request) {
   }
   const render::Image image = frame.value().to_image();
   compress::EncodedImage encoded;
-  if (request.allow_compression) {
-    encoded = client.encoder.encode(image);
-  } else {
-    encoded = compress::make_codec(compress::CodecKind::Raw)->encode(image, nullptr);
+  {
+    obs::ScopedSpan encode_span("encode", options_.profile.name);
+    if (request.allow_compression) {
+      encoded = client.encoder.encode(image);
+    } else {
+      encoded = compress::make_codec(compress::CodecKind::Raw)->encode(image, nullptr);
+    }
   }
   FrameMsg reply;
   reply.request_id = request.request_id;
   reply.render_seconds = last_frame_seconds_;
   reply.encoded_image = encoded.serialize();
-  (void)client.channel->send(encode(reply));
+  net::Message wire = encode(reply);
+  stamp_trace(wire);
+  obs::ScopedSpan transmit_span("transmit", options_.profile.name);
+  (void)client.channel->send(std::move(wire));
+}
+
+uint64_t RenderService::codec_bytes_in() const {
+  uint64_t total = 0;
+  for (const auto& client : clients_) total += client->encoder.bytes_in();
+  return total;
+}
+
+uint64_t RenderService::codec_bytes_out() const {
+  uint64_t total = 0;
+  for (const auto& client : clients_) total += client->encoder.bytes_out();
+  return total;
 }
 
 RenderCapacity RenderService::capacity() const {

@@ -21,6 +21,8 @@
 
 #include "compress/adaptive.hpp"
 #include "core/capacity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/fabric.hpp"
 #include "core/protocol.hpp"
 #include "core/service_config.hpp"
@@ -127,6 +129,14 @@ class RenderService {
   [[nodiscard]] double last_frame_seconds() const { return last_frame_seconds_; }
   [[nodiscard]] const Options& options() const { return options_; }
 
+  // Observability views for the status endpoint: frame-latency histogram
+  // (null until the first frame), pending delayed sends, and the codec
+  // traffic aggregated over this service's thin-client encoders.
+  [[nodiscard]] const obs::Histogram* frame_latency() const { return frame_latency_; }
+  [[nodiscard]] size_t delayed_queue_depth() const { return delayed_.size(); }
+  [[nodiscard]] uint64_t codec_bytes_in() const;
+  [[nodiscard]] uint64_t codec_bytes_out() const;
+
   // SOAP endpoint "render": queryCapacity, listInstances, createInstance,
   // clientAccessPoint.
   void register_soap(services::ServiceContainer& container);
@@ -195,7 +205,7 @@ class RenderService {
   render::FrameBuffer render_local(Replica& replica, const scene::Camera& camera, int width,
                                    int height, const render::Tile& region);
   void account_frame(Replica& replica, uint64_t triangles, uint64_t pixels);
-  void serve_frame(Client& client, const FrameRequest& request);
+  void serve_frame(Client& client, const FrameRequest& request, obs::TraceContext trace);
   Replica* find_replica(const std::string& session);
   [[nodiscard]] const Replica* find_replica(const std::string& session) const;
   util::Status setup_remotes(Replica& replica, const std::vector<std::string>& access_points,
@@ -215,6 +225,8 @@ class RenderService {
   std::string peer_access_point_;
   std::vector<std::string> advertised_bindings_;  // lease keys to renew
   Stats stats_;
+  obs::Histogram* frame_latency_ = nullptr;  // registry-owned, keyed by host
+  obs::Gauge* delayed_gauge_ = nullptr;
   double last_frame_seconds_ = 0;
   double assist_stall_seconds_ = 0;
   int default_frame_width_ = 640;

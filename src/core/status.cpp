@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace rave::core {
 
 using services::SoapList;
@@ -21,6 +23,10 @@ void register_status_endpoint(services::ServiceContainer& container, const std::
         const services::ContainerStats stats = container.stats();
         out["soapCalls"] = static_cast<int64_t>(stats.calls_served);
         out["soapFaults"] = static_cast<int64_t>(stats.faults);
+        if (data != nullptr) {
+          out["leaseExpiries"] = static_cast<int64_t>(data->stats().lease_expiries);
+          out["recoveries"] = static_cast<int64_t>(data->stats().recoveries);
+        }
 
         SoapList sessions;
         if (data != nullptr) {
@@ -50,11 +56,27 @@ void register_status_endpoint(services::ServiceContainer& container, const std::
           entry["updatesApplied"] = static_cast<int64_t>(render->stats().updates_applied);
           entry["lastFrameSeconds"] = render->last_frame_seconds();
           entry["polygonsPerSec"] = render->capacity().polygons_per_sec;
+          entry["peerFailures"] = static_cast<int64_t>(render->stats().peer_failures);
+          entry["tilesRedispatched"] =
+              static_cast<int64_t>(render->stats().tiles_redispatched);
+          entry["delayedQueue"] = static_cast<int64_t>(render->delayed_queue_depth());
+          entry["codecBytesIn"] = static_cast<int64_t>(render->codec_bytes_in());
+          entry["codecBytesOut"] = static_cast<int64_t>(render->codec_bytes_out());
+          if (const obs::Histogram* latency = render->frame_latency()) {
+            entry["frameP50"] = latency->quantile(0.5);
+            entry["frameP99"] = latency->quantile(0.99);
+          }
           renders.push_back(std::move(entry));
         }
         out["renders"] = std::move(renders);
         return SoapValue{std::move(out)};
       });
+
+  // The registry scrape, as one text blob: what a Prometheus-style
+  // collector would pull from this host.
+  container.register_method("status", "metrics", [](const SoapList&) -> Result<SoapValue> {
+    return SoapValue{obs::MetricsRegistry::global().scrape()};
+  });
 }
 
 Result<HostStatus> parse_host_status(const SoapValue& value) {
@@ -65,6 +87,8 @@ Result<HostStatus> parse_host_status(const SoapValue& value) {
   status.has_render_service = value.field("hasRenderService").as_bool();
   status.soap_calls_served = static_cast<uint64_t>(value.field("soapCalls").as_int());
   status.soap_faults = static_cast<uint64_t>(value.field("soapFaults").as_int());
+  status.lease_expiries = static_cast<uint64_t>(value.field("leaseExpiries").as_int());
+  status.recoveries = static_cast<uint64_t>(value.field("recoveries").as_int());
   // field() returns by value: keep the temporaries alive while iterating.
   const SoapValue sessions_value = value.field("sessions");
   if (const SoapList* sessions = sessions_value.as_list()) {
@@ -91,6 +115,14 @@ Result<HostStatus> parse_host_status(const SoapValue& value) {
       render.updates_applied = static_cast<uint64_t>(entry.field("updatesApplied").as_int());
       render.last_frame_seconds = entry.field("lastFrameSeconds").as_double();
       render.polygons_per_sec = entry.field("polygonsPerSec").as_double();
+      render.peer_failures = static_cast<uint64_t>(entry.field("peerFailures").as_int());
+      render.tiles_redispatched =
+          static_cast<uint64_t>(entry.field("tilesRedispatched").as_int());
+      render.delayed_queue_depth = static_cast<uint64_t>(entry.field("delayedQueue").as_int());
+      render.codec_bytes_in = static_cast<uint64_t>(entry.field("codecBytesIn").as_int());
+      render.codec_bytes_out = static_cast<uint64_t>(entry.field("codecBytesOut").as_int());
+      render.frame_p50_seconds = entry.field("frameP50").as_double();
+      render.frame_p99_seconds = entry.field("frameP99").as_double();
       status.renders.push_back(std::move(render));
     }
   }
@@ -106,6 +138,9 @@ std::string format_dashboard(const std::vector<HostStatus>& hosts) {
     if (host.has_render_service) out << "  [render]";
     out << "  soap calls: " << host.soap_calls_served << " (" << host.soap_faults
         << " faults)\n";
+    if (host.lease_expiries > 0 || host.recoveries > 0)
+      out << "   failures: " << host.lease_expiries << " lease expiries, " << host.recoveries
+          << " recovery round(s)\n";
     for (const SessionStatus& session : host.sessions) {
       out << "   session '" << session.name << "': " << session.nodes << " nodes, "
           << session.triangles << " triangles, " << session.updates << " updates, "
@@ -117,6 +152,21 @@ std::string format_dashboard(const std::vector<HostStatus>& hosts) {
           << " updates applied";
       if (render.last_frame_seconds > 0)
         out << ", last frame " << static_cast<int>(render.last_frame_seconds * 1000) << " ms";
+      if (render.frame_p99_seconds > 0)
+        out << ", p50/p99 " << static_cast<int>(render.frame_p50_seconds * 1000) << "/"
+            << static_cast<int>(render.frame_p99_seconds * 1000) << " ms";
+      if (render.peer_failures > 0 || render.tiles_redispatched > 0)
+        out << "\n    fault churn: " << render.peer_failures << " peer failure(s), "
+            << render.tiles_redispatched << " tile(s) re-dispatched";
+      if (render.delayed_queue_depth > 0)
+        out << "\n    delayed sends queued: " << render.delayed_queue_depth;
+      if (render.codec_bytes_in > 0) {
+        const uint64_t saved = render.codec_bytes_in > render.codec_bytes_out
+                                   ? render.codec_bytes_in - render.codec_bytes_out
+                                   : 0;
+        out << "\n    codec: " << render.codec_bytes_in << " bytes in, "
+            << render.codec_bytes_out << " out (" << saved << " saved)";
+      }
       out << "\n   sessions:";
       for (const std::string& name : render.sessions) out << " " << name;
       out << "\n";

@@ -31,6 +31,15 @@ struct RenderStatus {
   uint64_t updates_applied = 0;
   double last_frame_seconds = 0;
   double polygons_per_sec = 0;
+  // Observability families (PR 4): fault-tolerance churn, send-queue
+  // backlog, codec traffic, and the frame-latency distribution.
+  uint64_t peer_failures = 0;
+  uint64_t tiles_redispatched = 0;
+  uint64_t delayed_queue_depth = 0;
+  uint64_t codec_bytes_in = 0;   // raw RGB bytes entering the encoder
+  uint64_t codec_bytes_out = 0;  // wire bytes leaving it
+  double frame_p50_seconds = 0;
+  double frame_p99_seconds = 0;
 };
 
 struct HostStatus {
@@ -41,10 +50,14 @@ struct HostStatus {
   std::vector<RenderStatus> renders;  // zero or one entry per host
   uint64_t soap_calls_served = 0;
   uint64_t soap_faults = 0;
+  // Data-plane failure detection (data service hosts only).
+  uint64_t lease_expiries = 0;
+  uint64_t recoveries = 0;
 };
 
 // Register the "status" endpoint on a host's container, reporting on the
-// given services (either may be null).
+// given services (either may be null). Besides "report" this also exposes
+// "metrics": the process-wide registry as Prometheus text exposition.
 void register_status_endpoint(services::ServiceContainer& container, const std::string& host,
                               DataService* data, RenderService* render);
 

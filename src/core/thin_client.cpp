@@ -1,5 +1,7 @@
 #include "core/thin_client.hpp"
 
+#include "obs/trace.hpp"
+
 namespace rave::core {
 
 using scene::Camera;
@@ -36,7 +38,13 @@ Result<render::Image> ThinClient::request_frame(const Camera& camera, int width,
   request.allow_compression = allow_compression_;
   request.request_id = next_request_id_++;
   const double t0 = clock_->now();
-  const Status sent = channel_->send(encode(request));
+  // The per-frame trace starts here: the root span covers the whole
+  // request round-trip, and its context rides the FrameRequest so every
+  // service that touches this frame parents its spans under it.
+  obs::ScopedSpan frame_span = obs::ScopedSpan::root("frame", profile_.name);
+  net::Message wire = encode(request);
+  stamp_trace(wire);
+  const Status sent = channel_->send(wire);
   if (!sent.ok()) return make_error(sent.error());
 
   const double deadline = clock_->now() + timeout_seconds;
@@ -57,7 +65,10 @@ Result<render::Image> ThinClient::request_frame(const Camera& camera, int width,
     const double received_at = clock_->now();
     auto encoded = compress::EncodedImage::deserialize(frame.value().encoded_image);
     if (!encoded.ok()) return make_error(encoded.error());
-    auto image = decoder_.decode(encoded.value());
+    auto image = [&] {
+      obs::ScopedSpan decode_span("decode", profile_.name);
+      return decoder_.decode(encoded.value());
+    }();
     if (!image.ok()) return make_error(image.error());
 
     // Client-side unpack/blit cost (the PDA's 0.047 s "other overheads").

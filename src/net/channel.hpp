@@ -21,11 +21,22 @@ struct Message {
   uint16_t type = 0;
   std::vector<uint8_t> payload;
 
+  // Trace context riding with the message (obs tracing). Zero = untraced;
+  // untraced messages are byte-identical on the wire to the pre-tracing
+  // format. TCP flags traced frames with the high bit of the type field
+  // and appends 16 header bytes; in-process channels pass these through.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
   Message() = default;
   Message(uint16_t t, std::vector<uint8_t> p) : type(t), payload(std::move(p)) {}
 
-  // Frame: 4-byte length + 2-byte type + payload.
-  [[nodiscard]] uint64_t wire_size() const { return 6 + payload.size(); }
+  [[nodiscard]] bool traced() const { return trace_id != 0; }
+
+  // Frame: 4-byte length + 2-byte type [+ 16-byte trace context] + payload.
+  [[nodiscard]] uint64_t wire_size() const {
+    return 6 + (traced() ? 16 : 0) + payload.size();
+  }
 };
 
 struct ChannelStats {

@@ -18,6 +18,11 @@ using util::Result;
 using util::Status;
 
 namespace {
+// High bit of the wire type marks a traced frame (real types stay below
+// 0x8000); the frame then carries trace_id + span_id (8 bytes LE each)
+// between the 6-byte header and the payload.
+constexpr uint16_t kTracedFlag = 0x8000;
+
 class TcpChannel final : public Channel {
  public:
   explicit TcpChannel(int fd) : fd_(fd) {
@@ -30,12 +35,25 @@ class TcpChannel final : public Channel {
   Status send(Message message) override {
     std::lock_guard lock(send_mu_);
     if (fd_ < 0) return make_error("tcp: channel closed");
-    uint8_t header[6];
+    // Traced messages set the (otherwise unused) high bit of the type
+    // field and carry 16 extra header bytes; untraced frames stay
+    // byte-identical to the pre-tracing format.
+    uint8_t header[22];
+    size_t header_len = 6;
     const uint32_t len = static_cast<uint32_t>(message.payload.size());
     for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
-    header[4] = static_cast<uint8_t>(message.type & 0xFF);
-    header[5] = static_cast<uint8_t>(message.type >> 8);
-    if (!write_all(header, 6)) return make_error("tcp: send failed");
+    uint16_t wire_type = message.type;
+    if (message.traced()) {
+      wire_type |= kTracedFlag;
+      for (int i = 0; i < 8; ++i)
+        header[6 + i] = static_cast<uint8_t>(message.trace_id >> (8 * i));
+      for (int i = 0; i < 8; ++i)
+        header[14 + i] = static_cast<uint8_t>(message.span_id >> (8 * i));
+      header_len = 22;
+    }
+    header[4] = static_cast<uint8_t>(wire_type & 0xFF);
+    header[5] = static_cast<uint8_t>(wire_type >> 8);
+    if (!write_all(header, header_len)) return make_error("tcp: send failed");
     if (!message.payload.empty() && !write_all(message.payload.data(), message.payload.size()))
       return make_error("tcp: send failed");
     stats_.messages_sent++;
@@ -53,6 +71,15 @@ class TcpChannel final : public Channel {
     for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
     Message msg;
     msg.type = static_cast<uint16_t>(header[4] | (header[5] << 8));
+    if ((msg.type & kTracedFlag) != 0) {
+      msg.type &= static_cast<uint16_t>(~kTracedFlag);
+      uint8_t trace[16];
+      if (!read_all(trace, 16)) return std::nullopt;
+      for (int i = 0; i < 8; ++i)
+        msg.trace_id |= static_cast<uint64_t>(trace[i]) << (8 * i);
+      for (int i = 0; i < 8; ++i)
+        msg.span_id |= static_cast<uint64_t>(trace[8 + i]) << (8 * i);
+    }
     msg.payload.resize(len);
     if (len > 0 && !read_all(msg.payload.data(), len)) return std::nullopt;
     stats_.messages_received++;

@@ -1,0 +1,30 @@
+#include "obs/event.hpp"
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/clock.hpp"
+
+namespace rave::obs {
+
+void log_event(util::LogLevel level, const std::string& component, const std::string& event,
+               const std::string& message) {
+  MetricsRegistry::global()
+      .counter("rave_events_total", {{"component", component}, {"event", event}})
+      .inc();
+  if (level >= util::LogLevel::Warn) {
+    const double now = Tracer::global().now();
+    if (level >= util::LogLevel::Error)
+      FlightRecorder::global().record_failure(component, event + ": " + message, now);
+    else
+      FlightRecorder::global().record_note(component, event + ": " + message, now);
+  }
+  util::log_write(level, component, "[" + event + "] " + message);
+}
+
+void set_clock(const util::Clock* clock) {
+  Tracer::global().set_clock(clock);
+  util::set_log_clock(clock);
+}
+
+}  // namespace rave::obs

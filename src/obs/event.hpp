@@ -1,0 +1,27 @@
+// Structured events: one call emits the log line, increments the matching
+// metrics counter (rave_events_total{component,event}), and — for Warn and
+// above — records the event in the flight recorder. Dashboard numbers and
+// log lines come from the same call site, so they cannot drift apart.
+#pragma once
+
+#include <string>
+
+#include "util/log.hpp"
+
+namespace rave::util {
+class Clock;
+}
+
+namespace rave::obs {
+
+// `event` is a stable snake_case identifier (it becomes a metric label);
+// `message` is the free-text detail for the log line / flight recorder.
+void log_event(util::LogLevel level, const std::string& component, const std::string& event,
+               const std::string& message);
+
+// Install the clock used for event/flight-recorder timestamps AND the
+// tracer's span clock AND util::log's line timestamps — one call points
+// the whole observability stack at virtual or wall time.
+void set_clock(const util::Clock* clock);
+
+}  // namespace rave::obs

@@ -1,0 +1,186 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace rave::obs {
+
+namespace detail {
+size_t shard_slot() {
+  static std::atomic<size_t> next{0};
+  static thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+}  // namespace detail
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.add(v);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i)
+    total += counts_[i].load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<uint64_t> counts = bucket_counts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  const auto rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank)
+      return i < bounds_.size() ? bounds_[i] : bounds_.empty() ? 0 : bounds_.back();
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+void Histogram::reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0, std::memory_order_relaxed);
+  sum_.set(0);
+}
+
+std::vector<double> Histogram::default_latency_buckets() {
+  return {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5};
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out << ",";
+    out << labels[i].first << "=\"" << labels[i].second << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name, const Labels& labels) {
+  const std::string rendered = render_labels(labels);
+  auto [it, inserted] = entries_.try_emplace(name + rendered);
+  if (inserted) {
+    it->second.name = name;
+    it->second.labels = rendered;
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  std::lock_guard lock(mu_);
+  Entry& e = entry(name, labels);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard lock(mu_);
+  Entry& e = entry(name, labels);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& labels,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  Entry& e = entry(name, labels);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+namespace {
+// Prometheus-style number rendering: integers stay integral.
+std::string render_value(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+}  // namespace
+
+std::string MetricsRegistry::scrape() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  std::string last_typed;
+  for (const auto& [key, e] : entries_) {
+    if (e.name != last_typed) {
+      const char* type = e.counter ? "counter" : e.gauge ? "gauge" : "histogram";
+      out << "# TYPE " << e.name << " " << type << "\n";
+      last_typed = e.name;
+    }
+    if (e.counter) out << e.name << e.labels << " " << e.counter->value() << "\n";
+    if (e.gauge) out << e.name << e.labels << " " << render_value(e.gauge->value()) << "\n";
+    if (e.histogram) {
+      const auto& bounds = e.histogram->bounds();
+      const auto counts = e.histogram->bucket_counts();
+      // Prometheus buckets are cumulative.
+      uint64_t cumulative = 0;
+      const std::string sep = e.labels.empty() ? "{" : e.labels.substr(0, e.labels.size() - 1) + ",";
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += counts[i];
+        out << e.name << "_bucket" << sep << "le=\"" << render_value(bounds[i]) << "\"} "
+            << cumulative << "\n";
+      }
+      cumulative += counts[bounds.size()];
+      out << e.name << "_bucket" << sep << "le=\"+Inf\"} " << cumulative << "\n";
+      out << e.name << "_sum" << e.labels << " " << render_value(e.histogram->sum()) << "\n";
+      out << e.name << "_count" << e.labels << " " << cumulative << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::vector<MetricSample> MetricsRegistry::samples() const {
+  std::lock_guard lock(mu_);
+  std::vector<MetricSample> out;
+  for (const auto& [key, e] : entries_) {
+    if (e.counter)
+      out.push_back({e.name, e.labels, static_cast<double>(e.counter->value())});
+    if (e.gauge) out.push_back({e.name, e.labels, e.gauge->value()});
+    if (e.histogram) {
+      out.push_back({e.name + "_count", e.labels,
+                     static_cast<double>(e.histogram->count())});
+      out.push_back({e.name + "_sum", e.labels, e.histogram->sum()});
+      out.push_back({e.name + "_p50", e.labels, e.histogram->quantile(0.50)});
+      out.push_back({e.name + "_p99", e.labels, e.histogram->quantile(0.99)});
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mu_);
+  for (auto& [key, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace rave::obs

@@ -1,0 +1,172 @@
+// Metrics registry — the monitoring/accounting layer of the grid
+// (Rendering-as-a-Service taxonomy: a core service alongside rendering
+// itself). Counters, gauges and fixed-bucket histograms are registered by
+// name + labels and scraped into a Prometheus-style text exposition that
+// the "status" SOAP endpoint and the operator dashboard merge in.
+//
+// Cost model: instruments sit on hot paths (per-frame, per-message), so
+// writes are lock-free relaxed atomics — counters are sharded per thread
+// slot and merged only on scrape, a histogram observe is two atomic adds.
+// Registration (name lookup) takes a mutex and is expected once per call
+// site via a function-local static reference.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rave::obs {
+
+// Rendered once at registration: {k="v",k2="v2"} with keys in input order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+inline constexpr size_t kShards = 16;
+// Stable per-thread shard slot so two pool threads rarely share a line.
+size_t shard_slot();
+
+// Lock-free double accumulator (CAS on the bit pattern).
+class AtomicDouble {
+ public:
+  void add(double v) {
+    uint64_t old_bits = bits_.load(std::memory_order_relaxed);
+    for (;;) {
+      double next;
+      std::memcpy(&next, &old_bits, sizeof(next));
+      next += v;
+      uint64_t next_bits;
+      std::memcpy(&next_bits, &next, sizeof(next_bits));
+      if (bits_.compare_exchange_weak(old_bits, next_bits, std::memory_order_relaxed)) return;
+    }
+  }
+  void set(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    const uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // bit pattern of 0.0
+};
+}  // namespace detail
+
+// Monotonic counter, per-thread-slot sharded; value() merges the shards.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) {
+    shards_[detail::shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[detail::kShards];
+};
+
+// Point-in-time value (queue depths, bandwidth estimates).
+class Gauge {
+ public:
+  void set(double v) { value_.set(v); }
+  void add(double v) { value_.add(v); }
+  [[nodiscard]] double value() const { return value_.value(); }
+  void reset() { value_.set(0); }
+
+ private:
+  detail::AtomicDouble value_;
+};
+
+// Fixed-bucket histogram. `bounds` are inclusive upper bounds per bucket;
+// an implicit +inf bucket catches the rest. Buckets are fixed at
+// registration so observe() is a binary search plus two relaxed adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds = default_latency_buckets());
+
+  void observe(double v);
+
+  [[nodiscard]] uint64_t count() const;
+  [[nodiscard]] double sum() const { return sum_.value(); }
+  // Quantile estimate: the upper bound of the bucket holding rank q
+  // (+inf bucket reports the largest finite bound). 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::vector<uint64_t> bucket_counts() const;
+  void reset();
+
+  // Bucket bounds suited to frame/encode latencies in seconds.
+  static std::vector<double> default_latency_buckets();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  detail::AtomicDouble sum_;
+};
+
+// A flattened metric value for the status endpoint / dashboard.
+struct MetricSample {
+  std::string name;
+  std::string labels;  // rendered: {k="v"} or ""
+  double value = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Look up or create. References stay valid for the registry's lifetime,
+  // so call sites cache them in function-local statics.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       std::vector<double> bounds = Histogram::default_latency_buckets());
+
+  // Prometheus text exposition, deterministically ordered by name+labels.
+  [[nodiscard]] std::string scrape() const;
+
+  // Flattened samples (histograms contribute _count, _sum, p50, p99).
+  [[nodiscard]] std::vector<MetricSample> samples() const;
+
+  // Zero every value without invalidating cached references (tests).
+  void reset_values();
+
+  // The process-wide registry every built-in instrument reports to. In a
+  // real deployment one host runs one process, so this is per-host; the
+  // in-process grid sim shares it across simulated hosts.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& entry(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // key: name + rendered labels
+};
+
+std::string render_labels(const Labels& labels);
+
+}  // namespace rave::obs

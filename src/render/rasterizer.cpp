@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "render/frustum.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
@@ -474,6 +476,14 @@ void raster_parallel(const std::vector<Prim>& prims, const Tile& region,
         ++counts[static_cast<size_t>(gy - cy0) * ncx + (gx - cx0) + 1];
   }
   for (size_t c = 1; c <= ncells; ++c) counts[c] += counts[c - 1];
+  {
+    // How evenly the binning grid spreads work across cells (prims per
+    // cell, after prefix sum: counts[c+1]-counts[c]).
+    static obs::Histogram& occupancy = obs::MetricsRegistry::global().histogram(
+        "rave_raster_cell_occupancy", {}, {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+    for (size_t c = 0; c < ncells; ++c)
+      occupancy.observe(static_cast<double>(counts[c + 1] - counts[c]));
+  }
   std::vector<uint32_t> order(counts[ncells]);
   std::vector<uint32_t> fill(counts.begin(), counts.end() - 1);
   for (uint32_t i = 0; i < prims.size(); ++i) {
@@ -501,6 +511,22 @@ void raster_parallel(const std::vector<Prim>& prims, const Tile& region,
       raster(prims[order[k]], win, cell_stats[ci]);
   });
   for (const RenderStats& s : cell_stats) stats += s;
+}
+
+// Per-draw deltas into the global registry (counters are process-wide and
+// monotonic; RenderStats stays the per-rasterizer view).
+void account_draw(const RenderStats& before, const RenderStats& after) {
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& submitted = reg.counter("rave_raster_triangles_submitted_total");
+  static obs::Counter& rasterized = reg.counter("rave_raster_triangles_rasterized_total");
+  static obs::Counter& clipped = reg.counter("rave_raster_triangles_clipped_total");
+  static obs::Counter& pixels = reg.counter("rave_raster_pixels_shaded_total");
+  const uint64_t d_submitted = after.triangles_submitted - before.triangles_submitted;
+  const uint64_t d_rasterized = after.triangles_rasterized - before.triangles_rasterized;
+  submitted.inc(d_submitted);
+  rasterized.inc(d_rasterized);
+  if (d_submitted > d_rasterized) clipped.inc(d_submitted - d_rasterized);
+  pixels.inc(after.pixels_shaded - before.pixels_shaded);
 }
 
 }  // namespace
@@ -555,15 +581,19 @@ void Rasterizer::draw_mesh(const scene::MeshData& mesh, const Mat4& model, const
       project_vertex(shaded[i], fb_w, fb_h);
     }
   };
-  if (options.pool != nullptr && shaded.size() > kVertexChunk) {
-    const size_t chunks = (shaded.size() + kVertexChunk - 1) / kVertexChunk;
-    options.pool->parallel_for(chunks, [&](size_t c) {
-      shade_range(c * kVertexChunk, std::min(shaded.size(), (c + 1) * kVertexChunk));
-    });
-  } else {
-    shade_range(0, shaded.size());
+  {
+    obs::ScopedSpan shade_span("shade", obs::Tracer::current_host());
+    if (options.pool != nullptr && shaded.size() > kVertexChunk) {
+      const size_t chunks = (shaded.size() + kVertexChunk - 1) / kVertexChunk;
+      options.pool->parallel_for(chunks, [&](size_t c) {
+        shade_range(c * kVertexChunk, std::min(shaded.size(), (c + 1) * kVertexChunk));
+      });
+    } else {
+      shade_range(0, shaded.size());
+    }
   }
 
+  const RenderStats before_draw = stats_;
   stats_.triangles_submitted += mesh.triangle_count();
   const float near_w = 1e-4f;
 
@@ -636,10 +666,14 @@ void Rasterizer::draw_mesh(const scene::MeshData& mesh, const Mat4& model, const
     // buffering. Identical pixels to the pooled path because per-pixel
     // arithmetic is anchored at the triangle bbox either way.
     uint64_t rasterized = 0;
-    process_triangles(0, triangle_count, rasterized, [&](const ScreenTriangle& tri) {
-      raster_triangle_window(fb_, stats_, tri, region);
-    });
+    {
+      obs::ScopedSpan raster_span("raster", obs::Tracer::current_host());
+      process_triangles(0, triangle_count, rasterized, [&](const ScreenTriangle& tri) {
+        raster_triangle_window(fb_, stats_, tri, region);
+      });
+    }
     stats_.triangles_rasterized += rasterized;
+    account_draw(before_draw, stats_);
     return;
   }
 
@@ -647,43 +681,50 @@ void Rasterizer::draw_mesh(const scene::MeshData& mesh, const Mat4& model, const
   // locally; chunks are concatenated in submission order), then bin the
   // survivors into cells and raster cell-parallel.
   std::vector<ScreenTriangle> tris;
-  const size_t chunks = (triangle_count + kTriangleChunk - 1) / kTriangleChunk;
-  if (chunks > 1) {
-    std::vector<std::vector<ScreenTriangle>> chunk_tris(chunks);
-    std::vector<uint64_t> chunk_rasterized(chunks, 0);
-    options.pool->parallel_for(chunks, [&](size_t c) {
-      chunk_tris[c].reserve(kTriangleChunk);
-      process_triangles(c * kTriangleChunk,
-                        std::min(triangle_count, (c + 1) * kTriangleChunk),
-                        chunk_rasterized[c],
-                        [&](const ScreenTriangle& tri) { chunk_tris[c].push_back(tri); });
-    });
-    size_t total = 0;
-    for (const auto& ct : chunk_tris) total += ct.size();
-    tris.reserve(total);
-    for (size_t c = 0; c < chunks; ++c) {
-      tris.insert(tris.end(), chunk_tris[c].begin(), chunk_tris[c].end());
-      stats_.triangles_rasterized += chunk_rasterized[c];
+  {
+    obs::ScopedSpan bin_span("bin", obs::Tracer::current_host());
+    const size_t chunks = (triangle_count + kTriangleChunk - 1) / kTriangleChunk;
+    if (chunks > 1) {
+      std::vector<std::vector<ScreenTriangle>> chunk_tris(chunks);
+      std::vector<uint64_t> chunk_rasterized(chunks, 0);
+      options.pool->parallel_for(chunks, [&](size_t c) {
+        chunk_tris[c].reserve(kTriangleChunk);
+        process_triangles(c * kTriangleChunk,
+                          std::min(triangle_count, (c + 1) * kTriangleChunk),
+                          chunk_rasterized[c],
+                          [&](const ScreenTriangle& tri) { chunk_tris[c].push_back(tri); });
+      });
+      size_t total = 0;
+      for (const auto& ct : chunk_tris) total += ct.size();
+      tris.reserve(total);
+      for (size_t c = 0; c < chunks; ++c) {
+        tris.insert(tris.end(), chunk_tris[c].begin(), chunk_tris[c].end());
+        stats_.triangles_rasterized += chunk_rasterized[c];
+      }
+    } else {
+      tris.reserve(triangle_count);
+      uint64_t rasterized = 0;
+      process_triangles(0, triangle_count, rasterized,
+                        [&](const ScreenTriangle& tri) { tris.push_back(tri); });
+      stats_.triangles_rasterized += rasterized;
     }
-  } else {
-    tris.reserve(triangle_count);
-    uint64_t rasterized = 0;
-    process_triangles(0, triangle_count, rasterized,
-                      [&](const ScreenTriangle& tri) { tris.push_back(tri); });
-    stats_.triangles_rasterized += rasterized;
   }
 
-  raster_parallel(
-      tris, region, *options.pool, stats_,
-      [](const ScreenTriangle& t, int& bx0, int& by0, int& bx1, int& by1) {
-        bx0 = t.x0;
-        by0 = t.y0;
-        bx1 = t.x1;
-        by1 = t.y1;
-      },
-      [&](const ScreenTriangle& t, const Tile& win, RenderStats& s) {
-        raster_triangle_window(fb_, s, t, win);
-      });
+  {
+    obs::ScopedSpan raster_span("raster", obs::Tracer::current_host());
+    raster_parallel(
+        tris, region, *options.pool, stats_,
+        [](const ScreenTriangle& t, int& bx0, int& by0, int& bx1, int& by1) {
+          bx0 = t.x0;
+          by0 = t.y0;
+          bx1 = t.x1;
+          by1 = t.y1;
+        },
+        [&](const ScreenTriangle& t, const Tile& win, RenderStats& s) {
+          raster_triangle_window(fb_, s, t, win);
+        });
+  }
+  account_draw(before_draw, stats_);
 }
 
 void Rasterizer::draw_points(const scene::PointCloudData& points, const Mat4& model,

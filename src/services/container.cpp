@@ -2,10 +2,23 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace rave::services {
 
 using util::make_error;
 using util::Result;
+
+namespace {
+// Process-wide SOAP traffic counters, labelled by endpoint so the scrape
+// separates control-plane load per service.
+void account_call(const std::string& service, bool fault) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("rave_soap_calls_total", {{"service", service}}).inc();
+  if (fault) reg.counter("rave_soap_faults_total", {{"service", service}}).inc();
+}
+}  // namespace
 
 void ServiceContainer::register_method(const std::string& endpoint, const std::string& method,
                                        Handler handler) {
@@ -60,6 +73,7 @@ SoapResponse ServiceContainer::dispatch(const SoapCall& call) {
     stats_.calls_served++;
     if (response.is_fault) stats_.faults++;
   }
+  account_call(call.service, response.is_fault);
   return response;
 }
 
@@ -77,6 +91,11 @@ bool ServiceContainer::serve_one(net::Channel& channel) {
     response.is_fault = true;
     response.fault_message = call.error();
   } else {
+    // Adopt the trace context the request message carried (if any) so the
+    // handler's spans stitch into the caller's frame timeline.
+    obs::ScopedSpan span("soap:" + call.value().service + "." + call.value().method,
+                         call.value().service,
+                         obs::TraceContext{msg->trace_id, msg->span_id});
     response = dispatch(call.value());
   }
   const std::string out = encode_response(response);
@@ -84,7 +103,10 @@ bool ServiceContainer::serve_one(net::Channel& channel) {
     std::lock_guard lock(mu_);
     stats_.response_bytes += out.size();
   }
-  (void)channel.send({kSoapResponseType, std::vector<uint8_t>(out.begin(), out.end())});
+  net::Message reply{kSoapResponseType, std::vector<uint8_t>(out.begin(), out.end())};
+  reply.trace_id = msg->trace_id;
+  reply.span_id = msg->span_id;
+  (void)channel.send(std::move(reply));
   return true;
 }
 
@@ -142,8 +164,11 @@ Result<SoapValue> ServiceProxy::call(const std::string& method, SoapList args,
   request.args = std::move(args);
   const std::string xml = encode_call(request);
   bytes_exchanged_ += xml.size();
-  const util::Status sent =
-      channel_->send({kSoapRequestType, std::vector<uint8_t>(xml.begin(), xml.end())});
+  net::Message req{kSoapRequestType, std::vector<uint8_t>(xml.begin(), xml.end())};
+  const obs::TraceContext ctx = obs::Tracer::current();
+  req.trace_id = ctx.trace_id;
+  req.span_id = ctx.span_id;
+  const util::Status sent = channel_->send(std::move(req));
   if (!sent.ok()) return make_error("proxy: " + sent.error());
 
   // Await the correlated response; unrelated messages are not expected on

@@ -2,12 +2,31 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+
+#include "util/clock.hpp"
 
 namespace rave::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+// RAVE_LOG=trace|debug|info|warn|error|off overrides the default level at
+// process start; set_log_level() still wins afterwards.
+LogLevel initial_level() {
+  const char* env = std::getenv("RAVE_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::Trace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "off") == 0) return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+std::atomic<const Clock*> g_clock{nullptr};
 std::mutex g_write_mu;
 
 const char* level_name(LogLevel level) {
@@ -27,10 +46,28 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_clock(const Clock* clock) { g_clock.store(clock, std::memory_order_release); }
+
 void log_write(LogLevel level, const std::string& component, const std::string& message) {
   if (level < log_level()) return;
+  // Compose the whole line first so it reaches the stream as ONE write:
+  // pool threads interleaving partial flushes used to shear lines.
+  std::string line;
+  line.reserve(component.size() + message.size() + 32);
+  if (const Clock* clock = g_clock.load(std::memory_order_acquire)) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[%.6f] ", clock->now());
+    line += stamp;
+  }
+  line += "[";
+  line += level_name(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+  line += "\n";
   std::lock_guard lock(g_write_mu);
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(), message.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace rave::util

@@ -8,10 +8,17 @@
 
 namespace rave::util {
 
+class Clock;
+
 enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// When a clock is installed, every log line is prefixed with `[seconds]`
+// from it — virtual time under SimClock, wall time under RealClock. Pass
+// nullptr to remove. The clock must outlive all logging.
+void set_log_clock(const Clock* clock);
 
 void log_write(LogLevel level, const std::string& component, const std::string& message);
 

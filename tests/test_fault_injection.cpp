@@ -14,6 +14,7 @@
 #include "core/migration.hpp"
 #include "core/render_service.hpp"
 #include "mesh/primitives.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/fault.hpp"
 
 namespace rave::core {
@@ -241,6 +242,7 @@ TEST(RegistryLease, SilentAdvertisementExpiresRenewedOneSurvives) {
 class FaultFixture : public testing::Test {
  protected:
   FaultFixture() : fabric_(clock_), data_(clock_, data_options()) {
+    obs::FlightRecorder::global().clear();  // isolate per-test dumps
     data_ap_ = fabric_
                    .listen("datahost/data",
                            [this](net::ChannelPtr ch) { data_.accept(std::move(ch)); })
@@ -378,6 +380,17 @@ TEST_F(FaultFixture, KilledServiceMidFrameRedispatchesAndFrameCompletes) {
   ASSERT_TRUE(recovered.ok());
   EXPECT_EQ(recovered.value().color(), reference.value().color());
   EXPECT_GE(main.stats().peer_failures, 1u);
+
+  // The kill left a post-mortem in the flight recorder: the failure event,
+  // the capacity snapshot the planner saw, and the re-dispatch it chose.
+  const std::string dump = obs::FlightRecorder::global().last_dump();
+  EXPECT_NE(dump.find("FAIL"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("channel closed"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("DECIDE"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("recovery for demo"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("input: service"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("chosen: move"), std::string::npos) << dump;
+  EXPECT_EQ(data_.stats().recoveries, 1u);
 }
 
 TEST_F(FaultFixture, SilentSubscriberLeaseExpiresAndNodesReassigned) {
@@ -440,6 +453,15 @@ TEST_F(FaultFixture, SilentSubscriberLeaseExpiresAndNodesReassigned) {
   const auto views = data.subscribers("demo");
   ASSERT_EQ(views.size(), 1u);
   EXPECT_EQ(views[0].host, "live");
+
+  // Lease expiry is a failure-detector event: counted, and dumped with
+  // the migration decision that re-homed the hung service's nodes.
+  EXPECT_EQ(data.stats().lease_expiries, 1u);
+  const std::string dump = obs::FlightRecorder::global().last_dump();
+  EXPECT_NE(dump.find("lease expired"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("DECIDE"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("input: service"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("chosen: move"), std::string::npos) << dump;
 }
 
 TEST_F(FaultFixture, TileTimeoutAbandonsStalledAssistant) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <thread>
 
 #include "core/data_service.hpp"
@@ -11,6 +12,7 @@
 #include "core/render_service.hpp"
 #include "core/thin_client.hpp"
 #include "mesh/primitives.hpp"
+#include "obs/trace.hpp"
 
 namespace rave::core {
 namespace {
@@ -69,6 +71,70 @@ TEST(TcpEndToEnd, BootstrapFrameAndEdit) {
   running = false;
   data_thread.join();
   render_thread.join();
+}
+
+// The trace context crosses a real socket: the client's root span and the
+// render service's serving spans — recorded on different threads — land
+// in one trace, stitched into a single frame timeline.
+TEST(TcpEndToEnd, TracePropagatesAcrossSockets) {
+  obs::Tracer::global().reset();
+  obs::Tracer::global().set_enabled(true);
+
+  util::RealClock clock;
+  TcpFabric fabric;
+
+  DataService data(clock);
+  scene::SceneTree tree;
+  tree.add_child(scene::kRootNode, "ball", mesh::make_uv_sphere(0.5f, 16, 12));
+  ASSERT_TRUE(data.create_session("demo", std::move(tree)).ok());
+  auto data_ap = fabric.listen("data", [&](net::ChannelPtr ch) { data.accept(std::move(ch)); });
+  ASSERT_TRUE(data_ap.ok()) << data_ap.error();
+
+  RenderService render(clock, fabric);
+  auto client_ap = render.listen_clients("clients");
+  ASSERT_TRUE(client_ap.ok());
+
+  std::atomic<bool> running{true};
+  std::thread service_thread([&] {
+    while (running.load()) {
+      if (data.pump() + render.pump() == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  ASSERT_TRUE(render.connect_session(data_ap.value(), "demo").ok());
+  for (int i = 0; i < 4000 && !render.bootstrapped("demo"); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(render.bootstrapped("demo"));
+
+  ThinClient client(clock, fabric);
+  ASSERT_TRUE(client.connect(client_ap.value(), "demo").ok());
+  scene::Camera cam;
+  cam.eye = {0, 0, 3};
+  auto frame = client.request_frame(cam, 64, 64, 5.0);
+  ASSERT_TRUE(frame.ok()) << frame.error();
+
+  running = false;
+  service_thread.join();
+  obs::Tracer::global().set_enabled(false);
+
+  const auto spans = obs::Tracer::global().spans();
+  const auto ids = obs::trace_ids(spans);
+  ASSERT_EQ(ids.size(), 1u) << "client and service spans must share one trace";
+
+  std::set<std::string> names;
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.trace_id, ids[0]);
+    names.insert(span.name);
+  }
+  // Both sides of the socket contributed: the client's root + decode, the
+  // service's serving pipeline with the rasterizer stages inside it.
+  for (const char* expected : {"frame", "decode", "serve_frame", "encode", "shade", "raster"})
+    EXPECT_TRUE(names.count(expected) != 0) << "missing span: " << expected;
+
+  const std::string timeline = obs::stitch_trace(spans, ids[0]);
+  EXPECT_NE(timeline.find("frame"), std::string::npos);
+  EXPECT_NE(timeline.find("serve_frame"), std::string::npos);
 }
 
 }  // namespace

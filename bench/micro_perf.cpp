@@ -13,6 +13,8 @@
 #include "mesh/primitives.hpp"
 #include "mesh/fields.hpp"
 #include "mesh/marching_cubes.hpp"
+#include "obs/collector.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "render/compositor.hpp"
 #include "render/raycast.hpp"
@@ -230,26 +232,46 @@ BENCHMARK(BM_Raycast)->Arg(0)->Arg(1);
 // adds and one cold load per would-be span) vs force-enabled under a root
 // span (every shade/bin/raster stage recorded). The acceptance budget is
 // <2% regression for the disabled arm vs the pre-observability build.
+// Arg 0 = tracing off, 1 = tracing on, 2 = central collector scraping
+// this process's registry at 1 Hz of virtual time while frames render at
+// a ~60 fps virtual cadence (the telemetry plane's render-path cost).
 void BM_ObsOverhead(benchmark::State& state) {
-  const bool traced = state.range(0) != 0;
+  const int mode = static_cast<int>(state.range(0));
+  const bool traced = mode == 1;
   obs::Tracer::global().reset();
   obs::Tracer::global().set_enabled(traced);
   const scene::Camera cam = scene::Camera::framing(elle_tree().world_bounds());
-  for (auto _ : state) {
-    render::RenderStats stats;
-    if (traced) {
-      obs::ScopedSpan frame_span = obs::ScopedSpan::root("frame", "bench");
+  if (mode == 2) {
+    util::SimClock clock;
+    obs::Collector::Options options;
+    options.interval = 1.0;
+    obs::Collector collector(clock, options);
+    collector.add_target({"bench", []() -> util::Result<std::string> {
+                            return obs::MetricsRegistry::global().scrape();
+                          }});
+    for (auto _ : state) {
+      render::RenderStats stats;
       benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, 400, 400, {}, &stats));
-    } else {
-      benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, 400, 400, {}, &stats));
+      clock.advance(1.0 / 60.0);
+      collector.tick();
+    }
+  } else {
+    for (auto _ : state) {
+      render::RenderStats stats;
+      if (traced) {
+        obs::ScopedSpan frame_span = obs::ScopedSpan::root("frame", "bench");
+        benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, 400, 400, {}, &stats));
+      } else {
+        benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, 400, 400, {}, &stats));
+      }
     }
   }
   obs::Tracer::global().set_enabled(false);
   obs::Tracer::global().reset();
   state.SetItemsProcessed(state.iterations() * 50'000);
-  state.SetLabel(traced ? "tracing on" : "tracing off");
+  state.SetLabel(mode == 2 ? "collector 1 Hz" : traced ? "tracing on" : "tracing off");
 }
-BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_SoapCallRoundTrip(benchmark::State& state) {
   services::SoapCall call;

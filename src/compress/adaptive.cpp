@@ -1,17 +1,19 @@
 #include "compress/adaptive.hpp"
 
-#include <chrono>
+#include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rave::compress {
 
 namespace {
 
+// Codec profiling follows the observability clock (obs::set_clock): wall
+// time in real deployments, virtual time under SimClock — where encode
+// work takes zero virtual nanoseconds, keeping scrapes byte-deterministic.
 uint64_t now_ns() {
-  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                   std::chrono::steady_clock::now().time_since_epoch())
-                                   .count());
+  return static_cast<uint64_t>(std::llround(obs::Tracer::global().now() * 1e9));
 }
 
 // Per-scheme traffic/time accounting. Labels are the codec name, so the

@@ -405,7 +405,21 @@ size_t DataService::pump_session(Session& session) {
                      [](const Subscriber& s) { return !s.alive; }),
       session.subscribers.end());
 
-  if (overload_seen && options_.auto_rebalance &&
+  bool pressure = overload_seen;
+  if (!pressure && advisor_ && options_.auto_rebalance &&
+      clock_->now() - session.last_rebalance >= options_.rebalance_interval) {
+    // Telemetry-plane pressure: a sustained SLO burn triggers a planning
+    // round even while every instant EWMA flag is still quiet. Checked at
+    // the rebalance-interval cadence so the advisor is not hammered.
+    for (const Subscriber& sub : session.subscribers) {
+      if (!sub.alive || sub.kind != SubscriberKind::RenderService) continue;
+      if (advisor_(sub.host).slo_burning) {
+        pressure = true;
+        break;
+      }
+    }
+  }
+  if (pressure && options_.auto_rebalance &&
       clock_->now() - session.last_rebalance >= options_.rebalance_interval) {
     session.last_rebalance = clock_->now();
     rebalance_locked(session);
@@ -470,6 +484,11 @@ std::vector<MigrationAction> DataService::last_failure_plan(
   return session == nullptr ? std::vector<MigrationAction>{} : session->last_failure_plan;
 }
 
+std::string DataService::last_plan_summary(const std::string& session_name) const {
+  const Session* session = find_session(session_name);
+  return session == nullptr ? std::string{} : session->last_plan_summary;
+}
+
 void DataService::recover_failed(Session& session) {
   // Lease expiry: a whole lease of silence means failed even while the
   // channel still reports open (hung service, half-dead link).
@@ -510,6 +529,12 @@ void DataService::recover_failed(Session& session) {
     if (sub.alive) {
       view.overloaded = sub.tracker.overloaded(now);
       view.underloaded = sub.tracker.underloaded(now);
+      if (advisor_) {
+        const TrendAdvisory trend = advisor_(sub.host);
+        view.slo_burning = trend.slo_burning;
+        view.anomaly = trend.anomaly;
+        view.advisory = trend.note;
+      }
     }
     if (sub.whole_tree) {
       view.assigned = payload_costs(session.tree);
@@ -543,6 +568,7 @@ void DataService::recover_failed(Session& session) {
   for (const MigrationAction& a : plan) decision += "  chosen: " + describe_action(a) + "\n";
   obs::FlightRecorder::global().record_decision("data", decision, now);
   obs::FlightRecorder::global().capture_postmortem("recovery for " + session.name);
+  session.last_plan_summary = decision;
   session.last_failure_plan = std::move(plan);
   util::log_info("data") << "recovered session " << session.name << " with "
                          << session.last_failure_plan.size() << " re-dispatch action(s)";
@@ -559,6 +585,12 @@ std::vector<MigrationAction> DataService::rebalance_locked(Session& session) {
     view.fps = sub.tracker.fps();
     view.overloaded = sub.tracker.overloaded(now);
     view.underloaded = sub.tracker.underloaded(now);
+    if (advisor_) {
+      const TrendAdvisory trend = advisor_(sub.host);
+      view.slo_burning = trend.slo_burning;
+      view.anomaly = trend.anomaly;
+      view.advisory = trend.note;
+    }
     if (sub.whole_tree) {
       view.assigned = payload_costs(session.tree);
     } else {
@@ -578,6 +610,7 @@ std::vector<MigrationAction> DataService::rebalance_locked(Session& session) {
     std::string decision = "rebalance for " + session.name + ":\n" + explain.summary();
     for (const MigrationAction& a : actions) decision += "  chosen: " + describe_action(a) + "\n";
     obs::FlightRecorder::global().record_decision("data", decision, now);
+    session.last_plan_summary = std::move(decision);
   }
   return actions;
 }

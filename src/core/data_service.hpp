@@ -101,6 +101,20 @@ class DataService {
   using RecruitFn = std::function<size_t(const std::string& session)>;
   void set_recruiter(RecruitFn recruiter) { recruiter_ = std::move(recruiter); }
 
+  // Trend advisor: consulted per subscriber host when building planner
+  // inputs, so plan_migration sees sustained SLO burn / step-change
+  // anomalies from the telemetry plane next to the instant EWMA flags.
+  // An advisory with slo_burning also *triggers* a rebalance round (at
+  // the usual rebalance_interval cadence) even when no load report has
+  // tripped the EWMA thresholds yet.
+  using TrendAdvisorFn = std::function<TrendAdvisory(const std::string& host)>;
+  void set_trend_advisor(TrendAdvisorFn advisor) { advisor_ = std::move(advisor); }
+
+  // The full explain summary (inputs, rejections, chosen actions) of the
+  // most recent planning round for `session` — the same text the flight
+  // recorder stored. Empty until a plan has run.
+  [[nodiscard]] std::string last_plan_summary(const std::string& session) const;
+
   // --- SOAP surface ---------------------------------------------------------
   // Endpoint "data": createSession, listSessions, describeSession,
   // querySessionLoad.
@@ -159,6 +173,8 @@ class DataService {
     // Empty = open to all; otherwise the permitted host names.
     std::vector<std::string> allowed_hosts;
     std::vector<MigrationAction> last_failure_plan;
+    // Explain text + chosen actions of the most recent planning round.
+    std::string last_plan_summary;
   };
 
   size_t pump_pending();
@@ -183,6 +199,7 @@ class DataService {
   std::vector<net::ChannelPtr> pending_;  // connected, not yet subscribed
   uint64_t next_subscriber_id_ = 1;
   RecruitFn recruiter_;
+  TrendAdvisorFn advisor_;
   Stats stats_;
 };
 

@@ -50,7 +50,9 @@ RaveGrid::Host& RaveGrid::host_slot(const std::string& name) {
     container->bind_channel(std::move(channel));
   });
   host.soap_access_point = access.ok() ? access.value() : "";
-  return hosts_.emplace(name, std::move(host)).first->second;
+  Host& slot = hosts_.emplace(name, std::move(host)).first->second;
+  if (collector_) add_scrape_target(slot);  // hosts added after enable_telemetry
+  return slot;
 }
 
 DataService& RaveGrid::add_data_service(const std::string& host_name,
@@ -68,6 +70,7 @@ DataService& RaveGrid::add_data_service(const std::string& host_name,
     host.data->set_recruiter([this, host_name](const std::string& session) {
       return recruit(host_name, session);
     });
+    if (slo_) wire_trend_advisor(*host.data);
     register_status_endpoint(*host.container, host_name, host.data.get(), host.render.get());
   }
   return *host.data;
@@ -195,6 +198,11 @@ size_t RaveGrid::pump_all() {
     if (host.data) handled += host.data->pump();
     if (host.render) handled += host.render->pump();
   }
+  // Telemetry rides the pump loop but never counts as progress: scrape
+  // attempts happen at most once per interval per target, and counting
+  // them would keep pump_until_idle from ever seeing the grid quiesce.
+  if (collector_ && collector_->tick() > 0 && slo_)
+    slo_->evaluate(collector_->store(), clock_->now());
   return handled;
 }
 
@@ -229,6 +237,58 @@ std::vector<HostStatus> RaveGrid::collect_status() {
 }
 
 std::string RaveGrid::status_dashboard() { return format_dashboard(collect_status()); }
+
+void RaveGrid::enable_telemetry(obs::Collector::Options options,
+                                std::vector<obs::SloSpec> slos) {
+  if (collector_) return;  // idempotent: one telemetry plane per grid
+  collector_ = std::make_unique<obs::Collector>(*clock_, options);
+  slo_ = std::make_unique<obs::SloEngine>();
+  for (obs::SloSpec& spec : slos) slo_->add(std::move(spec));
+  for (auto& [name, host] : hosts_) {
+    add_scrape_target(host);
+    if (host.data) wire_trend_advisor(*host.data);
+  }
+}
+
+void RaveGrid::add_scrape_target(Host& host) {
+  const std::string name = host.name;
+  collector_->add_target({name, [this, name]() -> util::Result<std::string> {
+    auto it = hosts_.find(name);
+    if (it == hosts_.end()) return make_error("scrape: unknown host " + name);
+    // Reachability gate: the dial goes through the fabric (and any
+    // injected faults or dropped listeners), with the same bounded retry
+    // schedule the rest of the grid uses — so a killed host fails here
+    // and records a gap. The exposition itself is then dispatched
+    // directly on the container, single-threaded and deterministic.
+    auto probe = fabric_.dial_retry(it->second.soap_access_point, scrape_retry_, *clock_);
+    if (!probe.ok()) return make_error(probe.error());
+    probe.value()->close();
+    services::SoapCall call;
+    call.service = "status";
+    call.method = "metrics";
+    call.call_id = 1;
+    const services::SoapResponse response = it->second.container->dispatch(call);
+    if (response.is_fault) return make_error(response.fault_message);
+    return response.result.as_string();
+  }});
+}
+
+void RaveGrid::wire_trend_advisor(DataService& data) {
+  data.set_trend_advisor([this](const std::string& host) {
+    const obs::TrendAdvisory trend = slo_->advisory(host);
+    TrendAdvisory out;
+    out.slo_burning = trend.slo_burning;
+    out.anomaly = trend.anomaly;
+    out.note = trend.note;
+    return out;
+  });
+}
+
+std::string RaveGrid::telemetry_dashboard() {
+  if (!collector_ || !slo_) return status_dashboard();
+  return format_telemetry_dashboard(collect_status(), *collector_, *slo_, clock_->now(),
+                                    obs::Tracer::global().spans());
+}
 
 std::string RaveGrid::registry_listing() const {
   // The fig. 4 browser: businesses (hosts) → service instances, with the

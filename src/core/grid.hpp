@@ -16,6 +16,8 @@
 #include "core/render_service.hpp"
 #include "core/status.hpp"
 #include "core/thin_client.hpp"
+#include "obs/collector.hpp"
+#include "obs/slo.hpp"
 #include "services/container.hpp"
 #include "services/registry.hpp"
 
@@ -80,6 +82,25 @@ class RaveGrid {
   [[nodiscard]] std::vector<HostStatus> collect_status();
   [[nodiscard]] std::string status_dashboard();
 
+  // --- telemetry plane ---------------------------------------------------------
+  // Stand up the central collector + SLO engine next to the data services.
+  // Every current and future host becomes a scrape target: the collector
+  // periodically pulls its status "metrics" SOAP exposition over the
+  // fabric (reachability gated by dial_retry, so a killed host records a
+  // telemetry *gap*, never a service failure), tags the series by host,
+  // and the SLO engine evaluates the objectives after each poll round.
+  // Every data service additionally gets a trend advisor feeding SLO
+  // burn / step-change anomaly flags into plan_migration.
+  void enable_telemetry(obs::Collector::Options options = {},
+                        std::vector<obs::SloSpec> slos = obs::default_render_slos());
+  [[nodiscard]] obs::Collector* collector() { return collector_.get(); }
+  [[nodiscard]] obs::SloEngine* slo_engine() { return slo_.get(); }
+  // Retry policy for the scrape transport; set before enable_telemetry.
+  void set_scrape_retry(RetryPolicy policy) { scrape_retry_ = policy; }
+
+  // The rave-top view: sparklines + SLO states + last-migration explain.
+  [[nodiscard]] std::string telemetry_dashboard();
+
  private:
   struct Host {
     std::string name;
@@ -91,6 +112,8 @@ class RaveGrid {
   };
 
   Host& host_slot(const std::string& name);
+  void add_scrape_target(Host& host);
+  void wire_trend_advisor(DataService& data);
 
   util::Clock* clock_;
   InProcFabric fabric_;
@@ -98,6 +121,10 @@ class RaveGrid {
   services::ServiceContainer registry_container_;
   std::string registry_access_point_;
   std::map<std::string, Host> hosts_;
+  // Telemetry plane (null until enable_telemetry).
+  std::unique_ptr<obs::Collector> collector_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  RetryPolicy scrape_retry_{/*max_attempts=*/2, /*initial_backoff=*/0.05};
 };
 
 }  // namespace rave::core

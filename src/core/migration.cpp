@@ -16,12 +16,15 @@ void explain_inputs(MigrationExplain* explain, const std::vector<ServiceLoadView
   for (const ServiceLoadView& s : services) {
     char line[192];
     std::snprintf(line, sizeof(line),
-                  "service %llu: budget=%.0f work=%.0f fps=%.2f nodes=%zu%s%s%s",
+                  "service %llu: budget=%.0f work=%.0f fps=%.2f nodes=%zu%s%s%s%s%s",
                   static_cast<unsigned long long>(s.subscriber_id),
                   s.capacity.polygon_budget(config.target_fps), s.assigned_work(), s.fps,
                   s.assigned.size(), s.failed ? " FAILED" : "",
-                  s.overloaded ? " overloaded" : "", s.underloaded ? " underloaded" : "");
-    explain->inputs.push_back(line);
+                  s.overloaded ? " overloaded" : "", s.underloaded ? " underloaded" : "",
+                  s.slo_burning ? " slo-burn" : "", s.anomaly ? " anomaly" : "");
+    std::string rendered = line;
+    if (!s.advisory.empty()) rendered += " [" + s.advisory + "]";
+    explain->inputs.push_back(std::move(rendered));
   }
 }
 
@@ -62,10 +65,27 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
   // overload phase below then sheds or recruits as usual.
   for (ServiceLoadView& dead : services) {
     if (!dead.failed || dead.assigned.empty()) continue;
+    // Healthy survivors first; a trend-flagged survivor only receives
+    // orphans when nobody healthy is left (a degraded frame rate still
+    // beats a hole in the scene).
     std::vector<ServiceLoadView*> survivors;
     for (ServiceLoadView& candidate : services)
-      if (!candidate.failed && candidate.subscriber_id != dead.subscriber_id)
+      if (!candidate.failed && candidate.subscriber_id != dead.subscriber_id &&
+          !candidate.slo_burning && !candidate.anomaly)
         survivors.push_back(&candidate);
+    if (survivors.empty()) {
+      for (ServiceLoadView& candidate : services)
+        if (!candidate.failed && candidate.subscriber_id != dead.subscriber_id)
+          survivors.push_back(&candidate);
+    } else {
+      for (const ServiceLoadView& candidate : services)
+        if (!candidate.failed && candidate.subscriber_id != dead.subscriber_id &&
+            (candidate.slo_burning || candidate.anomaly))
+          reject(explain, candidate.subscriber_id,
+                 "trend advisory disqualifies survivor: " +
+                     (candidate.advisory.empty() ? std::string("slo burn/anomaly")
+                                                 : candidate.advisory));
+    }
     if (survivors.empty()) {
       MigrationAction recruit;
       recruit.kind = MigrationAction::Kind::RecruitNeeded;
@@ -107,23 +127,35 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
   // --- overload relief ----------------------------------------------------
   for (ServiceLoadView& overloaded : services) {
     if (overloaded.failed) continue;
-    if (!overloaded.overloaded || overloaded.assigned.empty()) continue;
+    // A sustained SLO burn is overload pressure even while the instant
+    // EWMA flag is still quiet — the trend arrives before the average.
+    if ((!overloaded.overloaded && !overloaded.slo_burning) || overloaded.assigned.empty())
+      continue;
     // How much work must leave for the service to meet its budget.
     double deficit = overloaded.assigned_work() -
                      overloaded.capacity.polygon_budget(config.target_fps);
     if (deficit <= 0) {
-      // The fps says overloaded even though the static budget disagrees
-      // (e.g. interactive load from a console user, §6) — shed a fixed
-      // slice of the assigned work.
+      // The fps (or the SLO trend) says overloaded even though the static
+      // budget disagrees (e.g. interactive load from a console user, §6)
+      // — shed a fixed slice of the assigned work.
       deficit = overloaded.assigned_work() * 0.25;
     }
     bool moved_any = false;
     // Receivers ordered by descending headroom.
     std::vector<ServiceLoadView*> receivers;
-    for (ServiceLoadView& candidate : services)
-      if (candidate.subscriber_id != overloaded.subscriber_id && !candidate.overloaded &&
-          !candidate.failed)
-        receivers.push_back(&candidate);
+    for (ServiceLoadView& candidate : services) {
+      if (candidate.subscriber_id == overloaded.subscriber_id || candidate.overloaded ||
+          candidate.failed)
+        continue;
+      if (candidate.slo_burning || candidate.anomaly) {
+        reject(explain, candidate.subscriber_id,
+               "trend advisory disqualifies receiver: " +
+                   (candidate.advisory.empty() ? std::string("slo burn/anomaly")
+                                               : candidate.advisory));
+        continue;
+      }
+      receivers.push_back(&candidate);
+    }
     std::sort(receivers.begin(), receivers.end(),
               [&](const ServiceLoadView* a, const ServiceLoadView* b) {
                 return headroom_of(*a, config) > headroom_of(*b, config);
@@ -168,6 +200,14 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
   for (ServiceLoadView& underloaded : services) {
     if (underloaded.failed) continue;
     if (!underloaded.underloaded || underloaded.overloaded) continue;
+    // Never pull extra work into a service the telemetry plane flags.
+    if (underloaded.slo_burning || underloaded.anomaly) {
+      reject(explain, underloaded.subscriber_id,
+             "trend advisory blocks underload fill: " +
+                 (underloaded.advisory.empty() ? std::string("slo burn/anomaly")
+                                               : underloaded.advisory));
+      continue;
+    }
     const double headroom = headroom_of(underloaded, config) * config.headroom_fill_fraction;
     if (headroom <= 0) continue;
     // Take from the most loaded other service.

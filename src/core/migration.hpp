@@ -24,6 +24,14 @@ struct ServiceLoadView {
   // Its whole assigned set is reassigned to survivors before any load
   // balancing; it neither donates nor receives in the other phases.
   bool failed = false;
+  // Trend advisories from the telemetry plane (SLO burn sustained over a
+  // rolling window, or a windowed step-change anomaly). Advisory, not
+  // authoritative: a burning service sheds work even when the instant
+  // EWMA flag is quiet, and neither burning nor anomalous services are
+  // chosen as receivers — but ServiceFailed always wins.
+  bool slo_burning = false;
+  bool anomaly = false;
+  std::string advisory;  // why, verbatim from the SLO engine, for explain
   std::vector<NodeCost> assigned;
 
   [[nodiscard]] double assigned_work() const {
@@ -51,6 +59,15 @@ struct MigrationConfig {
   // Fraction of a receiver's headroom migration may fill in one step —
   // the safety margin against overshooting.
   double headroom_fill_fraction = 0.8;
+};
+
+// Trend advisory for one host, produced by the telemetry plane's SLO
+// engine and copied onto ServiceLoadView before planning. Kept as a plain
+// core type so decision logic does not depend on obs headers.
+struct TrendAdvisory {
+  bool slo_burning = false;
+  bool anomaly = false;
+  std::string note;
 };
 
 // Why the planner chose what it chose: the capacity inputs it saw and the

@@ -1,5 +1,8 @@
 #include "core/status.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -26,6 +29,13 @@ void register_status_endpoint(services::ServiceContainer& container, const std::
         if (data != nullptr) {
           out["leaseExpiries"] = static_cast<int64_t>(data->stats().lease_expiries);
           out["recoveries"] = static_cast<int64_t>(data->stats().recoveries);
+          // The most recent migration plan's explain summary across this
+          // host's sessions, so "why did the planner do that" is one
+          // status call away.
+          std::string last_migration;
+          for (const std::string& name : data->session_names())
+            last_migration += data->last_plan_summary(name);
+          if (!last_migration.empty()) out["lastMigration"] = std::move(last_migration);
         }
 
         SoapList sessions;
@@ -89,6 +99,7 @@ Result<HostStatus> parse_host_status(const SoapValue& value) {
   status.soap_faults = static_cast<uint64_t>(value.field("soapFaults").as_int());
   status.lease_expiries = static_cast<uint64_t>(value.field("leaseExpiries").as_int());
   status.recoveries = static_cast<uint64_t>(value.field("recoveries").as_int());
+  status.last_migration = value.field("lastMigration").as_string();
   // field() returns by value: keep the temporaries alive while iterating.
   const SoapValue sessions_value = value.field("sessions");
   if (const SoapList* sessions = sessions_value.as_list()) {
@@ -141,6 +152,8 @@ std::string format_dashboard(const std::vector<HostStatus>& hosts) {
     if (host.lease_expiries > 0 || host.recoveries > 0)
       out << "   failures: " << host.lease_expiries << " lease expiries, " << host.recoveries
           << " recovery round(s)\n";
+    if (!host.last_migration.empty())
+      out << "   last migration plan:\n" << host.last_migration;
     for (const SessionStatus& session : host.sessions) {
       out << "   session '" << session.name << "': " << session.nodes << " nodes, "
           << session.triangles << " triangles, " << session.updates << " updates, "
@@ -173,6 +186,132 @@ std::string format_dashboard(const std::vector<HostStatus>& hosts) {
     }
   }
   return out.str();
+}
+
+namespace {
+constexpr size_t kSparkWidth = 24;  // trailing points per dashboard sparkline
+
+// Per-interval rate of a cumulative counter series: one value per adjacent
+// point pair, trimmed to the trailing `n`.
+std::vector<double> rate_series(const obs::TimeSeriesStore& store, const obs::SeriesKey& key,
+                                size_t n) {
+  const std::vector<obs::SeriesPoint> points = store.points(key);
+  std::vector<double> rates;
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double dt = points[i].t - points[i - 1].t;
+    if (dt <= 0) continue;
+    rates.push_back((points[i].value - points[i - 1].value) / dt);
+  }
+  if (rates.size() > n) rates.erase(rates.begin(), rates.end() - static_cast<ptrdiff_t>(n));
+  return rates;
+}
+
+// Mean frame seconds per scrape interval: Δsum / Δcount of the histogram's
+// cumulative _sum and _count series (scraped together, so aligned tails).
+std::vector<double> mean_frame_series(const obs::TimeSeriesStore& store,
+                                      const obs::SeriesKey& sum_key,
+                                      const obs::SeriesKey& count_key, size_t n) {
+  const std::vector<obs::SeriesPoint> sums = store.points(sum_key);
+  const std::vector<obs::SeriesPoint> counts = store.points(count_key);
+  const size_t m = std::min(sums.size(), counts.size());
+  std::vector<double> out;
+  for (size_t i = 1; i < m; ++i) {
+    const obs::SeriesPoint& c1 = counts[counts.size() - m + i];
+    const obs::SeriesPoint& c0 = counts[counts.size() - m + i - 1];
+    const obs::SeriesPoint& s1 = sums[sums.size() - m + i];
+    const obs::SeriesPoint& s0 = sums[sums.size() - m + i - 1];
+    const double frames = c1.value - c0.value;
+    if (frames <= 0) continue;
+    out.push_back((s1.value - s0.value) / frames);
+  }
+  if (out.size() > n) out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(n));
+  return out;
+}
+
+void append_fixed(std::string& out, const char* fmt, double v) {
+  char buf[48];
+  const int len = std::snprintf(buf, sizeof(buf), fmt, v);
+  out.append(buf, static_cast<size_t>(len));
+}
+}  // namespace
+
+std::string format_telemetry_dashboard(const std::vector<HostStatus>& hosts,
+                                       const obs::Collector& collector,
+                                       const obs::SloEngine& slo, double now,
+                                       const std::vector<obs::SpanRecord>& spans) {
+  const obs::TimeSeriesStore& store = collector.store();
+  std::string out = "RAVE telemetry t=";
+  append_fixed(out, "%.1f", now);
+  out += "s (" + std::to_string(hosts.size()) + " host(s), " +
+         std::to_string(store.series_count()) + " series)\n";
+
+  std::map<std::string, obs::Collector::TargetHealth> health;
+  for (const obs::Collector::TargetHealth& h : collector.health()) health[h.host] = h;
+
+  for (const HostStatus& host : hosts) {
+    out += "== " + host.host;
+    if (host.has_data_service) out += "  [data]";
+    if (host.has_render_service) out += "  [render]";
+    const auto it = health.find(host.host);
+    if (it != health.end()) {
+      out += "  scrapes " + std::to_string(it->second.scrapes);
+      if (it->second.gaps > 0) {
+        out += " (" + std::to_string(it->second.gaps) + " gap(s)";
+        if (!it->second.last_error.empty()) out += ": " + it->second.last_error;
+        out += ")";
+      }
+    }
+    out += "\n";
+
+    if (host.has_render_service) {
+      const std::string labels = "{host=\"" + host.host + "\"}";
+      const obs::SeriesKey sum_key{host.host, "rave_frame_seconds_sum", labels};
+      const obs::SeriesKey count_key{host.host, "rave_frame_seconds_count", labels};
+      const std::vector<double> frame_ms =
+          mean_frame_series(store, sum_key, count_key, kSparkWidth);
+      if (!frame_ms.empty()) {
+        out += "   frame ms " + obs::sparkline(frame_ms) + " last ";
+        append_fixed(out, "%.1f", frame_ms.back() * 1000.0);
+        const double p99 =
+            store.windowed_quantile(host.host, "rave_frame_seconds", labels, 0.99, 5.0, now);
+        if (p99 > 0) {
+          out += "  p99(5s) ";
+          append_fixed(out, "%.1f", p99 * 1000.0);
+        }
+        out += "\n";
+      }
+      const std::vector<double> fps = rate_series(store, count_key, kSparkWidth);
+      if (!fps.empty()) {
+        out += "   fps      " + obs::sparkline(fps) + " last ";
+        append_fixed(out, "%.1f", fps.back());
+        out += "\n";
+      }
+      // Frame-phase breakdown: total time per pipeline stage recorded by
+      // this host, aggregated across the supplied (stitched) spans.
+      std::map<std::string, double> phase_seconds;
+      for (const obs::SpanRecord& span : spans)
+        if (span.host == host.host) phase_seconds[span.name] += span.end - span.start;
+      if (!phase_seconds.empty()) {
+        out += "   phases  ";
+        bool first = true;
+        for (const auto& [name, seconds] : phase_seconds) {
+          if (!first) out += " | ";
+          first = false;
+          out += name + " ";
+          append_fixed(out, "%.1f", seconds * 1000.0);
+          out += " ms";
+        }
+        out += "\n";
+      }
+    }
+  }
+
+  const std::string slo_lines = slo.format_current();
+  if (!slo_lines.empty()) out += "-- objectives\n" + slo_lines;
+  for (const HostStatus& host : hosts)
+    if (!host.last_migration.empty())
+      out += "-- last migration (" + host.host + ")\n" + host.last_migration;
+  return out;
 }
 
 }  // namespace rave::core

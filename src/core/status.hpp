@@ -53,6 +53,10 @@ struct HostStatus {
   // Data-plane failure detection (data service hosts only).
   uint64_t lease_expiries = 0;
   uint64_t recoveries = 0;
+  // The most recent migration plan's explain summary (inputs, rejections,
+  // chosen actions) across this host's sessions — why the planner did
+  // what it did, readable straight off the dashboard.
+  std::string last_migration;
 };
 
 // Register the "status" endpoint on a host's container, reporting on the
@@ -66,5 +70,26 @@ util::Result<HostStatus> parse_host_status(const services::SoapValue& value);
 
 // Render a fleet of host statuses as the operator dashboard text.
 std::string format_dashboard(const std::vector<HostStatus>& hosts);
+
+}  // namespace rave::core
+
+// Live telemetry view (rave-top): declared in a separate header section to
+// keep obs types out of the plain status structs above.
+#include "obs/collector.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+
+namespace rave::core {
+
+// Render the telemetry-plane dashboard: per-host sparklines of frame time
+// and fps from the collector's time-series history, the SLO engine's
+// current state lines, collection health, each host's last-migration
+// explain, and (when spans are supplied) a per-host frame-phase breakdown
+// aggregated from the tracer's stitched spans. Pure function of its
+// inputs — identical state renders identical text.
+std::string format_telemetry_dashboard(const std::vector<HostStatus>& hosts,
+                                       const obs::Collector& collector,
+                                       const obs::SloEngine& slo, double now,
+                                       const std::vector<obs::SpanRecord>& spans = {});
 
 }  // namespace rave::core

@@ -1,0 +1,93 @@
+// Central collector — the pull half of the telemetry plane. A grid-level
+// component (hosted next to the data service) periodically scrapes every
+// subscribed host's Prometheus text exposition (the status "metrics" SOAP
+// method), parses it, and appends the samples into a TimeSeriesStore
+// tagged by host. Transport is injected as a per-target ScrapeFn so the
+// same collector runs over the in-process fabric, TCP, or a synthetic
+// generator in tests; retry/backoff lives inside the wiring (the grid uses
+// Fabric::dial_retry with its RetryPolicy).
+//
+// Failure semantics: a failed scrape is a telemetry *gap*, never a service
+// failure — the target stays subscribed, the gap is counted and logged
+// (rave_collector_gaps_total), and the next tick retries. Dead hosts must
+// never stall collection of healthy ones, so targets are polled
+// independently in deterministic (insertion) order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "util/clock.hpp"
+#include "util/result.hpp"
+
+namespace rave::obs {
+
+struct ScrapeTarget {
+  std::string host;
+  // Fetch the host's current Prometheus text exposition. Errors mean a
+  // gap for this tick only.
+  std::function<util::Result<std::string>()> scrape;
+};
+
+class Collector {
+ public:
+  struct Options {
+    double interval = 1.0;      // seconds between polls of each target
+    size_t ring_capacity = 512; // per-series history depth
+  };
+
+  // Two overloads instead of `Options options = {}`: a brace default for
+  // a nested class with member initializers trips GCC inside the
+  // enclosing class body.
+  explicit Collector(util::Clock& clock) : Collector(clock, Options()) {}
+  Collector(util::Clock& clock, Options options);
+
+  void add_target(ScrapeTarget target);
+  void remove_target(const std::string& host);
+  [[nodiscard]] size_t target_count() const { return targets_.size(); }
+
+  // Scrape every target whose interval has elapsed; returns the number of
+  // scrape attempts made (successes and gaps both count).
+  size_t tick();
+  // Scrape every target now, regardless of the interval.
+  size_t poll_now();
+
+  [[nodiscard]] const TimeSeriesStore& store() const { return store_; }
+  [[nodiscard]] TimeSeriesStore& store() { return store_; }
+
+  // Per-target collection health: successes, gaps, and when each last
+  // happened (-1 = never).
+  struct TargetHealth {
+    std::string host;
+    uint64_t scrapes = 0;       // successful scrapes
+    uint64_t gaps = 0;          // failed scrape attempts
+    double last_success = -1;
+    double last_attempt = -1;
+    std::string last_error;     // empty unless the last attempt failed
+  };
+  [[nodiscard]] std::vector<TargetHealth> health() const;
+
+  // Deterministic JSONL of the whole store (delegates to the store).
+  [[nodiscard]] std::string export_jsonl() const { return store_.export_jsonl(); }
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  struct Target {
+    ScrapeTarget spec;
+    TargetHealth health;
+    double next_due = 0;  // poll when now >= next_due
+  };
+
+  void scrape_target(Target& target, double now);
+
+  util::Clock* clock_;
+  Options options_;
+  TimeSeriesStore store_;
+  std::vector<Target> targets_;  // insertion order: deterministic polling
+};
+
+}  // namespace rave::obs

@@ -1,8 +1,10 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <string_view>
 
 namespace rave::obs {
 
@@ -47,9 +49,20 @@ double Histogram::quantile(double q) const {
   const auto rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
   uint64_t cumulative = 0;
   for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t before = cumulative;
     cumulative += counts[i];
-    if (cumulative >= rank)
-      return i < bounds_.size() ? bounds_[i] : bounds_.empty() ? 0 : bounds_.back();
+    if (cumulative < rank) continue;
+    // The overflow bucket has no finite upper edge to interpolate against:
+    // keep the exact historic behaviour (largest finite bound).
+    if (i >= bounds_.size()) return bounds_.empty() ? 0 : bounds_.back();
+    // Linear interpolation of the rank's position within the bucket, so
+    // estimates move smoothly instead of jumping in bucket-sized steps.
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double fraction = counts[i] == 0
+                                ? 1.0
+                                : static_cast<double>(rank - before) /
+                                      static_cast<double>(counts[i]);
+    return lower + fraction * (bounds_[i] - lower);
   }
   return bounds_.empty() ? 0 : bounds_.back();
 }
@@ -108,64 +121,131 @@ Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& lab
 }
 
 namespace {
-// Prometheus-style number rendering: integers stay integral.
-std::string render_value(double v) {
-  if (v == static_cast<double>(static_cast<int64_t>(v))) {
-    return std::to_string(static_cast<int64_t>(v));
-  }
-  std::ostringstream out;
-  out << v;
-  return out.str();
+// Prometheus-style number rendering appended in place: integers stay
+// integral, floats use %g (the historic ostream default). No ostringstream
+// on this path — a 1 Hz collector poll must not allocate per tick.
+void append_value(std::string& out, double v) {
+  char buf[32];
+  int len = 0;
+  if (v == static_cast<double>(static_cast<int64_t>(v)))
+    len = std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  else
+    len = std::snprintf(buf, sizeof(buf), "%g", v);
+  out.append(buf, static_cast<size_t>(len));
+}
+
+void append_count(std::string& out, uint64_t v) {
+  char buf[24];
+  const int len = std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out.append(buf, static_cast<size_t>(len));
 }
 }  // namespace
 
-std::string MetricsRegistry::scrape() const {
+void MetricsRegistry::scrape_into(std::string& out) const {
   std::lock_guard lock(mu_);
-  std::ostringstream out;
-  std::string last_typed;
+  out.clear();
+  out.reserve(last_scrape_size_);
+  std::string_view last_typed;
   for (const auto& [key, e] : entries_) {
     if (e.name != last_typed) {
       const char* type = e.counter ? "counter" : e.gauge ? "gauge" : "histogram";
-      out << "# TYPE " << e.name << " " << type << "\n";
+      out += "# TYPE ";
+      out += e.name;
+      out += " ";
+      out += type;
+      out += "\n";
       last_typed = e.name;
     }
-    if (e.counter) out << e.name << e.labels << " " << e.counter->value() << "\n";
-    if (e.gauge) out << e.name << e.labels << " " << render_value(e.gauge->value()) << "\n";
+    if (e.counter) {
+      out += e.name;
+      out += e.labels;
+      out += " ";
+      append_count(out, e.counter->value());
+      out += "\n";
+    }
+    if (e.gauge) {
+      out += e.name;
+      out += e.labels;
+      out += " ";
+      append_value(out, e.gauge->value());
+      out += "\n";
+    }
     if (e.histogram) {
       const auto& bounds = e.histogram->bounds();
       const auto counts = e.histogram->bucket_counts();
       // Prometheus buckets are cumulative.
       uint64_t cumulative = 0;
-      const std::string sep = e.labels.empty() ? "{" : e.labels.substr(0, e.labels.size() - 1) + ",";
-      for (size_t i = 0; i < bounds.size(); ++i) {
+      for (size_t i = 0; i <= bounds.size(); ++i) {
         cumulative += counts[i];
-        out << e.name << "_bucket" << sep << "le=\"" << render_value(bounds[i]) << "\"} "
-            << cumulative << "\n";
+        out += e.name;
+        out += "_bucket";
+        if (e.labels.empty()) {
+          out += "{";
+        } else {
+          out.append(e.labels, 0, e.labels.size() - 1);
+          out += ",";
+        }
+        out += "le=\"";
+        if (i < bounds.size())
+          append_value(out, bounds[i]);
+        else
+          out += "+Inf";
+        out += "\"} ";
+        append_count(out, cumulative);
+        out += "\n";
       }
-      cumulative += counts[bounds.size()];
-      out << e.name << "_bucket" << sep << "le=\"+Inf\"} " << cumulative << "\n";
-      out << e.name << "_sum" << e.labels << " " << render_value(e.histogram->sum()) << "\n";
-      out << e.name << "_count" << e.labels << " " << cumulative << "\n";
+      out += e.name;
+      out += "_sum";
+      out += e.labels;
+      out += " ";
+      append_value(out, e.histogram->sum());
+      out += "\n";
+      out += e.name;
+      out += "_count";
+      out += e.labels;
+      out += " ";
+      append_count(out, cumulative);
+      out += "\n";
     }
   }
-  return out.str();
+  if (out.size() > last_scrape_size_) last_scrape_size_ = out.size();
+}
+
+std::string MetricsRegistry::scrape() const {
+  std::string out;
+  scrape_into(out);
+  return out;
+}
+
+void MetricsRegistry::samples_into(std::vector<MetricSample>& out) const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  // Assign into existing slots so element strings keep their capacity.
+  const auto emit = [&](const std::string& name, const char* suffix,
+                        const std::string& labels, double value) {
+    if (n == out.size()) out.emplace_back();
+    MetricSample& sample = out[n++];
+    sample.name = name;
+    if (suffix[0] != '\0') sample.name += suffix;
+    sample.labels = labels;
+    sample.value = value;
+  };
+  for (const auto& [key, e] : entries_) {
+    if (e.counter) emit(e.name, "", e.labels, static_cast<double>(e.counter->value()));
+    if (e.gauge) emit(e.name, "", e.labels, e.gauge->value());
+    if (e.histogram) {
+      emit(e.name, "_count", e.labels, static_cast<double>(e.histogram->count()));
+      emit(e.name, "_sum", e.labels, e.histogram->sum());
+      emit(e.name, "_p50", e.labels, e.histogram->quantile(0.50));
+      emit(e.name, "_p99", e.labels, e.histogram->quantile(0.99));
+    }
+  }
+  out.resize(n);
 }
 
 std::vector<MetricSample> MetricsRegistry::samples() const {
-  std::lock_guard lock(mu_);
   std::vector<MetricSample> out;
-  for (const auto& [key, e] : entries_) {
-    if (e.counter)
-      out.push_back({e.name, e.labels, static_cast<double>(e.counter->value())});
-    if (e.gauge) out.push_back({e.name, e.labels, e.gauge->value()});
-    if (e.histogram) {
-      out.push_back({e.name + "_count", e.labels,
-                     static_cast<double>(e.histogram->count())});
-      out.push_back({e.name + "_sum", e.labels, e.histogram->sum()});
-      out.push_back({e.name + "_p50", e.labels, e.histogram->quantile(0.50)});
-      out.push_back({e.name + "_p99", e.labels, e.histogram->quantile(0.99)});
-    }
-  }
+  samples_into(out);
   return out;
 }
 

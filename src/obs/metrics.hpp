@@ -107,8 +107,9 @@ class Histogram {
 
   [[nodiscard]] uint64_t count() const;
   [[nodiscard]] double sum() const { return sum_.value(); }
-  // Quantile estimate: the upper bound of the bucket holding rank q
-  // (+inf bucket reports the largest finite bound). 0 when empty.
+  // Quantile estimate: rank position linearly interpolated within the
+  // bucket holding rank q (lower edge 0 for the first bucket; the +inf
+  // bucket still reports the largest finite bound). 0 when empty.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   [[nodiscard]] std::vector<uint64_t> bucket_counts() const;
@@ -141,9 +142,16 @@ class MetricsRegistry {
 
   // Prometheus text exposition, deterministically ordered by name+labels.
   [[nodiscard]] std::string scrape() const;
+  // Same bytes, appended into a caller-owned buffer (cleared first). A
+  // periodic collector reuses one buffer so a 1 Hz poll does not allocate
+  // per tick once the buffer reaches steady-state capacity.
+  void scrape_into(std::string& out) const;
 
   // Flattened samples (histograms contribute _count, _sum, p50, p99).
   [[nodiscard]] std::vector<MetricSample> samples() const;
+  // Scratch-buffer variant: refills `out` in place, reusing both the
+  // vector's and each element's string capacity.
+  void samples_into(std::vector<MetricSample>& out) const;
 
   // Zero every value without invalidating cached references (tests).
   void reset_values();
@@ -165,6 +173,9 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;  // key: name + rendered labels
+  // High-water mark of the rendered scrape, so scrape_into() pre-reserves
+  // the whole buffer in one step on a fresh string.
+  mutable size_t last_scrape_size_ = 0;
 };
 
 std::string render_labels(const Labels& labels);

@@ -1,5 +1,6 @@
 #include "services/container.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/metrics.hpp"
@@ -126,6 +127,15 @@ size_t ServiceContainer::pump() {
         progress = true;
       }
     }
+  }
+  // A drained, closed channel never produces work again: prune it so a
+  // long-lived container (probed every collector tick) doesn't accumulate
+  // dead ends.
+  {
+    std::lock_guard lock(mu_);
+    channels_.erase(std::remove_if(channels_.begin(), channels_.end(),
+                                   [](const net::ChannelPtr& ch) { return !ch->is_open(); }),
+                    channels_.end());
   }
   return served;
 }

@@ -41,9 +41,63 @@ TEST(Metrics, CounterGaugeHistogramBasics) {
   EXPECT_EQ(histogram.count(), 4u);
   EXPECT_DOUBLE_EQ(histogram.sum(), 0.005 + 0.05 + 0.05 + 5.0);
   EXPECT_EQ(histogram.bucket_counts(), (std::vector<uint64_t>{1, 2, 0, 1}));
-  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.1);
-  // The +inf bucket reports the largest finite bound.
+  // Rank 2 of 4 sits halfway through the le=0.1 bucket (one observation
+  // below it): interpolated 0.01 + (2-1)/2 * (0.1-0.01) = 0.055.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.055);
+  // The +inf bucket reports the largest finite bound, exactly as before.
   EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 1.0);
+}
+
+TEST(Metrics, QuantileInterpolatesWithinBucket) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) histogram.observe(1.5);  // all in le=2 bucket
+  // Every rank falls in (1.0, 2.0]: the estimate must move smoothly with q
+  // instead of reporting the bucket edge for all of them.
+  const double p10 = histogram.quantile(0.10);
+  const double p50 = histogram.quantile(0.50);
+  const double p90 = histogram.quantile(0.90);
+  EXPECT_GT(p10, 1.0);
+  EXPECT_LT(p90, 2.0 + 1e-9);
+  EXPECT_LT(p10, p50);
+  EXPECT_LT(p50, p90);
+  // First bucket interpolates from a lower edge of 0.
+  Histogram first({10.0});
+  first.observe(3.0);
+  first.observe(3.0);
+  EXPECT_GT(first.quantile(0.5), 0.0);
+  EXPECT_LE(first.quantile(0.5), 10.0);
+}
+
+// Satellite property: a steady-state scrape loop must not grow memory —
+// the scratch buffer and sample vector reach a high-water mark and then
+// every further scrape reuses the same capacity.
+TEST(Metrics, RepeatedScrapeIntoDoesNotGrowAllocations) {
+  MetricsRegistry registry;
+  registry.counter("rave_a_total", {{"k", "1"}}).inc(5);
+  registry.gauge("rave_b_depth").set(2.5);
+  registry.histogram("rave_c_seconds", {}, {0.1, 1.0}).observe(0.05);
+
+  std::string scratch;
+  registry.scrape_into(scratch);
+  const std::string first = scratch;
+  const size_t capacity = scratch.capacity();
+  std::vector<MetricSample> samples;
+  registry.samples_into(samples);
+  const size_t vector_capacity = samples.capacity();
+
+  for (int i = 0; i < 200; ++i) {
+    registry.counter("rave_a_total", {{"k", "1"}}).inc();  // values move
+    registry.scrape_into(scratch);
+    EXPECT_EQ(scratch.capacity(), capacity) << "scrape buffer regrew at round " << i;
+    registry.samples_into(samples);  // refills in place, no clear() needed
+    EXPECT_EQ(samples.capacity(), vector_capacity) << "sample vector regrew at round " << i;
+  }
+  // Same registry state renders the same bytes through either entry point.
+  registry.counter("rave_a_total", {{"k", "1"}}).inc(0);
+  registry.scrape_into(scratch);
+  EXPECT_EQ(scratch.substr(0, scratch.find("rave_a_total{")),
+            first.substr(0, first.find("rave_a_total{")));
+  EXPECT_EQ(registry.scrape(), scratch);
 }
 
 TEST(Metrics, RegistryReturnsStableRefsAndScrapes) {
@@ -149,7 +203,9 @@ TEST(Trace, ThreadLocalContextParentsNestedSpans) {
     if (s.name == "frame") root_span = s.span_id;
   ASSERT_NE(root_span, 0u);
   for (const auto& s : spans)
-    if (s.name != "frame") EXPECT_EQ(s.parent_span_id, root_span) << s.name;
+    if (s.name != "frame") {
+      EXPECT_EQ(s.parent_span_id, root_span) << s.name;
+    }
 }
 
 TEST(Trace, StitchIsByteStableUnderVirtualTime) {

@@ -4,11 +4,16 @@
 // not paper reproductions; they bound what the simulation layer abstracts.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cmath>
 #include <memory>
 #include <string>
 
 #include "compress/codec.hpp"
+#include "compress/tile_cache.hpp"
+#include "core/frame_stream.hpp"
 #include "mesh/generators.hpp"
+#include "net/simlink.hpp"
 #include "mesh/decimate.hpp"
 #include "mesh/primitives.hpp"
 #include "mesh/fields.hpp"
@@ -272,6 +277,118 @@ void BM_ObsOverhead(benchmark::State& state) {
   state.SetLabel(mode == 2 ? "collector 1 Hz" : traced ? "tracing on" : "tracing off");
 }
 BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2);
+
+// Frame fan-out: encoded bytes + encode CPU to deliver one frame to N
+// subscribers (half workstation-class lossless, half PDA-class quantized).
+// Arg 0 = subscriber count, arg 1 = 0 for the pre-caching path (one
+// encode + one unicast payload per subscriber, the serve_frame model),
+// 1 for the cached fan-out tier (content-addressed tile refs + per-class
+// encode memoization through FrameStreamPublisher). Arg 2 = 0 static
+// camera (frames repeat), 1 orbiting camera (every frame differs).
+// BENCH_fanout.json is produced from these numbers with one command —
+// see the "benchmark" field in that file.
+void BM_Fanout(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  const bool cached = state.range(1) != 0;
+  const bool orbit = state.range(2) != 0;
+
+  // Pre-render the camera path once: render cost is identical either way,
+  // the bench measures the delivery tier.
+  const int kOrbitFrames = orbit ? 8 : 1;
+  std::vector<render::Image> frames;
+  for (int i = 0; i < kOrbitFrames; ++i) {
+    scene::Camera cam = scene::Camera::framing(elle_tree().world_bounds());
+    const double angle = 2.0 * 3.14159265358979 * i / 16.0;
+    const double radius = std::sqrt(cam.eye.x * cam.eye.x + cam.eye.z * cam.eye.z);
+    cam.eye.x = static_cast<float>(radius * std::sin(angle));
+    cam.eye.z = static_cast<float>(radius * std::cos(angle));
+    frames.push_back(render::render_tree(elle_tree(), cam, 200, 200).to_image());
+  }
+
+  const auto quality_of = [](int i) {
+    return i % 2 == 0 ? compress::QualityClass::Workstation : compress::QualityClass::Pda;
+  };
+  const int pda_subs = subscribers / 2;
+  const int ws_subs = subscribers - pda_subs;
+  uint64_t wire_bytes = 0, encodes = 0, frames_published = 0;
+  uint64_t pda_bytes = 0, ws_bytes = 0;  // per-class unicast totals
+
+  if (!cached) {
+    // Pre-caching delivery: every subscriber gets its own encode of every
+    // frame and its own unicast payload (what serve_frame does per pull).
+    std::array<std::unique_ptr<compress::ImageCodec>, 2> codecs = {
+        compress::make_codec(compress::codec_for_quality(compress::QualityClass::Workstation)),
+        compress::make_codec(compress::codec_for_quality(compress::QualityClass::Pda))};
+    size_t frame_index = 0;
+    for (auto _ : state) {
+      const render::Image& frame = frames[frame_index++ % frames.size()];
+      for (int i = 0; i < subscribers; ++i) {
+        const compress::EncodedImage encoded =
+            codecs[static_cast<size_t>(quality_of(i))]->encode(frame, nullptr);
+        wire_bytes += encoded.byte_size();
+        (quality_of(i) == compress::QualityClass::Pda ? pda_bytes : ws_bytes) +=
+            encoded.byte_size();
+        ++encodes;
+      }
+      ++frames_published;
+    }
+  } else {
+    core::FrameStreamOptions options;
+    options.tile_size = 64;
+    core::FrameStreamPublisher publisher(options);
+    std::vector<net::ChannelPtr> sinks;
+    for (int i = 0; i < subscribers; ++i) {
+      auto [server_end, client_end] = net::make_channel_pair();
+      publisher.subscribe(std::move(server_end), quality_of(i));
+      sinks.push_back(std::move(client_end));
+    }
+    size_t frame_index = 0;
+    for (auto _ : state) {
+      (void)publisher.publish_frame(frames[frame_index++ % frames.size()]);
+      // Drain deliveries so queues stay bounded; this is part of the
+      // delivery cost and stays inside the timed region.
+      for (const net::ChannelPtr& sink : sinks)
+        while (sink->try_receive().has_value()) {
+        }
+      ++frames_published;
+    }
+    ws_bytes = publisher.hub(compress::QualityClass::Workstation).unicast_bytes();
+    pda_bytes = publisher.hub(compress::QualityClass::Pda).unicast_bytes();
+    wire_bytes = ws_bytes + pda_bytes;
+    encodes = publisher.memo().stats().misses;
+  }
+
+  if (frames_published > 0) {
+    state.counters["wire_bytes_per_frame"] = benchmark::Counter(
+        static_cast<double>(wire_bytes) / static_cast<double>(frames_published));
+    state.counters["encodes_per_frame"] = benchmark::Counter(
+        static_cast<double>(encodes) / static_cast<double>(frames_published));
+    // Virtual last-mile cost under net/simlink's link model (the paper's
+    // two networks): seconds to push one subscriber's share of a frame
+    // down its class link — serialization delay on the shared 11 Mbit
+    // wireless for PDAs, switched 100 Mbit ethernet for workstations.
+    const net::LinkProfile wireless = net::wireless_11mbit();
+    const net::LinkProfile ethernet = net::ethernet_100mbit();
+    if (pda_subs > 0)
+      state.counters["pda_wireless_s_per_frame"] = benchmark::Counter(
+          wireless.delivery_seconds(pda_bytes / static_cast<uint64_t>(pda_subs) /
+                                    frames_published));
+    if (ws_subs > 0)
+      state.counters["ws_ethernet_s_per_frame"] = benchmark::Counter(
+          ethernet.delivery_seconds(ws_bytes / static_cast<uint64_t>(ws_subs) /
+                                    frames_published));
+  }
+  state.SetLabel(std::string(cached ? "cached" : "uncached") + " " +
+                 (orbit ? "orbit" : "static") + " n=" + std::to_string(subscribers));
+}
+BENCHMARK(BM_Fanout)
+    ->Args({100, 0, 0})
+    ->Args({100, 1, 0})
+    ->Args({1000, 0, 0})
+    ->Args({1000, 1, 0})
+    ->Args({1000, 0, 1})
+    ->Args({1000, 1, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SoapCallRoundTrip(benchmark::State& state) {
   services::SoapCall call;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/hash.hpp"
 #include "util/serial.hpp"
 #include "util/simd.hpp"
 
@@ -30,6 +31,23 @@ std::vector<uint8_t> EncodedImage::serialize() const {
   w.u16(static_cast<uint16_t>(height));
   w.bytes(data);
   return w.take();
+}
+
+uint64_t EncodedImage::content_hash() const {
+  // Fold exactly the bytes serialize() emits, in wire order: u8 codec,
+  // u8 keyframe, u16 width, u16 height, u32 length prefix, payload.
+  uint64_t h = util::kFnvOffsetBasis;
+  const uint8_t header[2] = {static_cast<uint8_t>(codec), keyframe ? uint8_t{1} : uint8_t{0}};
+  h = util::fnv1a(h, header, 2);
+  const uint8_t dims[4] = {
+      static_cast<uint8_t>(static_cast<uint16_t>(width) & 0xFF),
+      static_cast<uint8_t>(static_cast<uint16_t>(width) >> 8),
+      static_cast<uint8_t>(static_cast<uint16_t>(height) & 0xFF),
+      static_cast<uint8_t>(static_cast<uint16_t>(height) >> 8),
+  };
+  h = util::fnv1a(h, dims, 4);
+  h = util::fnv1a_u32(h, static_cast<uint32_t>(data.size()));
+  return util::fnv1a(h, data.data(), data.size());
 }
 
 Result<EncodedImage> EncodedImage::deserialize(std::span<const uint8_t> bytes) {

@@ -38,6 +38,14 @@ struct EncodedImage {
   // (asserted by a test) without allocating the serialized buffer.
   [[nodiscard]] uint64_t byte_size() const { return data.size() + 10; }
 
+  // Stable content address: FNV-1a 64 over exactly the bytes serialize()
+  // would emit (header fields in wire order, then payload), without
+  // allocating them. Because every codec is byte-identical across SIMD
+  // levels (PR 3 invariant, pinned by test_compress), the hash is too —
+  // so a memoized encode computed on an AVX2 host addresses the same
+  // content as its scalar twin.
+  [[nodiscard]] uint64_t content_hash() const;
+
   [[nodiscard]] std::vector<uint8_t> serialize() const;
   static util::Result<EncodedImage> deserialize(std::span<const uint8_t> bytes);
 };

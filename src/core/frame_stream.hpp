@@ -1,0 +1,203 @@
+// Cached frame streaming — the fan-out tier that makes frame delivery
+// cost proportional to *change* and *distinct quality classes* instead of
+// subscriber count (ROADMAP "frame fan-out tree with tile-level caching";
+// the cache-between-source-and-viewer topology of arXiv:1801.09504).
+//
+// A FrameStreamPublisher splits each composited frame into a fixed tile
+// grid, content-hashes every tile (render::hash_tile), and publishes per
+// quality class: a tile whose hash matches the previous frame ships as a
+// 14-byte TileRef; a changed tile is encoded once per class through the
+// EncodeMemo and ships as TileData to the whole class at once. Subscribers
+// (FrameStreamReceiver) resolve refs from a per-session TileStore of
+// decoded tiles; a store miss falls back to a TileMiss round-trip answered
+// with the full tile, so assembled frames are byte-identical to full
+// delivery no matter what the caches held. RelayTileCache teaches a
+// net::FanoutRelay to answer those misses from the data it already
+// forwarded, so recovery traffic stays off the render host.
+#pragma once
+
+#include <array>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/tile_cache.hpp"
+#include "core/protocol.hpp"
+#include "net/fanout.hpp"
+#include "render/compositor.hpp"
+#include "util/clock.hpp"
+
+namespace rave::core {
+
+struct FrameStreamOptions {
+  int tile_size = 64;                 // square content-hash grid cell, px
+  size_t encode_memo_capacity = 4096;  // encoded tiles kept per publisher
+  size_t tile_store_capacity = 1024;   // decoded tiles kept per subscriber
+};
+
+class FrameStreamPublisher {
+ public:
+  struct FrameReport {
+    uint32_t frame_id = 0;
+    size_t tiles_total = 0;   // per published class stream, summed
+    size_t tiles_ref = 0;     // shipped as references
+    size_t tiles_data = 0;    // shipped with pixels
+    uint64_t ref_bytes = 0;   // wire bytes of the reference messages
+    uint64_t data_bytes = 0;  // wire bytes of the data messages
+    size_t classes_published = 0;
+  };
+
+  struct Stats {
+    uint64_t frames = 0;
+    uint64_t tiles_ref = 0;
+    uint64_t tiles_data = 0;
+    uint64_t ref_bytes = 0;
+    uint64_t data_bytes = 0;
+    uint64_t miss_replies = 0;        // full-tile fallbacks served
+    uint64_t miss_unresolved = 0;     // hash no longer present (stale miss)
+  };
+
+  explicit FrameStreamPublisher(FrameStreamOptions options = {});
+
+  // Subscribe a downstream channel (a client, or a relay's upstream end)
+  // to the given class's stream. Forces the next frame of that class to
+  // ship every tile as data, so the newcomer starts from a keyframe.
+  net::FanoutHub::SubscriberId subscribe(net::ChannelPtr channel,
+                                         compress::QualityClass quality);
+  void unsubscribe(compress::QualityClass quality, net::FanoutHub::SubscriberId id);
+  [[nodiscard]] net::FanoutHub& hub(compress::QualityClass quality);
+  [[nodiscard]] size_t subscriber_count() const;
+
+  // Publish one composited frame to every class that has subscribers.
+  // Tile hashes are computed once; encoding happens at most once per
+  // (changed tile, class) thanks to the memo.
+  FrameReport publish_frame(const render::Image& frame);
+
+  // Serve pending TileMiss requests arriving on the hubs' reverse path
+  // and drop closed subscribers. Returns messages handled.
+  size_t pump();
+
+  // Build the TileData reply for a miss against the last published frame,
+  // or nullopt if the hash is no longer current (the content changed
+  // since — the subscriber will pick the new content up next frame).
+  std::optional<net::Message> make_miss_reply(const TileMissMsg& miss);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const compress::EncodeMemo& memo() const { return memo_; }
+  [[nodiscard]] const FrameStreamOptions& options() const { return options_; }
+
+ private:
+  struct Stream {
+    net::FanoutHub hub;
+    std::vector<uint64_t> prev_hashes;
+    int prev_width = 0, prev_height = 0;
+    bool force_keyframe = true;
+  };
+
+  Stream& stream(compress::QualityClass quality) {
+    return streams_[static_cast<size_t>(quality)];
+  }
+
+  FrameStreamOptions options_;
+  std::array<Stream, compress::kQualityClassCount> streams_;
+  compress::EncodeMemo memo_;
+  uint32_t next_frame_id_ = 1;
+  // Miss-fallback source: the last published frame's grid and hashes.
+  render::Image last_frame_;
+  std::vector<render::Tile> last_tiles_;
+  std::vector<uint64_t> last_hashes_;
+  Stats stats_;
+};
+
+class FrameStreamReceiver {
+ public:
+  struct Stats {
+    uint64_t frames_completed = 0;
+    uint64_t frames_abandoned = 0;  // superseded before completing
+    uint64_t refs_resolved = 0;     // tile refs satisfied from the store
+    uint64_t data_tiles = 0;
+    uint64_t miss_requests = 0;     // store misses escalated upstream
+    uint64_t bytes_received = 0;    // wire bytes of stream messages
+  };
+
+  FrameStreamReceiver(net::ChannelPtr channel, compress::QualityClass quality,
+                      FrameStreamOptions options = {});
+
+  // Pump the channel until one complete frame assembles (miss fallbacks
+  // included) or the deadline passes. `pump` drives the in-process grid
+  // between receives, exactly like ThinClient::request_frame.
+  util::Result<render::Image> next_frame(util::Clock& clock, double timeout_seconds,
+                                         const std::function<void()>& pump = {});
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const compress::TileStore& store() const { return store_; }
+  [[nodiscard]] compress::QualityClass quality() const { return quality_; }
+
+ private:
+  struct Assembly {
+    bool active = false;
+    FrameBeginMsg begin;
+    render::Image image;
+    std::vector<render::Tile> grid;
+    std::vector<bool> filled;
+    size_t filled_count = 0;
+    bool have_end = false;
+    FrameEndMsg end;
+    // Tile-store misses awaiting a TileData reply, keyed by content hash.
+    std::unordered_multimap<uint64_t, uint16_t> pending;
+  };
+
+  void handle(const net::Message& msg);
+  void place(uint16_t index, const render::Image& tile);
+  [[nodiscard]] bool complete() const {
+    return assembly_.active && assembly_.have_end &&
+           assembly_.filled_count == assembly_.grid.size();
+  }
+
+  net::ChannelPtr channel_;
+  compress::QualityClass quality_;
+  FrameStreamOptions options_;
+  compress::TileStore store_;
+  Assembly assembly_;
+  Stats stats_;
+};
+
+// Relay-side content cache: remembers the TileData messages a relay
+// forwarded downstream and answers TileMiss requests for them locally, so
+// a subscriber's cold cache (or a dead sibling relay) costs one relay hop
+// instead of a publisher round-trip. Attach wires the relay's downstream
+// tap and request handler to this cache.
+class RelayTileCache {
+ public:
+  struct Stats {
+    uint64_t cached = 0;
+    uint64_t served = 0;     // misses answered from this cache
+    uint64_t forwarded = 0;  // misses passed upstream
+  };
+
+  explicit RelayTileCache(size_t capacity = 4096);
+
+  void attach(net::FanoutRelay& relay);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+ private:
+  void remember(const net::Message& msg);
+  std::optional<net::Message> serve(const net::Message& msg);
+
+  struct Entry {
+    uint64_t hash = 0;
+    compress::CodecKind codec = compress::CodecKind::Raw;
+    net::Message message;  // the TileData message, replayable verbatim
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> entries_;
+  Stats stats_;
+};
+
+}  // namespace rave::core

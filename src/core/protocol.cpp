@@ -346,6 +346,136 @@ Result<AssistGrantMsg> decode_assist_grant(const net::Message& msg) {
   return out;
 }
 
+net::Message encode(const StreamSubscribeMsg& m) {
+  ByteWriter w;
+  w.str(m.session);
+  w.u8(static_cast<uint8_t>(m.quality));
+  return finish(kMsgStreamSubscribe, w);
+}
+
+Result<StreamSubscribeMsg> decode_stream_subscribe(const net::Message& msg) {
+  auto reader = open(msg, kMsgStreamSubscribe);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  StreamSubscribeMsg out;
+  out.session = r.str();
+  out.quality = static_cast<compress::QualityClass>(r.u8());
+  if (!r.ok()) return make_error("protocol: truncated stream subscribe");
+  return out;
+}
+
+net::Message encode(const FrameBeginMsg& m) {
+  ByteWriter w;
+  w.u32(m.frame_id);
+  w.i32(m.width);
+  w.i32(m.height);
+  w.u16(m.tile_size);
+  w.u16(m.tile_count);
+  w.u8(static_cast<uint8_t>(m.quality));
+  return finish(kMsgFrameBegin, w);
+}
+
+Result<FrameBeginMsg> decode_frame_begin(const net::Message& msg) {
+  auto reader = open(msg, kMsgFrameBegin);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  FrameBeginMsg out;
+  out.frame_id = r.u32();
+  out.width = r.i32();
+  out.height = r.i32();
+  out.tile_size = r.u16();
+  out.tile_count = r.u16();
+  out.quality = static_cast<compress::QualityClass>(r.u8());
+  if (!r.ok()) return make_error("protocol: truncated frame begin");
+  return out;
+}
+
+net::Message encode(const TileRefMsg& m) {
+  ByteWriter w;
+  w.u32(m.frame_id);
+  w.u16(m.tile_index);
+  w.u64(m.hash);
+  return finish(kMsgTileRef, w);
+}
+
+Result<TileRefMsg> decode_tile_ref(const net::Message& msg) {
+  auto reader = open(msg, kMsgTileRef);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  TileRefMsg out;
+  out.frame_id = r.u32();
+  out.tile_index = r.u16();
+  out.hash = r.u64();
+  if (!r.ok()) return make_error("protocol: truncated tile ref");
+  return out;
+}
+
+net::Message encode(const TileDataMsg& m) {
+  ByteWriter w;
+  w.u32(m.frame_id);
+  w.u16(m.tile_index);
+  write_tile(w, m.tile);
+  w.u64(m.hash);
+  w.bytes(m.encoded);
+  return finish(kMsgTileData, w);
+}
+
+Result<TileDataMsg> decode_tile_data(const net::Message& msg) {
+  auto reader = open(msg, kMsgTileData);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  TileDataMsg out;
+  out.frame_id = r.u32();
+  out.tile_index = r.u16();
+  out.tile = read_tile(r);
+  out.hash = r.u64();
+  out.encoded = r.bytes();
+  if (!r.ok()) return make_error("protocol: truncated tile data");
+  return out;
+}
+
+net::Message encode(const FrameEndMsg& m) {
+  ByteWriter w;
+  w.u32(m.frame_id);
+  w.u16(m.tile_count);
+  w.u64(m.frame_hash);
+  return finish(kMsgFrameEnd, w);
+}
+
+Result<FrameEndMsg> decode_frame_end(const net::Message& msg) {
+  auto reader = open(msg, kMsgFrameEnd);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  FrameEndMsg out;
+  out.frame_id = r.u32();
+  out.tile_count = r.u16();
+  out.frame_hash = r.u64();
+  if (!r.ok()) return make_error("protocol: truncated frame end");
+  return out;
+}
+
+net::Message encode(const TileMissMsg& m) {
+  ByteWriter w;
+  w.u64(m.hash);
+  w.u32(m.frame_id);
+  w.u16(m.tile_index);
+  w.u8(static_cast<uint8_t>(m.quality));
+  return finish(kMsgTileMiss, w);
+}
+
+Result<TileMissMsg> decode_tile_miss(const net::Message& msg) {
+  auto reader = open(msg, kMsgTileMiss);
+  if (!reader.ok()) return make_error(reader.error());
+  ByteReader& r = reader.value();
+  TileMissMsg out;
+  out.hash = r.u64();
+  out.frame_id = r.u32();
+  out.tile_index = r.u16();
+  out.quality = static_cast<compress::QualityClass>(r.u8());
+  if (!r.ok()) return make_error("protocol: truncated tile miss");
+  return out;
+}
+
 void stamp_trace(net::Message& msg) {
   const obs::TraceContext ctx = obs::Tracer::current();
   if (!ctx.valid()) return;

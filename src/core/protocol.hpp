@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/tile_cache.hpp"
 #include "core/capacity.hpp"
 #include "net/channel.hpp"
 #include "obs/trace.hpp"
@@ -36,6 +37,15 @@ enum MsgType : uint16_t {
   kMsgAssistRequest = 0x0122,  // render service → data: need tile help
   kMsgAssistGrant = 0x0123,    // data → render service: assistant access points
   kMsgSubsetFrame = 0x0124,    // subset renderer → compositing service: frame+depth
+  // Cached frame streaming (fan-out tier). A stream frame is FrameBegin,
+  // then one TileRef or TileData per tile, then FrameEnd; TileMiss is the
+  // subscriber's cache-miss fallback, answered with a TileData.
+  kMsgStreamSubscribe = 0x0130,  // client → render service: join the cached stream
+  kMsgFrameBegin = 0x0131,       // publisher → subscribers: frame header
+  kMsgTileRef = 0x0132,          // publisher → subscribers: unchanged tile, by hash
+  kMsgTileData = 0x0133,         // publisher → subscribers: encoded tile + hash
+  kMsgFrameEnd = 0x0134,         // publisher → subscribers: frame trailer + hash
+  kMsgTileMiss = 0x0135,         // subscriber → publisher/relay: full-tile fallback
 };
 
 enum class SubscriberKind : uint8_t { RenderService = 0, ActiveClient = 1 };
@@ -131,6 +141,51 @@ struct AssistGrantMsg {
   std::vector<std::string> access_points;  // assisting services' peer endpoints
 };
 
+// --- cached frame stream (fan-out tier) -------------------------------------
+
+struct StreamSubscribeMsg {
+  std::string session;
+  compress::QualityClass quality = compress::QualityClass::Workstation;
+};
+
+struct FrameBeginMsg {
+  uint32_t frame_id = 0;  // per-stream sequence number
+  int width = 0, height = 0;
+  uint16_t tile_size = 64;   // square grid cell; receivers rebuild the grid
+  uint16_t tile_count = 0;
+  compress::QualityClass quality = compress::QualityClass::Workstation;
+};
+
+// The ~16-byte message an unchanged tile ships as: 14 payload bytes
+// (frame, index, content hash) instead of the tile's pixels.
+struct TileRefMsg {
+  uint32_t frame_id = 0;
+  uint16_t tile_index = 0;
+  uint64_t hash = 0;
+};
+
+struct TileDataMsg {
+  uint32_t frame_id = 0;
+  uint16_t tile_index = 0;
+  render::Tile tile;          // placement rect (miss replies may arrive
+                              // outside the frame that referenced them)
+  uint64_t hash = 0;          // content hash of the decoded pixels
+  std::vector<uint8_t> encoded;  // compress::EncodedImage::serialize()
+};
+
+struct FrameEndMsg {
+  uint32_t frame_id = 0;
+  uint16_t tile_count = 0;
+  uint64_t frame_hash = 0;  // render::hash_image of the source frame
+};
+
+struct TileMissMsg {
+  uint64_t hash = 0;
+  uint32_t frame_id = 0;
+  uint16_t tile_index = 0;
+  compress::QualityClass quality = compress::QualityClass::Workstation;
+};
+
 // Encoders return ready-to-send messages; decoders validate the type code.
 net::Message encode(const SubscribeRequest& m);
 net::Message encode(const SubscribeAck& m);
@@ -148,6 +203,12 @@ net::Message encode(const TileResultMsg& m);
 net::Message encode(const AssistRequestMsg& m);
 net::Message encode(const AssistGrantMsg& m);
 net::Message encode_subset_frame(const TileResultMsg& m);  // kMsgSubsetFrame
+net::Message encode(const StreamSubscribeMsg& m);
+net::Message encode(const FrameBeginMsg& m);
+net::Message encode(const TileRefMsg& m);
+net::Message encode(const TileDataMsg& m);
+net::Message encode(const FrameEndMsg& m);
+net::Message encode(const TileMissMsg& m);
 
 util::Result<SubscribeRequest> decode_subscribe(const net::Message& msg);
 util::Result<SubscribeAck> decode_subscribe_ack(const net::Message& msg);
@@ -164,6 +225,12 @@ util::Result<TileAssignMsg> decode_tile_assign(const net::Message& msg);
 util::Result<TileResultMsg> decode_tile_result(const net::Message& msg);
 util::Result<AssistRequestMsg> decode_assist_request(const net::Message& msg);
 util::Result<AssistGrantMsg> decode_assist_grant(const net::Message& msg);
+util::Result<StreamSubscribeMsg> decode_stream_subscribe(const net::Message& msg);
+util::Result<FrameBeginMsg> decode_frame_begin(const net::Message& msg);
+util::Result<TileRefMsg> decode_tile_ref(const net::Message& msg);
+util::Result<TileDataMsg> decode_tile_data(const net::Message& msg);
+util::Result<FrameEndMsg> decode_frame_end(const net::Message& msg);
+util::Result<TileMissMsg> decode_tile_miss(const net::Message& msg);
 
 // Trace propagation. stamp_trace() copies the sending thread's current
 // trace context onto the message (no-op when tracing is off or no trace is

@@ -226,6 +226,38 @@ size_t RenderService::pump_clients() {
           if (request.ok()) serve_frame(*client, request.value(), trace_of(*msg));
           break;
         }
+        case kMsgStreamSubscribe: {
+          auto request = decode_stream_subscribe(*msg);
+          if (!request.ok()) break;
+          Replica* replica = find_replica(request.value().session);
+          if (replica == nullptr) {
+            (void)client->channel->send(encode(
+                RefusalMsg{"render service has no session " + request.value().session}));
+            break;
+          }
+          if (!replica->stream)
+            replica->stream = std::make_unique<FrameStreamPublisher>(options_.stream);
+          replica->stream->subscribe(client->channel, request.value().quality);
+          client->session = request.value().session;
+          client->subscribed = true;
+          SubscribeAck ack;
+          ack.client_id = replica->subscriber_id;
+          ack.session = client->session;
+          (void)client->channel->send(encode(ack));
+          break;
+        }
+        case kMsgTileMiss: {
+          // Cached-stream fallback: the subscriber's tile store lacked a
+          // referenced hash — answer with the full tile so the assembled
+          // frame stays byte-identical to full delivery.
+          auto miss = decode_tile_miss(*msg);
+          if (!miss.ok()) break;
+          Replica* replica = find_replica(client->session);
+          if (replica == nullptr || !replica->stream) break;
+          if (auto reply = replica->stream->make_miss_reply(miss.value()))
+            (void)client->channel->send(*std::move(reply));
+          break;
+        }
         case kMsgClientUpdate: {
           auto update = decode_client_update(*msg);
           if (!update.ok()) break;
@@ -557,6 +589,39 @@ Status RenderService::request_tile_assist(const std::string& session, int tiles_
   request.session = session;
   request.tiles_wanted = tiles_wanted;
   return replica->data_channel->send(encode(request));
+}
+
+Result<FrameStreamPublisher::FrameReport> RenderService::publish_stream_frame(
+    const std::string& session, const scene::Camera& camera, int width, int height) {
+  Replica* replica = find_replica(session);
+  if (replica == nullptr) return make_error("render: no session " + session);
+  if (!replica->stream || replica->stream->subscriber_count() == 0)
+    return FrameStreamPublisher::FrameReport{};  // nobody listening: skip the render
+  auto frame = render_distributed(session, camera, width, height);
+  if (!frame.ok()) return make_error(frame.error());
+  return replica->stream->publish_frame(frame.value().to_image());
+}
+
+const FrameStreamPublisher* RenderService::stream_publisher(const std::string& session) const {
+  const Replica* replica = find_replica(session);
+  return replica == nullptr ? nullptr : replica->stream.get();
+}
+
+RenderService::StreamTotals RenderService::stream_totals() const {
+  StreamTotals totals;
+  for (const auto& [name, replica] : replicas_) {
+    if (!replica.stream) continue;
+    const FrameStreamPublisher::Stats& s = replica.stream->stats();
+    const compress::EncodeMemo::Stats& m = replica.stream->memo().stats();
+    totals.tiles_ref += s.tiles_ref;
+    totals.tiles_data += s.tiles_data;
+    totals.miss_replies += s.miss_replies;
+    totals.encode_hits += m.hits;
+    totals.encode_misses += m.misses;
+    totals.encode_bytes_saved += m.bytes_saved;
+    totals.subscribers += replica.stream->subscriber_count();
+  }
+  return totals;
 }
 
 Status RenderService::submit_update(const std::string& session, SceneUpdate update) {

@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "core/fabric.hpp"
+#include "core/frame_stream.hpp"
 #include "core/protocol.hpp"
 #include "core/service_config.hpp"
 #include "render/compositor.hpp"
@@ -53,6 +54,9 @@ class RenderService {
     // Stand-alone active render client: renders and collaborates but has
     // no service interface to advertise (paper §3.1.2).
     bool active_client_only = false;
+    // Cached frame streaming (tile grid, memo/store capacities) for
+    // clients that join via StreamSubscribe instead of per-frame pulls.
+    FrameStreamOptions stream;
   };
 
   struct Stats {
@@ -114,6 +118,29 @@ class RenderService {
 
   // Ask the data service for assistants and enable tile mode with them.
   util::Status request_tile_assist(const std::string& session, int tiles_wanted);
+
+  // --- cached frame streaming --------------------------------------------------
+  // Render one distributed frame and publish it to every stream
+  // subscriber of the session (tile refs for unchanged content, memoized
+  // encodes per quality class). Clients join by sending StreamSubscribe
+  // on the client endpoint; their cache misses (TileMiss) are answered on
+  // the same channel during pump(). No-op report when nobody subscribed.
+  util::Result<FrameStreamPublisher::FrameReport> publish_stream_frame(
+      const std::string& session, const scene::Camera& camera, int width, int height);
+  // The session's publisher, nullptr before the first stream subscriber.
+  [[nodiscard]] const FrameStreamPublisher* stream_publisher(const std::string& session) const;
+
+  // Fan-out cache totals across every session's publisher (status/rave_top).
+  struct StreamTotals {
+    uint64_t tiles_ref = 0;
+    uint64_t tiles_data = 0;
+    uint64_t encode_hits = 0;
+    uint64_t encode_misses = 0;
+    uint64_t encode_bytes_saved = 0;
+    uint64_t miss_replies = 0;
+    uint64_t subscribers = 0;
+  };
+  [[nodiscard]] StreamTotals stream_totals() const;
 
   // Artificially delay outgoing peer tile results (reproduces fig. 5's
   // stalled remote service).
@@ -178,6 +205,8 @@ class RenderService {
     // Distribution state.
     bool tile_mode = false;    // disjoint tiles vs full-frame subset merge
     std::vector<RemoteTile> remotes;
+    // Cached-stream fan-out, created on the first StreamSubscribe.
+    std::unique_ptr<FrameStreamPublisher> stream;
   };
 
   struct Client {

@@ -76,6 +76,14 @@ void register_status_endpoint(services::ServiceContainer& container, const std::
             entry["frameP50"] = latency->quantile(0.5);
             entry["frameP99"] = latency->quantile(0.99);
           }
+          const RenderService::StreamTotals stream = render->stream_totals();
+          entry["fanoutTilesRef"] = static_cast<int64_t>(stream.tiles_ref);
+          entry["fanoutTilesData"] = static_cast<int64_t>(stream.tiles_data);
+          entry["fanoutEncodeHits"] = static_cast<int64_t>(stream.encode_hits);
+          entry["fanoutEncodeMisses"] = static_cast<int64_t>(stream.encode_misses);
+          entry["fanoutBytesSaved"] = static_cast<int64_t>(stream.encode_bytes_saved);
+          entry["fanoutMissReplies"] = static_cast<int64_t>(stream.miss_replies);
+          entry["fanoutSubscribers"] = static_cast<int64_t>(stream.subscribers);
           renders.push_back(std::move(entry));
         }
         out["renders"] = std::move(renders);
@@ -134,6 +142,18 @@ Result<HostStatus> parse_host_status(const SoapValue& value) {
       render.codec_bytes_out = static_cast<uint64_t>(entry.field("codecBytesOut").as_int());
       render.frame_p50_seconds = entry.field("frameP50").as_double();
       render.frame_p99_seconds = entry.field("frameP99").as_double();
+      render.fanout_tiles_ref = static_cast<uint64_t>(entry.field("fanoutTilesRef").as_int());
+      render.fanout_tiles_data = static_cast<uint64_t>(entry.field("fanoutTilesData").as_int());
+      render.fanout_encode_hits =
+          static_cast<uint64_t>(entry.field("fanoutEncodeHits").as_int());
+      render.fanout_encode_misses =
+          static_cast<uint64_t>(entry.field("fanoutEncodeMisses").as_int());
+      render.fanout_bytes_saved =
+          static_cast<uint64_t>(entry.field("fanoutBytesSaved").as_int());
+      render.fanout_miss_replies =
+          static_cast<uint64_t>(entry.field("fanoutMissReplies").as_int());
+      render.fanout_subscribers =
+          static_cast<uint64_t>(entry.field("fanoutSubscribers").as_int());
       status.renders.push_back(std::move(render));
     }
   }
@@ -179,6 +199,18 @@ std::string format_dashboard(const std::vector<HostStatus>& hosts) {
                                    : 0;
         out << "\n    codec: " << render.codec_bytes_in << " bytes in, "
             << render.codec_bytes_out << " out (" << saved << " saved)";
+      }
+      if (render.fanout_tiles_ref + render.fanout_tiles_data > 0) {
+        const uint64_t tiles = render.fanout_tiles_ref + render.fanout_tiles_data;
+        const uint64_t encodes = render.fanout_encode_hits + render.fanout_encode_misses;
+        out << "\n    fanout cache: " << render.fanout_tiles_ref << "/" << tiles
+            << " tiles as refs (" << (100 * render.fanout_tiles_ref / tiles) << "% hit)";
+        if (encodes > 0)
+          out << ", encode memo " << render.fanout_encode_hits << "/" << encodes << " hits ("
+              << render.fanout_bytes_saved << " bytes saved)";
+        if (render.fanout_miss_replies > 0)
+          out << ", " << render.fanout_miss_replies << " miss fallback(s)";
+        out << ", " << render.fanout_subscribers << " stream subscriber(s)";
       }
       out << "\n   sessions:";
       for (const std::string& name : render.sessions) out << " " << name;
@@ -284,6 +316,29 @@ std::string format_telemetry_dashboard(const std::vector<HostStatus>& hosts,
       if (!fps.empty()) {
         out += "   fps      " + obs::sparkline(fps) + " last ";
         append_fixed(out, "%.1f", fps.back());
+        out += "\n";
+      }
+      // Fan-out cache line: how much of the tile traffic the
+      // content-addressed cache turned into references, and how much
+      // encode work the per-class memo absorbed.
+      for (const RenderStatus& render : host.renders) {
+        const uint64_t tiles = render.fanout_tiles_ref + render.fanout_tiles_data;
+        if (tiles == 0) continue;
+        const uint64_t encodes = render.fanout_encode_hits + render.fanout_encode_misses;
+        out += "   fanout   " + std::to_string(render.fanout_tiles_ref) + "/" +
+               std::to_string(tiles) + " refs (";
+        append_fixed(out, "%.0f", 100.0 * static_cast<double>(render.fanout_tiles_ref) /
+                                      static_cast<double>(tiles));
+        out += "% cache)";
+        if (encodes > 0) {
+          out += "  memo ";
+          append_fixed(out, "%.0f", 100.0 * static_cast<double>(render.fanout_encode_hits) /
+                                        static_cast<double>(encodes));
+          out += "% hit, " + std::to_string(render.fanout_bytes_saved) + " B saved";
+        }
+        out += "  subs " + std::to_string(render.fanout_subscribers);
+        if (render.fanout_miss_replies > 0)
+          out += "  miss-fallbacks " + std::to_string(render.fanout_miss_replies);
         out += "\n";
       }
       // Frame-phase breakdown: total time per pipeline stage recorded by

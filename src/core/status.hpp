@@ -40,6 +40,16 @@ struct RenderStatus {
   uint64_t codec_bytes_out = 0;  // wire bytes leaving it
   double frame_p50_seconds = 0;
   double frame_p99_seconds = 0;
+  // Fan-out cache families (PR 6): content-addressed tile delivery and
+  // per-quality-class encode memoization across this host's stream
+  // publishers.
+  uint64_t fanout_tiles_ref = 0;      // tiles shipped as references
+  uint64_t fanout_tiles_data = 0;     // tiles shipped with pixels
+  uint64_t fanout_encode_hits = 0;    // memoized encodes reused
+  uint64_t fanout_encode_misses = 0;  // encodes actually performed
+  uint64_t fanout_bytes_saved = 0;    // encoded bytes not re-produced
+  uint64_t fanout_miss_replies = 0;   // full-tile fallbacks served
+  uint64_t fanout_subscribers = 0;    // stream subscribers right now
 };
 
 struct HostStatus {

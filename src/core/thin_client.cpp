@@ -23,8 +23,33 @@ Status ThinClient::connect(const std::string& render_access_point, const std::st
   request.host = profile_.name;
   const Status sent = channel_->send(encode(request));
   if (!sent.ok()) return sent;
+  session_ = session;
   connected_ = true;
   return {};
+}
+
+Status ThinClient::subscribe_stream(compress::QualityClass quality,
+                                    FrameStreamOptions options) {
+  if (!connected_) return make_error("thin client: not connected");
+  receiver_ = std::make_unique<FrameStreamReceiver>(channel_, quality, options);
+  return channel_->send(encode(StreamSubscribeMsg{session_, quality}));
+}
+
+Result<render::Image> ThinClient::next_stream_frame(double timeout_seconds,
+                                                    const std::function<void()>& pump) {
+  if (!connected_) return make_error("thin client: not connected");
+  if (!receiver_) return make_error("thin client: subscribe_stream first");
+  auto frame = receiver_->next_frame(*clock_, timeout_seconds, pump);
+  if (!frame.ok()) return frame;
+  // The PDA-side unpack cost applies to streamed frames just like pulled
+  // ones (paper §5.1 "other overheads").
+  const uint64_t pixels = static_cast<uint64_t>(frame.value().width) *
+                          static_cast<uint64_t>(frame.value().height);
+  const double unpack = profile_.pixel_unpack_rate > 0
+                            ? static_cast<double>(pixels) / profile_.pixel_unpack_rate
+                            : 0.0;
+  clock_->sleep_for(unpack);
+  return frame;
 }
 
 Result<render::Image> ThinClient::request_frame(const Camera& camera, int width, int height,

@@ -7,11 +7,13 @@
 // other (client) overheads.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "compress/adaptive.hpp"
 #include "core/fabric.hpp"
+#include "core/frame_stream.hpp"
 #include "core/protocol.hpp"
 #include "scene/camera.hpp"
 #include "sim/machine.hpp"
@@ -46,6 +48,21 @@ class ThinClient {
 
   [[nodiscard]] const FrameStats& last_stats() const { return stats_; }
 
+  // --- cached frame streaming --------------------------------------------------
+  // Switch to stream mode: the render service pushes frames as tile
+  // refs/data for this quality class instead of answering per-frame
+  // pulls. A client is either pull-mode (request_frame) or stream-mode
+  // (next_stream_frame) — don't mix the two on one connection, both
+  // consume the same channel.
+  util::Status subscribe_stream(compress::QualityClass quality,
+                                FrameStreamOptions options = {});
+  // Assemble the next pushed frame (tile-store misses are recovered via
+  // full-tile fallback transparently). Requires subscribe_stream first.
+  util::Result<render::Image> next_stream_frame(double timeout_seconds = 5.0,
+                                                const std::function<void()>& pump = {});
+  // nullptr until subscribe_stream; exposes cache hit/miss stats.
+  [[nodiscard]] const FrameStreamReceiver* stream_receiver() const { return receiver_.get(); }
+
   // Request raw (uncompressed) frames, as the paper's PDA measurements did
   // (§5.1); adaptive compression is the default.
   void set_compression(bool enabled) { allow_compression_ = enabled; }
@@ -67,7 +84,9 @@ class ThinClient {
   Fabric* fabric_;
   sim::MachineProfile profile_;
   net::ChannelPtr channel_;
+  std::string session_;
   bool connected_ = false;
+  std::unique_ptr<FrameStreamReceiver> receiver_;
   uint64_t next_request_id_ = 1;
   bool allow_compression_ = true;
   compress::AdaptiveDecoder decoder_;

@@ -19,22 +19,102 @@ void FanoutHub::unsubscribe(SubscriberId id) {
 }
 
 size_t FanoutHub::publish(const Message& message) {
-  std::lock_guard lock(mu_);
+  // Snapshot under the lock, deliver outside it: channel sends may block
+  // (simulated links, TCP backpressure) and must not serialize against
+  // subscribe/unsubscribe or each other's bookkeeping.
+  std::vector<Subscriber> snapshot;
+  {
+    std::lock_guard lock(mu_);
+    snapshot = subscribers_;
+  }
   size_t delivered = 0;
-  for (auto& sub : subscribers_) {
-    if (sub.filter && !sub.filter(message)) continue;
+  for (auto& sub : snapshot) {
+    if (sub.filter && !sub.filter(message)) continue;  // not counted anywhere
     if (sub.channel->send(message).ok()) {
       ++delivered;
-      unicast_bytes_ += message.wire_size();
+      unicast_bytes_.fetch_add(message.wire_size(), std::memory_order_relaxed);
     }
   }
-  if (delivered > 0) multicast_bytes_ += message.wire_size();
+  if (delivered > 0)
+    multicast_bytes_.fetch_add(message.wire_size(), std::memory_order_relaxed);
   return delivered;
+}
+
+util::Status FanoutHub::send_to(SubscriberId id, Message message) {
+  ChannelPtr channel;
+  {
+    std::lock_guard lock(mu_);
+    for (const Subscriber& sub : subscribers_)
+      if (sub.id == id) {
+        channel = sub.channel;
+        break;
+      }
+  }
+  if (!channel) return util::make_error("fanout: unknown subscriber");
+  return channel->send(std::move(message));
+}
+
+size_t FanoutHub::drain_incoming(
+    const std::function<void(SubscriberId, const Message&)>& handler) {
+  std::vector<std::pair<SubscriberId, ChannelPtr>> snapshot;
+  {
+    std::lock_guard lock(mu_);
+    snapshot.reserve(subscribers_.size());
+    for (const Subscriber& sub : subscribers_) snapshot.emplace_back(sub.id, sub.channel);
+  }
+  size_t drained = 0;
+  for (auto& [id, channel] : snapshot) {
+    for (;;) {
+      auto msg = channel->try_receive();
+      if (!msg.has_value()) break;
+      ++drained;
+      if (handler) handler(id, *msg);
+    }
+  }
+  return drained;
+}
+
+size_t FanoutHub::prune_closed() {
+  std::lock_guard lock(mu_);
+  const size_t before = subscribers_.size();
+  subscribers_.erase(std::remove_if(subscribers_.begin(), subscribers_.end(),
+                                    [](const Subscriber& s) { return !s.channel->is_open(); }),
+                     subscribers_.end());
+  return before - subscribers_.size();
 }
 
 size_t FanoutHub::subscriber_count() const {
   std::lock_guard lock(mu_);
   return subscribers_.size();
+}
+
+size_t FanoutRelay::pump() {
+  size_t moved = 0;
+  // Downward: everything the upstream published since the last pump.
+  if (upstream_) {
+    for (;;) {
+      auto msg = upstream_->try_receive();
+      if (!msg.has_value()) break;
+      ++moved;
+      if (tap_) tap_(*msg);
+      ++stats_.forwarded_down;
+      stats_.forwarded_down_bytes += msg->wire_size();
+      hub_.publish(*msg);
+    }
+  }
+  // Upward: subscriber requests, served locally when the handler can.
+  moved += hub_.drain_incoming([this](FanoutHub::SubscriberId id, const Message& msg) {
+    if (handler_) {
+      if (std::optional<Message> reply = handler_(msg)) {
+        ++stats_.requests_served;
+        (void)hub_.send_to(id, *std::move(reply));
+        return;
+      }
+    }
+    ++stats_.requests_forwarded;
+    if (upstream_) (void)upstream_->send(msg);
+  });
+  return moved;
 }
 
 }  // namespace rave::net

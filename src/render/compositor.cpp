@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/hash.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
@@ -88,6 +89,27 @@ Status blend_ordered(Image& dst, std::vector<BlendLayer> layers) {
     }
   }
   return {};
+}
+
+uint64_t hash_tile(const Image& image, const Tile& tile) {
+  uint64_t h = util::kFnvOffsetBasis;
+  h = util::fnv1a_u32(h, static_cast<uint32_t>(tile.width));
+  h = util::fnv1a_u32(h, static_cast<uint32_t>(tile.height));
+  for (int y = tile.y; y < tile.bottom(); ++y) {
+    h = util::fnv1a(h, image.pixel(tile.x, y), static_cast<size_t>(tile.width) * 3);
+  }
+  return h;
+}
+
+std::vector<uint64_t> hash_tiles(const Image& image, const std::vector<Tile>& tiles) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(tiles.size());
+  for (const Tile& tile : tiles) hashes.push_back(hash_tile(image, tile));
+  return hashes;
+}
+
+uint64_t hash_image(const Image& image) {
+  return hash_tile(image, Tile{0, 0, image.width, image.height});
 }
 
 }  // namespace rave::render

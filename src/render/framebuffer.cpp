@@ -56,6 +56,47 @@ std::vector<Tile> split_tiles_weighted(int width, int height,
   return tiles;
 }
 
+std::vector<Tile> tile_grid(int width, int height, int tile_size) {
+  std::vector<Tile> tiles;
+  if (width <= 0 || height <= 0) return tiles;
+  if (tile_size <= 0) tile_size = std::max(width, height);
+  for (int y = 0; y < height; y += tile_size) {
+    const int h = std::min(tile_size, height - y);
+    for (int x = 0; x < width; x += tile_size) {
+      tiles.push_back({x, y, std::min(tile_size, width - x), h});
+    }
+  }
+  return tiles;
+}
+
+Image Image::extract(const Tile& tile) const {
+  Image out(tile.width, tile.height);
+  for (int y = 0; y < tile.height; ++y) {
+    const int sy = tile.y + y;
+    if (sy < 0 || sy >= height) continue;
+    const int x0 = std::max(0, -tile.x);
+    const int x1 = std::min(tile.width, width - tile.x);
+    if (x1 <= x0) continue;
+    std::memcpy(&out.rgb[(static_cast<size_t>(y) * tile.width + x0) * 3],
+                &rgb[(static_cast<size_t>(sy) * width + tile.x + x0) * 3],
+                static_cast<size_t>(x1 - x0) * 3);
+  }
+  return out;
+}
+
+void Image::insert(const Tile& tile, const Image& src) {
+  for (int y = 0; y < tile.height && y < src.height; ++y) {
+    const int dy = tile.y + y;
+    if (dy < 0 || dy >= height) continue;
+    const int x0 = std::max(0, -tile.x);
+    const int x1 = std::min({tile.width, src.width, width - tile.x});
+    if (x1 <= x0) continue;
+    std::memcpy(&rgb[(static_cast<size_t>(dy) * width + tile.x + x0) * 3],
+                &src.rgb[(static_cast<size_t>(y) * src.width + x0) * 3],
+                static_cast<size_t>(x1 - x0) * 3);
+  }
+}
+
 uint64_t Image::diff_pixels(const Image& other) const {
   if (width != other.width || height != other.height)
     return static_cast<uint64_t>(width) * height;  // dimension mismatch: all differ

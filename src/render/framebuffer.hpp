@@ -38,6 +38,12 @@ std::vector<Tile> split_tiles(int width, int height, int count);
 std::vector<Tile> split_tiles_weighted(int width, int height,
                                        const std::vector<double>& weights);
 
+// Fixed-cell square grid over a w*h frame in row-major order (the
+// fan-out tier's content-addressed tile unit): `tile_size`-px cells with
+// ragged right/bottom edges. Publisher and subscribers rebuild the same
+// grid from (width, height, tile_size) alone.
+std::vector<Tile> tile_grid(int width, int height, int tile_size);
+
 // Packed 24-bit RGB image — exactly what the thin client receives
 // ("200x200 24 bits-per-pixel image", paper §5.1).
 struct Image {
@@ -61,6 +67,10 @@ struct Image {
 
   // Number of pixels differing in any channel (test/bench helper).
   [[nodiscard]] uint64_t diff_pixels(const Image& other) const;
+
+  // Extract / insert a rectangular region (cached-tile transport).
+  [[nodiscard]] Image extract(const Tile& tile) const;
+  void insert(const Tile& tile, const Image& src);
 };
 
 // Color + depth planes. Depth is normalized [0,1], 1 = far plane/empty.

@@ -1,0 +1,514 @@
+// Fan-out tier tests: content-addressed tile caching, per-class encode
+// memoization, relay trees, and the property that cached-tile delivery is
+// byte-identical to full-frame delivery across codecs, quality classes and
+// cache-eviction schedules — including the fault lane where a relay dies
+// mid-frame and subscribers recover with no stale tiles.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "compress/tile_cache.hpp"
+#include "core/frame_stream.hpp"
+#include "core/grid.hpp"
+#include "mesh/primitives.hpp"
+#include "net/fanout.hpp"
+#include "net/simlink.hpp"
+#include "render/compositor.hpp"
+
+namespace rave::core {
+namespace {
+
+using compress::CodecKind;
+using compress::QualityClass;
+using render::Image;
+using render::Tile;
+
+Image test_image(int w, int h, int seed) {
+  Image img(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      img.set_pixel(x, y, static_cast<uint8_t>((x * 7 + seed * 13) & 0xFF),
+                    static_cast<uint8_t>((y * 11 + seed) & 0xFF),
+                    static_cast<uint8_t>((x + y * 3 + seed * 5) & 0xFF));
+  return img;
+}
+
+// What a subscriber of `quality` would present under full-frame delivery:
+// every tile encoded and decoded through the class codec, no caching
+// anywhere. The byte-identity property compares assembled frames to this.
+Image full_delivery_reference(const Image& frame, QualityClass quality, int tile_size) {
+  const auto codec = compress::make_codec(compress::codec_for_quality(quality));
+  Image out(frame.width, frame.height);
+  for (const Tile& tile : render::tile_grid(frame.width, frame.height, tile_size)) {
+    const Image pixels = frame.extract(tile);
+    auto decoded = codec->decode(codec->encode(pixels, nullptr), nullptr);
+    EXPECT_TRUE(decoded.ok());
+    out.insert(tile, decoded.value());
+  }
+  return out;
+}
+
+// --- FanoutHub (satellite: lock scope + byte accounting) ---------------------
+
+TEST(FanoutHub, CountsBytesPerDeliveryAndSkipsFiltered) {
+  net::FanoutHub hub;
+  auto [a_pub, a_sub] = net::make_channel_pair();
+  auto [b_pub, b_sub] = net::make_channel_pair();
+  hub.subscribe(a_pub);
+  hub.subscribe(b_pub, [](const net::Message& m) { return m.type != 0x42; });
+
+  net::Message wanted{0x41, {1, 2, 3}};
+  net::Message filtered{0x42, {4, 5, 6, 7}};
+  EXPECT_EQ(hub.publish(wanted), 2u);
+  EXPECT_EQ(hub.publish(filtered), 1u);  // b's filter skipped it
+  // Unicast counts actual deliveries only; multicast counts the payload
+  // once per publish that reached anyone.
+  EXPECT_EQ(hub.unicast_bytes(), 2 * wanted.wire_size() + filtered.wire_size());
+  EXPECT_EQ(hub.multicast_bytes(), wanted.wire_size() + filtered.wire_size());
+  EXPECT_TRUE(a_sub->try_receive().has_value());
+  EXPECT_TRUE(b_sub->try_receive().has_value());
+  EXPECT_TRUE(a_sub->try_receive().has_value());
+  EXPECT_FALSE(b_sub->try_receive().has_value());
+}
+
+TEST(FanoutHub, PublishRunsOutsideTheLock) {
+  // A filter that re-enters the hub would deadlock if publish held the
+  // mutex across delivery; with snapshot-then-send it must not.
+  net::FanoutHub hub;
+  auto [pub, sub] = net::make_channel_pair();
+  hub.subscribe(pub, [&hub](const net::Message&) {
+    (void)hub.subscriber_count();  // re-entrant lock acquisition
+    return true;
+  });
+  EXPECT_EQ(hub.publish(net::Message{1, {9}}), 1u);
+  EXPECT_TRUE(sub->try_receive().has_value());
+}
+
+TEST(FanoutHub, ConcurrentPublishAndChurn) {
+  // tsan lane: publishers race subscriber churn; counters stay coherent.
+  net::FanoutHub hub;
+  auto [keep_pub, keep_sub] = net::make_channel_pair();
+  hub.subscribe(keep_pub);
+  std::thread churn([&] {
+    for (int i = 0; i < 200; ++i) {
+      auto [p, s] = net::make_channel_pair();
+      const auto id = hub.subscribe(p);
+      hub.unsubscribe(id);
+    }
+  });
+  std::thread pub_thread([&] {
+    for (int i = 0; i < 200; ++i) (void)hub.publish(net::Message{7, {1, 2}});
+  });
+  churn.join();
+  pub_thread.join();
+  size_t received = 0;
+  while (keep_sub->try_receive().has_value()) ++received;
+  EXPECT_EQ(received, 200u);
+  EXPECT_GE(hub.unicast_bytes(), hub.multicast_bytes());
+}
+
+// --- EncodeMemo / TileStore --------------------------------------------------
+
+TEST(EncodeMemo, SharesEncodesAndTracksSavings) {
+  compress::EncodeMemo memo(8);
+  const Image tile = test_image(32, 32, 1);
+  const uint64_t hash = render::hash_image(tile);
+  const auto first = memo.encode(hash, QualityClass::Pda, tile);
+  const auto again = memo.encode(hash, QualityClass::Pda, tile);
+  EXPECT_EQ(first.get(), again.get());  // shared, not re-encoded
+  EXPECT_EQ(memo.stats().misses, 1u);
+  EXPECT_EQ(memo.stats().hits, 1u);
+  EXPECT_EQ(memo.stats().bytes_saved, first->byte_size());
+  // A different class encodes separately even for the same content.
+  const auto lossless = memo.encode(hash, QualityClass::Workstation, tile);
+  EXPECT_NE(lossless->codec, first->codec);
+  EXPECT_EQ(memo.stats().misses, 2u);
+  EXPECT_NE(memo.lookup(hash, QualityClass::Workstation), nullptr);
+  EXPECT_EQ(memo.lookup(hash + 1, QualityClass::Workstation), nullptr);
+}
+
+TEST(EncodeMemo, EvictsLeastRecentlyUsed) {
+  compress::EncodeMemo memo(2);
+  const Image a = test_image(8, 8, 1), b = test_image(8, 8, 2), c = test_image(8, 8, 3);
+  (void)memo.encode(1, QualityClass::Pda, a);
+  (void)memo.encode(2, QualityClass::Pda, b);
+  (void)memo.encode(1, QualityClass::Pda, a);  // refresh 1
+  (void)memo.encode(3, QualityClass::Pda, c);  // evicts 2
+  EXPECT_EQ(memo.stats().evictions, 1u);
+  EXPECT_NE(memo.lookup(1, QualityClass::Pda), nullptr);
+  EXPECT_EQ(memo.lookup(2, QualityClass::Pda), nullptr);
+  EXPECT_EQ(memo.size(), 2u);
+}
+
+TEST(TileStore, LruEvictionOnlyCostsMisses) {
+  compress::TileStore store(2);
+  store.insert(1, test_image(4, 4, 1));
+  store.insert(2, test_image(4, 4, 2));
+  ASSERT_NE(store.lookup(1), nullptr);  // refresh 1 → 2 is now LRU
+  store.insert(3, test_image(4, 4, 3));
+  EXPECT_EQ(store.lookup(2), nullptr);
+  EXPECT_NE(store.lookup(3), nullptr);
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_EQ(store.stats().inserts, 3u);
+}
+
+// --- protocol round trips ----------------------------------------------------
+
+TEST(StreamProtocol, MessagesRoundTrip) {
+  StreamSubscribeMsg sub{"demo", QualityClass::Pda};
+  auto sub2 = decode_stream_subscribe(encode(sub));
+  ASSERT_TRUE(sub2.ok());
+  EXPECT_EQ(sub2.value().session, "demo");
+  EXPECT_EQ(sub2.value().quality, QualityClass::Pda);
+
+  FrameBeginMsg begin{41, 640, 480, 64, 80, QualityClass::Workstation};
+  auto begin2 = decode_frame_begin(encode(begin));
+  ASSERT_TRUE(begin2.ok());
+  EXPECT_EQ(begin2.value().frame_id, 41u);
+  EXPECT_EQ(begin2.value().tile_count, 80u);
+
+  TileRefMsg ref{41, 17, 0x1234567890abcdefull};
+  const net::Message ref_wire = encode(ref);
+  // The whole point: an unchanged tile costs ~16 bytes on the wire.
+  EXPECT_LE(ref_wire.payload.size(), 16u);
+  auto ref2 = decode_tile_ref(ref_wire);
+  ASSERT_TRUE(ref2.ok());
+  EXPECT_EQ(ref2.value().hash, ref.hash);
+  EXPECT_EQ(ref2.value().tile_index, 17);
+
+  TileDataMsg data;
+  data.frame_id = 41;
+  data.tile_index = 3;
+  data.tile = Tile{64, 128, 64, 64};
+  data.hash = 99;
+  data.encoded = {1, 2, 3, 4, 5};
+  auto data2 = decode_tile_data(encode(data));
+  ASSERT_TRUE(data2.ok());
+  EXPECT_EQ(data2.value().tile, data.tile);
+  EXPECT_EQ(data2.value().encoded, data.encoded);
+
+  FrameEndMsg end{41, 80, 0xfeedfacecafebeefull};
+  auto end2 = decode_frame_end(encode(end));
+  ASSERT_TRUE(end2.ok());
+  EXPECT_EQ(end2.value().frame_hash, end.frame_hash);
+
+  TileMissMsg miss{0xabcull, 41, 7, QualityClass::Pda};
+  auto miss2 = decode_tile_miss(encode(miss));
+  ASSERT_TRUE(miss2.ok());
+  EXPECT_EQ(miss2.value().hash, 0xabcull);
+  EXPECT_EQ(miss2.value().quality, QualityClass::Pda);
+}
+
+// --- publisher ↔ receiver ----------------------------------------------------
+
+struct StreamPair {
+  FrameStreamPublisher publisher;
+  std::unique_ptr<FrameStreamReceiver> receiver;
+  std::function<void()> pump;
+
+  StreamPair(util::SimClock& clock, QualityClass quality, FrameStreamOptions options)
+      : publisher(options) {
+    auto [server_end, client_end] = net::make_channel_pair();
+    publisher.subscribe(server_end, quality);
+    receiver = std::make_unique<FrameStreamReceiver>(client_end, quality, options);
+    pump = [this] { (void)publisher.pump(); };
+  }
+};
+
+TEST(FrameStream, StaticSceneShipsRefsAfterKeyframe) {
+  util::SimClock clock;
+  FrameStreamOptions options;
+  options.tile_size = 32;
+  StreamPair pair(clock, QualityClass::Workstation, options);
+  const Image frame = test_image(128, 96, 1);
+
+  const auto first = pair.publisher.publish_frame(frame);
+  EXPECT_EQ(first.tiles_data, first.tiles_total);  // keyframe
+  auto got1 = pair.receiver->next_frame(clock, 1.0, pair.pump);
+  ASSERT_TRUE(got1.ok()) << got1.error();
+  EXPECT_EQ(got1.value().rgb, frame.rgb);  // lossless class: exact
+
+  const auto second = pair.publisher.publish_frame(frame);
+  EXPECT_EQ(second.tiles_ref, second.tiles_total);  // nothing changed
+  EXPECT_LT(second.ref_bytes, first.data_bytes / 20);
+  auto got2 = pair.receiver->next_frame(clock, 1.0, pair.pump);
+  ASSERT_TRUE(got2.ok()) << got2.error();
+  EXPECT_EQ(got2.value().rgb, frame.rgb);
+  EXPECT_GT(pair.receiver->stats().refs_resolved, 0u);
+  EXPECT_EQ(pair.receiver->stats().miss_requests, 0u);
+}
+
+TEST(FrameStream, PartialChangeShipsOnlyChangedTiles) {
+  util::SimClock clock;
+  FrameStreamOptions options;
+  options.tile_size = 32;
+  StreamPair pair(clock, QualityClass::Workstation, options);
+  Image frame = test_image(128, 128, 2);
+  (void)pair.publisher.publish_frame(frame);
+  ASSERT_TRUE(pair.receiver->next_frame(clock, 1.0, pair.pump).ok());
+
+  frame.set_pixel(5, 5, 255, 0, 0);  // touches exactly one 32px tile
+  const auto report = pair.publisher.publish_frame(frame);
+  EXPECT_EQ(report.tiles_data, 1u);
+  EXPECT_EQ(report.tiles_ref, report.tiles_total - 1);
+  auto got = pair.receiver->next_frame(clock, 1.0, pair.pump);
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_EQ(got.value().rgb, frame.rgb);
+}
+
+TEST(FrameStream, LateJoinerForcesKeyframeForItsClass) {
+  util::SimClock clock;
+  FrameStreamOptions options;
+  options.tile_size = 32;
+  FrameStreamPublisher publisher(options);
+  auto [a_srv, a_cli] = net::make_channel_pair();
+  publisher.subscribe(a_srv, QualityClass::Workstation);
+  FrameStreamReceiver a(a_cli, QualityClass::Workstation, options);
+  const Image frame = test_image(96, 64, 3);
+  const auto pump = [&] { (void)publisher.pump(); };
+  (void)publisher.publish_frame(frame);
+  ASSERT_TRUE(a.next_frame(clock, 1.0, pump).ok());
+
+  // B joins between frames; the next frame must be all data for the class
+  // (B has no store), and the memo absorbs the duplicate encode work.
+  auto [b_srv, b_cli] = net::make_channel_pair();
+  publisher.subscribe(b_srv, QualityClass::Workstation);
+  FrameStreamReceiver b(b_cli, QualityClass::Workstation, options);
+  const auto report = publisher.publish_frame(frame);
+  EXPECT_EQ(report.tiles_data, report.tiles_total);
+  EXPECT_GT(publisher.memo().stats().hits, 0u);  // re-ship reused encodes
+  auto got_a = a.next_frame(clock, 1.0, pump);
+  auto got_b = b.next_frame(clock, 1.0, pump);
+  ASSERT_TRUE(got_a.ok());
+  ASSERT_TRUE(got_b.ok());
+  EXPECT_EQ(got_a.value().rgb, frame.rgb);
+  EXPECT_EQ(got_b.value().rgb, frame.rgb);
+}
+
+// Property: cached-tile delivery is byte-identical to full-frame delivery
+// for every quality class × eviction schedule, even when the subscriber's
+TEST(FrameStream, OverSimulatedWirelessLinkRefsCutDeliveryTime) {
+  // End-to-end over net/simlink: a PDA subscriber on the paper's shared
+  // 11 Mbit wireless link. The second (unchanged) frame ships as tile refs,
+  // so its virtual delivery time must collapse relative to the keyframe.
+  util::SimClock clock;
+  FrameStreamOptions options;
+  options.tile_size = 32;
+  FrameStreamPublisher publisher(options);
+  auto [server_end, client_end] = net::make_simulated_pair(clock, net::wireless_11mbit());
+  publisher.subscribe(server_end, QualityClass::Pda);
+  FrameStreamReceiver receiver(client_end, QualityClass::Pda, options);
+  const auto pump = [&] { (void)publisher.pump(); };
+
+  const Image frame = test_image(160, 120, 6);
+  (void)publisher.publish_frame(frame);
+  const double t0 = clock.now();
+  auto first = receiver.next_frame(clock, 30.0, pump);
+  ASSERT_TRUE(first.ok()) << first.error();
+  const double keyframe_seconds = clock.now() - t0;
+
+  (void)publisher.publish_frame(frame);
+  const double t1 = clock.now();
+  auto second = receiver.next_frame(clock, 30.0, pump);
+  ASSERT_TRUE(second.ok()) << second.error();
+  const double ref_seconds = clock.now() - t1;
+
+  EXPECT_EQ(second.value().rgb, first.value().rgb);
+  EXPECT_EQ(second.value().rgb,
+            full_delivery_reference(frame, QualityClass::Pda, options.tile_size).rgb);
+  EXPECT_GT(receiver.stats().refs_resolved, 0u);
+  EXPECT_GT(keyframe_seconds, 0.0);
+  EXPECT_LT(ref_seconds, keyframe_seconds / 2);
+}
+
+// tile store is too small to hold a frame (forcing miss fallbacks).
+class DeliveryIdentity
+    : public testing::TestWithParam<std::tuple<QualityClass, size_t>> {};
+
+TEST_P(DeliveryIdentity, CachedEqualsFullDelivery) {
+  const auto [quality, store_capacity] = GetParam();
+  util::SimClock clock;
+  FrameStreamOptions options;
+  options.tile_size = 24;                       // ragged edges included
+  options.tile_store_capacity = store_capacity;  // 1 = pathological thrash
+  StreamPair pair(clock, quality, options);
+
+  Image frame = test_image(100, 80, 4);
+  for (int step = 0; step < 6; ++step) {
+    // Orbit-like churn: shift a band of pixels each step so some tiles
+    // change and some repeat content seen frames ago.
+    for (int y = step * 10; y < step * 10 + 10 && y < frame.height; ++y)
+      for (int x = 0; x < frame.width; ++x)
+        frame.set_pixel(x, y, static_cast<uint8_t>(step * 40), 0,
+                        static_cast<uint8_t>(x & 0xFF));
+    (void)pair.publisher.publish_frame(frame);
+    auto got = pair.receiver->next_frame(clock, 1.0, pair.pump);
+    ASSERT_TRUE(got.ok()) << "step " << step << ": " << got.error();
+    const Image reference = full_delivery_reference(frame, quality, options.tile_size);
+    ASSERT_EQ(got.value().rgb, reference.rgb) << "step " << step;
+  }
+  if (store_capacity == 1) {
+    // The thrashing store must have exercised the fallback path.
+    EXPECT_GT(pair.receiver->stats().miss_requests, 0u);
+    EXPECT_GT(pair.publisher.stats().miss_replies, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, DeliveryIdentity,
+    testing::Combine(testing::Values(QualityClass::Workstation, QualityClass::Pda),
+                     testing::Values(size_t{1}, size_t{4}, size_t{1024})),
+    [](const auto& info) {
+      return std::string(compress::quality_name(std::get<0>(info.param))) + "_store" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- relays ------------------------------------------------------------------
+
+TEST(FanoutRelay, ForwardsStreamAndServesMissesFromCache) {
+  util::SimClock clock;
+  FrameStreamOptions options;
+  options.tile_size = 32;
+  options.tile_store_capacity = 1;  // force subscriber misses
+  FrameStreamPublisher publisher(options);
+
+  // publisher → relay → subscriber
+  auto [relay_srv, relay_cli] = net::make_channel_pair();
+  publisher.subscribe(relay_srv, QualityClass::Workstation);
+  net::FanoutRelay relay(relay_cli);
+  RelayTileCache cache(64);
+  cache.attach(relay);
+  auto [sub_srv, sub_cli] = net::make_channel_pair();
+  relay.hub().subscribe(sub_srv);
+  FrameStreamReceiver receiver(sub_cli, QualityClass::Workstation, options);
+  const auto pump = [&] {
+    (void)publisher.pump();
+    (void)relay.pump();
+  };
+
+  Image frame = test_image(128, 64, 5);
+  for (int step = 0; step < 4; ++step) {
+    frame.set_pixel(step, 0, 255, 255, 255);
+    (void)publisher.publish_frame(frame);
+    auto got = receiver.next_frame(clock, 1.0, pump);
+    ASSERT_TRUE(got.ok()) << got.error();
+    EXPECT_EQ(got.value().rgb, frame.rgb);
+  }
+  EXPECT_GT(relay.stats().forwarded_down, 0u);
+  EXPECT_GT(receiver.stats().miss_requests, 0u);
+  // The relay's cache absorbed the misses — the publisher never saw them.
+  EXPECT_GT(cache.stats().served, 0u);
+  EXPECT_EQ(publisher.stats().miss_replies, 0u);
+}
+
+TEST(FanoutRelay, RelayDeathMidFrameRecoversWithNoStaleTiles) {
+  util::SimClock clock;
+  FrameStreamOptions options;
+  options.tile_size = 32;
+  FrameStreamPublisher publisher(options);
+
+  auto [relay_srv, relay_cli] = net::make_channel_pair();
+  const auto relay_sub_id = publisher.subscribe(relay_srv, QualityClass::Workstation);
+  net::FanoutRelay relay(relay_cli);
+  auto [sub_srv, sub_cli] = net::make_channel_pair();
+  relay.hub().subscribe(sub_srv);
+  auto receiver = std::make_unique<FrameStreamReceiver>(sub_cli, QualityClass::Workstation,
+                                                        options);
+  const auto pump = [&] {
+    (void)publisher.pump();
+    if (relay.upstream_open()) (void)relay.pump();
+  };
+
+  const Image frame1 = test_image(96, 96, 6);
+  (void)publisher.publish_frame(frame1);
+  ASSERT_TRUE(receiver->next_frame(clock, 1.0, pump).ok());
+
+  // Publish the next frame but kill the relay after it forwarded only
+  // part of it: pump the publisher side, move two messages, then die.
+  Image frame2 = frame1;
+  for (int x = 0; x < 96; ++x) frame2.set_pixel(x, 40, 0, 255, 0);
+  (void)publisher.publish_frame(frame2);
+  (void)relay.pump();        // everything reaches the relay's hub...
+  relay.close();             // ...but the relay dies now
+  sub_cli->close();          // and its downstream link drops with it
+  publisher.unsubscribe(QualityClass::Workstation, relay_sub_id);
+
+  // The subscriber reconnects straight to the publisher (re-dispatch).
+  // The forced keyframe means no tile of the torn frame is trusted — the
+  // recovered frame is byte-identical to the source, no stale tiles.
+  auto [direct_srv, direct_cli] = net::make_channel_pair();
+  publisher.subscribe(direct_srv, QualityClass::Workstation);
+  receiver = std::make_unique<FrameStreamReceiver>(direct_cli, QualityClass::Workstation,
+                                                   options);
+  const auto report = publisher.publish_frame(frame2);
+  EXPECT_EQ(report.tiles_data, report.tiles_total);  // keyframe re-dispatch
+  auto got = receiver->next_frame(clock, 1.0, [&] { (void)publisher.pump(); });
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_EQ(got.value().rgb, frame2.rgb);
+}
+
+// --- end to end through the render service -----------------------------------
+
+TEST(FanoutE2E, StreamedFramesMatchPullsAndShowInStatus) {
+  util::SimClock clock;
+  RaveGrid grid(clock);
+  DataService& data = grid.add_data_service("datahost");
+  scene::SceneTree tree;
+  tree.add_child(scene::kRootNode, "ball", mesh::make_uv_sphere(0.5f, 16, 12));
+  ASSERT_TRUE(data.create_session("demo", std::move(tree)).ok());
+  grid.add_render_service("laptop");
+  ASSERT_TRUE(grid.join("laptop", "datahost", "demo").ok());
+  RenderService& render = *grid.render_service("laptop");
+
+  ThinClient client(clock, grid.fabric());
+  ASSERT_TRUE(client.connect(render.client_access_point(), "demo").ok());
+  ASSERT_TRUE(client.subscribe_stream(QualityClass::Workstation).ok());
+  grid.pump_until_idle();
+
+  scene::Camera cam;
+  cam.eye = {0, 0, 3};
+  const auto pump = [&] { grid.pump_all(); };
+  for (int i = 0; i < 3; ++i) {
+    auto report = render.publish_stream_frame("demo", cam, 64, 64);
+    ASSERT_TRUE(report.ok()) << report.error();
+    auto streamed = client.next_stream_frame(1.0, pump);
+    ASSERT_TRUE(streamed.ok()) << streamed.error();
+    // Lossless class: the streamed frame equals the frame a pull client
+    // would have rendered for the same camera.
+    auto direct = render.render_distributed("demo", cam, 64, 64);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(streamed.value().rgb, direct.value().to_image().rgb);
+  }
+  // Static camera → later frames were all refs.
+  const FrameStreamPublisher* publisher = render.stream_publisher("demo");
+  ASSERT_NE(publisher, nullptr);
+  EXPECT_GT(publisher->stats().tiles_ref, 0u);
+
+  // The cache shows up in the operator dashboards.
+  const RenderService::StreamTotals totals = render.stream_totals();
+  EXPECT_GT(totals.tiles_ref, 0u);
+  EXPECT_EQ(totals.subscribers, 1u);
+  const std::string dashboard = grid.status_dashboard();
+  EXPECT_NE(dashboard.find("fanout cache"), std::string::npos) << dashboard;
+}
+
+TEST(FanoutE2E, PublishSkipsRenderWithNoSubscribers) {
+  util::SimClock clock;
+  RaveGrid grid(clock);
+  DataService& data = grid.add_data_service("datahost");
+  scene::SceneTree tree;
+  tree.add_child(scene::kRootNode, "ball", mesh::make_uv_sphere(0.5f, 8, 6));
+  ASSERT_TRUE(data.create_session("demo", std::move(tree)).ok());
+  grid.add_render_service("laptop");
+  ASSERT_TRUE(grid.join("laptop", "datahost", "demo").ok());
+  RenderService& render = *grid.render_service("laptop");
+  scene::Camera cam;
+  auto report = render.publish_stream_frame("demo", cam, 64, 64);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().tiles_total, 0u);
+  EXPECT_EQ(render.stats().frames_rendered, 0u);  // no render happened
+  EXPECT_FALSE(render.publish_stream_frame("nope", cam, 64, 64).ok());
+}
+
+}  // namespace
+}  // namespace rave::core

@@ -4,16 +4,24 @@
 // not paper reproductions; they bound what the simulation layer abstracts.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "compress/codec.hpp"
 #include "compress/tile_cache.hpp"
 #include "core/frame_stream.hpp"
 #include "mesh/generators.hpp"
+#include "net/fanout.hpp"
 #include "net/simlink.hpp"
+#include "net/tcp.hpp"
 #include "mesh/decimate.hpp"
 #include "mesh/primitives.hpp"
 #include "mesh/fields.hpp"
@@ -401,6 +409,101 @@ void BM_SoapCallRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoapCallRoundTrip);
+
+// Real-TCP publish fan-out: one 64 KiB frame per iteration through a
+// FanoutHub to N loopback subscribers, `slow` of which drain at only one
+// frame per 20 ms (a wireless client that cannot keep up). The TCP engine
+// is latched from RAVE_NET at process start, so BENCH_transport.json runs
+// this benchmark twice — default (epoll reactor, bounded write queues,
+// drop-newest shed) and RAVE_NET=legacy (blocking send per subscriber) —
+// and compares per-publish latency. Arg 0 = subscribers, arg 1 = slow.
+void BM_Transport(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  const int slow = static_cast<int>(state.range(1));
+  // Latch bounded-queue shedding before the first channel exists (no-op
+  // for the legacy engine, which has no queue). Soft setenv: an explicit
+  // RAVE_NET_QUEUE/RAVE_NET_SHED in the environment wins.
+  ::setenv("RAVE_NET_QUEUE", "64", 0);
+  ::setenv("RAVE_NET_SHED", "drop-newest", 0);
+
+  auto listener = net::TcpListener::bind(0);
+  if (!listener.ok()) {
+    state.SkipWithError(listener.error().c_str());
+    return;
+  }
+  std::vector<net::ChannelPtr> publishers;  // accepted (publisher-side) ends
+  std::vector<net::ChannelPtr> readers;     // dialed (subscriber-side) ends
+  for (int i = 0; i < subscribers; ++i) {
+    auto dialed = net::tcp_connect("127.0.0.1", listener.value()->port());
+    auto accepted = listener.value()->accept(5.0);
+    if (!dialed.ok() || !accepted.has_value()) {
+      state.SkipWithError("connect/accept failed");
+      return;
+    }
+    readers.push_back(std::move(dialed).take());
+    publishers.push_back(*std::move(accepted));
+  }
+  net::FanoutHub hub;
+  for (const auto& channel : publishers) hub.subscribe(channel);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> frames_read{0};
+  std::vector<std::thread> drains;
+  drains.reserve(static_cast<size_t>(subscribers));
+  for (int i = 0; i < subscribers; ++i) {
+    const bool is_slow = i < slow;
+    drains.emplace_back([channel = readers[static_cast<size_t>(i)], is_slow, &done,
+                         &frames_read] {
+      while (!done.load(std::memory_order_relaxed)) {
+        auto msg = channel->receive_result(0.05);
+        if (!msg.ok()) {
+          if (!channel->is_open()) break;
+          continue;  // timeout: poll the done flag again
+        }
+        frames_read.fetch_add(1, std::memory_order_relaxed);
+        if (is_slow) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+
+  std::vector<double> publish_ms;
+  publish_ms.reserve(1 << 16);
+  const std::vector<uint8_t> block(64 * 1024, 0x5A);
+  for (auto _ : state) {
+    // A fresh Buffer per frame (distinct frames, as the frame stream
+    // produces); subscribers share it by refcount, never by copy.
+    net::Message frame(0x0133, {1, 2, 3, 4}, net::Buffer::take(std::vector<uint8_t>(block)));
+    const auto t0 = std::chrono::steady_clock::now();
+    hub.publish(frame);
+    publish_ms.push_back(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  done.store(true);
+  for (const auto& channel : publishers) channel->close();
+  for (std::thread& t : drains) t.join();
+  listener.value()->close();
+
+  std::sort(publish_ms.begin(), publish_ms.end());
+  const size_t n = publish_ms.size();
+  uint64_t sheds = 0;
+  for (const auto& channel : publishers) sheds += channel->stats().messages_shed;
+  state.counters["p50_ms"] = n ? publish_ms[n / 2] : 0.0;
+  state.counters["p99_ms"] = n ? publish_ms[(n * 99) / 100 < n ? (n * 99) / 100 : n - 1] : 0.0;
+  state.counters["shed_frac"] = static_cast<double>(sheds) /
+                                (static_cast<double>(state.iterations()) * subscribers);
+  state.counters["frames_read"] = static_cast<double>(frames_read.load());
+  state.SetLabel(net::transport_mode() == net::TransportMode::Legacy ? "legacy" : "reactor");
+}
+BENCHMARK(BM_Transport)
+    ->Args({16, 0})
+    ->Args({8, 2})
+    ->Args({16, 4})
+    ->Args({32, 8})
+    ->Args({64, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 }  // namespace
 
 BENCHMARK_MAIN();

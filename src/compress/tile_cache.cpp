@@ -77,6 +77,18 @@ std::shared_ptr<const EncodedImage> EncodeMemo::lookup(uint64_t tile_hash,
   return found->second->encoded;
 }
 
+net::Buffer EncodeMemo::encode_serialized(uint64_t tile_hash, QualityClass quality,
+                                          const render::Image& tile_pixels) {
+  // Run the memoized encode first (accounts the hit/miss), then serialize
+  // into the entry's shared Buffer — at most once per entry lifetime.
+  (void)encode(tile_hash, quality, tile_pixels);
+  const Key key{tile_hash, static_cast<uint8_t>(codec_for_quality(quality)),
+                static_cast<uint8_t>(quality)};
+  Entry& entry = *entries_.find(key)->second;
+  if (entry.serialized.empty()) entry.serialized = net::Buffer::take(entry.encoded->serialize());
+  return entry.serialized;
+}
+
 TileStore::TileStore(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void TileStore::insert(uint64_t hash, render::Image tile) {

@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "compress/codec.hpp"
+#include "net/buffer.hpp"
 
 namespace rave::compress {
 
@@ -62,6 +63,15 @@ class EncodeMemo {
   [[nodiscard]] std::shared_ptr<const EncodedImage> lookup(uint64_t tile_hash,
                                                            QualityClass quality);
 
+  // Like encode(), but returns the tile's *serialized* wire form as a
+  // shared Buffer, built once per memo entry and refcounted thereafter.
+  // This is the zero-copy fan-out path: the publisher hands the Buffer to
+  // net::Message as its tail, every subscriber's copy of the message
+  // shares it, and the socket transports scatter-gather it straight to
+  // the kernel — the encoded bytes are never copied after this call.
+  net::Buffer encode_serialized(uint64_t tile_hash, QualityClass quality,
+                                const render::Image& tile_pixels);
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] size_t size() const { return entries_.size(); }
   [[nodiscard]] size_t capacity() const { return capacity_; }
@@ -81,6 +91,7 @@ class EncodeMemo {
   struct Entry {
     Key key;
     std::shared_ptr<const EncodedImage> encoded;
+    net::Buffer serialized;  // lazily built by encode_serialized()
   };
 
   void touch(std::list<Entry>::iterator it);

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "net/endpoint.hpp"
+#include "net/reactor.hpp"
 #include "obs/event.hpp"
 #include "obs/metrics.hpp"
 
@@ -73,10 +75,10 @@ void InProcFabric::set_fault(const std::string& name, ChannelWrapFn wrap) {
 }
 
 Result<net::ChannelPtr> InProcFabric::dial(const std::string& access_point) {
-  const std::string prefix = "inproc:";
-  if (access_point.rfind(prefix, 0) != 0)
+  auto parsed = net::Endpoint::parse(access_point);
+  if (!parsed.ok() || parsed.value().scheme != net::Endpoint::Scheme::InProc)
     return make_error("fabric: not an inproc access point: " + access_point);
-  const std::string name = access_point.substr(prefix.size());
+  const std::string name = parsed.value().name;
   std::shared_ptr<Listener> listener;
   net::LinkProfile link = default_link_;
   {
@@ -105,6 +107,17 @@ Result<net::ChannelPtr> InProcFabric::dial(const std::string& access_point) {
 }
 
 struct TcpFabric::Listener {
+  // Reactor engine: accepts arrive on the shared event loop; `gate`
+  // serializes the callback against teardown so unlisten() keeps its
+  // "no accepts after return" guarantee without an accept thread to join.
+  struct AcceptGate {
+    std::mutex mu;
+    AcceptFn fn;
+  };
+  std::shared_ptr<AcceptGate> gate;
+  std::unique_ptr<net::ReactorListener> reactor;
+
+  // Legacy engine: blocking accept loop on a dedicated thread.
   std::unique_ptr<net::TcpListener> socket;
   AcceptFn on_accept;
   std::thread accept_thread;
@@ -112,30 +125,51 @@ struct TcpFabric::Listener {
 
   ~Listener() {
     running = false;
+    if (reactor) reactor->close();
+    if (gate) {
+      // Blocks until any in-flight accept callback finishes, then
+      // disarms future ones (the event loop may still hold a copy).
+      std::lock_guard lock(gate->mu);
+      gate->fn = nullptr;
+    }
     if (socket) socket->close();
     if (accept_thread.joinable()) accept_thread.join();
   }
 };
 
 Result<std::string> TcpFabric::listen(const std::string& name, AcceptFn on_accept) {
-  auto socket = net::TcpListener::bind(0);
-  if (!socket.ok()) return make_error(socket.error());
   auto listener = std::make_unique<Listener>();
-  listener->socket = std::move(socket).take();
-  listener->on_accept = std::move(on_accept);
-  const uint16_t port = listener->socket->port();
-  Listener* raw = listener.get();
-  listener->accept_thread = std::thread([raw] {
-    while (raw->running.load(std::memory_order_relaxed)) {
-      auto channel = raw->socket->accept(0.1);
-      if (channel.has_value()) raw->on_accept(std::move(*channel));
-    }
-  });
+  uint16_t port = 0;
+  if (net::transport_mode() == net::TransportMode::Reactor) {
+    listener->gate = std::make_shared<Listener::AcceptGate>();
+    listener->gate->fn = std::move(on_accept);
+    auto gate = listener->gate;
+    auto bound = net::Reactor::global().listen(0, [gate](net::ChannelPtr channel) {
+      std::lock_guard lock(gate->mu);
+      if (gate->fn) gate->fn(std::move(channel));
+    });
+    if (!bound.ok()) return make_error(bound.error());
+    listener->reactor = std::move(bound).take();
+    port = listener->reactor->port();
+  } else {
+    auto socket = net::TcpListener::bind(0);
+    if (!socket.ok()) return make_error(socket.error());
+    listener->socket = std::move(socket).take();
+    listener->on_accept = std::move(on_accept);
+    port = listener->socket->port();
+    Listener* raw = listener.get();
+    listener->accept_thread = std::thread([raw] {
+      while (raw->running.load(std::memory_order_relaxed)) {
+        auto channel = raw->socket->accept(0.1);
+        if (channel.has_value()) raw->on_accept(std::move(*channel));
+      }
+    });
+  }
   {
     std::lock_guard lock(mu_);
     listeners_[name] = std::move(listener);
   }
-  return "tcp:127.0.0.1:" + std::to_string(port);
+  return net::Endpoint::tcp("127.0.0.1", port).to_string();
 }
 
 void TcpFabric::unlisten(const std::string& name) {
@@ -151,16 +185,12 @@ void TcpFabric::unlisten(const std::string& name) {
 }
 
 Result<net::ChannelPtr> TcpFabric::dial(const std::string& access_point) {
-  const std::string prefix = "tcp:";
-  if (access_point.rfind(prefix, 0) != 0)
+  auto parsed = net::Endpoint::parse(access_point);
+  if (!parsed.ok()) return make_error("fabric: " + parsed.error());
+  const net::Endpoint& endpoint = parsed.value();
+  if (endpoint.scheme != net::Endpoint::Scheme::Tcp)
     return make_error("fabric: not a tcp access point: " + access_point);
-  const std::string rest = access_point.substr(prefix.size());
-  const size_t colon = rest.rfind(':');
-  if (colon == std::string::npos) return make_error("fabric: bad tcp access point");
-  const std::string host = rest.substr(0, colon);
-  const int port = std::atoi(rest.substr(colon + 1).c_str());
-  if (port <= 0 || port > 65535) return make_error("fabric: bad tcp port");
-  return net::tcp_connect(host, static_cast<uint16_t>(port));
+  return net::tcp_connect(endpoint.host, endpoint.port);
 }
 
 TcpFabric::TcpFabric() = default;

@@ -82,8 +82,9 @@ class InProcFabric final : public Fabric {
 };
 
 // Real sockets on loopback; access points are "tcp:127.0.0.1:<port>".
-// Each listener runs an accept thread that hands connections to the
-// callback.
+// On the reactor engine (the default) accepts arrive on the shared event
+// loop — no per-listener thread; the legacy engine keeps a blocking
+// accept thread per listener.
 class TcpFabric final : public Fabric {
  public:
   TcpFabric();  // out of line: Listener is incomplete here

@@ -101,14 +101,12 @@ FrameStreamPublisher::FrameReport FrameStreamPublisher::publish_frame(const Imag
           extracted[i] = frame.extract(tiles[i]);
           have_extracted[i] = true;
         }
-        const auto encoded = memo_.encode(hashes[i], quality, extracted[i]);
-        TileDataMsg data;
-        data.frame_id = report.frame_id;
-        data.tile_index = static_cast<uint16_t>(i);
-        data.tile = tiles[i];
-        data.hash = hashes[i];
-        data.encoded = encoded->serialize();
-        const net::Message msg = encode(data);
+        // The serialized tile rides as a shared Buffer tail: one encode +
+        // serialize per (content, class), a refcount bump per subscriber,
+        // and a scatter-gather write at the socket — never another copy.
+        const net::Message msg =
+            encode_tile_data(report.frame_id, static_cast<uint16_t>(i), tiles[i], hashes[i],
+                             memo_.encode_serialized(hashes[i], quality, extracted[i]));
         s.hub.publish(msg);
         ++report.tiles_data;
         report.data_bytes += msg.wire_size();
@@ -151,16 +149,11 @@ std::optional<net::Message> FrameStreamPublisher::make_miss_reply(const TileMiss
     return std::nullopt;  // content changed since; next frame supersedes it
   }
   const Image tile_pixels = last_frame_.extract(last_tiles_[index]);
-  const auto encoded = memo_.encode(miss.hash, miss.quality, tile_pixels);
-  TileDataMsg reply;
-  reply.frame_id = miss.frame_id;
-  reply.tile_index = miss.tile_index;
-  reply.tile = last_tiles_[index];
-  reply.hash = miss.hash;
-  reply.encoded = encoded->serialize();
+  net::Buffer encoded = memo_.encode_serialized(miss.hash, miss.quality, tile_pixels);
   ++stats_.miss_replies;
   obs::MetricsRegistry::global().counter("rave_fanout_miss_replies_total").inc();
-  return encode(reply);
+  return encode_tile_data(miss.frame_id, miss.tile_index, last_tiles_[index], miss.hash,
+                          std::move(encoded));
 }
 
 size_t FrameStreamPublisher::pump() {

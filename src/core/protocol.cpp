@@ -420,6 +420,17 @@ net::Message encode(const TileDataMsg& m) {
   return finish(kMsgTileData, w);
 }
 
+net::Message encode_tile_data(uint32_t frame_id, uint16_t tile_index, const render::Tile& tile,
+                              uint64_t hash, net::Buffer encoded) {
+  ByteWriter w;
+  w.u32(frame_id);
+  w.u16(tile_index);
+  write_tile(w, tile);
+  w.u64(hash);
+  w.u32(static_cast<uint32_t>(encoded.size()));  // bytes() length prefix
+  return {kMsgTileData, w.take(), std::move(encoded)};
+}
+
 Result<TileDataMsg> decode_tile_data(const net::Message& msg) {
   auto reader = open(msg, kMsgTileData);
   if (!reader.ok()) return make_error(reader.error());

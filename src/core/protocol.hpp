@@ -207,6 +207,12 @@ net::Message encode(const StreamSubscribeMsg& m);
 net::Message encode(const FrameBeginMsg& m);
 net::Message encode(const TileRefMsg& m);
 net::Message encode(const TileDataMsg& m);
+// Zero-copy TileData encode: byte-identical on the wire to
+// encode(TileDataMsg), but the serialized tile travels as the message's
+// shared tail (refcounted across subscribers, scatter-gathered by the
+// transports) instead of being copied into the payload vector.
+net::Message encode_tile_data(uint32_t frame_id, uint16_t tile_index, const render::Tile& tile,
+                              uint64_t hash, net::Buffer encoded);
 net::Message encode(const FrameEndMsg& m);
 net::Message encode(const TileMissMsg& m);
 

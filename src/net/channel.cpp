@@ -32,26 +32,19 @@ class InProcChannel final : public Channel {
     return {};
   }
 
-  std::optional<Message> receive(double timeout_seconds) override {
+  util::Result<Message> receive_result(double timeout_seconds) override {
     std::unique_lock lock(in_->mu);
     const auto ready = [&] { return !in_->queue.empty() || in_->closed; };
     if (!in_->cv.wait_for(lock, std::chrono::duration<double>(timeout_seconds), ready))
-      return std::nullopt;
-    if (in_->queue.empty()) return std::nullopt;  // closed and drained
+      return util::make_error("channel: receive timed out after " +
+                              std::to_string(timeout_seconds) + "s");
+    if (in_->queue.empty())  // closed and drained
+      return util::make_error("channel: closed by peer");
     Message msg = std::move(in_->queue.front());
     in_->queue.pop_front();
     stats_.messages_received++;
     stats_.bytes_received += msg.wire_size();
-    return msg;
-  }
-
-  std::optional<Message> try_receive() override {
-    std::lock_guard lock(in_->mu);
-    if (in_->queue.empty()) return std::nullopt;
-    Message msg = std::move(in_->queue.front());
-    in_->queue.pop_front();
-    stats_.messages_received++;
-    stats_.bytes_received += msg.wire_size();
+    msg.materialize();
     return msg;
   }
 

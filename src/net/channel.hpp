@@ -2,8 +2,8 @@
 // subscription, then "backs off from SOAP and uses direct socket
 // communication to send binary information" (paper §4.3). Channel is that
 // socket abstraction: typed, framed binary messages over an in-process
-// queue pair, a real TCP connection (tcp.hpp), or a bandwidth/latency
-// simulated link (simlink.hpp) — all interchangeable.
+// queue pair, a real TCP connection (tcp.hpp, reactor.hpp), or a
+// bandwidth/latency simulated link (simlink.hpp) — all interchangeable.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/buffer.hpp"
 #include "util/clock.hpp"
 #include "util/result.hpp"
 
@@ -19,7 +20,16 @@ namespace rave::net {
 
 struct Message {
   uint16_t type = 0;
+  // The payload is `payload` followed by `tail`. Senders that hold an
+  // already-encoded block (a serialized tile) put the small protocol
+  // prefix in `payload` and the block in `tail`, so copying the Message —
+  // which FanoutHub does once per subscriber — bumps a refcount instead
+  // of duplicating the block, and the transports write both pieces with
+  // one scatter-gather syscall. Receive paths always deliver messages
+  // materialized (tail folded into `payload`), so downstream decoders see
+  // one contiguous byte run exactly as before.
   std::vector<uint8_t> payload;
+  Buffer tail;
 
   // Trace context riding with the message (obs tracing). Zero = untraced;
   // untraced messages are byte-identical on the wire to the pre-tracing
@@ -30,12 +40,27 @@ struct Message {
 
   Message() = default;
   Message(uint16_t t, std::vector<uint8_t> p) : type(t), payload(std::move(p)) {}
+  Message(uint16_t t, std::vector<uint8_t> prefix, Buffer suffix)
+      : type(t), payload(std::move(prefix)), tail(std::move(suffix)) {}
 
   [[nodiscard]] bool traced() const { return trace_id != 0; }
 
+  [[nodiscard]] uint64_t payload_size() const { return payload.size() + tail.size(); }
+
   // Frame: 4-byte length + 2-byte type [+ 16-byte trace context] + payload.
   [[nodiscard]] uint64_t wire_size() const {
-    return 6 + (traced() ? 16 : 0) + payload.size();
+    return 6 + (traced() ? 16 : 0) + payload_size();
+  }
+
+  // Fold the shared tail into the contiguous payload vector (a counted
+  // copy). In-process transports call this at delivery so receivers can
+  // keep reading `payload` directly; the socket transports never need it —
+  // they writev() the two pieces in place.
+  void materialize() {
+    if (tail.empty()) return;
+    payload.reserve(payload.size() + tail.size());
+    tail.append_to(payload);
+    tail = Buffer();
   }
 };
 
@@ -44,6 +69,9 @@ struct ChannelStats {
   uint64_t bytes_sent = 0;
   uint64_t messages_received = 0;
   uint64_t bytes_received = 0;
+  // Sends refused (or queued messages evicted) by a bounded write queue's
+  // shed policy — backpressure made visible instead of a stalled sender.
+  uint64_t messages_shed = 0;
 };
 
 class Channel {
@@ -55,22 +83,24 @@ class Channel {
   // layer exists to surface. Use (void) to opt out deliberately.
   virtual util::Status send(Message message) = 0;
 
-  // Blocking receive with a timeout in clock seconds; nullopt on timeout or
-  // when the channel is closed and drained.
-  virtual std::optional<Message> receive(double timeout_seconds) = 0;
+  // The primary receive: blocks up to `timeout_seconds` (clock seconds)
+  // and spells out the failure cause — "nothing arrived in time" versus
+  // "the peer is gone" — which callers need to pick between retrying and
+  // re-dispatching (paper §3.2.7 recovery). Implementations own this so
+  // the distinction is made where it is actually known, at the transport.
+  [[nodiscard]] virtual util::Result<Message> receive_result(double timeout_seconds) = 0;
+
+  // Convenience wrappers over receive_result for callers that only care
+  // whether a message arrived. Non-virtual by design: every transport
+  // implements exactly one receive path.
+  std::optional<Message> receive(double timeout_seconds) {
+    auto result = receive_result(timeout_seconds);
+    if (result.ok()) return std::move(result).take();
+    return std::nullopt;
+  }
 
   // Non-blocking receive.
-  virtual std::optional<Message> try_receive() = 0;
-
-  // receive() with the failure cause spelled out: distinguishes "nothing
-  // arrived in time" from "the peer is gone", which callers need to pick
-  // between retrying and re-dispatching (paper §3.2.7 recovery).
-  [[nodiscard]] util::Result<Message> receive_result(double timeout_seconds) {
-    if (auto msg = receive(timeout_seconds)) return *std::move(msg);
-    if (!is_open()) return util::make_error("channel: closed by peer");
-    return util::make_error("channel: receive timed out after " +
-                            std::to_string(timeout_seconds) + "s");
-  }
+  std::optional<Message> try_receive() { return receive(0.0); }
 
   virtual void close() = 0;
   [[nodiscard]] virtual bool is_open() const = 0;

@@ -1,0 +1,45 @@
+#include "net/endpoint.hpp"
+
+namespace rave::net {
+
+using util::make_error;
+using util::Result;
+
+Result<Endpoint> Endpoint::parse(const std::string& access_point) {
+  const auto scheme_end = access_point.find(':');
+  if (scheme_end == std::string::npos)
+    return make_error("endpoint: no scheme in '" + access_point + "'");
+  const std::string scheme = access_point.substr(0, scheme_end);
+  const std::string rest = access_point.substr(scheme_end + 1);
+
+  if (scheme == "inproc") {
+    if (rest.empty()) return make_error("endpoint: empty inproc name in '" + access_point + "'");
+    return Endpoint::inproc(rest);
+  }
+  if (scheme == "tcp") {
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+      return make_error("endpoint: tcp address needs host:port, got '" + access_point + "'");
+    const std::string host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    if (port_str.empty() || port_str.find_first_not_of("0123456789") != std::string::npos)
+      return make_error("endpoint: bad tcp port in '" + access_point + "'");
+    const long port = std::strtol(port_str.c_str(), nullptr, 10);
+    if (port <= 0 || port > 65535)
+      return make_error("endpoint: tcp port out of range in '" + access_point + "'");
+    return Endpoint::tcp(host, static_cast<uint16_t>(port));
+  }
+  return make_error("endpoint: unknown scheme '" + scheme + "' in '" + access_point + "'");
+}
+
+std::string Endpoint::to_string() const {
+  switch (scheme) {
+    case Scheme::Tcp:
+      return "tcp:" + host + ":" + std::to_string(port);
+    case Scheme::InProc:
+      return "inproc:" + name;
+  }
+  return "";
+}
+
+}  // namespace rave::net

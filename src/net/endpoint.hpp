@@ -1,0 +1,51 @@
+// Parsed transport addresses. Access points travel through the registry
+// and SOAP subscription exchanges as strings ("tcp:127.0.0.1:9000",
+// "inproc:tower/render0"); Endpoint is the one place those strings are
+// split and validated, replacing per-call-site substr/rfind parsing in
+// the fabrics and services. to_string() round-trips exactly, so an
+// Endpoint can be advertised wherever a raw string was.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace rave::net {
+
+struct Endpoint {
+  enum class Scheme : uint8_t { Tcp, InProc };
+
+  Scheme scheme = Scheme::InProc;
+  // Tcp: dotted-quad host + port. InProc: the fabric listener name.
+  std::string host;
+  uint16_t port = 0;
+  std::string name;
+
+  static Endpoint tcp(std::string host, uint16_t port) {
+    Endpoint ep;
+    ep.scheme = Scheme::Tcp;
+    ep.host = std::move(host);
+    ep.port = port;
+    return ep;
+  }
+  static Endpoint inproc(std::string name) {
+    Endpoint ep;
+    ep.scheme = Scheme::InProc;
+    ep.name = std::move(name);
+    return ep;
+  }
+
+  // Parse "tcp:host:port" / "inproc:name". Errors carry the offending
+  // string and what was wrong with it.
+  static util::Result<Endpoint> parse(const std::string& access_point);
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Endpoint& other) const {
+    return scheme == other.scheme && host == other.host && port == other.port &&
+           name == other.name;
+  }
+};
+
+}  // namespace rave::net

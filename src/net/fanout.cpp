@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+
 namespace rave::net {
 
 FanoutHub::SubscriberId FanoutHub::subscribe(ChannelPtr channel, Filter filter) {
@@ -112,9 +115,25 @@ size_t FanoutRelay::pump() {
       }
     }
     ++stats_.requests_forwarded;
-    if (upstream_) (void)upstream_->send(msg);
+    if (upstream_) {
+      util::Status sent = upstream_->send(msg);
+      if (!sent.ok()) note_upstream_error(sent.error());
+    }
   });
   return moved;
+}
+
+void FanoutRelay::note_upstream_error(const std::string& error) {
+  ++stats_.upstream_errors;
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("rave_relay_upstream_errors_total");
+  counter.inc();
+  // Log the first few at Warn, then sample: a dead upstream would
+  // otherwise flood the event log at pump frequency.
+  if (stats_.upstream_errors <= 3 || stats_.upstream_errors % 100 == 0)
+    obs::log_event(util::LogLevel::Warn, "fanout", "relay_upstream_error",
+                   "forward to upstream failed (" + std::to_string(stats_.upstream_errors) +
+                       " total): " + error);
 }
 
 }  // namespace rave::net

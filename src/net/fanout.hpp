@@ -95,6 +95,11 @@ class FanoutRelay {
     uint64_t forwarded_down_bytes = 0;
     uint64_t requests_served = 0;     // answered from the handler
     uint64_t requests_forwarded = 0;  // passed to the upstream publisher
+    // Forwards the upstream channel refused (closed, shed, dead link).
+    // A rising count means requesters upstream of this relay are waiting
+    // on replies that will never come — it feeds the relay status report
+    // and the rave_relay_upstream_errors_total counter.
+    uint64_t upstream_errors = 0;
   };
 
   explicit FanoutRelay(ChannelPtr upstream) : upstream_(std::move(upstream)) {}
@@ -116,6 +121,8 @@ class FanoutRelay {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  void note_upstream_error(const std::string& error);
+
   ChannelPtr upstream_;
   FanoutHub hub_;
   RequestHandler handler_;

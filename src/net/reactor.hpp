@@ -1,0 +1,101 @@
+// Async reactor transport — the event-loop engine behind the TCP fabric.
+//
+// The original transport was blocking thread-per-connection: one accept
+// thread per listener and a syscall-blocking send()/recv() per channel,
+// which caps subscriber count and lets one stalled client wedge a
+// publisher mid-fanout. The Reactor replaces that with a single epoll
+// event-loop thread driving every non-blocking socket: reads are parsed
+// into per-channel receive queues, writes drain bounded per-channel write
+// queues via scatter-gather sendmsg (header + payload prefix + shared
+// tail in one syscall, zero payload copies), and a slow client trips its
+// queue's shed policy instead of stalling the sender.
+//
+// The synchronous Channel interface stays: a reactor channel's send()
+// enqueues (and opportunistically flushes inline), receive_result() waits
+// on the parsed-frame queue. Wire format is byte-identical to the legacy
+// transport, so either engine can sit on each end of a connection.
+//
+// Backpressure surfaces three ways: per-channel ChannelStats
+// (messages_shed), process-wide metrics the SLO engine watches
+// (rave_net_write_queue_depth / rave_net_sends_shed_total), and the send()
+// error itself ("write queue full").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/channel.hpp"
+#include "util/result.hpp"
+
+namespace rave::net {
+
+// What a bounded write queue does when a send arrives and the queue is at
+// its limit. Block preserves the old lossless semantics for request/reply
+// channels; the drop policies guarantee the sending thread never stalls —
+// a frame publisher sheds output to a slow subscriber (the subscriber
+// recovers via the tile-miss fallback path, so correctness is unaffected).
+enum class ShedPolicy : uint8_t { Block, DropNewest, DropOldest };
+
+struct ReactorChannelOptions {
+  size_t write_queue_limit = 1024;  // queued frames per channel; 0 = unbounded
+  size_t recv_queue_limit = 4096;   // parsed frames buffered before reads pause
+  ShedPolicy shed_policy = ShedPolicy::Block;
+};
+
+// Defaults, overridable by environment: RAVE_NET_QUEUE=<frames> and
+// RAVE_NET_SHED=block|drop-newest|drop-oldest (see README).
+ReactorChannelOptions default_channel_options();
+
+struct ReactorImpl;
+class ReactorListener;
+
+class Reactor {
+ public:
+  // Called on the reactor thread for each accepted connection. Keep it
+  // cheap (store the channel, wake a pump); heavy work belongs in pumps.
+  using AcceptFn = std::function<void(ChannelPtr)>;
+
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // The process-wide reactor most callers share (one event loop is plenty
+  // for loopback/LAN fan-out; construct private Reactors for isolation).
+  static Reactor& global();
+
+  // Take ownership of a connected socket and drive it from the loop.
+  ChannelPtr adopt(int fd, ReactorChannelOptions options = default_channel_options());
+
+  // Bind 127.0.0.1:`port` (0 = ephemeral) and accept on the event loop —
+  // no per-listener thread. Accepted connections use `options`.
+  util::Result<std::unique_ptr<ReactorListener>> listen(
+      uint16_t port, AcceptFn on_accept,
+      ReactorChannelOptions options = default_channel_options());
+
+  [[nodiscard]] size_t open_channels() const;
+
+ private:
+  std::shared_ptr<ReactorImpl> impl_;
+};
+
+class ReactorListener {
+ public:
+  ~ReactorListener();
+  ReactorListener(const ReactorListener&) = delete;
+  ReactorListener& operator=(const ReactorListener&) = delete;
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+  void close();
+
+ private:
+  friend class Reactor;
+  ReactorListener(std::shared_ptr<ReactorImpl> impl, uint64_t id, uint16_t port)
+      : impl_(std::move(impl)), id_(id), port_(port) {}
+  std::shared_ptr<ReactorImpl> impl_;
+  uint64_t id_ = 0;
+  uint16_t port_ = 0;
+};
+
+}  // namespace rave::net

@@ -63,8 +63,12 @@ class SimChannel final : public Channel {
     return {};
   }
 
-  std::optional<Message> receive(double timeout_seconds) override {
+  util::Result<Message> receive_result(double timeout_seconds) override {
     const double deadline = clock_->now() + timeout_seconds;
+    const auto timeout_error = [&] {
+      return util::make_error("simlink: receive timed out after " +
+                              std::to_string(timeout_seconds) + "s");
+    };
     for (;;) {
       {
         std::lock_guard lock(in_->mu);
@@ -87,19 +91,13 @@ class SimChannel final : public Channel {
           in_->mu.unlock();
           clock_->wait_until(deadline);
           in_->mu.lock();
-          return std::nullopt;
+          return timeout_error();
         }
-        if (in_->closed) return std::nullopt;
+        if (in_->closed) return util::make_error("simlink: closed by peer");
       }
-      if (clock_->now() >= deadline) return std::nullopt;
+      if (clock_->now() >= deadline) return timeout_error();
       clock_->sleep_for(std::min(kPollQuantum, deadline - clock_->now()));
     }
-  }
-
-  std::optional<Message> try_receive() override {
-    std::lock_guard lock(in_->mu);
-    if (in_->queue.empty() || in_->queue.front().arrival > clock_->now()) return std::nullopt;
-    return pop_locked();
   }
 
   void close() override {
@@ -122,11 +120,12 @@ class SimChannel final : public Channel {
 
  private:
   // in_->mu must be held.
-  std::optional<Message> pop_locked() {
+  util::Result<Message> pop_locked() {
     Message msg = std::move(in_->queue.front().message);
     in_->queue.pop_front();
     stats_.messages_received++;
     stats_.bytes_received += msg.wire_size();
+    msg.materialize();
     return msg;
   }
 
@@ -150,16 +149,15 @@ class LinkWrapper final : public Channel {
     return inner_->send(std::move(message));
   }
 
-  std::optional<Message> receive(double timeout_seconds) override {
-    auto msg = inner_->receive(timeout_seconds);
-    if (msg.has_value()) {
-      const double delay = profile_.transmit_seconds(msg->wire_size()) + profile_.latency_s;
+  util::Result<Message> receive_result(double timeout_seconds) override {
+    auto msg = inner_->receive_result(timeout_seconds);
+    if (msg.ok()) {
+      const double delay = profile_.transmit_seconds(msg.value().wire_size()) + profile_.latency_s;
       if (delay > 0) clock_->sleep_for(delay);
     }
     return msg;
   }
 
-  std::optional<Message> try_receive() override { return inner_->try_receive(); }
   void close() override { inner_->close(); }
   [[nodiscard]] bool is_open() const override { return inner_->is_open(); }
   [[nodiscard]] ChannelStats stats() const override { return inner_->stats(); }

@@ -5,11 +5,15 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+
+#include "net/reactor.hpp"
 
 namespace rave::net {
 
@@ -17,12 +21,24 @@ using util::make_error;
 using util::Result;
 using util::Status;
 
+TransportMode transport_mode() {
+  static const TransportMode mode = [] {
+    const char* env = std::getenv("RAVE_NET");
+    if (env != nullptr && std::strcmp(env, "legacy") == 0) return TransportMode::Legacy;
+    return TransportMode::Reactor;
+  }();
+  return mode;
+}
+
 namespace {
 // High bit of the wire type marks a traced frame (real types stay below
 // 0x8000); the frame then carries trace_id + span_id (8 bytes LE each)
 // between the 6-byte header and the payload.
 constexpr uint16_t kTracedFlag = 0x8000;
 
+// The legacy blocking engine: one syscall-blocking channel per socket.
+// Kept behind RAVE_NET=legacy as the migration escape hatch and as the
+// baseline the transport benchmark compares against.
 class TcpChannel final : public Channel {
  public:
   explicit TcpChannel(int fd) : fd_(fd) {
@@ -40,7 +56,7 @@ class TcpChannel final : public Channel {
     // byte-identical to the pre-tracing format.
     uint8_t header[22];
     size_t header_len = 6;
-    const uint32_t len = static_cast<uint32_t>(message.payload.size());
+    const uint32_t len = static_cast<uint32_t>(message.payload_size());
     for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
     uint16_t wire_type = message.type;
     if (message.traced()) {
@@ -53,20 +69,25 @@ class TcpChannel final : public Channel {
     }
     header[4] = static_cast<uint8_t>(wire_type & 0xFF);
     header[5] = static_cast<uint8_t>(wire_type >> 8);
+    // Header, payload prefix, and shared tail go out as-is — the tail is
+    // never folded into a staging buffer.
     if (!write_all(header, header_len)) return make_error("tcp: send failed");
     if (!message.payload.empty() && !write_all(message.payload.data(), message.payload.size()))
+      return make_error("tcp: send failed");
+    if (!message.tail.empty() && !write_all(message.tail.data(), message.tail.size()))
       return make_error("tcp: send failed");
     stats_.messages_sent++;
     stats_.bytes_sent += message.wire_size();
     return {};
   }
 
-  std::optional<Message> receive(double timeout_seconds) override {
+  Result<Message> receive_result(double timeout_seconds) override {
     std::lock_guard lock(recv_mu_);
-    if (fd_ < 0) return std::nullopt;
-    if (!wait_readable(timeout_seconds)) return std::nullopt;
+    if (fd_ < 0) return make_error("tcp: channel closed");
+    if (!wait_readable(timeout_seconds))
+      return make_error("tcp: receive timed out after " + std::to_string(timeout_seconds) + "s");
     uint8_t header[6];
-    if (!read_all(header, 6)) return std::nullopt;
+    if (!read_all(header, 6)) return make_error("tcp: closed by peer");
     uint32_t len = 0;
     for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
     Message msg;
@@ -74,20 +95,18 @@ class TcpChannel final : public Channel {
     if ((msg.type & kTracedFlag) != 0) {
       msg.type &= static_cast<uint16_t>(~kTracedFlag);
       uint8_t trace[16];
-      if (!read_all(trace, 16)) return std::nullopt;
+      if (!read_all(trace, 16)) return make_error("tcp: closed by peer");
       for (int i = 0; i < 8; ++i)
         msg.trace_id |= static_cast<uint64_t>(trace[i]) << (8 * i);
       for (int i = 0; i < 8; ++i)
         msg.span_id |= static_cast<uint64_t>(trace[8 + i]) << (8 * i);
     }
     msg.payload.resize(len);
-    if (len > 0 && !read_all(msg.payload.data(), len)) return std::nullopt;
+    if (len > 0 && !read_all(msg.payload.data(), len)) return make_error("tcp: closed by peer");
     stats_.messages_received++;
     stats_.bytes_received += msg.wire_size();
     return msg;
   }
-
-  std::optional<Message> try_receive() override { return receive(0.0); }
 
   void close() override {
     std::lock_guard lock(close_mu_);
@@ -144,6 +163,12 @@ class TcpChannel final : public Channel {
   std::mutex close_mu_;
   ChannelStats stats_;
 };
+
+// Wrap a freshly connected socket in whichever engine RAVE_NET selects.
+ChannelPtr wrap_socket(int fd) {
+  if (transport_mode() == TransportMode::Reactor) return Reactor::global().adopt(fd);
+  return std::make_shared<TcpChannel>(fd);
+}
 }  // namespace
 
 Result<ChannelPtr> tcp_connect(const std::string& host, uint16_t port) {
@@ -160,7 +185,7 @@ Result<ChannelPtr> tcp_connect(const std::string& host, uint16_t port) {
     ::close(fd);
     return make_error("tcp: connect to " + host + " failed: " + std::strerror(errno));
   }
-  return ChannelPtr(std::make_shared<TcpChannel>(fd));
+  return wrap_socket(fd);
 }
 
 Result<std::unique_ptr<TcpListener>> TcpListener::bind(uint16_t port) {
@@ -196,7 +221,7 @@ std::optional<ChannelPtr> TcpListener::accept(double timeout_seconds) {
   if (::poll(&pfd, 1, ms) <= 0) return std::nullopt;
   const int client = ::accept(fd_, nullptr, nullptr);
   if (client < 0) return std::nullopt;
-  return ChannelPtr(std::make_shared<TcpChannel>(client));
+  return wrap_socket(client);
 }
 
 void TcpListener::close() {

@@ -2,6 +2,13 @@
 // the "direct socket communication" the paper drops to for bulk data after
 // SOAP-based subscription (§4.3). Byte order on the wire is fixed
 // little-endian regardless of host endianness.
+//
+// Two interchangeable engines sit behind this interface, selected by
+// RAVE_NET: the epoll reactor (default, reactor.hpp) drives every
+// connection from a shared event loop with bounded write queues and
+// scatter-gather sends; "legacy" keeps the original blocking
+// syscall-per-channel path until it is retired. The wire format is
+// byte-identical either way.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +17,11 @@
 #include "net/channel.hpp"
 
 namespace rave::net {
+
+// Which TCP engine new connections use. Read once from RAVE_NET
+// ("reactor" or "legacy"); unset or unrecognized means reactor.
+enum class TransportMode : uint8_t { Reactor, Legacy };
+TransportMode transport_mode();
 
 // Connect to a listening RAVE endpoint.
 util::Result<ChannelPtr> tcp_connect(const std::string& host, uint16_t port);
@@ -25,7 +37,8 @@ class TcpListener {
 
   [[nodiscard]] uint16_t port() const { return port_; }
 
-  // Accept one connection; nullopt on timeout.
+  // Accept one connection; nullopt on timeout. The returned channel runs
+  // on the engine transport_mode() selects.
   std::optional<ChannelPtr> accept(double timeout_seconds);
 
   void close();

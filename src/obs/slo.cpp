@@ -257,6 +257,20 @@ std::vector<SloSpec> default_render_slos(double target_fps) {
   redispatch.window = 5.0;
   redispatch.burn_seconds = 3.0;
   specs.push_back(redispatch);
+
+  // Transport backpressure: a sustained shed rate means subscribers are
+  // slower than the bounded write queues allow — frames are being dropped
+  // to keep the publisher unblocked (net/reactor.hpp). The dashboard's
+  // correct response is to move the offending class to a cheaper quality,
+  // which is why this burns as an SLO instead of hiding in a counter.
+  SloSpec shed;
+  shed.name = "transport_shed";
+  shed.metric = "rave_net_sends_shed_total";
+  shed.kind = SloSpec::Kind::RateAtMost;
+  shed.threshold = 1e-9;  // ≈ 0: any sustained shedding burns
+  shed.window = 5.0;
+  shed.burn_seconds = 3.0;
+  specs.push_back(shed);
   return specs;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "net/endpoint.hpp"
 #include "services/soap.hpp"
 #include "services/wsdl.hpp"
 #include "util/result.hpp"
@@ -38,6 +39,14 @@ struct BindingTemplate {
 
   [[nodiscard]] bool lease_expired(double now) const {
     return lease_seconds > 0.0 && now - last_heartbeat > lease_seconds;
+  }
+
+  // The access point as a parsed net::Endpoint. Registration stays
+  // lenient (the registry is a metadata store and tests advertise
+  // placeholder strings); dialing code that needs host/port calls this
+  // and gets the parse error with the offending string on failure.
+  [[nodiscard]] util::Result<net::Endpoint> endpoint() const {
+    return net::Endpoint::parse(access_point);
   }
 };
 

@@ -53,14 +53,10 @@ class FaultyChannel final : public net::Channel {
     return sent;
   }
 
-  std::optional<net::Message> receive(double timeout_seconds) override {
-    if (dead_unlocked()) return std::nullopt;
-    return inner_->receive(timeout_seconds);
-  }
-
-  std::optional<net::Message> try_receive() override {
-    if (dead_unlocked()) return std::nullopt;
-    return inner_->try_receive();
+  util::Result<net::Message> receive_result(double timeout_seconds) override {
+    if (dead_unlocked())
+      return util::make_error("fault: link is dead (killed or byte budget exhausted)");
+    return inner_->receive_result(timeout_seconds);
   }
 
   void close() override { inner_->close(); }

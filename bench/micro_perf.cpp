@@ -216,29 +216,175 @@ void BM_Decimate(benchmark::State& state) {
 }
 BENCHMARK(BM_Decimate);
 
-void BM_Raycast(benchmark::State& state) {
+// The seed ray marcher, kept verbatim (modulo the enclosing function) as
+// the measured pre-optimization baseline for BENCH_raycast.json: one
+// grid.sample() per step, accumulated `t += step`, per-pixel eye
+// transform, no empty-space skipping, no packets. The live marcher's
+// "brute" arm is already restructured (anchored stepping, hoisted
+// origin, wave evaluation), so comparing against it alone would
+// understate the PR; this is the actual before.
+void seed_raycast(render::FrameBuffer& fb, const scene::VoxelGridData& grid,
+                  const util::Mat4& model, const scene::Camera& camera) {
+  const float sampling_rate = 1.0f, opacity_cutoff = 0.97f;
+  const auto to_byte = [](float v) {
+    return static_cast<uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f);
+  };
+  const auto intersect_aabb = [](const util::Vec3& origin, const util::Vec3& dir,
+                                 const scene::Aabb& box, float& t0, float& t1) {
+    t0 = 0.0f;
+    t1 = std::numeric_limits<float>::max();
+    const float o[3] = {origin.x, origin.y, origin.z};
+    const float d[3] = {dir.x, dir.y, dir.z};
+    const float lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+    const float hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+    for (int i = 0; i < 3; ++i) {
+      if (std::fabs(d[i]) < 1e-12f) {
+        if (o[i] < lo[i] || o[i] > hi[i]) return false;
+        continue;
+      }
+      float a = (lo[i] - o[i]) / d[i];
+      float b = (hi[i] - o[i]) / d[i];
+      if (a > b) std::swap(a, b);
+      t0 = std::max(t0, a);
+      t1 = std::min(t1, b);
+    }
+    return t0 <= t1;
+  };
+  const float aspect = static_cast<float>(fb.width()) / static_cast<float>(fb.height());
+  const util::Mat4 view = camera.view();
+  const util::Mat4 view_proj = camera.projection(aspect) * view;
+  const util::Mat4 inv_model = model.inverse();
+  const util::Mat4 inv_view = view.inverse();
+  const util::Vec3 eye_world = inv_view.transform_point({0, 0, 0});
+  const float tan_half_fov = std::tan(util::deg_to_rad(camera.fov_y_deg) * 0.5f);
+  const scene::Aabb box = grid.bounds();
+  const float min_spacing = std::min({grid.spacing.x, grid.spacing.y, grid.spacing.z});
+  const float step = min_spacing / std::max(sampling_rate, 0.05f);
+  const float opacity_per_step =
+      std::min(1.0f, grid.opacity_scale * step / min_spacing * 0.25f);
+  for (int py = 0; py < fb.height(); ++py) {
+    for (int px = 0; px < fb.width(); ++px) {
+      const float ndc_x = (2.0f * (static_cast<float>(px) + 0.5f) / fb.width() - 1.0f);
+      const float ndc_y = (1.0f - 2.0f * (static_cast<float>(py) + 0.5f) / fb.height());
+      const util::Vec3 dir_cam{ndc_x * tan_half_fov * aspect, ndc_y * tan_half_fov, -1.0f};
+      const util::Vec3 dir_world = util::normalize(inv_view.transform_dir(dir_cam));
+      const util::Vec3 origin = inv_model.transform_point(eye_world);
+      const util::Vec3 dir = inv_model.transform_dir(dir_world);
+      const float dir_len = dir.length();
+      if (dir_len < 1e-12f) continue;
+      const util::Vec3 ndir = dir / dir_len;
+      float t0, t1;
+      if (!intersect_aabb(origin, ndir, box, t0, t1)) continue;
+      t0 = std::max(t0, camera.znear * dir_len);
+      util::Vec3 acc_color{0, 0, 0};
+      float acc_alpha = 0.0f;
+      float first_hit_t = -1.0f;
+      for (float t = t0; t <= t1; t += step) {
+        const util::Vec3 p = origin + ndir * t;
+        const float density = grid.sample(p);
+        if (density < grid.iso_low) continue;
+        const float u = std::clamp(
+            (density - grid.iso_low) / std::max(grid.iso_high - grid.iso_low, 1e-6f), 0.0f,
+            1.0f);
+        const util::Vec3 sample_color = util::lerp(grid.color_low, grid.color_high, u);
+        const float alpha = opacity_per_step * (0.3f + 0.7f * u);
+        acc_color += sample_color * (alpha * (1.0f - acc_alpha));
+        acc_alpha += alpha * (1.0f - acc_alpha);
+        if (first_hit_t < 0.0f) first_hit_t = t;
+        if (acc_alpha >= opacity_cutoff) break;
+      }
+      if (acc_alpha <= 0.003f) continue;
+      const util::Vec3 hit_world = model.transform_point(origin + ndir * first_hit_t);
+      const util::Vec4 clip = view_proj * util::Vec4(hit_world, 1.0f);
+      if (clip.w <= 1e-6f) continue;
+      const float depth = clip.z / clip.w * 0.5f + 0.5f;
+      if (depth >= fb.depth_at(px, py)) continue;
+      const uint8_t* back = fb.pixel(px, py);
+      const util::Vec3 back_color{static_cast<float>(back[0]) / 255.0f,
+                                  static_cast<float>(back[1]) / 255.0f,
+                                  static_cast<float>(back[2]) / 255.0f};
+      const util::Vec3 out = acc_color + back_color * (1.0f - acc_alpha);
+      fb.set_pixel(px, py, to_byte(out.x), to_byte(out.y), to_byte(out.z));
+      if (acc_alpha >= opacity_cutoff) fb.set_depth(px, py, depth);
+    }
+  }
+}
+
+scene::VoxelGridData raycast_bench_grid(bool dense) {
   scene::Aabb bounds;
   bounds.extend({-1, -1, -1});
   bounds.extend({1, 1, 1});
-  auto grid = mesh::rasterize_field(mesh::ball_field({0, 0, 0}, 0.8f), bounds, 32, 32, 32);
+  auto grid = dense ? mesh::rasterize_field(mesh::ball_field({0, 0, 0}, 1.4f), bounds, 64, 64, 64)
+                    : mesh::rasterize_field(mesh::ball_field({0.55f, 0.55f, 0.55f}, 0.3f), bounds,
+                                            64, 64, 64);
+  grid.iso_low = 0.05f;
   grid.opacity_scale = 3.0f;
-  scene::SceneTree tree;
-  tree.add_child(scene::kRootNode, "vol", std::move(grid));
+  return grid;
+}
+
+void BM_RaycastSeed(benchmark::State& state) {
+  const bool dense = state.range(0) != 0;
+  const scene::VoxelGridData grid = raycast_bench_grid(dense);
   scene::Camera cam;
   cam.eye = {0, 0, 3};
-  const bool parallel = state.range(0) != 0;
-  util::ThreadPool pool(4);
-  render::RaycastOptions opts;
-  if (parallel) opts.pool = &pool;
   for (auto _ : state) {
     render::FrameBuffer fb(200, 200);
     fb.clear({0, 0, 0});
-    render::raycast_tree_volumes(fb, tree, cam, opts);
+    seed_raycast(fb, grid, util::Mat4::identity(), cam);
     benchmark::DoNotOptimize(fb);
   }
-  state.SetLabel(parallel ? "parallel" : "serial");
+  state.SetLabel(std::string(dense ? "dense" : "sparse") + " seed marcher");
 }
-BENCHMARK(BM_Raycast)->Arg(0)->Arg(1);
+BENCHMARK(BM_RaycastSeed)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Fast volume path (DESIGN.md): arg 0 = scenario (0 sparse — a small ball
+// in a mostly-empty 64³ grid, the empty-space-skipping headline; 1 dense —
+// a grid-filling ball, the honest worst case where every brick is
+// occupied), arg 1 = macro-cell skipping on/off, arg 2 = SIMD (0 scalar,
+// 1 widest native), arg 3 = marcher threads (0 = serial). The brute scalar
+// serial arm is the pre-optimization marcher; BENCH_raycast.json compares
+// the others against it. Counters report measured marcher throughput —
+// the same rays/s currency the migration cost model prices volume nodes in.
+void BM_Raycast(benchmark::State& state) {
+  const bool dense = state.range(0) != 0;
+  const bool skip = state.range(1) != 0;
+  const SimdArg simd(state.range(2));
+  const int threads = static_cast<int>(state.range(3));
+  scene::SceneTree tree;
+  tree.add_child(scene::kRootNode, "vol", raycast_bench_grid(dense));
+  scene::Camera cam;
+  cam.eye = {0, 0, 3};
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<util::ThreadPool>(static_cast<unsigned>(threads));
+  render::RaycastOptions opts;
+  opts.empty_skip = skip;
+  opts.pool = pool.get();
+  render::RenderStats stats;
+  for (auto _ : state) {
+    render::FrameBuffer fb(200, 200);
+    fb.clear({0, 0, 0});
+    stats = render::raycast_tree_volumes(fb, tree, cam, opts);
+    benchmark::DoNotOptimize(fb);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(stats.rays_cast));
+  state.counters["rays_per_frame"] = benchmark::Counter(static_cast<double>(stats.rays_cast));
+  state.counters["samples_per_frame"] =
+      benchmark::Counter(static_cast<double>(stats.volume_samples));
+  state.counters["bricks_skipped"] = benchmark::Counter(static_cast<double>(stats.bricks_skipped));
+  state.SetLabel(std::string(dense ? "dense" : "sparse") + " " + (skip ? "skip" : "brute") + " " +
+                 simd.label() + " " +
+                 (threads > 0 ? std::to_string(threads) + " threads" : "serial"));
+}
+BENCHMARK(BM_Raycast)
+    ->Args({0, 0, 0, 0})  // sparse baseline: brute scalar serial (pre-PR marcher)
+    ->Args({0, 1, 0, 0})
+    ->Args({0, 1, 1, 0})
+    ->Args({0, 1, 1, 4})
+    ->Args({1, 0, 0, 0})  // dense baseline
+    ->Args({1, 1, 0, 0})
+    ->Args({1, 1, 1, 0})
+    ->Args({1, 1, 1, 4})
+    ->Unit(benchmark::kMillisecond);
 
 // Observability overhead: a full Elle 400² frame with tracing disabled
 // (the production default — instruments reduce to relaxed atomic counter

@@ -10,6 +10,8 @@
 #include "render/framebuffer.hpp"
 #include "scene/audit.hpp"
 
+#include "example_util.hpp"
+
 using namespace rave;
 
 int main() {
@@ -68,8 +70,8 @@ int main() {
   scene::Camera alice_cam;
   alice_cam.eye = {0, 0.5f, 3.0f};
   auto view = alice.request_frame(alice_cam, 320, 240, 10.0, pump);
-  if (view.ok()) (void)render::write_ppm(view.value(), "collaboration_alice_view.ppm");
-  std::printf("alice's view -> collaboration_alice_view.ppm\n");
+  if (view.ok()) (void)render::write_ppm(view.value(), examples::out_path("collaboration_alice_view.ppm"));
+  std::printf("alice's view -> bench_output/collaboration_alice_view.ppm\n");
 
   // --- persistence + asynchronous collaboration --------------------------------
   const std::string path = "lab_session.rave";

@@ -1,0 +1,20 @@
+// Shared helper for the example programs: route image outputs into
+// bench_output/ (git-ignored) instead of littering the repo root.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace rave::examples {
+
+// Returns "bench_output/<name>", creating the directory on first use.
+// Falls back to the bare name if the directory cannot be created (e.g.
+// read-only cwd), so examples still run.
+inline std::string out_path(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_output", ec);
+  if (ec) return name;
+  return "bench_output/" + name;
+}
+
+}  // namespace rave::examples

@@ -10,6 +10,8 @@
 #include "render/framebuffer.hpp"
 #include "render/stereo.hpp"
 
+#include "example_util.hpp"
+
 using namespace rave;
 
 int main() {
@@ -63,14 +65,14 @@ int main() {
     std::printf("wall render failed: %s\n", frame.error().c_str());
     return 1;
   }
-  (void)render::write_ppm(frame.value().to_image(), "immersive_wall.ppm");
+  (void)render::write_ppm(frame.value().to_image(), examples::out_path("immersive_wall.ppm"));
 
   // Verify distributed assembly equals the monolithic frame.
   auto reference = wall.render_console("anatomy", wall_cam, kWallW, kWallH);
   if (!reference.ok()) return 1;
   const uint64_t diff = frame.value().to_image().diff_pixels(reference.value().to_image());
 
-  std::printf("wall frame %dx%d assembled from %llu remote tiles -> immersive_wall.ppm\n",
+  std::printf("wall frame %dx%d assembled from %llu remote tiles -> bench_output/immersive_wall.ppm\n",
               kWallW, kWallH,
               static_cast<unsigned long long>(wall.stats().remote_tiles_used));
   std::printf("distributed-vs-monolithic pixel difference: %llu (must be 0)\n",
@@ -84,16 +86,16 @@ int main() {
 
   // The PDA's private view of the same session.
   auto pda_frame = pda.request_frame(pda_cam, 200, 200, 10.0, [&grid] { grid.pump_all(); });
-  if (pda_frame.ok()) (void)render::write_ppm(pda_frame.value(), "immersive_pda_view.ppm");
-  std::printf("PDA private view -> immersive_pda_view.ppm\n");
+  if (pda_frame.ok()) (void)render::write_ppm(pda_frame.value(), examples::out_path("immersive_pda_view.ppm"));
+  std::printf("PDA private view -> bench_output/immersive_pda_view.ppm\n");
 
   // Active-stereo output for the Workwall (left/right eye pair packed
   // side-by-side, plus an anaglyph preview for ordinary displays).
   const render::StereoPair stereo = render::render_stereo(
       *wall.replica("anatomy"), wall_cam, 480, 360, {.eye_separation = 0.07f});
-  (void)render::write_ppm(render::pack_side_by_side(stereo), "immersive_wall_stereo.ppm");
-  (void)render::write_ppm(render::anaglyph(stereo), "immersive_wall_anaglyph.ppm");
-  std::printf("stereo pair -> immersive_wall_stereo.ppm (side-by-side), "
-              "immersive_wall_anaglyph.ppm (red/cyan preview)\n");
+  (void)render::write_ppm(render::pack_side_by_side(stereo), examples::out_path("immersive_wall_stereo.ppm"));
+  (void)render::write_ppm(render::anaglyph(stereo), examples::out_path("immersive_wall_anaglyph.ppm"));
+  std::printf("stereo pair -> bench_output/immersive_wall_stereo.ppm (side-by-side), "
+              "bench_output/immersive_wall_anaglyph.ppm (red/cyan preview)\n");
   return diff == 0 ? 0 : 1;
 }

@@ -10,6 +10,8 @@
 #include "mesh/primitives.hpp"
 #include "render/framebuffer.hpp"
 
+#include "example_util.hpp"
+
 using namespace rave;
 
 int main() {
@@ -99,7 +101,7 @@ int main() {
               master_pos == observer_pos ? "converged" : "DIVERGED");
 
   auto view = console.render_console("editor", cam, kW, kH);
-  if (view.ok()) (void)render::write_ppm(view.value().to_image(), "interactive_edit.ppm");
-  std::printf("final console view -> interactive_edit.ppm\n");
+  if (view.ok()) (void)render::write_ppm(view.value().to_image(), examples::out_path("interactive_edit.ppm"));
+  std::printf("final console view -> bench_output/interactive_edit.ppm\n");
   return master_pos == observer_pos ? 0 : 1;
 }

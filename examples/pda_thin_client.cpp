@@ -9,6 +9,8 @@
 #include "render/framebuffer.hpp"
 #include "mesh/generators.hpp"
 
+#include "example_util.hpp"
+
 using namespace rave;
 
 int main() {
@@ -79,10 +81,10 @@ int main() {
   auto final_frame = pda.request_frame(cam, 200, 200, 30.0, [&grid] { grid.pump_all(); });
   if (final_frame.ok()) {
     const render::Image display = render::scale_bilinear(final_frame.value(), 640, 480);
-    (void)render::write_ppm(final_frame.value(), "pda_wire_frame.ppm");
-    (void)render::write_ppm(display, "pda_display.ppm");
-    std::printf("\nwire frame (200x200) -> pda_wire_frame.ppm; upscaled display "
-                "(640x480) -> pda_display.ppm\n");
+    (void)render::write_ppm(final_frame.value(), examples::out_path("pda_wire_frame.ppm"));
+    (void)render::write_ppm(display, examples::out_path("pda_display.ppm"));
+    std::printf("\nwire frame (200x200) -> bench_output/pda_wire_frame.ppm; upscaled display "
+                "(640x480) -> bench_output/pda_display.ppm\n");
   }
   return 0;
 }

@@ -7,6 +7,8 @@
 #include "mesh/generators.hpp"
 #include "render/framebuffer.hpp"
 
+#include "example_util.hpp"
+
 int main() {
   using namespace rave;
 
@@ -38,9 +40,9 @@ int main() {
     std::printf("frame request failed: %s\n", frame.error().c_str());
     return 1;
   }
-  if (!render::write_ppm(frame.value(), "quickstart.ppm").ok()) return 1;
+  if (!render::write_ppm(frame.value(), examples::out_path("quickstart.ppm")).ok()) return 1;
 
-  std::printf("Rendered %dx%d frame -> quickstart.ppm (%zu bytes over the wire, codec %s)\n",
+  std::printf("Rendered %dx%d frame -> bench_output/quickstart.ppm (%zu bytes over the wire, codec %s)\n",
               frame.value().width, frame.value().height,
               static_cast<size_t>(client.last_stats().image_bytes),
               compress::codec_name(client.last_stats().codec));

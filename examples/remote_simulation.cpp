@@ -17,6 +17,8 @@
 #include "render/framebuffer.hpp"
 #include "sim/molecule.hpp"
 
+#include "example_util.hpp"
+
 using namespace rave;
 
 int main() {
@@ -87,7 +89,7 @@ int main() {
   const double e1 = molecule.potential_energy();
   std::printf("potential energy %.2f -> %.2f (settled)\n", e0, e1);
   auto before = viz.render_console("molecule", cam, 320, 320);
-  if (before.ok()) (void)render::write_ppm(before.value().to_image(), "molecule_relaxed.ppm");
+  if (before.ok()) (void)render::write_ppm(before.value().to_image(), examples::out_path("molecule_relaxed.ppm"));
 
   // --- the user exerts a force on an atom through the GUI ---------------------
   const scene::SceneTree* replica = viz.replica("molecule");
@@ -115,8 +117,8 @@ int main() {
   const double e3 = molecule.potential_energy();
   std::printf("potential energy spiked to %.2f, re-settled to %.2f\n", e2, e3);
   auto after = viz.render_console("molecule", cam, 320, 320);
-  if (after.ok()) (void)render::write_ppm(after.value().to_image(), "molecule_steered.ppm");
-  std::printf("\nframes -> molecule_relaxed.ppm, molecule_steered.ppm\n");
+  if (after.ok()) (void)render::write_ppm(after.value().to_image(), examples::out_path("molecule_steered.ppm"));
+  std::printf("\nframes -> bench_output/molecule_relaxed.ppm, bench_output/molecule_steered.ppm\n");
   std::printf("%s\n", (e1 < e0 && e2 > e3) ? "steering loop closed: display -> user force -> "
                                              "remote simulator -> display"
                                            : "unexpected energy profile");

@@ -14,6 +14,8 @@
 #include "mesh/generators.hpp"
 #include "render/framebuffer.hpp"
 
+#include "example_util.hpp"
+
 using namespace rave;
 
 int main() {
@@ -82,7 +84,7 @@ int main() {
   }
   if (frames_ok > 0) {
     auto last = client.request_frame(cam, 200, 200, 5.0);
-    if (last.ok()) (void)render::write_ppm(last.value(), "tcp_deployment.ppm");
+    if (last.ok()) (void)render::write_ppm(last.value(), examples::out_path("tcp_deployment.ppm"));
   }
 
   // A collaborative edit over the same sockets.
@@ -99,7 +101,7 @@ int main() {
   running = false;
   data_thread.join();
   render_thread.join();
-  std::printf("%s\n", frames_ok == 3 ? "TCP deployment OK -> tcp_deployment.ppm"
+  std::printf("%s\n", frames_ok == 3 ? "TCP deployment OK -> bench_output/tcp_deployment.ppm"
                                      : "TCP deployment incomplete");
   return frames_ok == 3 ? 0 : 1;
 }

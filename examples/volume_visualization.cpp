@@ -17,6 +17,8 @@
 #include "render/rasterizer.hpp"
 #include "scene/volume.hpp"
 
+#include "example_util.hpp"
+
 using namespace rave;
 
 int main() {
@@ -73,8 +75,8 @@ int main() {
   grid.pump_until_idle();
   auto frame = tower.render_distributed("scan", cam, 320, 320);
   if (!frame.ok()) return 1;
-  (void)render::write_ppm(frame.value().to_image(), "volume_distributed.ppm");
-  std::printf("distributed volume render -> volume_distributed.ppm (%llu remote frames used)\n",
+  (void)render::write_ppm(frame.value().to_image(), examples::out_path("volume_distributed.ppm"));
+  std::printf("distributed volume render -> bench_output/volume_distributed.ppm (%llu remote frames used)\n",
               static_cast<unsigned long long>(tower.stats().remote_tiles_used));
 
   // --- transfer-function edit through the interaction layer ---------------------
@@ -101,7 +103,7 @@ int main() {
   surf_tree.add_child(scene::kRootNode, "bones", std::move(surface));
   const render::FrameBuffer surf_frame =
       render::render_tree(surf_tree, scene::Camera::framing(surf_tree.world_bounds()), 320, 320);
-  (void)render::write_ppm(surf_frame.to_image(), "volume_isosurface.ppm");
-  std::printf("isosurface render -> volume_isosurface.ppm\n");
+  (void)render::write_ppm(surf_frame.to_image(), examples::out_path("volume_isosurface.ppm"));
+  std::printf("isosurface render -> bench_output/volume_isosurface.ppm\n");
   return 0;
 }

@@ -8,6 +8,9 @@ RenderCapacity RenderCapacity::from_profile(const sim::MachineProfile& profile) 
   c.polygons_per_sec = profile.tri_rate;
   c.points_per_sec = profile.tri_rate * 3.0;  // splats are cheaper than triangles
   c.voxels_per_sec = profile.fill_rate * 0.1;
+  // Prior for the volume marcher until a measurement arrives: a ray costs
+  // on the order of hundreds of fill ops (samples along its march).
+  c.rays_per_sec = profile.fill_rate * 0.002;
   c.texture_mem_bytes = profile.texture_mem_bytes;
   c.hw_volume_rendering = profile.texture_mem_bytes >= (128ull << 20);
   return c;
@@ -18,6 +21,7 @@ void write_capacity(util::ByteWriter& w, const RenderCapacity& c) {
   w.f64(c.polygons_per_sec);
   w.f64(c.points_per_sec);
   w.f64(c.voxels_per_sec);
+  w.f64(c.rays_per_sec);
   w.u64(c.texture_mem_bytes);
   w.boolean(c.hw_volume_rendering);
 }
@@ -28,6 +32,7 @@ RenderCapacity read_capacity(util::ByteReader& r) {
   c.polygons_per_sec = r.f64();
   c.points_per_sec = r.f64();
   c.voxels_per_sec = r.f64();
+  c.rays_per_sec = r.f64();
   c.texture_mem_bytes = r.u64();
   c.hw_volume_rendering = r.boolean();
   return c;

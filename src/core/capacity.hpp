@@ -23,6 +23,10 @@ struct RenderCapacity {
   double polygons_per_sec = 0;
   double points_per_sec = 0;
   double voxels_per_sec = 0;
+  // Volume marcher throughput. Seeded from the machine profile, then
+  // replaced by the measured rate (volume_rays / volume_seconds) reported
+  // with each load report — the paper's interrogate-then-measure loop.
+  double rays_per_sec = 0;
   uint64_t texture_mem_bytes = 0;
   bool hw_volume_rendering = false;
 
@@ -44,12 +48,21 @@ struct NodeCost {
   uint64_t points = 0;
   uint64_t voxels = 0;
   uint64_t texture_bytes = 0;
+  // Measured volume demand: rays the marcher cast into this node last
+  // frame, and that demand converted into polygon-equivalent work units
+  // (rays * polygons_per_sec / rays_per_sec — see price_volume_costs in
+  // core/data_service). Zero until a render service reports measurements.
+  uint64_t measured_rays = 0;
+  double ray_work = 0;
 
-  // Scalar "work units": triangles dominate; points/voxels are weighted by
-  // their relative rasterization cost.
+  // Scalar "work units": triangles dominate; points are weighted by their
+  // relative rasterization cost. Volumes use the measured rays/s model
+  // when a render service has priced this node, and fall back to the
+  // static voxel-count heuristic until then.
   [[nodiscard]] double work_units() const {
-    return static_cast<double>(triangles) + 0.35 * static_cast<double>(points) +
-           0.01 * static_cast<double>(voxels);
+    const double volume_work =
+        ray_work > 0 ? ray_work : 0.01 * static_cast<double>(voxels);
+    return static_cast<double>(triangles) + 0.35 * static_cast<double>(points) + volume_work;
   }
 };
 

@@ -288,9 +288,12 @@ void DataService::commit_update(Session& session, Subscriber* origin, SceneUpdat
     for (Subscriber& sub : session.subscribers) {
       if (!sub.alive || sub.kind != SubscriberKind::RenderService || sub.whole_tree) continue;
       any_distributed = true;
-      double assigned = 0;
+      std::vector<NodeCost> costs;
       for (NodeId id : sub.interest)
-        if (session.tree.contains(id)) assigned += node_cost(session.tree, id).work_units();
+        if (session.tree.contains(id)) costs.push_back(node_cost(session.tree, id));
+      price_volume_costs(sub, costs);
+      double assigned = 0;
+      for (const NodeCost& cost : costs) assigned += cost.work_units();
       const double headroom = sub.capacity.polygon_budget(options_.target_fps) - assigned;
       if (best == nullptr || headroom > best_headroom) {
         best = &sub;
@@ -351,7 +354,14 @@ size_t DataService::pump_session(Session& session) {
         case kMsgLoadReport: {
           auto report = decode_load_report(*msg);
           if (report.ok()) {
-            sub.tracker.record_frame(report.value().frame_seconds, clock_->now());
+            const LoadReportMsg& lr = report.value();
+            sub.tracker.record_frame(lr.frame_seconds, clock_->now());
+            // Replace the profile's rays/s prior with the measured rate,
+            // and remember which volume nodes drew how many rays.
+            if (lr.volume_rays > 0 && lr.volume_seconds > 0)
+              sub.capacity.rays_per_sec =
+                  static_cast<double>(lr.volume_rays) / lr.volume_seconds;
+            for (const auto& [node, rays] : lr.node_rays) sub.node_rays[node] = rays;
             if (sub.tracker.overloaded(clock_->now()) ||
                 sub.tracker.underloaded(clock_->now()))
               overload_seen = true;
@@ -542,6 +552,7 @@ void DataService::recover_failed(Session& session) {
       for (NodeId id : sub.interest)
         if (session.tree.contains(id)) view.assigned.push_back(node_cost(session.tree, id));
     }
+    price_volume_costs(sub, view.assigned);
     any_stranded = any_stranded || (view.failed && !view.assigned.empty());
     views.push_back(std::move(view));
   }
@@ -597,6 +608,7 @@ std::vector<MigrationAction> DataService::rebalance_locked(Session& session) {
       for (NodeId id : sub.interest)
         if (session.tree.contains(id)) view.assigned.push_back(node_cost(session.tree, id));
     }
+    price_volume_costs(sub, view.assigned);
     views.push_back(std::move(view));
   }
 
@@ -756,6 +768,21 @@ std::vector<DataService::SubscriberView> DataService::subscribers(
     out.push_back(std::move(view));
   }
   return out;
+}
+
+void DataService::price_volume_costs(const Subscriber& sub, std::vector<NodeCost>& costs) const {
+  if (sub.capacity.rays_per_sec <= 0) return;
+  // One ray costs as much as polys_per_ray polygons on this service, so
+  // measured ray demand lands in the same work-unit currency the polygon
+  // budget arithmetic already uses.
+  const double polys_per_ray = sub.capacity.polygons_per_sec / sub.capacity.rays_per_sec;
+  for (NodeCost& cost : costs) {
+    if (cost.voxels == 0) continue;
+    const auto it = sub.node_rays.find(cost.node);
+    if (it == sub.node_rays.end() || it->second == 0) continue;
+    cost.measured_rays = it->second;
+    cost.ray_work = static_cast<double>(it->second) * polys_per_ray;
+  }
 }
 
 DataService::Session* DataService::find_session(const std::string& name) {

@@ -159,6 +159,9 @@ class DataService {
     std::vector<scene::NodeId> interest;
     LoadTracker tracker;
     std::vector<scene::NodeId> own_avatars;
+    // Last reported per-volume-node ray counts (kMsgLoadReport); feeds the
+    // rays/s cost model when planner views are assembled.
+    std::map<scene::NodeId, uint64_t> node_rays;
     bool alive = true;
     double last_seen = 0.0;  // lease renewal: any received message counts
   };
@@ -190,6 +193,11 @@ class DataService {
                        scene::NodeId node) const;
   std::vector<MigrationAction> rebalance_locked(Session& session);
   void apply_actions(Session& session, const std::vector<MigrationAction>& actions);
+  // Attach the measured rays/s pricing to volume nodes in `costs`: the
+  // node's reported ray demand converted into polygon-equivalent work
+  // units (rays * polygons_per_sec / rays_per_sec), so the planner and the
+  // SLO engine weigh volumes by what they actually cost this service.
+  void price_volume_costs(const Subscriber& sub, std::vector<NodeCost>& costs) const;
   Session* find_session(const std::string& name);
   [[nodiscard]] const Session* find_session(const std::string& name) const;
 

@@ -25,6 +25,20 @@ void explain_inputs(MigrationExplain* explain, const std::vector<ServiceLoadView
     std::string rendered = line;
     if (!s.advisory.empty()) rendered += " [" + s.advisory + "]";
     explain->inputs.push_back(std::move(rendered));
+    // Volume nodes priced by the measured rays/s model get their own
+    // line, so a plan can be audited against what the marcher reported.
+    for (const NodeCost& n : s.assigned) {
+      if (n.ray_work <= 0) continue;
+      char vline[192];
+      std::snprintf(vline, sizeof(vline),
+                    "service %llu volume node %llu: %llu rays @ %.0f rays/s -> work=%.0f "
+                    "(rays/s model)",
+                    static_cast<unsigned long long>(s.subscriber_id),
+                    static_cast<unsigned long long>(n.node),
+                    static_cast<unsigned long long>(n.measured_rays), s.capacity.rays_per_sec,
+                    n.ray_work);
+      explain->inputs.push_back(vline);
+    }
   }
 }
 

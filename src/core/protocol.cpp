@@ -161,6 +161,13 @@ net::Message encode(const LoadReportMsg& m) {
   w.f64(m.fps);
   w.f64(m.frame_seconds);
   w.u64(m.assigned_triangles);
+  w.u64(m.volume_rays);
+  w.f64(m.volume_seconds);
+  w.u32(static_cast<uint32_t>(m.node_rays.size()));
+  for (const auto& [node, rays] : m.node_rays) {
+    w.u64(node);
+    w.u64(rays);
+  }
   return finish(kMsgLoadReport, w);
 }
 
@@ -173,6 +180,14 @@ Result<LoadReportMsg> decode_load_report(const net::Message& msg) {
   out.fps = r.f64();
   out.frame_seconds = r.f64();
   out.assigned_triangles = r.u64();
+  out.volume_rays = r.u64();
+  out.volume_seconds = r.f64();
+  const uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    const scene::NodeId node = r.u64();
+    const uint64_t rays = r.u64();
+    out.node_rays.emplace_back(node, rays);
+  }
   if (!r.ok()) return make_error("protocol: truncated load report");
   return out;
 }

@@ -6,6 +6,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compress/tile_cache.hpp"
@@ -92,6 +93,13 @@ struct LoadReportMsg {
   double fps = 0;
   double frame_seconds = 0;
   uint64_t assigned_triangles = 0;
+  // Volume marcher measurements for the rays/s cost model: total rays
+  // cast and wall seconds spent marching last frame (their ratio is the
+  // service's measured rays_per_sec), plus per-volume-node ray counts so
+  // the data service can price individual nodes.
+  uint64_t volume_rays = 0;
+  double volume_seconds = 0;
+  std::vector<std::pair<scene::NodeId, uint64_t>> node_rays;
 };
 
 struct FrameRequest {

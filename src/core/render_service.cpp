@@ -1,12 +1,14 @@
 #include "core/render_service.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/event.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "render/frustum.hpp"
+#include "render/render_list.hpp"
 #include "scene/serialize.hpp"
 #include "util/log.hpp"
 
@@ -360,47 +362,54 @@ render::FrameBuffer RenderService::render_local(Replica& replica, const Camera& 
   opts.pool = options_.pool;
   render::Rasterizer raster(width, height);
   raster.clear(opts);
-  if (replica.whole_tree) {
-    raster.draw_tree(replica.tree, camera, opts);
-  } else {
-    // Subset holders render only their interest subtrees (ancestors in the
-    // replica carry transforms but no payloads).
-    for (NodeId id : replica.interest) {
-      if (!replica.tree.contains(id)) continue;
-      replica.tree.traverse(
-          [&](const scene::SceneNode& node, const util::Mat4& world) {
-            if (const auto* mesh = std::get_if<scene::MeshData>(&node.payload))
-              raster.draw_mesh(*mesh, world, camera, opts);
-            else if (const auto* pts = std::get_if<scene::PointCloudData>(&node.payload))
-              raster.draw_points(*pts, world, camera, opts);
-            else if (const auto* av = std::get_if<scene::AvatarData>(&node.payload))
-              raster.draw_mesh(scene::make_avatar_mesh(*av), world, camera, opts);
-          },
-          id);
-    }
-  }
+  // One frustum-culling pass in front of both backends: walk the replica
+  // once, test node world bounds, and hand each backend its pre-culled
+  // list. Subset holders keep their interest roots for raster geometry
+  // (ancestors in the replica carry transforms but no payloads); volumes
+  // composite from the whole replica either way, since their blend order
+  // is view-dependent, not ownership-dependent.
+  render::RenderListOptions list_opts;
+  list_opts.frustum_cull = opts.frustum_cull;
+  if (!replica.whole_tree) list_opts.roots = replica.interest;
+  const float aspect = static_cast<float>(width) / static_cast<float>(height);
+  const render::RenderList list =
+      render::build_render_list(replica.tree, camera, aspect, list_opts);
+  raster.draw_list(list, camera, opts);
+
   render::RaycastOptions ray_opts;
   ray_opts.region = region;
   ray_opts.pool = options_.pool;
-  render::raycast_tree_volumes(raster.framebuffer(), replica.tree, camera, ray_opts);
+  std::vector<render::RenderStats> per_volume;
+  const render::RenderStats vstats =
+      render::raycast_list(raster.framebuffer(), list, camera, ray_opts, &per_volume);
+  std::vector<std::pair<scene::NodeId, uint64_t>> node_rays;
+  node_rays.reserve(per_volume.size());
+  for (size_t i = 0; i < per_volume.size(); ++i)
+    node_rays.emplace_back(list.volumes[i].node, per_volume[i].rays_cast);
 
   const uint64_t tris = raster.stats().triangles_submitted;
   const uint64_t pixels = region.width > 0
                               ? region.pixel_count()
                               : static_cast<uint64_t>(width) * static_cast<uint64_t>(height);
-  account_frame(replica, tris, pixels);
+  account_frame(replica, tris, pixels, vstats, std::move(node_rays));
   return std::move(raster.framebuffer());
 }
 
-void RenderService::account_frame(Replica& replica, uint64_t triangles, uint64_t pixels) {
+void RenderService::account_frame(Replica& replica, uint64_t triangles, uint64_t pixels,
+                                  const render::RenderStats& volume,
+                                  std::vector<std::pair<scene::NodeId, uint64_t>> node_rays) {
+  const double volume_seconds =
+      sim::volume_march_seconds(options_.profile, volume.rays_cast, volume.volume_samples);
   double frame_seconds;
   if (options_.simulate_timing) {
-    frame_seconds = sim::offscreen_sequential_seconds(options_.profile, triangles, pixels);
+    frame_seconds =
+        sim::offscreen_sequential_seconds(options_.profile, triangles, pixels) + volume_seconds;
     clock_->sleep_for(frame_seconds);
   } else {
     // Real time: approximate with the modelled cost when the clock has no
     // better source (the rasterizer is not the 2004 hardware).
-    frame_seconds = sim::offscreen_sequential_seconds(options_.profile, triangles, pixels);
+    frame_seconds =
+        sim::offscreen_sequential_seconds(options_.profile, triangles, pixels) + volume_seconds;
   }
   last_frame_seconds_ = frame_seconds;
   ++stats_.frames_rendered;
@@ -408,6 +417,12 @@ void RenderService::account_frame(Replica& replica, uint64_t triangles, uint64_t
     frame_latency_ = &obs::MetricsRegistry::global().histogram(
         "rave_frame_seconds", {{"host", options_.profile.name}});
   frame_latency_->observe(frame_seconds);
+  if (volume.rays_cast > 0) {
+    if (volume_latency_ == nullptr)
+      volume_latency_ = &obs::MetricsRegistry::global().histogram(
+          "rave_volume_seconds", {{"host", options_.profile.name}});
+    volume_latency_->observe(volume_seconds);
+  }
   replica.tracker.record_frame(frame_seconds, clock_->now());
   if (clock_->now() - replica.last_report >= options_.load_report_interval) {
     replica.last_report = clock_->now();
@@ -416,6 +431,9 @@ void RenderService::account_frame(Replica& replica, uint64_t triangles, uint64_t
     report.fps = replica.tracker.fps();
     report.frame_seconds = frame_seconds;
     report.assigned_triangles = triangles;
+    report.volume_rays = volume.rays_cast;
+    report.volume_seconds = volume_seconds;
+    report.node_rays = std::move(node_rays);
     (void)replica.data_channel->send(encode(report));
   }
 }

@@ -233,7 +233,9 @@ class RenderService {
   void apply_update(Replica& replica, const scene::SceneUpdate& update);
   render::FrameBuffer render_local(Replica& replica, const scene::Camera& camera, int width,
                                    int height, const render::Tile& region);
-  void account_frame(Replica& replica, uint64_t triangles, uint64_t pixels);
+  void account_frame(Replica& replica, uint64_t triangles, uint64_t pixels,
+                     const render::RenderStats& volume,
+                     std::vector<std::pair<scene::NodeId, uint64_t>> node_rays);
   void serve_frame(Client& client, const FrameRequest& request, obs::TraceContext trace);
   Replica* find_replica(const std::string& session);
   [[nodiscard]] const Replica* find_replica(const std::string& session) const;
@@ -255,6 +257,7 @@ class RenderService {
   std::vector<std::string> advertised_bindings_;  // lease keys to renew
   Stats stats_;
   obs::Histogram* frame_latency_ = nullptr;  // registry-owned, keyed by host
+  obs::Histogram* volume_latency_ = nullptr;  // rave_volume_seconds, keyed by host
   obs::Gauge* delayed_gauge_ = nullptr;
   double last_frame_seconds_ = 0;
   double assist_stall_seconds_ = 0;

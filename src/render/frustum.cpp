@@ -51,6 +51,24 @@ bool Frustum::intersects(const util::Aabb& box) const {
   return true;
 }
 
+Frustum::Containment Frustum::classify(const util::Aabb& box) const {
+  if (!box.valid()) return Containment::Outside;
+  Containment result = Containment::Inside;
+  for (const Plane& plane : planes_) {
+    const Vec3 pos{plane.normal.x >= 0 ? box.hi.x : box.lo.x,
+                   plane.normal.y >= 0 ? box.hi.y : box.lo.y,
+                   plane.normal.z >= 0 ? box.hi.z : box.lo.z};
+    if (plane.signed_distance(pos) < 0) return Containment::Outside;
+    // Negative vertex: the corner nearest the plane. If it is outside, the
+    // box straddles this plane.
+    const Vec3 neg{plane.normal.x >= 0 ? box.lo.x : box.hi.x,
+                   plane.normal.y >= 0 ? box.lo.y : box.hi.y,
+                   plane.normal.z >= 0 ? box.lo.z : box.hi.z};
+    if (plane.signed_distance(neg) < 0) result = Containment::Intersects;
+  }
+  return result;
+}
+
 bool Frustum::contains_point(const Vec3& p) const {
   for (const Plane& plane : planes_)
     if (plane.signed_distance(p) < 0) return false;

@@ -33,6 +33,13 @@ class Frustum {
   // Conservative AABB test: false only when the box is certainly outside.
   [[nodiscard]] bool intersects(const util::Aabb& box) const;
 
+  // Three-way AABB classification (positive/negative vertex test).
+  // Outside is exact per plane; Inside means every corner is inside all six
+  // planes, so every box contained in it is too — the render-list pass uses
+  // that to skip per-node tests when the whole scene is on screen.
+  enum class Containment : uint8_t { Outside = 0, Intersects = 1, Inside = 2 };
+  [[nodiscard]] Containment classify(const util::Aabb& box) const;
+
   [[nodiscard]] bool contains_point(const util::Vec3& p) const;
 
   [[nodiscard]] const std::array<Plane, 6>& planes() const { return planes_; }

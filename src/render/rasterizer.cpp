@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "render/frustum.hpp"
+#include "render/render_list.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
@@ -802,6 +803,20 @@ void Rasterizer::draw_tree(const scene::SceneTree& tree, const Camera& camera,
     }
     // VoxelGrid nodes are composited by the ray-caster (raycast.hpp).
   });
+}
+
+void Rasterizer::draw_list(const RenderList& list, const Camera& camera,
+                           const RenderOptions& options) {
+  stats_.nodes_culled += list.nodes_culled;
+  for (const RenderList::RasterItem& item : list.raster) {
+    if (const auto* mesh = std::get_if<scene::MeshData>(&item.node->payload)) {
+      draw_mesh(*mesh, item.world, camera, options);
+    } else if (const auto* pts = std::get_if<scene::PointCloudData>(&item.node->payload)) {
+      draw_points(*pts, item.world, camera, options);
+    } else if (const auto* av = std::get_if<scene::AvatarData>(&item.node->payload)) {
+      draw_mesh(scene::make_avatar_mesh(*av), item.world, camera, options);
+    }
+  }
 }
 
 FrameBuffer render_tree(const scene::SceneTree& tree, const Camera& camera, int width, int height,

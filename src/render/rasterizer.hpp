@@ -32,6 +32,8 @@ class ThreadPool;
 
 namespace rave::render {
 
+struct RenderList;  // render/render_list.hpp
+
 using scene::Camera;
 using util::Mat4;
 using util::Vec3;
@@ -42,6 +44,14 @@ struct RenderStats {
   uint64_t pixels_shaded = 0;
   uint64_t points_submitted = 0;
   uint64_t nodes_culled = 0;  // whole nodes skipped by frustum culling
+  // Volume marcher (raycast.hpp). rays_cast counts rays that entered a
+  // volume's bounds; volume_samples counts shaded (non-transparent)
+  // samples — identical across SIMD levels and thread counts, like the
+  // pixels. bricks_skipped counts macro-cell skip jumps taken, which vary
+  // with the packet width (wider packets test bricks less often).
+  uint64_t rays_cast = 0;
+  uint64_t volume_samples = 0;
+  uint64_t bricks_skipped = 0;
 
   RenderStats& operator+=(const RenderStats& o) {
     triangles_submitted += o.triangles_submitted;
@@ -49,6 +59,9 @@ struct RenderStats {
     pixels_shaded += o.pixels_shaded;
     points_submitted += o.points_submitted;
     nodes_culled += o.nodes_culled;
+    rays_cast += o.rays_cast;
+    volume_samples += o.volume_samples;
+    bricks_skipped += o.bricks_skipped;
     return *this;
   }
 };
@@ -85,6 +98,13 @@ class Rasterizer {
   // Render an entire scene tree: meshes, point clouds, avatars (voxel
   // grids are handled by the ray-caster, see raycast.hpp).
   void draw_tree(const scene::SceneTree& tree, const Camera& camera,
+                 const RenderOptions& options = {});
+
+  // Render the rasterizable items of a pre-culled render list
+  // (render_list.hpp) in list order — byte-identical to draw_tree, which
+  // applies the same frustum test during its walk. The list's cull count
+  // is folded into stats().nodes_culled.
+  void draw_list(const RenderList& list, const Camera& camera,
                  const RenderOptions& options = {});
 
   [[nodiscard]] const FrameBuffer& framebuffer() const { return fb_; }

@@ -1,0 +1,76 @@
+#include "scene/bricks.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "scene/node.hpp"
+
+namespace rave::scene {
+
+std::shared_ptr<const MacroCells> build_macro_cells(const VoxelGridData& grid) {
+  auto cells = std::make_shared<MacroCells>();
+  if (grid.voxel_count() == 0 || grid.values.size() < grid.voxel_count()) return cells;
+  const uint32_t b = MacroCells::kBrick;
+  cells->bx = (grid.nx + b - 1) / b;
+  cells->by = (grid.ny + b - 1) / b;
+  cells->bz = (grid.nz + b - 1) / b;
+  cells->min_v.assign(cells->brick_count(), std::numeric_limits<float>::max());
+  cells->max_v.assign(cells->brick_count(), std::numeric_limits<float>::lowest());
+
+  // Single sweep over the voxels: each voxel folds into every brick whose
+  // support range contains it. A voxel at index x belongs to brick x>>3 and
+  // — because trilinear interpolation reads one voxel past the brick's high
+  // edge — also to the brick below when it sits on a brick boundary
+  // (x % 8 == 0, x > 0). That one-voxel overlap is exactly what makes a
+  // brick's max bound every sample whose *base* voxel lies inside it.
+  const auto fold = [&](size_t brick, float v) {
+    cells->min_v[brick] = std::min(cells->min_v[brick], v);
+    cells->max_v[brick] = std::max(cells->max_v[brick], v);
+  };
+  for (uint32_t z = 0; z < grid.nz; ++z) {
+    const uint32_t bz0 = z >> MacroCells::kBrickShift;
+    const bool z_edge = z > 0 && (z & (b - 1)) == 0;
+    for (uint32_t y = 0; y < grid.ny; ++y) {
+      const uint32_t by0 = y >> MacroCells::kBrickShift;
+      const bool y_edge = y > 0 && (y & (b - 1)) == 0;
+      for (uint32_t x = 0; x < grid.nx; ++x) {
+        const uint32_t bx0 = x >> MacroCells::kBrickShift;
+        const bool x_edge = x > 0 && (x & (b - 1)) == 0;
+        const float v = grid.at(x, y, z);
+        for (int dz = 0; dz <= (z_edge ? 1 : 0); ++dz)
+          for (int dy = 0; dy <= (y_edge ? 1 : 0); ++dy)
+            for (int dx = 0; dx <= (x_edge ? 1 : 0); ++dx)
+              fold(cells->index(bx0 - static_cast<uint32_t>(dx),
+                                by0 - static_cast<uint32_t>(dy),
+                                bz0 - static_cast<uint32_t>(dz)),
+                   v);
+      }
+    }
+  }
+
+  // Coarse level: fold each brick's support-expanded max into its 2x2x2
+  // parent cell. Brick 2c covers base voxels [16c, 16c+7] with support to
+  // 16c+8, brick 2c+1 covers [16c+8, 16c+15] with support to 16c+16 — the
+  // union bounds every sample whose base voxel lies in the coarse cell.
+  cells->cx = (cells->bx + 1) / 2;
+  cells->cy = (cells->by + 1) / 2;
+  cells->cz = (cells->bz + 1) / 2;
+  cells->coarse_max.assign(
+      static_cast<size_t>(cells->cx) * cells->cy * cells->cz,
+      std::numeric_limits<float>::lowest());
+  for (uint32_t z = 0; z < cells->bz; ++z)
+    for (uint32_t y = 0; y < cells->by; ++y)
+      for (uint32_t x = 0; x < cells->bx; ++x) {
+        const size_t coarse = cells->coarse_index(x >> 1, y >> 1, z >> 1);
+        cells->coarse_max[coarse] =
+            std::max(cells->coarse_max[coarse], cells->max_v[cells->index(x, y, z)]);
+      }
+  return cells;
+}
+
+std::shared_ptr<const MacroCells> VoxelGridData::macro_cells() const {
+  if (!macro_cells_cache_) macro_cells_cache_ = build_macro_cells(*this);
+  return macro_cells_cache_;
+}
+
+}  // namespace rave::scene

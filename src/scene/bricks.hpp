@@ -1,0 +1,77 @@
+// Min/max macro-cells ("bricks") over a VoxelGridData — the empty-space
+// skipping acceleration structure for the volume ray-caster. The grid is
+// divided into 8^3-voxel bricks; each brick stores the min/max density over
+// a *support-expanded* voxel range (one voxel beyond the brick on the high
+// side), so the range bounds every trilinear sample whose base voxel falls
+// inside the brick. A brick whose support max is strictly below the
+// transfer function's iso_low is provably transparent: every sample the
+// brute-force marcher would take inside it is a convex combination of
+// densities < iso_low and hits the marcher's `density < iso_low` skip —
+// which is what makes brick skipping byte-identical to the brute march
+// (DESIGN.md "Fast volume path").
+//
+// The cells are cached on the VoxelGridData (see node.hpp). The cache is
+// invalidated automatically by the scene/update path (SetPayload replaces
+// the payload wholesale, and a freshly decoded grid carries no cache);
+// direct mutation through at() must call invalidate_macro_cells().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rave::scene {
+
+struct VoxelGridData;
+
+struct MacroCells {
+  // Brick edge in voxels. 8^3 balances skip granularity against the cost
+  // of the per-brick min/max table (1/512 of the volume).
+  static constexpr uint32_t kBrickShift = 3;
+  static constexpr uint32_t kBrick = 1u << kBrickShift;
+  // Second level: 2x2x2 bricks (16^3 voxels). Large empty regions skip in
+  // coarse cells, halving the per-brick jump count along a ray.
+  static constexpr uint32_t kCoarseShift = kBrickShift + 1;
+
+  uint32_t bx = 0, by = 0, bz = 0;  // brick counts per axis
+  std::vector<float> min_v;         // bx*by*bz, x fastest
+  std::vector<float> max_v;
+  uint32_t cx = 0, cy = 0, cz = 0;  // coarse-cell counts per axis
+  std::vector<float> coarse_max;    // cx*cy*cz, x fastest
+
+  [[nodiscard]] size_t brick_count() const {
+    return static_cast<size_t>(bx) * by * bz;
+  }
+  [[nodiscard]] size_t index(uint32_t ix, uint32_t iy, uint32_t iz) const {
+    return (static_cast<size_t>(iz) * by + iy) * bx + ix;
+  }
+  [[nodiscard]] float min_at(uint32_t ix, uint32_t iy, uint32_t iz) const {
+    return min_v[index(ix, iy, iz)];
+  }
+  [[nodiscard]] float max_at(uint32_t ix, uint32_t iy, uint32_t iz) const {
+    return max_v[index(ix, iy, iz)];
+  }
+
+  // True when every trilinear sample with its base voxel in this brick is
+  // strictly below `iso_low` (the marcher skips such samples unshaded).
+  [[nodiscard]] bool transparent(uint32_t ix, uint32_t iy, uint32_t iz,
+                                 float iso_low) const {
+    return max_v[index(ix, iy, iz)] < iso_low;
+  }
+
+  [[nodiscard]] size_t coarse_index(uint32_t ix, uint32_t iy, uint32_t iz) const {
+    return (static_cast<size_t>(iz) * cy + iy) * cx + ix;
+  }
+  // Same contract as transparent(), one level up: the coarse max is the
+  // max over its constituent bricks' support-expanded maxes, so it bounds
+  // every sample whose base voxel lies in the 16^3 cell.
+  [[nodiscard]] bool coarse_transparent(uint32_t ix, uint32_t iy, uint32_t iz,
+                                        float iso_low) const {
+    return coarse_max[coarse_index(ix, iy, iz)] < iso_low;
+  }
+};
+
+// One full pass over the grid. O(voxels), run once per volume edit.
+std::shared_ptr<const MacroCells> build_macro_cells(const VoxelGridData& grid);
+
+}  // namespace rave::scene

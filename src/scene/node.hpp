@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -13,6 +14,8 @@
 #include "util/vec.hpp"
 
 namespace rave::scene {
+
+struct MacroCells;  // scene/bricks.hpp
 
 using util::Aabb;
 using util::Mat4;
@@ -81,6 +84,19 @@ struct VoxelGridData {
   [[nodiscard]] Aabb bounds() const;
   // Trilinear sample at a point in grid-local (world) coordinates.
   [[nodiscard]] float sample(const Vec3& p) const;
+
+  // Cached min/max macro-cells for empty-space skipping (scene/bricks.hpp),
+  // built lazily on first use. The scene/update path invalidates for free:
+  // SetPayload replaces the payload wholesale and a freshly built or decoded
+  // grid carries an empty cache. Direct mutation through at() must call
+  // invalidate_macro_cells(). Lazy builds are not synchronized — callers
+  // that fan rays out across threads build the cache once up front
+  // (raycast_volume does) rather than racing on first use.
+  [[nodiscard]] std::shared_ptr<const MacroCells> macro_cells() const;
+  void invalidate_macro_cells() { macro_cells_cache_.reset(); }
+
+ private:
+  mutable std::shared_ptr<const MacroCells> macro_cells_cache_;
 };
 
 // Marker payload for a collaborating user; rendered as a view-direction

@@ -25,6 +25,11 @@ double offscreen_sequential_seconds(const MachineProfile& m, uint64_t triangles,
          safe_div(static_cast<double>(pixels), m.off_copy_rate) + m.off_fixed_latency;
 }
 
+double volume_march_seconds(const MachineProfile& m, uint64_t rays, uint64_t samples) {
+  return safe_div(static_cast<double>(rays), m.fill_rate * 0.5) +
+         safe_div(static_cast<double>(samples), m.fill_rate * 0.1);
+}
+
 OffscreenBatch offscreen_batch(const MachineProfile& m, uint64_t triangles, uint64_t pixels,
                                int count) {
   OffscreenBatch batch;

@@ -24,6 +24,10 @@ double offscreen_render_seconds(const MachineProfile& m, uint64_t triangles, uin
 // render + readback copy + completion-visibility latency.
 double offscreen_sequential_seconds(const MachineProfile& m, uint64_t triangles, uint64_t pixels);
 
+// Volume marching: per-ray setup (box clip, brick walk) plus per-sample
+// trilinear/compositing work, both paid out of the fill pipeline.
+double volume_march_seconds(const MachineProfile& m, uint64_t rays, uint64_t samples);
+
 struct OffscreenBatch {
   double sequential_seconds = 0;   // request → wait → next
   double interleaved_seconds = 0;  // all requested up front, round-robin poll

@@ -28,6 +28,7 @@
 #include "mesh/marching_cubes.hpp"
 #include "obs/collector.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "render/compositor.hpp"
 #include "render/raycast.hpp"
@@ -394,13 +395,52 @@ BENCHMARK(BM_Raycast)
 // Arg 0 = tracing off, 1 = tracing on, 2 = central collector scraping
 // this process's registry at 1 Hz of virtual time while frames render at
 // a ~60 fps virtual cadence (the telemetry plane's render-path cost).
+// Frame-delivery arms: 3 = cached streaming (publisher → in-process
+// workstation subscriber) with the delivery instruments compiled in but
+// tracing off (the production default — the <2% budget applies here too),
+// 4 = same with every frame rooted and per-hop spans recorded, 5 = the
+// sampling profiler enabled at 1 kHz over an untraced render loop (span
+// annotation push/pop plus timer sampling, tracing off).
 void BM_ObsOverhead(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
-  const bool traced = mode == 1;
+  const bool traced = mode == 1 || mode == 4;
   obs::Tracer::global().reset();
   obs::Tracer::global().set_enabled(traced);
   const scene::Camera cam = scene::Camera::framing(elle_tree().world_bounds());
-  if (mode == 2) {
+  if (mode == 3 || mode == 4) {
+    core::FrameStreamOptions options;
+    options.tile_size = 32;
+    core::FrameStreamPublisher publisher(options);
+    auto [srv, cli] = net::make_channel_pair();
+    publisher.subscribe(srv, compress::QualityClass::Workstation);
+    core::FrameStreamReceiver receiver(cli, compress::QualityClass::Workstation, options);
+    render::Image frame = render::render_tree(elle_tree(), cam, 200, 200).to_image();
+    util::RealClock clock;
+    int step = 0;
+    for (auto _ : state) {
+      // Touch one pixel per frame: a realistic mostly-cached delivery
+      // (one changed tile encodes, the rest ship as refs).
+      frame.set_pixel(step % 200, (step / 200) % 200, 255, 255, 255);
+      ++step;
+      (void)publisher.publish_frame(frame);
+      auto got = receiver.next_frame(clock, 1.0);
+      benchmark::DoNotOptimize(got);
+      // Bound the span collector so the traced arm measures recording
+      // cost, not capacity-eviction churn.
+      if (traced && (step & 0x3F) == 0) obs::Tracer::global().reset();
+    }
+  } else if (mode == 5) {
+    obs::Profiler::global().reset();
+    obs::Profiler::global().set_enabled(true);
+    obs::Profiler::global().start(/*interval_seconds=*/0.001);
+    for (auto _ : state) {
+      render::RenderStats stats;
+      benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, 400, 400, {}, &stats));
+    }
+    obs::Profiler::global().stop();
+    obs::Profiler::global().set_enabled(false);
+    obs::Profiler::global().reset();
+  } else if (mode == 2) {
     util::SimClock clock;
     obs::Collector::Options options;
     options.interval = 1.0;
@@ -428,9 +468,15 @@ void BM_ObsOverhead(benchmark::State& state) {
   obs::Tracer::global().set_enabled(false);
   obs::Tracer::global().reset();
   state.SetItemsProcessed(state.iterations() * 50'000);
-  state.SetLabel(mode == 2 ? "collector 1 Hz" : traced ? "tracing on" : "tracing off");
+  switch (mode) {
+    case 2: state.SetLabel("collector 1 Hz"); break;
+    case 3: state.SetLabel("streaming tracing off"); break;
+    case 4: state.SetLabel("streaming tracing on"); break;
+    case 5: state.SetLabel("profiler 1 kHz"); break;
+    default: state.SetLabel(traced ? "tracing on" : "tracing off");
+  }
 }
-BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 
 // Frame fan-out: encoded bytes + encode CPU to deliver one frame to N
 // subscribers (half workstation-class lossless, half PDA-class quantized).

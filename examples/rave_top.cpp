@@ -10,6 +10,10 @@
 //   --watch        redraw in place with ANSI clear instead of scrolling
 //   --jsonl PATH   export the collected time-series history as JSONL
 //   --trace        enable frame tracing (phase breakdown in the dashboard)
+//   --profile      sample the span stacks each tick; print the hottest
+//                  functions under the dashboard
+//   --flame PATH   write the profiler's collapsed stacks (flamegraph.pl
+//                  input format) on exit; implies --profile
 //   --seconds N    virtual seconds to run (default 12)
 #include <cstdio>
 #include <cstdlib>
@@ -20,25 +24,39 @@
 #include "core/grid.hpp"
 #include "mesh/generators.hpp"
 #include "obs/event.hpp"
+#include "obs/profiler.hpp"
 
 using namespace rave;
 
 int main(int argc, char** argv) {
   bool watch = false;
   bool trace = false;
+  bool profile = false;
   std::string jsonl_path;
+  std::string flame_path;
   double seconds = 12.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--watch") == 0) watch = true;
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    if (std::strcmp(argv[i], "--profile") == 0) profile = true;
     if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) jsonl_path = argv[++i];
+    if (std::strcmp(argv[i], "--flame") == 0 && i + 1 < argc) flame_path = argv[++i];
     if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc)
       seconds = std::atof(argv[++i]);
   }
+  if (!flame_path.empty()) profile = true;
 
   util::SimClock clock;
   obs::set_clock(&clock);  // byte-stable timestamps for traces/logs
   if (trace) obs::Tracer::global().set_enabled(true);
+  // Production mode: a timer thread samples whichever span-annotated
+  // frames are on each thread's stack. Rasterization runs for real even
+  // under virtual time, so the samples land in genuine CPU work. (Tests
+  // use the deterministic injected-tick mode instead.)
+  if (profile) {
+    obs::Profiler::global().set_enabled(true);
+    obs::Profiler::global().start(/*interval_seconds=*/0.001);
+  }
   core::RaveGrid grid(clock, net::ethernet_100mbit());
 
   // The paper's heterogeneous testbed in miniature: one data host, two
@@ -91,8 +109,28 @@ int main(int argc, char** argv) {
       next_draw += 1.0;
       if (watch) std::printf("\x1b[2J\x1b[H");
       std::fputs(grid.telemetry_dashboard().c_str(), stdout);
+      if (profile) {
+        // The hottest span-annotated functions by sample count — the
+        // one-glance "where is the CPU going" line.
+        const auto hot = obs::Profiler::global().hottest(3);
+        if (!hot.empty()) {
+          std::printf("-- profiler (%llu samples)",
+                      static_cast<unsigned long long>(obs::Profiler::global().total_samples()));
+          for (const obs::Profiler::Hot& h : hot)
+            std::printf("  %s %llu", h.frame.c_str(),
+                        static_cast<unsigned long long>(h.samples));
+          std::printf("\n");
+        }
+      }
       std::printf("\n");
     }
+  }
+
+  if (profile) obs::Profiler::global().stop();
+  if (!flame_path.empty()) {
+    std::ofstream out(flame_path, std::ios::binary);
+    out << obs::Profiler::global().collapsed();
+    std::printf("collapsed stacks -> %s (flamegraph.pl input)\n", flame_path.c_str());
   }
 
   if (!jsonl_path.empty()) {

@@ -1,8 +1,11 @@
 #include "core/frame_stream.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "render/framebuffer.hpp"
 #include "util/hash.hpp"
 
@@ -27,6 +30,31 @@ void account_tiles(uint64_t refs, uint64_t datas, uint64_t ref_bytes, uint64_t d
     reg.counter("rave_fanout_tiles_total", {{"result", "data"}}).inc(datas);
     reg.counter("rave_fanout_bytes_total", {{"kind", "data"}}).inc(data_bytes);
   }
+}
+
+// Per-hop delivery latency, labelled by the subscriber's quality class.
+// hop="publish" is the publisher's encode+publish wall time, "assemble"
+// the receiver's FrameBegin→completion span, "deliver" the end-to-end
+// frame age (publisher stamp → receiver completion).
+obs::Histogram& delivery_histogram(QualityClass quality, const char* hop) {
+  return obs::MetricsRegistry::global().histogram(
+      "rave_stream_delivery_seconds",
+      {{"class", compress::quality_name(quality)}, {"hop", hop}});
+}
+
+// Host label for receiver-side spans when the embedding service set one
+// (render_service pumps set the thread host); standalone receivers fall
+// back to "subscriber".
+const std::string& receiver_host() {
+  static const std::string kFallback = "subscriber";
+  const std::string& host = obs::Tracer::current_host();
+  return host.empty() ? kFallback : host;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6fs", seconds);
+  return buf;
 }
 
 }  // namespace
@@ -61,6 +89,15 @@ size_t FrameStreamPublisher::subscriber_count() const {
 FrameStreamPublisher::FrameReport FrameStreamPublisher::publish_frame(const Image& frame) {
   FrameReport report;
   report.frame_id = next_frame_id_++;
+  // Root the frame's delivery trace. The root span becomes the thread's
+  // current context, so stamp_trace() below puts it on every stream
+  // message — relay hops, reactor queue-wait, and subscriber decode and
+  // assemble spans all stitch under this one timeline.
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::ScopedSpan frame_span = obs::ScopedSpan::root(
+      "publish_frame",
+      obs::Tracer::current_host().empty() ? "publisher" : obs::Tracer::current_host());
+  if (frame_span.active()) report.trace_id = frame_span.context().trace_id;
   std::vector<render::Tile> tiles = render::tile_grid(frame.width, frame.height,
                                                       options_.tile_size);
   const std::vector<uint64_t> hashes = render::hash_tiles(frame, tiles);
@@ -75,6 +112,7 @@ FrameStreamPublisher::FrameReport FrameStreamPublisher::publish_frame(const Imag
     Stream& s = stream(quality);
     if (s.hub.subscriber_count() == 0) continue;
     ++report.classes_published;
+    const double class_start = tracer.now();
     const bool keyframe = s.force_keyframe || s.prev_width != frame.width ||
                           s.prev_height != frame.height ||
                           s.prev_hashes.size() != tiles.size();
@@ -86,13 +124,17 @@ FrameStreamPublisher::FrameReport FrameStreamPublisher::publish_frame(const Imag
     begin.tile_size = static_cast<uint16_t>(options_.tile_size);
     begin.tile_count = static_cast<uint16_t>(tiles.size());
     begin.quality = quality;
-    s.hub.publish(encode(begin));
+    begin.publish_time = class_start;
+    net::Message begin_msg = encode(begin);
+    stamp_trace(begin_msg);
+    s.hub.publish(begin_msg);
 
     for (size_t i = 0; i < tiles.size(); ++i) {
       ++report.tiles_total;
       if (!keyframe && hashes[i] == s.prev_hashes[i]) {
-        const net::Message msg = encode(
+        net::Message msg = encode(
             TileRefMsg{report.frame_id, static_cast<uint16_t>(i), hashes[i]});
+        stamp_trace(msg);
         s.hub.publish(msg);
         ++report.tiles_ref;
         report.ref_bytes += msg.wire_size();
@@ -104,17 +146,21 @@ FrameStreamPublisher::FrameReport FrameStreamPublisher::publish_frame(const Imag
         // The serialized tile rides as a shared Buffer tail: one encode +
         // serialize per (content, class), a refcount bump per subscriber,
         // and a scatter-gather write at the socket — never another copy.
-        const net::Message msg =
+        net::Message msg =
             encode_tile_data(report.frame_id, static_cast<uint16_t>(i), tiles[i], hashes[i],
                              memo_.encode_serialized(hashes[i], quality, extracted[i]));
+        stamp_trace(msg);
         s.hub.publish(msg);
         ++report.tiles_data;
         report.data_bytes += msg.wire_size();
       }
     }
 
-    s.hub.publish(encode(
-        FrameEndMsg{report.frame_id, static_cast<uint16_t>(tiles.size()), frame_hash}));
+    net::Message end_msg = encode(
+        FrameEndMsg{report.frame_id, static_cast<uint16_t>(tiles.size()), frame_hash});
+    stamp_trace(end_msg);
+    s.hub.publish(end_msg);
+    delivery_histogram(quality, "publish").observe(tracer.now() - class_start);
     s.prev_hashes = hashes;
     s.prev_width = frame.width;
     s.prev_height = frame.height;
@@ -201,6 +247,8 @@ void FrameStreamReceiver::handle(const net::Message& msg) {
       if (assembly_.grid.size() != begin.value().tile_count) return;  // malformed
       assembly_.filled.assign(assembly_.grid.size(), false);
       assembly_.active = true;
+      assembly_.trace = trace_of(msg);
+      assembly_.begin_received_at = obs::Tracer::global().now();
       return;
     }
     case kMsgTileRef: {
@@ -225,6 +273,9 @@ void FrameStreamReceiver::handle(const net::Message& msg) {
       const auto data = decode_tile_data(msg);
       if (!data.ok()) return;
       stats_.bytes_received += msg.wire_size();
+      // Parent the decode under the context the message carried — the
+      // publisher's root directly, or the last relay hop it crossed.
+      obs::ScopedSpan decode_span("decode", receiver_host(), trace_of(msg));
       const auto encoded = compress::EncodedImage::deserialize(data.value().encoded);
       if (!encoded.ok()) return;
       auto decoded =
@@ -257,6 +308,58 @@ void FrameStreamReceiver::handle(const net::Message& msg) {
   }
 }
 
+void FrameStreamReceiver::observe_completion() {
+  obs::Tracer& tracer = obs::Tracer::global();
+  const double now = tracer.now();
+  const double assemble_seconds =
+      now > assembly_.begin_received_at ? now - assembly_.begin_received_at : 0;
+  // The assemble span covers FrameBegin arrival → completion, parented
+  // under whatever hop delivered the header (publisher root or last
+  // relay). Recorded before the critical path below so late-frame
+  // post-mortems include it.
+  if (tracer.enabled() && assembly_.trace.valid()) {
+    obs::SpanRecord span;
+    span.trace_id = assembly_.trace.trace_id;
+    span.parent_span_id = assembly_.trace.span_id;
+    span.span_id = tracer.next_span_id();
+    span.name = "assemble";
+    span.host = receiver_host();
+    span.start = assembly_.begin_received_at;
+    span.end = now;
+    tracer.record(std::move(span));
+  }
+  delivery_histogram(quality_, "assemble").observe(assemble_seconds);
+  // Frame age: how stale this frame already was the moment the subscriber
+  // could first show it. Under a drop-oldest shed schedule this is the
+  // staleness the shed actually cost — the age of the next frame that got
+  // through, not of the ones that didn't.
+  double age = 0;
+  if (assembly_.begin.publish_time > 0) {
+    age = now - assembly_.begin.publish_time;
+    if (age < 0) age = 0;
+    obs::MetricsRegistry::global()
+        .gauge("rave_stream_frame_age_seconds",
+               {{"class", compress::quality_name(quality_)}})
+        .set(age);
+    delivery_histogram(quality_, "deliver").observe(age);
+  }
+  if (options_.frame_deadline_seconds > 0 && age > options_.frame_deadline_seconds) {
+    ++stats_.frames_late;
+    // Late-frame post-mortem: freeze the per-hop breakdown while the
+    // trace's spans are still in the collector.
+    std::string text = "late frame " + std::to_string(assembly_.begin.frame_id) +
+                       " class " + compress::quality_name(quality_) + ": age " +
+                       format_seconds(age) + " > deadline " +
+                       format_seconds(options_.frame_deadline_seconds);
+    if (assembly_.trace.valid()) {
+      text += "\n";
+      text += obs::format_critical_path(
+          obs::critical_path(tracer.spans(), assembly_.trace.trace_id));
+    }
+    obs::FlightRecorder::global().record_failure("stream", text, now);
+  }
+}
+
 Result<Image> FrameStreamReceiver::next_frame(util::Clock& clock, double timeout_seconds,
                                               const std::function<void()>& pump) {
   const double deadline = clock.now() + timeout_seconds;
@@ -275,6 +378,7 @@ Result<Image> FrameStreamReceiver::next_frame(util::Clock& clock, double timeout
         assembly_ = Assembly{};
         return make_error("frame stream: assembled frame failed integrity check");
       }
+      observe_completion();
       ++stats_.frames_completed;
       Image out = std::move(assembly_.image);
       assembly_ = Assembly{};

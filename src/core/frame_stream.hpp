@@ -26,6 +26,7 @@
 #include "compress/tile_cache.hpp"
 #include "core/protocol.hpp"
 #include "net/fanout.hpp"
+#include "obs/trace.hpp"
 #include "render/compositor.hpp"
 #include "util/clock.hpp"
 
@@ -35,6 +36,11 @@ struct FrameStreamOptions {
   int tile_size = 64;                 // square content-hash grid cell, px
   size_t encode_memo_capacity = 4096;  // encoded tiles kept per publisher
   size_t tile_store_capacity = 1024;   // decoded tiles kept per subscriber
+  // Frame-age SLO hook: > 0 means a frame completing older than this
+  // (receiver clock now − publisher's stamped publish time) records a
+  // flight-recorder post-mortem carrying the trace's per-hop critical
+  // path. 0 disables.
+  double frame_deadline_seconds = 0;
 };
 
 class FrameStreamPublisher {
@@ -47,6 +53,7 @@ class FrameStreamPublisher {
     uint64_t ref_bytes = 0;   // wire bytes of the reference messages
     uint64_t data_bytes = 0;  // wire bytes of the data messages
     size_t classes_published = 0;
+    uint64_t trace_id = 0;  // the frame's trace (0 when tracing is off)
   };
 
   struct Stats {
@@ -120,6 +127,7 @@ class FrameStreamReceiver {
     uint64_t data_tiles = 0;
     uint64_t miss_requests = 0;     // store misses escalated upstream
     uint64_t bytes_received = 0;    // wire bytes of stream messages
+    uint64_t frames_late = 0;       // completed past frame_deadline_seconds
   };
 
   FrameStreamReceiver(net::ChannelPtr channel, compress::QualityClass quality,
@@ -147,9 +155,16 @@ class FrameStreamReceiver {
     FrameEndMsg end;
     // Tile-store misses awaiting a TileData reply, keyed by content hash.
     std::unordered_multimap<uint64_t, uint16_t> pending;
+    // Delivery observability: the trace the FrameBegin carried and when it
+    // arrived — the assemble span's parent and start time.
+    obs::TraceContext trace;
+    double begin_received_at = 0;
   };
 
   void handle(const net::Message& msg);
+  // Frame-age gauge, delivery histograms, the assemble span, and the
+  // late-frame post-mortem — runs once per completed frame.
+  void observe_completion();
   void place(uint16_t index, const render::Image& tile);
   [[nodiscard]] bool complete() const {
     return assembly_.active && assembly_.have_end &&

@@ -387,6 +387,7 @@ net::Message encode(const FrameBeginMsg& m) {
   w.u16(m.tile_size);
   w.u16(m.tile_count);
   w.u8(static_cast<uint8_t>(m.quality));
+  w.f64(m.publish_time);
   return finish(kMsgFrameBegin, w);
 }
 
@@ -401,6 +402,7 @@ Result<FrameBeginMsg> decode_frame_begin(const net::Message& msg) {
   out.tile_size = r.u16();
   out.tile_count = r.u16();
   out.quality = static_cast<compress::QualityClass>(r.u8());
+  out.publish_time = r.f64();
   if (!r.ok()) return make_error("protocol: truncated frame begin");
   return out;
 }

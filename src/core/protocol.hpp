@@ -162,6 +162,10 @@ struct FrameBeginMsg {
   uint16_t tile_size = 64;   // square grid cell; receivers rebuild the grid
   uint16_t tile_count = 0;
   compress::QualityClass quality = compress::QualityClass::Workstation;
+  // Publisher clock (obs tracer seconds) at publish: receivers compute the
+  // frame's age at completion — the staleness a drop-oldest shed schedule
+  // actually cost the subscriber (rave_stream_frame_age_seconds).
+  double publish_time = 0;
 };
 
 // The ~16-byte message an unchanged tile ships as: 14 payload bytes

@@ -413,6 +413,8 @@ void RenderService::account_frame(Replica& replica, uint64_t triangles, uint64_t
   }
   last_frame_seconds_ = frame_seconds;
   ++stats_.frames_rendered;
+  stats_.volume_rays += volume.rays_cast;
+  stats_.bricks_skipped += volume.bricks_skipped;
   if (frame_latency_ == nullptr)
     frame_latency_ = &obs::MetricsRegistry::global().histogram(
         "rave_frame_seconds", {{"host", options_.profile.name}});
@@ -617,6 +619,9 @@ Result<FrameStreamPublisher::FrameReport> RenderService::publish_stream_frame(
     return FrameStreamPublisher::FrameReport{};  // nobody listening: skip the render
   auto frame = render_distributed(session, camera, width, height);
   if (!frame.ok()) return make_error(frame.error());
+  // The publisher roots the frame's delivery trace; make sure its root
+  // span carries this service's name rather than the "publisher" fallback.
+  obs::Tracer::set_current_host(options_.profile.name);
   return replica->stream->publish_frame(frame.value().to_image());
 }
 
@@ -640,6 +645,18 @@ RenderService::StreamTotals RenderService::stream_totals() const {
     totals.subscribers += replica.stream->subscriber_count();
   }
   return totals;
+}
+
+std::vector<RenderService::PeerQueue> RenderService::client_queues() const {
+  std::vector<PeerQueue> queues;
+  queues.reserve(clients_.size());
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    const Client& client = *clients_[i];
+    std::string peer = "client" + std::to_string(i);
+    if (!client.session.empty()) peer += ":" + client.session;
+    queues.push_back({std::move(peer), client.channel->stats()});
+  }
+  return queues;
 }
 
 Status RenderService::submit_update(const std::string& session, SceneUpdate update) {

@@ -68,6 +68,10 @@ class RenderService {
     uint64_t updates_applied = 0;
     uint64_t peer_failures = 0;       // assistants lost (closed or timed out)
     uint64_t tiles_redispatched = 0;  // in-flight tiles re-covered after a loss
+    // Volume marcher totals across frames — the dashboard's raw material
+    // next to the rave_volume_seconds histogram.
+    uint64_t volume_rays = 0;
+    uint64_t bricks_skipped = 0;  // macro-cell skip jumps taken
   };
 
   RenderService(util::Clock& clock, Fabric& fabric) : RenderService(clock, fabric, Options()) {}
@@ -142,6 +146,16 @@ class RenderService {
   };
   [[nodiscard]] StreamTotals stream_totals() const;
 
+  // Per-connected-client channel stats (peak write-queue depth, cumulative
+  // queue wait under the reactor transport) for the status report: one
+  // stalled subscriber is named here instead of smeared across the
+  // process-wide rave_net_write_queue_* gauges.
+  struct PeerQueue {
+    std::string peer;  // "client<N>[:session]"
+    net::ChannelStats stats;
+  };
+  [[nodiscard]] std::vector<PeerQueue> client_queues() const;
+
   // Artificially delay outgoing peer tile results (reproduces fig. 5's
   // stalled remote service).
   void set_assist_stall(double seconds) { assist_stall_seconds_ = seconds; }
@@ -160,6 +174,7 @@ class RenderService {
   // (null until the first frame), pending delayed sends, and the codec
   // traffic aggregated over this service's thin-client encoders.
   [[nodiscard]] const obs::Histogram* frame_latency() const { return frame_latency_; }
+  [[nodiscard]] const obs::Histogram* volume_latency() const { return volume_latency_; }
   [[nodiscard]] size_t delayed_queue_depth() const { return delayed_.size(); }
   [[nodiscard]] uint64_t codec_bytes_in() const;
   [[nodiscard]] uint64_t codec_bytes_out() const;

@@ -84,6 +84,24 @@ void register_status_endpoint(services::ServiceContainer& container, const std::
           entry["fanoutBytesSaved"] = static_cast<int64_t>(stream.encode_bytes_saved);
           entry["fanoutMissReplies"] = static_cast<int64_t>(stream.miss_replies);
           entry["fanoutSubscribers"] = static_cast<int64_t>(stream.subscribers);
+          entry["volumeRays"] = static_cast<int64_t>(render->stats().volume_rays);
+          entry["bricksSkipped"] = static_cast<int64_t>(render->stats().bricks_skipped);
+          if (const obs::Histogram* volume = render->volume_latency()) {
+            entry["volumeP50"] = volume->quantile(0.5);
+            entry["volumeP99"] = volume->quantile(0.99);
+          }
+          SoapList peer_queues;
+          for (const RenderService::PeerQueue& q : render->client_queues()) {
+            // Quiet peers (nothing ever queued or shed) stay off the wire.
+            if (q.stats.queue_peak_depth == 0 && q.stats.messages_shed == 0) continue;
+            SoapStruct peer;
+            peer["peer"] = q.peer;
+            peer["peakDepth"] = static_cast<int64_t>(q.stats.queue_peak_depth);
+            peer["waitSeconds"] = q.stats.queue_wait_seconds;
+            peer["shed"] = static_cast<int64_t>(q.stats.messages_shed);
+            peer_queues.push_back(std::move(peer));
+          }
+          entry["peerQueues"] = std::move(peer_queues);
           renders.push_back(std::move(entry));
         }
         out["renders"] = std::move(renders);
@@ -154,6 +172,21 @@ Result<HostStatus> parse_host_status(const SoapValue& value) {
           static_cast<uint64_t>(entry.field("fanoutMissReplies").as_int());
       render.fanout_subscribers =
           static_cast<uint64_t>(entry.field("fanoutSubscribers").as_int());
+      render.volume_rays = static_cast<uint64_t>(entry.field("volumeRays").as_int());
+      render.bricks_skipped = static_cast<uint64_t>(entry.field("bricksSkipped").as_int());
+      render.volume_p50_seconds = entry.field("volumeP50").as_double();
+      render.volume_p99_seconds = entry.field("volumeP99").as_double();
+      const SoapValue queues_value = entry.field("peerQueues");
+      if (const SoapList* queues = queues_value.as_list()) {
+        for (const SoapValue& q : *queues) {
+          RenderStatus::PeerQueueStatus peer;
+          peer.peer = q.field("peer").as_string();
+          peer.peak_depth = static_cast<uint64_t>(q.field("peakDepth").as_int());
+          peer.wait_seconds = q.field("waitSeconds").as_double();
+          peer.shed = static_cast<uint64_t>(q.field("shed").as_int());
+          render.peer_queues.push_back(std::move(peer));
+        }
+      }
       status.renders.push_back(std::move(render));
     }
   }
@@ -212,6 +245,18 @@ std::string format_dashboard(const std::vector<HostStatus>& hosts) {
           out << ", " << render.fanout_miss_replies << " miss fallback(s)";
         out << ", " << render.fanout_subscribers << " stream subscriber(s)";
       }
+      if (render.volume_rays > 0) {
+        out << "\n    volume: " << render.volume_rays << " rays, " << render.bricks_skipped
+            << " bricks skipped";
+        if (render.volume_p99_seconds > 0)
+          out << ", p50/p99 " << static_cast<int>(render.volume_p50_seconds * 1000) << "/"
+              << static_cast<int>(render.volume_p99_seconds * 1000) << " ms";
+      }
+      for (const RenderStatus::PeerQueueStatus& q : render.peer_queues) {
+        out << "\n    net " << q.peer << ": peak queue " << q.peak_depth << ", waited "
+            << static_cast<int>(q.wait_seconds * 1000) << " ms";
+        if (q.shed > 0) out << ", " << q.shed << " shed";
+      }
       out << "\n   sessions:";
       for (const std::string& name : render.sessions) out << " " << name;
       out << "\n";
@@ -264,6 +309,12 @@ void append_fixed(std::string& out, const char* fmt, double v) {
   char buf[48];
   const int len = std::snprintf(buf, sizeof(buf), fmt, v);
   out.append(buf, static_cast<size_t>(len));
+}
+
+// Most recent value of a cumulative series, 0 when never scraped.
+double latest_point(const obs::TimeSeriesStore& store, const obs::SeriesKey& key) {
+  const std::vector<obs::SeriesPoint> points = store.points(key);
+  return points.empty() ? 0.0 : points.back().value;
 }
 }  // namespace
 
@@ -339,6 +390,51 @@ std::string format_telemetry_dashboard(const std::vector<HostStatus>& hosts,
         out += "  subs " + std::to_string(render.fanout_subscribers);
         if (render.fanout_miss_replies > 0)
           out += "  miss-fallbacks " + std::to_string(render.fanout_miss_replies);
+        out += "\n";
+      }
+      // Relay cache effectiveness scraped off this host: tile misses a
+      // relay answered from its own cache vs forwarded to the publisher.
+      const double relay_hits =
+          latest_point(store, {host.host, "rave_fanout_relay_total", "{result=\"hit\"}"});
+      const double relay_total =
+          relay_hits +
+          latest_point(store, {host.host, "rave_fanout_relay_total", "{result=\"forward\"}"});
+      if (relay_total > 0) {
+        out += "   relay    ";
+        append_fixed(out, "%.0f", relay_hits);
+        out += "/";
+        append_fixed(out, "%.0f", relay_total);
+        out += " misses served locally (";
+        append_fixed(out, "%.0f", 100.0 * relay_hits / relay_total);
+        out += "% hit)\n";
+      }
+      // Reactor write-queue residency: how deep the bounded queues sit now
+      // and how long a frame waited between enqueue and sendmsg.
+      const double queue_depth =
+          latest_point(store, {host.host, "rave_net_write_queue_depth", ""});
+      const double wait_p99 =
+          store.windowed_quantile(host.host, "rave_net_queue_wait_seconds", "", 0.99, 5.0, now);
+      if (queue_depth > 0 || wait_p99 > 0) {
+        out += "   netq     depth " + std::to_string(static_cast<int64_t>(queue_depth));
+        if (wait_p99 > 0) {
+          out += "  wait p99(5s) ";
+          append_fixed(out, "%.1f", wait_p99 * 1000.0);
+          out += " ms";
+        }
+        out += "\n";
+      }
+      // Volume marcher cost: mean march seconds per frame alongside the
+      // macro-cell skip count (how much marching the grid avoided).
+      const std::vector<double> volume_ms = mean_frame_series(
+          store, obs::SeriesKey{host.host, "rave_volume_seconds_sum", labels},
+          obs::SeriesKey{host.host, "rave_volume_seconds_count", labels}, kSparkWidth);
+      if (!volume_ms.empty()) {
+        out += "   volume   " + obs::sparkline(volume_ms) + " last ";
+        append_fixed(out, "%.1f", volume_ms.back() * 1000.0);
+        out += " ms";
+        for (const RenderStatus& render : host.renders)
+          if (render.bricks_skipped > 0)
+            out += "  bricks-skipped " + std::to_string(render.bricks_skipped);
         out += "\n";
       }
       // Frame-phase breakdown: total time per pipeline stage recorded by

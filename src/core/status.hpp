@@ -50,6 +50,23 @@ struct RenderStatus {
   uint64_t fanout_bytes_saved = 0;    // encoded bytes not re-produced
   uint64_t fanout_miss_replies = 0;   // full-tile fallbacks served
   uint64_t fanout_subscribers = 0;    // stream subscribers right now
+  // Volume marcher cost (frame-delivery observability PR): totals plus the
+  // rave_volume_seconds distribution, so the dashboard can say how much of
+  // a slow frame was ray marching and how much work the macro-cell grid
+  // skipped.
+  uint64_t volume_rays = 0;
+  uint64_t bricks_skipped = 0;
+  double volume_p50_seconds = 0;
+  double volume_p99_seconds = 0;
+  // Per-peer write-queue attribution (reactor transport): which subscriber
+  // is slow, by name, instead of a process-wide depth gauge.
+  struct PeerQueueStatus {
+    std::string peer;
+    uint64_t peak_depth = 0;
+    double wait_seconds = 0;  // cumulative enqueue→sendmsg wait
+    uint64_t shed = 0;        // messages dropped by the queue's shed policy
+  };
+  std::vector<PeerQueueStatus> peer_queues;
 };
 
 struct HostStatus {

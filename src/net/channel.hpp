@@ -72,6 +72,13 @@ struct ChannelStats {
   // Sends refused (or queued messages evicted) by a bounded write queue's
   // shed policy — backpressure made visible instead of a stalled sender.
   uint64_t messages_shed = 0;
+  // Write-queue residency (reactor transport; zero elsewhere): the deepest
+  // this channel's bounded queue ever got, and the cumulative
+  // enqueue→sendmsg wait across fully-flushed frames. The per-peer answer
+  // to the process-wide rave_net_write_queue_* gauges — one stalled
+  // subscriber shows up here, not smeared across the fleet.
+  uint64_t queue_peak_depth = 0;
+  double queue_wait_seconds = 0;
 };
 
 class Channel {

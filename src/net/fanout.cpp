@@ -4,6 +4,7 @@
 
 #include "obs/event.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rave::net {
 
@@ -102,6 +103,17 @@ size_t FanoutRelay::pump() {
       if (tap_) tap_(*msg);
       ++stats_.forwarded_down;
       stats_.forwarded_down_bytes += msg->wire_size();
+      // Re-parent the downstream publish under a relay hop span. The old
+      // re-publish forwarded the message with its upstream context
+      // unchanged, so a relayed frame's timeline had no record this hop
+      // existed; now each relay contributes a span and downstream spans
+      // (the next relay, subscriber queue-wait/decode) nest beneath it.
+      obs::ScopedSpan hop("relay", host_,
+                          obs::TraceContext{msg->trace_id, msg->span_id});
+      if (hop.active()) {
+        msg->trace_id = hop.context().trace_id;
+        msg->span_id = hop.context().span_id;
+      }
       hub_.publish(*msg);
     }
   }
@@ -110,6 +122,11 @@ size_t FanoutRelay::pump() {
     if (handler_) {
       if (std::optional<Message> reply = handler_(msg)) {
         ++stats_.requests_served;
+        // A cached reply replays a message remembered from an earlier
+        // frame — it must join the *requester's* trace, not the one that
+        // populated the cache (and stay untraced for untraced requests).
+        reply->trace_id = msg.trace_id;
+        reply->span_id = msg.span_id;
         (void)hub_.send_to(id, *std::move(reply));
         return;
       }

@@ -17,6 +17,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "net/channel.hpp"
@@ -107,6 +108,12 @@ class FanoutRelay {
   [[nodiscard]] FanoutHub& hub() { return hub_; }
   [[nodiscard]] const FanoutHub& hub() const { return hub_; }
 
+  // Host label for the relay's hop spans ("relay" by default): a traced
+  // frame crossing two relays shows relay@edge-1 and relay@edge-2 as
+  // separate hops in critical_path().
+  void set_host(std::string host) { host_ = std::move(host); }
+  [[nodiscard]] const std::string& host() const { return host_; }
+
   void set_request_handler(RequestHandler handler) { handler_ = std::move(handler); }
   void set_downstream_tap(DownstreamTap tap) { tap_ = std::move(tap); }
 
@@ -128,6 +135,7 @@ class FanoutRelay {
   RequestHandler handler_;
   DownstreamTap tap_;
   Stats stats_;
+  std::string host_ = "relay";
 };
 
 }  // namespace rave::net

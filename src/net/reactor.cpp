@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rave::net {
 
@@ -78,6 +79,11 @@ obs::Gauge& connections_gauge() {
   static obs::Gauge& g = obs::MetricsRegistry::global().gauge("rave_net_reactor_connections");
   return g;
 }
+obs::Histogram& queue_wait_histogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("rave_net_queue_wait_seconds");
+  return h;
+}
 obs::Counter& accepts_counter() {
   static obs::Counter& c =
       obs::MetricsRegistry::global().counter("rave_net_reactor_accepts_total");
@@ -94,10 +100,18 @@ struct WriteItem {
   std::vector<uint8_t> body;
   Buffer tail;
   uint64_t wire_bytes = 0;
+  // Queue-wait attribution: when this frame entered the queue (tracer
+  // clock seconds) and the trace context it carries, so the enqueue→
+  // sendmsg residency becomes a "queue_wait" span on the frame's timeline.
+  double enqueued_at = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 
 WriteItem make_item(Message&& m) {
   WriteItem item;
+  item.trace_id = m.trace_id;
+  item.span_id = m.span_id;
   put_u32(item.header, static_cast<uint32_t>(m.payload_size()));
   uint16_t wire_type = m.type;
   item.header_len = 6;
@@ -412,12 +426,37 @@ struct ReactorImpl : std::enable_shared_from_this<ReactorImpl> {
         c.queued_bytes -= item.wire_bytes;
         queue_depth_gauge().add(-1);
         queue_bytes_gauge().add(-static_cast<double>(item.wire_bytes));
+        account_dequeue_locked(c, item);
         c.write_q.pop_front();
         c.send_cv.notify_all();
       }
     }
     arm_write_locked(c, false);
     if (c.linger) retire_locked(c);  // deferred close: queue just drained
+  }
+
+  // A frame just left the queue for the kernel: charge its enqueue→sendmsg
+  // residency to the channel's stats, the process histogram, and — when
+  // both the frame and the tracer are tracing — a "queue_wait" span on the
+  // frame's timeline. c.mu held; Tracer::record only takes its own locks,
+  // never a Conn's, so the order conn->mu → tracer mu_ is acyclic.
+  void account_dequeue_locked(Conn& c, const WriteItem& item) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    const double now = tracer.now();
+    const double wait = now > item.enqueued_at ? now - item.enqueued_at : 0;
+    c.stats.queue_wait_seconds += wait;
+    queue_wait_histogram().observe(wait);
+    if (item.trace_id != 0 && tracer.enabled()) {
+      obs::SpanRecord span;
+      span.trace_id = item.trace_id;
+      span.parent_span_id = item.span_id;
+      span.span_id = tracer.next_span_id();
+      span.name = "queue_wait";
+      span.host = "reactor";
+      span.start = item.enqueued_at;
+      span.end = now;
+      tracer.record(std::move(span));
+    }
   }
 
   void arm_write_locked(Conn& c, bool want) {
@@ -531,11 +570,14 @@ class ReactorChannel final : public Channel {
       }
     }
     WriteItem item = make_item(std::move(message));
+    item.enqueued_at = obs::Tracer::global().now();
     const uint64_t wire_bytes = item.wire_bytes;
     c.stats.messages_sent++;
     c.stats.bytes_sent += wire_bytes;
     c.queued_bytes += wire_bytes;
     c.write_q.push_back(std::move(item));
+    if (c.write_q.size() > c.stats.queue_peak_depth)
+      c.stats.queue_peak_depth = c.write_q.size();
     queue_depth_gauge().add(1);
     queue_bytes_gauge().add(static_cast<double>(wire_bytes));
     // Opportunistic inline flush from the sender's thread: on an idle

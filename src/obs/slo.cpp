@@ -271,6 +271,37 @@ std::vector<SloSpec> default_render_slos(double target_fps) {
   shed.window = 5.0;
   shed.burn_seconds = 3.0;
   specs.push_back(shed);
+
+  // Frame-delivery latency per subscriber class: the end-to-end age
+  // (publisher stamp → subscriber completion) the stream tier records as
+  // rave_stream_delivery_seconds{class,hop="deliver"}. A burning class
+  // feeds plan_migration the same way transport_shed does — the advisory
+  // says *which audience* is stale, so the planner can move that class to
+  // a cheaper codec or a closer relay instead of guessing. Workstations
+  // sit on the LAN (one dropped frame at 15 fps); PDAs cross the WAN and
+  // tolerate roughly double.
+  struct ClassBudget {
+    const char* suffix;
+    const char* selector;
+    double threshold;
+  };
+  const ClassBudget budgets[] = {
+      {"workstation", "{class=\"workstation\",hop=\"deliver\"}", 0.066},
+      {"pda", "{class=\"pda\",hop=\"deliver\"}", 0.133},
+  };
+  for (const ClassBudget& budget : budgets) {
+    SloSpec delivery;
+    delivery.name = std::string("delivery_latency_") + budget.suffix;
+    delivery.metric = "rave_stream_delivery_seconds";
+    delivery.labels = budget.selector;
+    delivery.kind = SloSpec::Kind::QuantileBelow;
+    delivery.quantile = 0.99;
+    delivery.threshold = budget.threshold;
+    delivery.window = 5.0;
+    delivery.burn_seconds = 3.0;
+    delivery.anomaly_factor = 0.5;
+    specs.push_back(delivery);
+  }
   return specs;
 }
 

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
 #include "util/clock.hpp"
 
 namespace rave::obs {
@@ -66,6 +67,9 @@ const std::string& Tracer::current_host() { return tls_host; }
 void Tracer::set_current_host(std::string host) { tls_host = std::move(host); }
 
 ScopedSpan::ScopedSpan(std::string name, std::string host, TraceContext parent) {
+  // The profiler samples annotation stacks independently of whether the
+  // tracer is recording — a span site feeds it even on untraced frames.
+  profiled_ = Profiler::push_frame(name);
   Tracer& tracer = Tracer::global();
   if (!tracer.enabled() || !parent.valid()) return;
   active_ = true;
@@ -80,6 +84,7 @@ ScopedSpan::ScopedSpan(std::string name, std::string host, TraceContext parent) 
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (profiled_) Profiler::pop_frame();
   if (!active_) return;
   record_.end = Tracer::global().now();
   tls_current = previous_;
@@ -98,6 +103,59 @@ std::vector<uint64_t> trace_ids(const std::vector<SpanRecord>& spans) {
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return ids;
+}
+
+CriticalPath critical_path(const std::vector<SpanRecord>& spans, uint64_t trace_id) {
+  CriticalPath path;
+  path.trace_id = trace_id;
+  std::vector<const SpanRecord*> mine;
+  for (const SpanRecord& span : spans)
+    if (span.trace_id == trace_id) mine.push_back(&span);
+  if (mine.empty()) return path;
+
+  std::map<uint64_t, double> child_seconds;  // parent span id -> Σ child durations
+  double first = mine.front()->start, last = mine.front()->end;
+  for (const SpanRecord* span : mine) {
+    child_seconds[span->parent_span_id] += span->end - span->start;
+    first = std::min(first, span->start);
+    last = std::max(last, span->end);
+  }
+  path.total_seconds = last - first;
+
+  std::map<std::pair<std::string, std::string>, HopCost> hops;  // (name, host)
+  for (const SpanRecord* span : mine) {
+    double self = span->end - span->start;
+    const auto children = child_seconds.find(span->span_id);
+    if (children != child_seconds.end()) self -= children->second;
+    if (self < 0) self = 0;  // overlapping children (pool fan-out) overcount
+    HopCost& hop = hops[{span->name, span->host}];
+    hop.name = span->name;
+    hop.host = span->host;
+    hop.self_seconds += self;
+    ++hop.spans;
+  }
+  for (auto& [key, hop] : hops) path.hops.push_back(std::move(hop));
+  std::stable_sort(path.hops.begin(), path.hops.end(), [](const HopCost& a, const HopCost& b) {
+    if (a.self_seconds != b.self_seconds) return a.self_seconds > b.self_seconds;
+    if (a.name != b.name) return a.name < b.name;
+    return a.host < b.host;
+  });
+  path.dominant = path.hops.front().name + "@" + path.hops.front().host;
+  return path;
+}
+
+std::string format_critical_path(const CriticalPath& path) {
+  std::ostringstream out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6fs", path.total_seconds);
+  out << "critical path trace " << path.trace_id << " · total " << buf << " · dominant "
+      << (path.dominant.empty() ? "(none)" : path.dominant) << "\n";
+  for (const HopCost& hop : path.hops) {
+    std::snprintf(buf, sizeof(buf), "%9.6fs", hop.self_seconds);
+    out << "  " << buf << "  " << hop.name << " @" << hop.host << " (" << hop.spans
+        << " span(s))\n";
+  }
+  return out.str();
 }
 
 std::string stitch_trace(const std::vector<SpanRecord>& spans, uint64_t trace_id) {

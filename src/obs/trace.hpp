@@ -117,6 +117,7 @@ class ScopedSpan {
 
  private:
   bool active_ = false;
+  bool profiled_ = false;  // frame pushed onto the profiler's thread stack
   SpanRecord record_;
   TraceContext previous_;
 };
@@ -127,5 +128,30 @@ std::string stitch_trace(const std::vector<SpanRecord>& spans, uint64_t trace_id
 
 // Trace ids present in a span set, ascending.
 std::vector<uint64_t> trace_ids(const std::vector<SpanRecord>& spans);
+
+// Per-hop latency attribution over one trace: each span is charged its
+// *self* time (duration minus the sum of its children's durations, clamped
+// at zero — a parent that merely waits on its children costs nothing
+// itself), and self times aggregate by (name, host). The dominant hop is
+// the one-line answer to "where did this frame's latency go".
+struct HopCost {
+  std::string name;
+  std::string host;
+  double self_seconds = 0;
+  size_t spans = 0;
+};
+
+struct CriticalPath {
+  uint64_t trace_id = 0;
+  std::vector<HopCost> hops;  // descending self time; ties by name, host
+  double total_seconds = 0;   // earliest start → latest end across the trace
+  std::string dominant;       // "name@host" of hops.front(); "" for empty traces
+};
+
+CriticalPath critical_path(const std::vector<SpanRecord>& spans, uint64_t trace_id);
+
+// One line per hop, deterministic (byte-stable under SimClock) — the text
+// the flight recorder attaches to late-frame post-mortems.
+std::string format_critical_path(const CriticalPath& path);
 
 }  // namespace rave::obs

@@ -5,6 +5,10 @@
 // mid-frame and subscribers recover with no stale tiles.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
 #include <thread>
 
 #include "compress/tile_cache.hpp"
@@ -12,8 +16,12 @@
 #include "core/grid.hpp"
 #include "mesh/primitives.hpp"
 #include "net/fanout.hpp"
+#include "net/reactor.hpp"
 #include "net/simlink.hpp"
+#include "net/tcp.hpp"
+#include "obs/trace.hpp"
 #include "render/compositor.hpp"
+#include "util/clock.hpp"
 
 namespace rave::core {
 namespace {
@@ -508,6 +516,115 @@ TEST(FanoutE2E, PublishSkipsRenderWithNoSubscribers) {
   EXPECT_EQ(report.value().tiles_total, 0u);
   EXPECT_EQ(render.stats().frames_rendered, 0u);  // no render happened
   EXPECT_FALSE(render.publish_stream_frame("nope", cam, 64, 64).ok());
+}
+
+// --- per-hop delivery tracing over real TCP ----------------------------------
+
+std::string format_hops(const std::set<std::string>& hops) {
+  std::string out;
+  for (const auto& hop : hops) out += hop + "\n";
+  return out;
+}
+
+// One accepted TCP connection through the process reactor: {server end
+// (accepted, event-loop driven), client end (dialed)}. The listener is
+// torn down once the connection lands.
+std::pair<net::ChannelPtr, net::ChannelPtr> tcp_pair() {
+  std::mutex mu;
+  std::condition_variable cv;
+  net::ChannelPtr server;
+  auto listener = net::Reactor::global().listen(0, [&](net::ChannelPtr accepted) {
+    std::lock_guard<std::mutex> lock(mu);
+    server = std::move(accepted);
+    cv.notify_all();
+  });
+  EXPECT_TRUE(listener.ok()) << listener.error();
+  auto dialed = net::tcp_connect("127.0.0.1", listener.value()->port());
+  EXPECT_TRUE(dialed.ok()) << dialed.error();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return server != nullptr; }));
+  }
+  return {server, std::move(dialed).take()};
+}
+
+// The satellite regression: relays used to re-publish upstream messages
+// with fresh (zero) trace fields, so a frame's trace died at the first
+// relay hop. Push one frame through publisher → relay → relay →
+// subscriber over real TCP sockets and require every hop — both relays,
+// the reactor write queues, and the subscriber's decode and assemble — to
+// land on the single trace the publisher rooted.
+TEST(FanoutRelay, TraceContextSurvivesTwoRelayHopsOverTcp) {
+  obs::Tracer::global().reset();
+  obs::Tracer::global().set_enabled(true);
+
+  FrameStreamOptions options;
+  options.tile_size = 32;
+  FrameStreamPublisher publisher(options);
+
+  auto [pub_down, relay1_up] = tcp_pair();
+  publisher.subscribe(pub_down, QualityClass::Workstation);
+  net::FanoutRelay relay1(relay1_up);
+  relay1.set_host("edge-1");
+  auto [relay1_down, relay2_up] = tcp_pair();
+  relay1.hub().subscribe(relay1_down);
+  net::FanoutRelay relay2(relay2_up);
+  relay2.set_host("edge-2");
+  auto [relay2_down, sub_end] = tcp_pair();
+  relay2.hub().subscribe(relay2_down);
+  FrameStreamReceiver receiver(sub_end, QualityClass::Workstation, options);
+
+  util::RealClock clock;
+  const auto pump = [&] {
+    (void)publisher.pump();
+    (void)relay1.pump();
+    (void)relay2.pump();
+  };
+  const Image frame = test_image(96, 64, 7);
+  const auto report = publisher.publish_frame(frame);
+  EXPECT_NE(report.trace_id, 0u);
+  auto got = receiver.next_frame(clock, 10.0, pump);
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_EQ(got.value().rgb, frame.rgb);
+  obs::Tracer::global().set_enabled(false);
+
+  const auto spans = obs::Tracer::global().spans();
+  const auto ids = obs::trace_ids(spans);
+  ASSERT_EQ(ids.size(), 1u);  // one frame, one timeline
+  EXPECT_EQ(ids[0], report.trace_id);
+
+  std::set<std::string> hops;
+  uint64_t root_span = 0;
+  std::set<uint64_t> relay1_spans, relay2_spans;
+  for (const auto& s : spans) {
+    hops.insert(s.name + "@" + s.host);
+    if (s.name == "publish_frame") root_span = s.span_id;
+    if (s.name == "relay" && s.host == "edge-1") relay1_spans.insert(s.span_id);
+    if (s.name == "relay" && s.host == "edge-2") relay2_spans.insert(s.span_id);
+  }
+  EXPECT_TRUE(hops.count("relay@edge-1")) << format_hops(hops);
+  EXPECT_TRUE(hops.count("relay@edge-2")) << format_hops(hops);
+  EXPECT_TRUE(hops.count("queue_wait@reactor")) << format_hops(hops);
+  EXPECT_TRUE(hops.count("decode@subscriber")) << format_hops(hops);
+  EXPECT_TRUE(hops.count("assemble@subscriber")) << format_hops(hops);
+
+  // Parentage follows the topology: first-hop relay spans hang off the
+  // publisher's root, second-hop relay spans off some first-hop span.
+  ASSERT_NE(root_span, 0u);
+  ASSERT_FALSE(relay1_spans.empty());
+  ASSERT_FALSE(relay2_spans.empty());
+  for (const auto& s : spans) {
+    if (s.name == "relay" && s.host == "edge-1") EXPECT_EQ(s.parent_span_id, root_span);
+    if (s.name == "relay" && s.host == "edge-2")
+      EXPECT_TRUE(relay1_spans.count(s.parent_span_id)) << s.parent_span_id;
+    if (s.name == "decode" || s.name == "assemble")
+      EXPECT_TRUE(relay2_spans.count(s.parent_span_id)) << s.name;
+  }
+
+  // And the stitched timeline answers "where did the latency go".
+  const auto path = obs::critical_path(spans, report.trace_id);
+  EXPECT_FALSE(path.dominant.empty());
+  EXPECT_GT(path.total_seconds, 0.0);
 }
 
 }  // namespace

@@ -5,14 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <deque>
 #include <set>
 #include <thread>
 
+#include "core/frame_stream.hpp"
 #include "core/grid.hpp"
 #include "mesh/primitives.hpp"
 #include "obs/event.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace rave::obs {
@@ -242,6 +246,249 @@ TEST(Trace, StitchIsByteStableUnderVirtualTime) {
 }
 
 // --- flight recorder ----------------------------------------------------------
+
+TEST(Trace, CriticalPathChargesSelfTimeAndNamesDominantHop) {
+  // A three-hop delivery, hand-built: publisher (10ms wall) wraps a relay
+  // hop (7ms) which wraps the subscriber decode (2ms). Self time is
+  // duration minus children, so the relay — not the longest span — is the
+  // dominant hop.
+  const auto make = [](uint64_t span, uint64_t parent, const char* name, const char* host,
+                       double start, double end) {
+    SpanRecord record;
+    record.trace_id = 1;
+    record.span_id = span;
+    record.parent_span_id = parent;
+    record.name = name;
+    record.host = host;
+    record.start = start;
+    record.end = end;
+    return record;
+  };
+  const std::vector<SpanRecord> spans = {
+      make(10, 0, "publish_frame", "xeon", 0.0, 0.010),
+      make(11, 10, "relay", "edge", 0.002, 0.009),
+      make(12, 11, "decode", "pda", 0.004, 0.006),
+  };
+
+  const CriticalPath path = critical_path(spans, 1);
+  EXPECT_EQ(path.dominant, "relay@edge");
+  EXPECT_DOUBLE_EQ(path.total_seconds, 0.010);
+  ASSERT_EQ(path.hops.size(), 3u);
+  EXPECT_DOUBLE_EQ(path.hops[0].self_seconds, 0.005);  // relay: 7 − 2
+  EXPECT_DOUBLE_EQ(path.hops[1].self_seconds, 0.003);  // publisher: 10 − 7
+  EXPECT_DOUBLE_EQ(path.hops[2].self_seconds, 0.002);  // decode leaf
+
+  EXPECT_EQ(format_critical_path(path),
+            "critical path trace 1 · total 0.010000s · dominant relay@edge\n"
+            "   0.005000s  relay @edge (1 span(s))\n"
+            "   0.003000s  publish_frame @xeon (1 span(s))\n"
+            "   0.002000s  decode @pda (1 span(s))\n");
+
+  // An unknown trace yields an empty-but-printable path.
+  const CriticalPath empty = critical_path(spans, 99);
+  EXPECT_TRUE(empty.dominant.empty());
+  EXPECT_NE(format_critical_path(empty).find("(none)"), std::string::npos);
+}
+
+// --- profiler ----------------------------------------------------------------
+
+TEST(Profiler, InjectedTicksSampleSpanStacksDeterministically) {
+  Profiler& profiler = Profiler::global();
+  profiler.reset();
+  profiler.set_enabled(true);
+  // Tracing stays OFF: the profiler rides the span annotations alone, so
+  // production code needs no second set of instrument sites.
+  Tracer::global().set_enabled(false);
+
+  for (int rep = 0; rep < 2; ++rep) {
+    ScopedSpan pump("pump", "svc");
+    EXPECT_FALSE(pump.active());  // no trace in flight…
+    EXPECT_EQ(profiler.tick(), 1u);  // …but the stack is live
+    {
+      ScopedSpan raster("raster", "svc");
+      EXPECT_EQ(profiler.tick(), 1u);
+    }
+  }
+  profiler.set_enabled(false);
+
+  EXPECT_EQ(profiler.total_samples(), 4u);
+  // Collapsed-stack export, sorted: ready for flamegraph.pl as-is.
+  EXPECT_EQ(profiler.collapsed(), "pump 2\npump;raster 2\n");
+  // Leaf attribution with a deterministic tie-break (samples desc, then
+  // frame name): both leaves carry two samples each.
+  const auto hot = profiler.hottest(2);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].frame, "pump");
+  EXPECT_EQ(hot[0].samples, 2u);
+  EXPECT_EQ(hot[1].frame, "raster");
+  EXPECT_EQ(hot[1].samples, 2u);
+
+  profiler.reset();
+  EXPECT_EQ(profiler.total_samples(), 0u);
+  EXPECT_TRUE(profiler.collapsed().empty());
+}
+
+TEST(Profiler, TimerThreadSamplesWorkerStacks) {
+  Profiler& profiler = Profiler::global();
+  profiler.reset();
+  profiler.set_enabled(true);
+
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      ScopedSpan span("worker_loop", "svc");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Production mode: a timer thread samples every registered thread's
+  // stack. Poll until at least one sample lands (bounded wait).
+  profiler.start(/*interval_seconds=*/0.0005);
+  for (int i = 0; i < 2000 && profiler.total_samples() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  profiler.stop();
+  done.store(true, std::memory_order_relaxed);
+  worker.join();
+  profiler.set_enabled(false);
+
+  EXPECT_GT(profiler.total_samples(), 0u);
+  EXPECT_NE(profiler.collapsed().find("worker_loop"), std::string::npos)
+      << profiler.collapsed();
+  profiler.reset();
+}
+
+// --- shed-induced staleness ---------------------------------------------------
+
+// Frame-granular drop-oldest: buffers published stream messages per frame
+// and releases them on command — the shed schedule a bounded reactor
+// write queue produces under backpressure, made deterministic for virtual
+// time. Forwarded messages keep their trace stamps, like any transport.
+class FrameDropChannel final : public net::Channel {
+ public:
+  explicit FrameDropChannel(net::ChannelPtr inner) : inner_(std::move(inner)) {}
+
+  util::Status send(net::Message message) override {
+    if (message.type == core::kMsgFrameBegin || frames_.empty()) frames_.emplace_back();
+    frames_.back().push_back(std::move(message));
+    return {};
+  }
+
+  // Drop every buffered frame older than the newest (drop-oldest shed).
+  size_t shed_older() {
+    const size_t dropped = frames_.size() > 1 ? frames_.size() - 1 : 0;
+    frames_.erase(frames_.begin(), frames_.begin() + static_cast<long>(dropped));
+    return dropped;
+  }
+
+  // Release up to `n` queued messages of the oldest surviving frame.
+  void forward(size_t n) {
+    while (n-- > 0 && !frames_.empty()) {
+      (void)inner_->send(std::move(frames_.front().front()));
+      frames_.front().pop_front();
+      if (frames_.front().empty()) frames_.erase(frames_.begin());
+    }
+  }
+  void forward_all() {
+    while (!frames_.empty()) forward(1);
+  }
+
+  [[nodiscard]] util::Result<net::Message> receive_result(double timeout_seconds) override {
+    return inner_->receive_result(timeout_seconds);
+  }
+  void close() override { inner_->close(); }
+  [[nodiscard]] bool is_open() const override { return inner_->is_open(); }
+  [[nodiscard]] net::ChannelStats stats() const override { return inner_->stats(); }
+
+ private:
+  net::ChannelPtr inner_;
+  std::deque<std::deque<net::Message>> frames_;
+};
+
+render::Image stream_image(int w, int h, int seed) {
+  render::Image img(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      img.set_pixel(x, y, static_cast<uint8_t>((x * 7 + seed * 13) & 0xFF),
+                    static_cast<uint8_t>((y * 11 + seed) & 0xFF),
+                    static_cast<uint8_t>((x + y * 3 + seed * 5) & 0xFF));
+  return img;
+}
+
+TEST(StreamStaleness, DropOldestShedYieldsByteStableAgeAndCriticalPath) {
+  struct Run {
+    double age = 0;
+    uint64_t late = 0;
+    std::string path;
+    std::string postmortem;
+  };
+  const auto run = [] {
+    util::SimClock clock;
+    set_clock(&clock);
+    Tracer::global().reset();
+    Tracer::global().set_enabled(true);
+    FlightRecorder::global().clear();
+
+    core::FrameStreamOptions options;
+    options.tile_size = 32;
+    options.frame_deadline_seconds = 0.0625;
+    core::FrameStreamPublisher publisher(options);
+    auto [srv, cli] = net::make_channel_pair();
+    auto shed = std::make_shared<FrameDropChannel>(srv);
+    publisher.subscribe(shed, compress::QualityClass::Workstation);
+    core::FrameStreamReceiver receiver(cli, compress::QualityClass::Workstation, options);
+
+    // Frame 1 (t = 0) never leaves the stalled queue; frame 2 supersedes
+    // it an eighth of a second later and then sits in transit. All the
+    // advances are exact binary fractions, so the measured age is too.
+    (void)publisher.publish_frame(stream_image(64, 32, 1));
+    clock.advance(0.125);
+    const auto report = publisher.publish_frame(stream_image(64, 32, 2));
+    clock.advance(0.0625);
+    EXPECT_EQ(shed->shed_older(), 1u);  // drop-oldest: frame 1 is gone
+
+    int step = 0;
+    const auto pump = [&] {
+      if (step == 0) shed->forward(1);  // FrameBegin lands at t = 0.1875
+      if (step == 1) {
+        clock.advance(0.03125);  // the rest straggles in 31.25ms later
+        shed->forward_all();
+      }
+      ++step;
+    };
+    auto frame = receiver.next_frame(clock, 1.0, pump);
+    EXPECT_TRUE(frame.ok());
+
+    Run out;
+    out.age = MetricsRegistry::global()
+                  .gauge("rave_stream_frame_age_seconds", {{"class", "workstation"}})
+                  .value();
+    out.late = receiver.stats().frames_late;
+    out.path =
+        format_critical_path(critical_path(Tracer::global().spans(), report.trace_id));
+    out.postmortem = FlightRecorder::global().last_dump();
+    Tracer::global().set_enabled(false);
+    set_clock(nullptr);
+    return out;
+  };
+
+  const Run first = run();
+  const Run second = run();
+  // Completion at 0.21875 minus publish at 0.125: the gauge attributes
+  // exactly the shed-induced staleness, byte-for-byte across runs.
+  EXPECT_EQ(first.age, 0.09375);
+  EXPECT_EQ(second.age, first.age);
+  EXPECT_EQ(first.path, second.path);
+  // The straggling tiles dominate: all of the frame's self time sits in
+  // the subscriber's assemble hop.
+  EXPECT_NE(first.path.find("dominant assemble@subscriber"), std::string::npos) << first.path;
+  // 0.09375s age > 0.0625s deadline → the late-frame post-mortem fired
+  // and carries the per-hop breakdown.
+  EXPECT_EQ(first.late, 1u);
+  EXPECT_NE(first.postmortem.find("late frame 2 class workstation"), std::string::npos)
+      << first.postmortem;
+  EXPECT_NE(first.postmortem.find("critical path trace"), std::string::npos)
+      << first.postmortem;
+}
 
 TEST(Flight, RingEvictsOldestAndCountsTotal) {
   FlightRecorder recorder;

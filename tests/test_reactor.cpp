@@ -379,6 +379,37 @@ TEST(Reactor, WriteQueueDepthGaugeReturnsToBaseline) {
   EXPECT_DOUBLE_EQ(gauge.value(), before);
 }
 
+TEST(Reactor, PerChannelStatsAttributeQueueResidency) {
+  RawPeer peer;
+  peer.start();
+  ReactorChannelOptions opts;
+  opts.write_queue_limit = 64;
+  opts.shed_policy = ShedPolicy::DropNewest;
+  ChannelPtr client = reactor_connect(peer.port, opts);
+  peer.accept_one();  // accepted but not yet reading: frames queue up
+
+  auto& hist = obs::MetricsRegistry::global().histogram("rave_net_queue_wait_seconds");
+  const uint64_t observed_before = hist.count();
+
+  // 8 × 64 KiB against a 32 KiB kernel buffer: after the first frame the
+  // socket is full, so the rest must sit in the user-space queue together.
+  for (int i = 0; i < 8; ++i) (void)client->send(Message(1, std::vector<uint8_t>(64 * 1024)));
+  EXPECT_GE(client->stats().queue_peak_depth, 2u);
+
+  // Let the peer drain; every flushed frame adds its enqueue→sendmsg wait
+  // to this channel's attribution (and the process-wide histogram).
+  std::thread drainer([&] { peer.drain_all(); });
+  double waited = 0;
+  for (int i = 0; i < 500 && waited == 0; ++i) {
+    waited = client->stats().queue_wait_seconds;
+    if (waited == 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(waited, 0.0) << "no queue wait attributed to the stalled channel";
+  EXPECT_GT(hist.count(), observed_before);
+  client->close();
+  drainer.join();
+}
+
 TEST(Reactor, FanoutHubSharesOneTailAcrossSubscribers) {
   RawPeer peer_a;
   RawPeer peer_b;

@@ -722,5 +722,56 @@ TEST(TelemetryGrid, AdvisorTriggersRebalanceAndExplainsThroughStatus) {
   obs::set_clock(nullptr);
 }
 
+// The delivery-observability dashboard lines are data-gated: they render
+// only when the scraped series exist. Drive the real pipeline — registry
+// families → scrape → collector ingest → format_telemetry_dashboard — so
+// the series keys the dashboard looks up are exactly what ingest stores.
+TEST(TelemetryDashboard, RendersRelayNetqAndVolumeLines) {
+  obs::MetricsRegistry::global().reset_values();
+  auto& reg = obs::MetricsRegistry::global();
+  util::SimClock clock;
+  obs::Collector::Options options;
+  options.interval = 1.0;
+  obs::Collector collector(clock, options);
+  collector.add_target(
+      {"edge", [&]() -> util::Result<std::string> { return reg.scrape(); }});
+
+  // First scrape: the relay cache totals, a standing write-queue depth,
+  // and one queue-wait / volume-march observation each.
+  reg.counter("rave_fanout_relay_total", {{"result", "hit"}}).inc(30);
+  reg.counter("rave_fanout_relay_total", {{"result", "forward"}}).inc(10);
+  reg.gauge("rave_net_write_queue_depth").set(3);
+  reg.histogram("rave_net_queue_wait_seconds").observe(0.004);
+  auto& volume = reg.histogram("rave_volume_seconds", {{"host", "edge"}});
+  volume.observe(0.02);
+  clock.advance(1.0);
+  collector.tick();
+  // Second scrape: the deltas the mean/quantile windows need.
+  reg.histogram("rave_net_queue_wait_seconds").observe(0.008);
+  volume.observe(0.02);
+  volume.observe(0.04);
+  clock.advance(1.0);
+  collector.tick();
+
+  HostStatus host;
+  host.host = "edge";
+  host.has_render_service = true;
+  RenderStatus render;
+  render.host = "edge";
+  render.bricks_skipped = 77;
+  host.renders.push_back(render);
+
+  obs::SloEngine slo;
+  const std::string text = format_telemetry_dashboard({host}, collector, slo, clock.now());
+  EXPECT_NE(text.find("relay    30/40 misses served locally (75% hit)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("netq     depth 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("wait p99(5s)"), std::string::npos) << text;
+  // Two frames marched 0.06s between scrapes: a 30.0 ms mean march cost.
+  EXPECT_NE(text.find("volume"), std::string::npos) << text;
+  EXPECT_NE(text.find("last 30.0 ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("bricks-skipped 77"), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace rave::core

@@ -26,7 +26,9 @@
 #include "mesh/primitives.hpp"
 #include "mesh/fields.hpp"
 #include "mesh/marching_cubes.hpp"
+#include "core/grid.hpp"
 #include "obs/collector.hpp"
+#include "obs/hlc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -401,13 +403,20 @@ BENCHMARK(BM_Raycast)
 // 4 = same with every frame rooted and per-hop spans recorded, 5 = the
 // sampling profiler enabled at 1 kHz over an untraced render loop (span
 // annotation push/pop plus timer sampling, tracing off).
+// Health-plane arms: 6 = the mode-3 streaming delivery with the hybrid
+// logical clock enabled (every publish stamps +12 wire bytes, the
+// receiver merges), tracing off; 7 = an untraced render loop with a
+// blackbox canary probing a miniature grid once per virtual second
+// (stream publish + probe + verdict, the health plane's render-path
+// cost — the mode-2 analogue).
 void BM_ObsOverhead(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
   const bool traced = mode == 1 || mode == 4;
   obs::Tracer::global().reset();
   obs::Tracer::global().set_enabled(traced);
   const scene::Camera cam = scene::Camera::framing(elle_tree().world_bounds());
-  if (mode == 3 || mode == 4) {
+  if (mode == 3 || mode == 4 || mode == 6) {
+    if (mode == 6) obs::Hlc::global().set_enabled(true);
     core::FrameStreamOptions options;
     options.tile_size = 32;
     core::FrameStreamPublisher publisher(options);
@@ -428,6 +437,42 @@ void BM_ObsOverhead(benchmark::State& state) {
       // Bound the span collector so the traced arm measures recording
       // cost, not capacity-eviction churn.
       if (traced && (step & 0x3F) == 0) obs::Tracer::global().reset();
+    }
+    if (mode == 6) {
+      obs::Hlc::global().set_enabled(false);
+      obs::Hlc::global().reset();
+    }
+  } else if (mode == 7) {
+    util::SimClock clock;
+    // A link profile so channels ride the virtual clock: probe timeouts
+    // elapse in sim time instead of spinning on a frozen SimClock.
+    core::RaveGrid grid(clock, net::ethernet_100mbit());
+    core::DataService& data = grid.add_data_service("datahost");
+    scene::SceneTree tree;
+    tree.add_child(scene::kRootNode, "elle", mesh::make_elle(2'000));
+    const scene::Camera grid_cam = scene::Camera::framing(tree.world_bounds());
+    (void)data.create_session("bench", std::move(tree));
+    core::RenderService::Options render_options;
+    render_options.profile = sim::xeon_desktop();
+    grid.add_render_service("render", render_options);
+    (void)grid.join("render", "datahost", "bench");
+    obs::Canary::Options canary_options;
+    canary_options.frame_timeout = 0.25;
+    canary_options.qualities = {compress::QualityClass::Workstation};
+    grid.enable_health_plane(canary_options);
+    grid.watch_streams("bench");
+    const auto pump = [&grid] { grid.pump_all(); };
+    double next_probe = clock.now() + 1.0;
+    for (auto _ : state) {
+      render::RenderStats stats;
+      benchmark::DoNotOptimize(render::render_tree(elle_tree(), cam, 400, 400, {}, &stats));
+      clock.advance(1.0 / 60.0);
+      if (clock.now() >= next_probe) {
+        next_probe += 1.0;
+        (void)grid.render_service("render")->publish_stream_frame("bench", grid_cam, 160, 120);
+        grid.pump_all();
+        (void)grid.canary()->probe_all(pump);
+      }
     }
   } else if (mode == 5) {
     obs::Profiler::global().reset();
@@ -473,10 +518,12 @@ void BM_ObsOverhead(benchmark::State& state) {
     case 3: state.SetLabel("streaming tracing off"); break;
     case 4: state.SetLabel("streaming tracing on"); break;
     case 5: state.SetLabel("profiler 1 kHz"); break;
+    case 6: state.SetLabel("streaming hlc on"); break;
+    case 7: state.SetLabel("canary 1 Hz"); break;
     default: state.SetLabel(traced ? "tracing on" : "tracing off");
   }
 }
-BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
 
 // Frame fan-out: encoded bytes + encode CPU to deliver one frame to N
 // subscribers (half workstation-class lossless, half PDA-class quantized).

@@ -1,13 +1,16 @@
 // Operator console: the command-line equivalent of the paper's registry
 // browser plus status interrogation. Stands up a demo deployment, then
-// executes admin commands — `registry`, `status`, `describe <session>`,
-// `create <host> <session>` — against it through the same SOAP surface a
+// executes admin commands — `registry`, `status`, `timeline`,
+// `describe <session>`, `create <host> <session>` — against it through
+// the same SOAP surface a
 // remote operator would use. With no arguments, runs a scripted tour.
 #include <cstdio>
 #include <cstring>
 
 #include "core/grid.hpp"
 #include "mesh/generators.hpp"
+#include "obs/event.hpp"
+#include "obs/hlc.hpp"
 #include "services/ldap.hpp"
 
 using namespace rave;
@@ -41,6 +44,30 @@ void cmd_ldap(core::RaveGrid& grid) {
   }
   std::printf("render services via LDAP scan: %zu\n",
               services::ldap_find_services(directory, "RaveRenderService").size());
+}
+
+// Pull the merged causally-ordered grid timeline: enable the health
+// plane (timeline collector pulling each host's flight recorder over
+// SOAP), run the demo session across both render hosts for a few virtual
+// seconds so the balancer has real load reports to decide (and record)
+// with, then poll every ring and print the merge.
+void cmd_timeline(util::SimClock& clock, core::RaveGrid& grid, core::DataService& data) {
+  obs::set_clock(&clock);               // virtual-time stamps: reproducible output
+  obs::Hlc::global().set_enabled(true);  // stamp events for the causal merge
+  grid.enable_health_plane();
+  (void)grid.join("tower", "adrenochrome", "Skull");
+  grid.pump_until_idle();
+  (void)data.distribute("Skull");
+  grid.pump_until_idle();
+  scene::Camera cam;
+  for (int i = 0; i < 5; ++i) {
+    clock.advance(1.0);
+    (void)grid.render_service("adrenochrome")->render_console("Skull", cam, 64, 64);
+    (void)grid.render_service("tower")->render_console("Skull", cam, 64, 64);
+    grid.pump_until_idle();
+  }
+  (void)grid.timeline()->poll_now();
+  std::printf("%s", grid.timeline_text().c_str());
 }
 
 void cmd_describe(core::RaveGrid& grid, const char* session) {
@@ -104,14 +131,16 @@ int main(int argc, char** argv) {
       cmd_status(grid);
     } else if (std::strcmp(argv[1], "ldap") == 0) {
       cmd_ldap(grid);
+    } else if (std::strcmp(argv[1], "timeline") == 0) {
+      cmd_timeline(clock, grid, data);
     } else if (std::strcmp(argv[1], "describe") == 0 && argc >= 3) {
       cmd_describe(grid, argv[2]);
     } else if (std::strcmp(argv[1], "create") == 0 && argc >= 4) {
       cmd_create(grid, argv[2], argv[3]);
       cmd_status(grid);
     } else {
-      std::printf("usage: rave_admin [registry | status | ldap | describe <session> | "
-                  "create <host> <session>]\n");
+      std::printf("usage: rave_admin [registry | status | ldap | timeline | "
+                  "describe <session> | create <host> <session>]\n");
       return 2;
     }
     return 0;

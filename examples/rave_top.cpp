@@ -14,6 +14,12 @@
 //                  functions under the dashboard
 //   --flame PATH   write the profiler's collapsed stacks (flamegraph.pl
 //                  input format) on exit; implies --profile
+//   --timeline     print the merged causally-ordered grid timeline on exit
+//   --once         suppress the per-second redraws; emit one snapshot at
+//                  the end of the run
+//   --json         machine-readable snapshot (metrics + SLO states +
+//                  canary health) instead of the text dashboard; implies
+//                  --once
 //   --seconds N    virtual seconds to run (default 12)
 #include <cstdio>
 #include <cstdlib>
@@ -24,14 +30,117 @@
 #include "core/grid.hpp"
 #include "mesh/generators.hpp"
 #include "obs/event.hpp"
+#include "obs/hlc.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 
 using namespace rave;
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_json_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+// The --once --json snapshot: everything a monitoring pipeline wants from
+// one shot — the process-wide metric samples, the SLO engine's current
+// states, and the canary verdicts.
+std::string json_snapshot(core::RaveGrid& grid, double now) {
+  std::string out = "{\"now\":";
+  append_json_number(out, now);
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const obs::MetricSample& s : obs::MetricsRegistry::global().samples()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, s.name);
+    out += "\",\"labels\":\"";
+    append_json_escaped(out, s.labels);
+    out += "\",\"value\":";
+    append_json_number(out, s.value);
+    out += "}";
+  }
+  out += "],\"slos\":[";
+  first = true;
+  if (const obs::SloEngine* slo = grid.slo_engine()) {
+    for (const obs::SloStatus& s : slo->current()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"slo\":\"";
+      append_json_escaped(out, s.slo);
+      out += "\",\"host\":\"";
+      append_json_escaped(out, s.host);
+      out += "\",\"state\":\"";
+      out += obs::to_string(s.state);
+      out += "\",\"value\":";
+      append_json_number(out, s.value);
+      out += ",\"threshold\":";
+      append_json_number(out, s.threshold);
+      out += ",\"anomaly\":";
+      out += s.anomaly ? "true" : "false";
+      out += "}";
+    }
+  }
+  out += "],\"canary\":[";
+  first = true;
+  if (obs::Canary* canary = grid.canary()) {
+    for (const obs::HealthVerdict& v : canary->verdicts()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"host\":\"";
+      append_json_escaped(out, v.host);
+      out += "\",\"state\":\"";
+      out += obs::to_string(v.state);
+      out += "\",\"reason\":\"";
+      append_json_escaped(out, v.reason);
+      out += "\",\"frames_ok\":";
+      append_json_number(out, static_cast<double>(v.frames_ok));
+      out += ",\"frames_late\":";
+      append_json_number(out, static_cast<double>(v.frames_late));
+      out += ",\"frames_failed\":";
+      append_json_number(out, static_cast<double>(v.frames_failed));
+      out += ",\"join_seconds\":";
+      append_json_number(out, v.join_seconds);
+      out += ",\"last_frame_age\":";
+      append_json_number(out, v.last_frame_age);
+      out += "}";
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bool watch = false;
   bool trace = false;
   bool profile = false;
+  bool timeline = false;
+  bool once = false;
+  bool json = false;
   std::string jsonl_path;
   std::string flame_path;
   double seconds = 12.0;
@@ -39,12 +148,16 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--watch") == 0) watch = true;
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     if (std::strcmp(argv[i], "--profile") == 0) profile = true;
+    if (std::strcmp(argv[i], "--timeline") == 0) timeline = true;
+    if (std::strcmp(argv[i], "--once") == 0) once = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) jsonl_path = argv[++i];
     if (std::strcmp(argv[i], "--flame") == 0 && i + 1 < argc) flame_path = argv[++i];
     if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc)
       seconds = std::atof(argv[++i]);
   }
   if (!flame_path.empty()) profile = true;
+  if (json) once = true;
 
   util::SimClock clock;
   obs::set_clock(&clock);  // byte-stable timestamps for traces/logs
@@ -86,6 +199,16 @@ int main(int argc, char** argv) {
   collect.interval = 1.0;
   grid.enable_telemetry(collect, obs::default_render_slos(/*target_fps=*/10.0));
 
+  // Health plane: blackbox canaries subscribing to the real frame stream
+  // (one probe per quality class per render host) plus the cross-host
+  // timeline collector pulling every flight recorder at 1 Hz. HLC
+  // stamping on, so the merged timeline orders causally, not by wall.
+  obs::Hlc::global().set_enabled(true);
+  obs::Canary::Options canary_options;
+  canary_options.frame_timeout = 0.3;  // virtual seconds; keep misses cheap
+  grid.enable_health_plane(canary_options);
+  grid.watch_streams("hand");
+
   // Two thin clients, one per render host.
   core::ThinClient strong_client(clock, grid.fabric(), sim::xeon_desktop());
   core::ThinClient weak_client(clock, grid.fabric(), sim::zaurus_pda());
@@ -99,14 +222,24 @@ int main(int argc, char** argv) {
   const auto pump = [&grid] { grid.pump_all(); };
 
   double next_draw = 1.0;
+  double next_probe = 0.5;
   const double start = clock.now();
   while (clock.now() - start < seconds) {
     cam.orbit(0.08f, 0.01f);
     (void)strong_client.request_frame(cam, 160, 120, 30.0, pump);
     (void)weak_client.request_frame(cam, 160, 120, 30.0, pump);
     grid.pump_all();
+    if (clock.now() - start >= next_probe) {
+      next_probe += 1.0;
+      // Drive the stream the canaries watch, then run every probe once.
+      (void)grid.render_service("xeon")->publish_stream_frame("hand", cam, 160, 120);
+      (void)grid.render_service("laptop")->publish_stream_frame("hand", cam, 160, 120);
+      grid.pump_all();
+      (void)grid.canary()->probe_all(pump);
+    }
     if (clock.now() - start >= next_draw) {
       next_draw += 1.0;
+      if (once) continue;
       if (watch) std::printf("\x1b[2J\x1b[H");
       std::fputs(grid.telemetry_dashboard().c_str(), stdout);
       if (profile) {
@@ -124,6 +257,17 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
+  }
+
+  if (once) {
+    if (json)
+      std::fputs(json_snapshot(grid, clock.now()).c_str(), stdout);
+    else
+      std::fputs(grid.telemetry_dashboard().c_str(), stdout);
+  }
+  if (timeline) {
+    std::printf("== grid timeline ==\n");
+    std::fputs(grid.timeline_text().c_str(), stdout);
   }
 
   if (profile) obs::Profiler::global().stop();

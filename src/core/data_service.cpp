@@ -7,6 +7,7 @@
 #include "mesh/obj_io.hpp"
 #include "obs/event.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/hlc.hpp"
 #include "obs/metrics.hpp"
 #include "scene/serialize.hpp"
 #include "util/log.hpp"
@@ -340,6 +341,7 @@ size_t DataService::pump_session(Session& session) {
       }
       ++handled;
       sub.last_seen = clock_->now();  // any traffic renews the lease
+      (void)obs::observe_hlc(*msg);   // merge the sender's causal stamp
       switch (msg->type) {
         case kMsgUpdate: {
           auto update = decode_update(*msg);
@@ -500,26 +502,64 @@ std::string DataService::last_plan_summary(const std::string& session_name) cons
 }
 
 void DataService::recover_failed(Session& session) {
-  // Lease expiry: a whole lease of silence means failed even while the
-  // channel still reports open (hung service, half-dead link).
-  if (options_.lease_seconds > 0) {
+  // Failure detection proper runs through the session's lease table: any
+  // received message renewed last_seen, which the table consumes as a
+  // heartbeat; a whole lease of silence means failed even while the
+  // channel still reports open (hung service, half-dead link); and an
+  // Unhealthy canary verdict condemns the subscriber so eviction fires
+  // *before* the lease would lapse.
+  {
+    FailureDetector& detector = session.detector;
+    detector.set_lease_seconds(options_.lease_seconds);
     const double now = clock_->now();
     for (Subscriber& sub : session.subscribers) {
-      if (!sub.alive || now - sub.last_seen <= options_.lease_seconds) continue;
-      ++stats_.lease_expiries;
+      const std::string key = std::to_string(sub.id);
+      if (!sub.alive) {
+        detector.forget(key);  // channel-close failures are already handled
+        continue;
+      }
+      if (detector.watching(key))
+        (void)detector.heartbeat(key, sub.last_seen);
+      else
+        detector.watch(key, sub.last_seen);
+      if (health_advisor_ && sub.kind == SubscriberKind::RenderService) {
+        const obs::HealthVerdict verdict = health_advisor_(sub.host);
+        if (verdict.state == obs::HealthState::Unhealthy)
+          detector.condemn(key, verdict.reason.empty() ? std::string("canary unhealthy")
+                                                       : verdict.reason);
+      }
+    }
+    for (const FailureDetector::Expiry& expiry : detector.collect_expired(now)) {
+      Subscriber* failed = nullptr;
+      for (Subscriber& sub : session.subscribers)
+        if (std::to_string(sub.id) == expiry.key) failed = &sub;
+      if (failed == nullptr || !failed->alive) continue;
       // Failure-detector event: recorded in the flight ring (with an
       // automatic post-mortem snapshot) as well as logged/counted.
-      obs::FlightRecorder::global().record_failure(
-          "data",
-          "subscriber " + std::to_string(sub.id) + " (" + sub.host + ") lease expired for " +
-              session.name,
-          now);
-      obs::log_event(util::LogLevel::Warn, "data", "lease_expired",
-                     "subscriber " + std::to_string(sub.id) + " (" + sub.host +
-                         ") silent past " + std::to_string(options_.lease_seconds) +
-                         "s; declaring failed");
-      sub.channel->close();
-      sub.alive = false;
+      if (expiry.condemned) {
+        ++stats_.canary_evictions;
+        obs::FlightRecorder::global().record_failure(
+            "data",
+            "subscriber " + std::to_string(failed->id) + " (" + failed->host +
+                ") evicted by canary verdict for " + session.name + ": " + expiry.reason,
+            now);
+        obs::log_event(util::LogLevel::Warn, "data", "canary_evicted",
+                       "subscriber " + std::to_string(failed->id) + " (" + failed->host +
+                           ") unhealthy; evicting before lease expiry: " + expiry.reason);
+      } else {
+        ++stats_.lease_expiries;
+        obs::FlightRecorder::global().record_failure(
+            "data",
+            "subscriber " + std::to_string(failed->id) + " (" + failed->host +
+                ") lease expired for " + session.name,
+            now);
+        obs::log_event(util::LogLevel::Warn, "data", "lease_expired",
+                       "subscriber " + std::to_string(failed->id) + " (" + failed->host +
+                           ") silent past " + std::to_string(options_.lease_seconds) +
+                           "s; declaring failed");
+      }
+      failed->channel->close();
+      failed->alive = false;
     }
   }
 
@@ -544,6 +584,13 @@ void DataService::recover_failed(Session& session) {
         view.slo_burning = trend.slo_burning;
         view.anomaly = trend.anomaly;
         view.advisory = trend.note;
+      }
+      if (health_advisor_) {
+        const obs::HealthVerdict verdict = health_advisor_(sub.host);
+        if (verdict.state >= obs::HealthState::Degraded) {
+          view.health_degraded = true;
+          view.health_note = verdict.reason;
+        }
       }
     }
     if (sub.whole_tree) {
@@ -601,6 +648,13 @@ std::vector<MigrationAction> DataService::rebalance_locked(Session& session) {
       view.slo_burning = trend.slo_burning;
       view.anomaly = trend.anomaly;
       view.advisory = trend.note;
+    }
+    if (health_advisor_) {
+      const obs::HealthVerdict verdict = health_advisor_(sub.host);
+      if (verdict.state >= obs::HealthState::Degraded) {
+        view.health_degraded = true;
+        view.health_note = verdict.reason;
+      }
     }
     if (sub.whole_tree) {
       view.assigned = payload_costs(session.tree);

@@ -19,10 +19,12 @@
 
 #include "core/capacity.hpp"
 #include "core/distribution.hpp"
+#include "core/failure_detector.hpp"
 #include "core/migration.hpp"
 #include "core/protocol.hpp"
 #include "core/service_config.hpp"
 #include "net/channel.hpp"
+#include "obs/health.hpp"
 #include "scene/audit.hpp"
 #include "scene/tree.hpp"
 #include "services/container.hpp"
@@ -110,6 +112,14 @@ class DataService {
   using TrendAdvisorFn = std::function<TrendAdvisory(const std::string& host)>;
   void set_trend_advisor(TrendAdvisorFn advisor) { advisor_ = std::move(advisor); }
 
+  // Health advisor: consulted per render-service host when the failure
+  // detector runs. An Unhealthy canary verdict *condemns* the service —
+  // it is evicted (and its nodes re-dispatched) on the next detector
+  // round, before its lease would expire. A Degraded verdict rides onto
+  // the planner views as a health advisory (no eviction).
+  using HealthAdvisorFn = std::function<obs::HealthVerdict(const std::string& host)>;
+  void set_health_advisor(HealthAdvisorFn advisor) { health_advisor_ = std::move(advisor); }
+
   // The full explain summary (inputs, rejections, chosen actions) of the
   // most recent planning round for `session` — the same text the flight
   // recorder stored. Empty until a plan has run.
@@ -138,6 +148,7 @@ class DataService {
 
   struct Stats {
     uint64_t lease_expiries = 0;    // subscribers declared failed by silence
+    uint64_t canary_evictions = 0;  // subscribers evicted by Unhealthy verdicts
     uint64_t recoveries = 0;        // failure-recovery planning rounds run
     uint64_t rebalances = 0;        // load-balancing planning rounds run
     uint64_t updates_committed = 0; // scene updates accepted across sessions
@@ -178,6 +189,9 @@ class DataService {
     std::vector<MigrationAction> last_failure_plan;
     // Explain text + chosen actions of the most recent planning round.
     std::string last_plan_summary;
+    // Lease table for this session's subscribers, synced from last_seen
+    // every detector round; canary condemnations land here too.
+    FailureDetector detector;
   };
 
   size_t pump_pending();
@@ -208,6 +222,7 @@ class DataService {
   uint64_t next_subscriber_id_ = 1;
   RecruitFn recruiter_;
   TrendAdvisorFn advisor_;
+  HealthAdvisorFn health_advisor_;
   Stats stats_;
 };
 

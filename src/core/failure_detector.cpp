@@ -34,7 +34,37 @@ util::Status FailureDetector::heartbeat(const std::string& key, double now) {
   return {};
 }
 
-void FailureDetector::forget(const std::string& key) { last_seen_.erase(key); }
+void FailureDetector::forget(const std::string& key) {
+  last_seen_.erase(key);
+  condemned_.erase(key);
+}
+
+void FailureDetector::condemn(const std::string& key, const std::string& reason) {
+  if (last_seen_.count(key) == 0) return;  // already gone; nothing to evict
+  condemned_.emplace(key, reason);         // first reason wins
+}
+
+bool FailureDetector::condemned(const std::string& key) const {
+  return condemned_.count(key) != 0;
+}
+
+std::vector<FailureDetector::Expiry> FailureDetector::collect_expired(double now) {
+  std::vector<Expiry> out;
+  for (auto it = last_seen_.begin(); it != last_seen_.end();) {
+    const auto verdict = condemned_.find(it->first);
+    if (verdict != condemned_.end()) {
+      out.push_back({it->first, true, verdict->second});
+      condemned_.erase(verdict);
+      it = last_seen_.erase(it);
+    } else if (lease_seconds_ > 0 && now - it->second > lease_seconds_) {
+      out.push_back({it->first, false, {}});
+      it = last_seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
 
 bool FailureDetector::watching(const std::string& key) const {
   return last_seen_.count(key) != 0;

@@ -48,6 +48,7 @@ class FailureDetector {
   explicit FailureDetector(double lease_seconds = 2.0) : lease_seconds_(lease_seconds) {}
 
   [[nodiscard]] double lease_seconds() const { return lease_seconds_; }
+  void set_lease_seconds(double lease_seconds) { lease_seconds_ = lease_seconds; }
 
   // Start (or restart) monitoring `key`; the lease begins at `now`.
   void watch(const std::string& key, double now);
@@ -65,9 +66,27 @@ class FailureDetector {
   // the table, so each failure is reported exactly once.
   std::vector<std::string> expired(double now);
 
+  // Condemn `key` out-of-band (health plane: an Unhealthy canary verdict).
+  // The key is reported by the next collect_expired() regardless of its
+  // lease — eviction *before* expiry — with `reason` attached. Condemning
+  // an unwatched key is a no-op (the peer already left or expired).
+  void condemn(const std::string& key, const std::string& reason);
+  [[nodiscard]] bool condemned(const std::string& key) const;
+
+  struct Expiry {
+    std::string key;
+    bool condemned = false;  // evicted by verdict, not by lease lapse
+    std::string reason;      // condemnation reason; empty for lease expiry
+  };
+  // expired() plus condemnations: every key whose lease lapsed as of
+  // `now` or that was condemned since the last collection, reported
+  // exactly once (removed from the table) in deterministic key order.
+  std::vector<Expiry> collect_expired(double now);
+
  private:
   double lease_seconds_;
   std::map<std::string, double> last_seen_;  // ordered: deterministic expiry order
+  std::map<std::string, std::string> condemned_;  // key -> reason
 };
 
 }  // namespace rave::core

@@ -337,6 +337,7 @@ void FrameStreamReceiver::observe_completion() {
   if (assembly_.begin.publish_time > 0) {
     age = now - assembly_.begin.publish_time;
     if (age < 0) age = 0;
+    last_frame_age_ = age;
     obs::MetricsRegistry::global()
         .gauge("rave_stream_frame_age_seconds",
                {{"class", compress::quality_name(quality_)}})

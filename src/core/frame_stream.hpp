@@ -142,6 +142,15 @@ class FrameStreamReceiver {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const compress::TileStore& store() const { return store_; }
   [[nodiscard]] compress::QualityClass quality() const { return quality_; }
+  // Publish→deliver age of the most recent completed frame (seconds);
+  // -1 until a frame with a stamped publish time completes. The canary's
+  // steady-state staleness probe reads this.
+  [[nodiscard]] double last_frame_age() const { return last_frame_age_; }
+  // Whether the stream channel is still up. The canary keeps its standing
+  // subscription across probe timeouts as long as the wire is open (the
+  // publisher still holds this channel, so the next publish lands in its
+  // queue); a closed channel forces a fresh subscribe.
+  [[nodiscard]] bool channel_open() const { return channel_ != nullptr && channel_->is_open(); }
 
  private:
   struct Assembly {
@@ -177,6 +186,7 @@ class FrameStreamReceiver {
   compress::TileStore store_;
   Assembly assembly_;
   Stats stats_;
+  double last_frame_age_ = -1;
 };
 
 // Relay-side content cache: remembers the TileData messages a relay

@@ -52,6 +52,7 @@ RaveGrid::Host& RaveGrid::host_slot(const std::string& name) {
   host.soap_access_point = access.ok() ? access.value() : "";
   Host& slot = hosts_.emplace(name, std::move(host)).first->second;
   if (collector_) add_scrape_target(slot);  // hosts added after enable_telemetry
+  if (timeline_) add_timeline_target(slot);  // hosts added after enable_health_plane
   return slot;
 }
 
@@ -71,7 +72,9 @@ DataService& RaveGrid::add_data_service(const std::string& host_name,
       return recruit(host_name, session);
     });
     if (slo_) wire_trend_advisor(*host.data);
-    register_status_endpoint(*host.container, host_name, host.data.get(), host.render.get());
+    if (canary_) wire_health_advisor(*host.data);
+    register_status_endpoint(*host.container, host_name, host.data.get(), host.render.get(),
+                             health_report_fn(host_name));
   }
   return *host.data;
 }
@@ -85,7 +88,8 @@ RenderService& RaveGrid::add_render_service(const std::string& host_name,
     (void)host.render->listen_clients(host_name + "/clients");
     if (!options.active_client_only) (void)host.render->listen_peer(host_name + "/peer");
     host.render->register_soap(*host.container);
-    register_status_endpoint(*host.container, host_name, host.data.get(), host.render.get());
+    register_status_endpoint(*host.container, host_name, host.data.get(), host.render.get(),
+                             health_report_fn(host_name));
   }
   return *host.render;
 }
@@ -203,6 +207,7 @@ size_t RaveGrid::pump_all() {
   // them would keep pump_until_idle from ever seeing the grid quiesce.
   if (collector_ && collector_->tick() > 0 && slo_)
     slo_->evaluate(collector_->store(), clock_->now());
+  if (timeline_) timeline_->tick();
   return handled;
 }
 
@@ -271,6 +276,70 @@ void RaveGrid::add_scrape_target(Host& host) {
     if (response.is_fault) return make_error(response.fault_message);
     return response.result.as_string();
   }});
+}
+
+void RaveGrid::enable_health_plane(obs::Canary::Options canary_options,
+                                   obs::TimelineCollector::Options timeline_options) {
+  if (canary_) return;  // idempotent: one health plane per grid
+  canary_ = std::make_unique<obs::Canary>(*clock_, fabric_, canary_options);
+  timeline_ = std::make_unique<obs::TimelineCollector>(*clock_, timeline_options);
+  for (auto& [name, host] : hosts_) {
+    add_timeline_target(host);
+    if (host.data) wire_health_advisor(*host.data);
+  }
+}
+
+void RaveGrid::add_timeline_target(Host& host) {
+  const std::string name = host.name;
+  timeline_->add_target({name, [this, name]() -> util::Result<std::string> {
+    auto it = hosts_.find(name);
+    if (it == hosts_.end()) return make_error("timeline: unknown host " + name);
+    // Same reachability gate as the metrics scrape: the dial goes through
+    // the fabric (and any injected faults), so a killed host records a
+    // timeline *gap* — the merged view keeps its last pulled events.
+    auto probe = fabric_.dial_retry(it->second.soap_access_point, scrape_retry_, *clock_);
+    if (!probe.ok()) return make_error(probe.error());
+    probe.value()->close();
+    services::SoapCall call;
+    call.service = "status";
+    call.method = "flight";
+    call.call_id = 1;
+    const services::SoapResponse response = it->second.container->dispatch(call);
+    if (response.is_fault) return make_error(response.fault_message);
+    return response.result.as_string();
+  }});
+}
+
+void RaveGrid::watch_streams(const std::string& session) {
+  if (!canary_) return;
+  for (auto& [name, host] : hosts_) {
+    if (!host.render) continue;
+    const auto sessions = host.render->session_names();
+    if (std::find(sessions.begin(), sessions.end(), session) == sessions.end()) continue;
+    canary_->watch(name, host.render->client_access_point(), session);
+  }
+}
+
+std::string RaveGrid::timeline_text() {
+  if (!timeline_) return "";
+  return obs::format_timeline(timeline_->merged());
+}
+
+void RaveGrid::wire_health_advisor(DataService& data) {
+  data.set_health_advisor([this](const std::string& host) {
+    return canary_ ? canary_->verdict(host) : obs::HealthVerdict{};
+  });
+}
+
+HealthReportFn RaveGrid::health_report_fn(const std::string& host) {
+  // Evaluated at status time, so a canary created after the host still
+  // answers; an unwatched host reports Unknown.
+  return [this, host]() {
+    if (canary_) return canary_->verdict(host);
+    obs::HealthVerdict verdict;
+    verdict.host = host;
+    return verdict;
+  };
 }
 
 void RaveGrid::wire_trend_advisor(DataService& data) {

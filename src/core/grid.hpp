@@ -16,8 +16,10 @@
 #include "core/render_service.hpp"
 #include "core/status.hpp"
 #include "core/thin_client.hpp"
+#include "obs/canary.hpp"
 #include "obs/collector.hpp"
 #include "obs/slo.hpp"
+#include "obs/timeline.hpp"
 #include "services/container.hpp"
 #include "services/registry.hpp"
 
@@ -101,6 +103,28 @@ class RaveGrid {
   // The rave-top view: sparklines + SLO states + last-migration explain.
   [[nodiscard]] std::string telemetry_dashboard();
 
+  // --- health plane -----------------------------------------------------------
+  // Stand up the grid health plane: blackbox canary probes plus the
+  // cross-host timeline collector. Every current and future host becomes
+  // a timeline target (the collector pulls its status "flight" export
+  // over the fabric; a failed pull records a *gap*, never a failure),
+  // every data service gets a health advisor answering from the canary's
+  // verdicts, and each host's status "health" SOAP method starts
+  // reporting its canary verdict. Idempotent.
+  void enable_health_plane(obs::Canary::Options canary_options = {},
+                           obs::TimelineCollector::Options timeline_options = {});
+  [[nodiscard]] obs::Canary* canary() { return canary_.get(); }
+  [[nodiscard]] obs::TimelineCollector* timeline() { return timeline_.get(); }
+
+  // Arm one canary probe set per render-service host subscribed to
+  // `session` (hosts without a render service are skipped). Requires
+  // enable_health_plane.
+  void watch_streams(const std::string& session);
+
+  // The merged causally-ordered grid timeline as text ("" until the
+  // health plane is up and a poll round has run).
+  [[nodiscard]] std::string timeline_text();
+
  private:
   struct Host {
     std::string name;
@@ -113,7 +137,10 @@ class RaveGrid {
 
   Host& host_slot(const std::string& name);
   void add_scrape_target(Host& host);
+  void add_timeline_target(Host& host);
   void wire_trend_advisor(DataService& data);
+  void wire_health_advisor(DataService& data);
+  [[nodiscard]] HealthReportFn health_report_fn(const std::string& host);
 
   util::Clock* clock_;
   InProcFabric fabric_;
@@ -124,6 +151,9 @@ class RaveGrid {
   // Telemetry plane (null until enable_telemetry).
   std::unique_ptr<obs::Collector> collector_;
   std::unique_ptr<obs::SloEngine> slo_;
+  // Health plane (null until enable_health_plane).
+  std::unique_ptr<obs::Canary> canary_;
+  std::unique_ptr<obs::TimelineCollector> timeline_;
   RetryPolicy scrape_retry_{/*max_attempts=*/2, /*initial_backoff=*/0.05};
 };
 

@@ -23,7 +23,9 @@ void explain_inputs(MigrationExplain* explain, const std::vector<ServiceLoadView
                   s.overloaded ? " overloaded" : "", s.underloaded ? " underloaded" : "",
                   s.slo_burning ? " slo-burn" : "", s.anomaly ? " anomaly" : "");
     std::string rendered = line;
+    if (s.health_degraded) rendered += " health-degraded";
     if (!s.advisory.empty()) rendered += " [" + s.advisory + "]";
+    if (!s.health_note.empty()) rendered += " [health: " + s.health_note + "]";
     explain->inputs.push_back(std::move(rendered));
     // Volume nodes priced by the measured rays/s model get their own
     // line, so a plan can be audited against what the marcher reported.
@@ -85,20 +87,26 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
     std::vector<ServiceLoadView*> survivors;
     for (ServiceLoadView& candidate : services)
       if (!candidate.failed && candidate.subscriber_id != dead.subscriber_id &&
-          !candidate.slo_burning && !candidate.anomaly)
+          !candidate.slo_burning && !candidate.anomaly && !candidate.health_degraded)
         survivors.push_back(&candidate);
     if (survivors.empty()) {
       for (ServiceLoadView& candidate : services)
         if (!candidate.failed && candidate.subscriber_id != dead.subscriber_id)
           survivors.push_back(&candidate);
     } else {
-      for (const ServiceLoadView& candidate : services)
-        if (!candidate.failed && candidate.subscriber_id != dead.subscriber_id &&
-            (candidate.slo_burning || candidate.anomaly))
+      for (const ServiceLoadView& candidate : services) {
+        if (candidate.failed || candidate.subscriber_id == dead.subscriber_id) continue;
+        if (candidate.slo_burning || candidate.anomaly)
           reject(explain, candidate.subscriber_id,
                  "trend advisory disqualifies survivor: " +
                      (candidate.advisory.empty() ? std::string("slo burn/anomaly")
                                                  : candidate.advisory));
+        else if (candidate.health_degraded)
+          reject(explain, candidate.subscriber_id,
+                 "health advisory disqualifies survivor: " +
+                     (candidate.health_note.empty() ? std::string("canary degraded")
+                                                    : candidate.health_note));
+      }
     }
     if (survivors.empty()) {
       MigrationAction recruit;
@@ -168,6 +176,13 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
                                                : candidate.advisory));
         continue;
       }
+      if (candidate.health_degraded) {
+        reject(explain, candidate.subscriber_id,
+               "health advisory disqualifies receiver: " +
+                   (candidate.health_note.empty() ? std::string("canary degraded")
+                                                  : candidate.health_note));
+        continue;
+      }
       receivers.push_back(&candidate);
     }
     std::sort(receivers.begin(), receivers.end(),
@@ -220,6 +235,13 @@ std::vector<MigrationAction> plan_migration(std::vector<ServiceLoadView> service
              "trend advisory blocks underload fill: " +
                  (underloaded.advisory.empty() ? std::string("slo burn/anomaly")
                                                : underloaded.advisory));
+      continue;
+    }
+    if (underloaded.health_degraded) {
+      reject(explain, underloaded.subscriber_id,
+             "health advisory blocks underload fill: " +
+                 (underloaded.health_note.empty() ? std::string("canary degraded")
+                                                  : underloaded.health_note));
       continue;
     }
     const double headroom = headroom_of(underloaded, config) * config.headroom_fill_fraction;

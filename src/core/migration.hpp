@@ -32,6 +32,13 @@ struct ServiceLoadView {
   bool slo_burning = false;
   bool anomaly = false;
   std::string advisory;  // why, verbatim from the SLO engine, for explain
+  // Canary health advisory (health plane): a Degraded/Unhealthy blackbox
+  // verdict disqualifies the service as a receiver, same precedence as
+  // the trend advisories above. Eviction of Unhealthy services happens in
+  // the failure detector (they arrive here as failed=true); this flag
+  // covers the sick-but-not-yet-evicted window.
+  bool health_degraded = false;
+  std::string health_note;  // canary reason, verbatim, for explain
   std::vector<NodeCost> assigned;
 
   [[nodiscard]] double assigned_work() const {

@@ -1,5 +1,6 @@
 #include "core/protocol.hpp"
 
+#include "obs/hlc.hpp"
 #include "scene/serialize.hpp"
 
 namespace rave::core {
@@ -505,6 +506,10 @@ Result<TileMissMsg> decode_tile_miss(const net::Message& msg) {
 }
 
 void stamp_trace(net::Message& msg) {
+  // The HLC stamp rides the same call sites as the trace context (frame
+  // publishes, client requests): both are no-ops unless their plane is
+  // enabled, keeping the disabled wire format byte-identical.
+  obs::stamp_hlc(msg);
   const obs::TraceContext ctx = obs::Tracer::current();
   if (!ctx.valid()) return;
   msg.trace_id = ctx.trace_id;

@@ -5,20 +5,31 @@
 #include <map>
 #include <sstream>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace rave::core {
 
+using obs::HealthState;
+using obs::HealthVerdict;
 using services::SoapList;
 using services::SoapStruct;
 using services::SoapValue;
 using util::Result;
 
+namespace {
+HealthState health_state_from(const std::string& name) {
+  for (HealthState state : {HealthState::Healthy, HealthState::Degraded, HealthState::Unhealthy})
+    if (name == to_string(state)) return state;
+  return HealthState::Unknown;
+}
+}  // namespace
+
 void register_status_endpoint(services::ServiceContainer& container, const std::string& host,
-                              DataService* data, RenderService* render) {
+                              DataService* data, RenderService* render, HealthReportFn health) {
   container.register_method(
       "status", "report",
-      [&container, host, data, render](const SoapList&) -> Result<SoapValue> {
+      [&container, host, data, render, health](const SoapList&) -> Result<SoapValue> {
         SoapStruct out;
         out["host"] = host;
         out["hasDataService"] = data != nullptr;
@@ -26,8 +37,14 @@ void register_status_endpoint(services::ServiceContainer& container, const std::
         const services::ContainerStats stats = container.stats();
         out["soapCalls"] = static_cast<int64_t>(stats.calls_served);
         out["soapFaults"] = static_cast<int64_t>(stats.faults);
+        if (health) {
+          const HealthVerdict verdict = health();
+          out["healthState"] = std::string(to_string(verdict.state));
+          if (!verdict.reason.empty()) out["healthReason"] = verdict.reason;
+        }
         if (data != nullptr) {
           out["leaseExpiries"] = static_cast<int64_t>(data->stats().lease_expiries);
+          out["canaryEvictions"] = static_cast<int64_t>(data->stats().canary_evictions);
           out["recoveries"] = static_cast<int64_t>(data->stats().recoveries);
           // The most recent migration plan's explain summary across this
           // host's sessions, so "why did the planner do that" is one
@@ -113,6 +130,44 @@ void register_status_endpoint(services::ServiceContainer& container, const std::
   container.register_method("status", "metrics", [](const SoapList&) -> Result<SoapValue> {
     return SoapValue{obs::MetricsRegistry::global().scrape()};
   });
+
+  // The flight-recorder export, as one text blob: what the timeline
+  // collector pulls to build the merged cross-host timeline.
+  container.register_method("status", "flight", [](const SoapList&) -> Result<SoapValue> {
+    return SoapValue{obs::FlightRecorder::global().export_events()};
+  });
+
+  // The canary verdict for this host's render service. Always registered:
+  // an unwired host answers "unknown", so pollers need no special case.
+  container.register_method("status", "health",
+                            [host, health](const SoapList&) -> Result<SoapValue> {
+                              HealthVerdict verdict;
+                              if (health) verdict = health();
+                              SoapStruct out;
+                              out["host"] = verdict.host.empty() ? host : verdict.host;
+                              out["state"] = std::string(to_string(verdict.state));
+                              out["reason"] = verdict.reason;
+                              out["framesOk"] = static_cast<int64_t>(verdict.frames_ok);
+                              out["framesLate"] = static_cast<int64_t>(verdict.frames_late);
+                              out["framesFailed"] = static_cast<int64_t>(verdict.frames_failed);
+                              out["joinSeconds"] = verdict.join_seconds;
+                              out["lastFrameAge"] = verdict.last_frame_age;
+                              return SoapValue{std::move(out)};
+                            });
+}
+
+Result<HealthVerdict> parse_health_report(const SoapValue& value) {
+  if (value.as_struct() == nullptr) return util::make_error("health: not a struct");
+  HealthVerdict verdict;
+  verdict.host = value.field("host").as_string();
+  verdict.state = health_state_from(value.field("state").as_string());
+  verdict.reason = value.field("reason").as_string();
+  verdict.frames_ok = static_cast<uint64_t>(value.field("framesOk").as_int());
+  verdict.frames_late = static_cast<uint64_t>(value.field("framesLate").as_int());
+  verdict.frames_failed = static_cast<uint64_t>(value.field("framesFailed").as_int());
+  verdict.join_seconds = value.field("joinSeconds").as_double();
+  verdict.last_frame_age = value.field("lastFrameAge").as_double();
+  return verdict;
 }
 
 Result<HostStatus> parse_host_status(const SoapValue& value) {
@@ -124,8 +179,11 @@ Result<HostStatus> parse_host_status(const SoapValue& value) {
   status.soap_calls_served = static_cast<uint64_t>(value.field("soapCalls").as_int());
   status.soap_faults = static_cast<uint64_t>(value.field("soapFaults").as_int());
   status.lease_expiries = static_cast<uint64_t>(value.field("leaseExpiries").as_int());
+  status.canary_evictions = static_cast<uint64_t>(value.field("canaryEvictions").as_int());
   status.recoveries = static_cast<uint64_t>(value.field("recoveries").as_int());
   status.last_migration = value.field("lastMigration").as_string();
+  status.health_state = health_state_from(value.field("healthState").as_string());
+  status.health_reason = value.field("healthReason").as_string();
   // field() returns by value: keep the temporaries alive while iterating.
   const SoapValue sessions_value = value.field("sessions");
   if (const SoapList* sessions = sessions_value.as_list()) {
@@ -202,9 +260,18 @@ std::string format_dashboard(const std::vector<HostStatus>& hosts) {
     if (host.has_render_service) out << "  [render]";
     out << "  soap calls: " << host.soap_calls_served << " (" << host.soap_faults
         << " faults)\n";
-    if (host.lease_expiries > 0 || host.recoveries > 0)
+    if (host.health_state != HealthState::Unknown) {
+      out << "   health: " << to_string(host.health_state);
+      if (!host.health_reason.empty()) out << " (" << host.health_reason << ")";
+      out << "\n";
+    }
+    if (host.lease_expiries > 0 || host.recoveries > 0 || host.canary_evictions > 0) {
       out << "   failures: " << host.lease_expiries << " lease expiries, " << host.recoveries
-          << " recovery round(s)\n";
+          << " recovery round(s)";
+      if (host.canary_evictions > 0)
+        out << ", " << host.canary_evictions << " canary eviction(s)";
+      out << "\n";
+    }
     if (!host.last_migration.empty())
       out << "   last migration plan:\n" << host.last_migration;
     for (const SessionStatus& session : host.sessions) {
@@ -344,7 +411,13 @@ std::string format_telemetry_dashboard(const std::vector<HostStatus>& hosts,
         out += ")";
       }
     }
+    if (host.health_state != HealthState::Unknown) {
+      out += "  health ";
+      out += to_string(host.health_state);
+    }
     out += "\n";
+    if (host.health_state >= HealthState::Degraded && !host.health_reason.empty())
+      out += "   canary   " + host.health_reason + "\n";
 
     if (host.has_render_service) {
       const std::string labels = "{host=\"" + host.host + "\"}";

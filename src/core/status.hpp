@@ -6,11 +6,13 @@
 // for a whole deployment.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/data_service.hpp"
 #include "core/render_service.hpp"
+#include "obs/health.hpp"
 #include "services/container.hpp"
 
 namespace rave::core {
@@ -80,20 +82,35 @@ struct HostStatus {
   // Data-plane failure detection (data service hosts only).
   uint64_t lease_expiries = 0;
   uint64_t recoveries = 0;
+  uint64_t canary_evictions = 0;
+  // Canary verdict for this host's render service (health plane); state
+  // stays "unknown" when no canary watches the host.
+  obs::HealthState health_state = obs::HealthState::Unknown;
+  std::string health_reason;
   // The most recent migration plan's explain summary (inputs, rejections,
   // chosen actions) across this host's sessions — why the planner did
   // what it did, readable straight off the dashboard.
   std::string last_migration;
 };
 
+// Blackbox health source for one host, wired by the grid when the health
+// plane is enabled; called at status time so late-created canaries work.
+using HealthReportFn = std::function<obs::HealthVerdict()>;
+
 // Register the "status" endpoint on a host's container, reporting on the
 // given services (either may be null). Besides "report" this also exposes
-// "metrics": the process-wide registry as Prometheus text exposition.
+// "metrics" (the process-wide registry as Prometheus text exposition),
+// "flight" (the flight-recorder export the timeline collector pulls), and
+// "health" (the canary verdict from `health`, unknown when unset).
 void register_status_endpoint(services::ServiceContainer& container, const std::string& host,
-                              DataService* data, RenderService* render);
+                              DataService* data, RenderService* render,
+                              HealthReportFn health = {});
 
 // Decode a status endpoint reply.
 util::Result<HostStatus> parse_host_status(const services::SoapValue& value);
+
+// Decode a "health" method reply.
+util::Result<obs::HealthVerdict> parse_health_report(const services::SoapValue& value);
 
 // Render a fleet of host statuses as the operator dashboard text.
 std::string format_dashboard(const std::vector<HostStatus>& hosts);

@@ -38,18 +38,27 @@ struct Message {
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
 
+  // Hybrid-logical-clock stamp (obs::Hlc) for the cross-host timeline.
+  // Zero = unstamped, byte-identical on the wire to the pre-HLC format;
+  // stamped frames set the 0x4000 type bit and carry 12 extra header
+  // bytes (wall micros u64 + logical u32, LE) after any trace context.
+  uint64_t hlc_wall = 0;
+  uint32_t hlc_logical = 0;
+
   Message() = default;
   Message(uint16_t t, std::vector<uint8_t> p) : type(t), payload(std::move(p)) {}
   Message(uint16_t t, std::vector<uint8_t> prefix, Buffer suffix)
       : type(t), payload(std::move(prefix)), tail(std::move(suffix)) {}
 
   [[nodiscard]] bool traced() const { return trace_id != 0; }
+  [[nodiscard]] bool hlc_stamped() const { return hlc_wall != 0 || hlc_logical != 0; }
 
   [[nodiscard]] uint64_t payload_size() const { return payload.size() + tail.size(); }
 
-  // Frame: 4-byte length + 2-byte type [+ 16-byte trace context] + payload.
+  // Frame: 4-byte length + 2-byte type [+ 16-byte trace context]
+  // [+ 12-byte HLC stamp] + payload.
   [[nodiscard]] uint64_t wire_size() const {
-    return 6 + (traced() ? 16 : 0) + payload_size();
+    return 6 + (traced() ? 16 : 0) + (hlc_stamped() ? 12 : 0) + payload_size();
   }
 
   // Fold the shared tail into the contiguous payload vector (a counted

@@ -32,6 +32,10 @@ using util::Status;
 namespace {
 
 constexpr uint16_t kTracedFlag = 0x8000;
+// 0x4000 marks an HLC-stamped frame: wall micros (u64 LE) + logical
+// (u32 LE) ride after any trace context. Same format as the legacy
+// engine; frames with neither flag stay byte-identical to the original.
+constexpr uint16_t kHlcFlag = 0x4000;
 // A frame length beyond this is protocol corruption, not data: drop the
 // connection rather than try to allocate it.
 constexpr uint32_t kMaxFrameBytes = 1u << 30;
@@ -95,7 +99,7 @@ obs::Counter& accepts_counter() {
 // are moved/refcounted out of the Message — no payload bytes are copied
 // between the sender's encode and the syscall.
 struct WriteItem {
-  uint8_t header[22];
+  uint8_t header[34];
   size_t header_len = 0;
   std::vector<uint8_t> body;
   Buffer tail;
@@ -120,6 +124,12 @@ WriteItem make_item(Message&& m) {
     put_u64(item.header + 6, m.trace_id);
     put_u64(item.header + 14, m.span_id);
     item.header_len = 22;
+  }
+  if (m.hlc_stamped()) {
+    wire_type |= kHlcFlag;
+    put_u64(item.header + item.header_len, m.hlc_wall);
+    put_u32(item.header + item.header_len + 8, m.hlc_logical);
+    item.header_len += 12;
   }
   put_u16(item.header + 4, wire_type);
   item.body = std::move(m.payload);
@@ -348,13 +358,19 @@ struct ReactorImpl : std::enable_shared_from_this<ReactorImpl> {
       if (len > kMaxFrameBytes) return false;
       const uint16_t wire_type = get_u16(p + 4);
       const bool traced = (wire_type & kTracedFlag) != 0;
-      const size_t header_len = traced ? 22 : 6;
+      const bool stamped = (wire_type & kHlcFlag) != 0;
+      const size_t header_len = 6 + (traced ? 16 : 0) + (stamped ? 12 : 0);
       if (buf.size() - off < header_len + len) break;
       Message msg;
-      msg.type = static_cast<uint16_t>(wire_type & ~kTracedFlag);
+      msg.type = static_cast<uint16_t>(wire_type & ~(kTracedFlag | kHlcFlag));
       if (traced) {
         msg.trace_id = get_u64(p + 6);
         msg.span_id = get_u64(p + 14);
+      }
+      if (stamped) {
+        const uint8_t* h = p + (traced ? 22 : 6);
+        msg.hlc_wall = get_u64(h);
+        msg.hlc_logical = get_u32(h + 8);
       }
       msg.payload.assign(p + header_len, p + header_len + len);
       off += header_len + len;

@@ -33,8 +33,12 @@ TransportMode transport_mode() {
 namespace {
 // High bit of the wire type marks a traced frame (real types stay below
 // 0x8000); the frame then carries trace_id + span_id (8 bytes LE each)
-// between the 6-byte header and the payload.
+// between the 6-byte header and the payload. 0x4000 marks an HLC-stamped
+// frame: wall micros (u64 LE) + logical (u32 LE) follow any trace
+// context. Both flags are optional and independent; frames carrying
+// neither stay byte-identical to the original format.
 constexpr uint16_t kTracedFlag = 0x8000;
+constexpr uint16_t kHlcFlag = 0x4000;
 
 // The legacy blocking engine: one syscall-blocking channel per socket.
 // Kept behind RAVE_NET=legacy as the migration escape hatch and as the
@@ -52,9 +56,10 @@ class TcpChannel final : public Channel {
     std::lock_guard lock(send_mu_);
     if (fd_ < 0) return make_error("tcp: channel closed");
     // Traced messages set the (otherwise unused) high bit of the type
-    // field and carry 16 extra header bytes; untraced frames stay
-    // byte-identical to the pre-tracing format.
-    uint8_t header[22];
+    // field and carry 16 extra header bytes; HLC-stamped messages set
+    // 0x4000 and carry 12 more after any trace context. Frames with
+    // neither stay byte-identical to the pre-tracing format.
+    uint8_t header[34];
     size_t header_len = 6;
     const uint32_t len = static_cast<uint32_t>(message.payload_size());
     for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
@@ -66,6 +71,14 @@ class TcpChannel final : public Channel {
       for (int i = 0; i < 8; ++i)
         header[14 + i] = static_cast<uint8_t>(message.span_id >> (8 * i));
       header_len = 22;
+    }
+    if (message.hlc_stamped()) {
+      wire_type |= kHlcFlag;
+      for (int i = 0; i < 8; ++i)
+        header[header_len + i] = static_cast<uint8_t>(message.hlc_wall >> (8 * i));
+      for (int i = 0; i < 4; ++i)
+        header[header_len + 8 + i] = static_cast<uint8_t>(message.hlc_logical >> (8 * i));
+      header_len += 12;
     }
     header[4] = static_cast<uint8_t>(wire_type & 0xFF);
     header[5] = static_cast<uint8_t>(wire_type >> 8);
@@ -100,6 +113,15 @@ class TcpChannel final : public Channel {
         msg.trace_id |= static_cast<uint64_t>(trace[i]) << (8 * i);
       for (int i = 0; i < 8; ++i)
         msg.span_id |= static_cast<uint64_t>(trace[8 + i]) << (8 * i);
+    }
+    if ((msg.type & kHlcFlag) != 0) {
+      msg.type &= static_cast<uint16_t>(~kHlcFlag);
+      uint8_t hlc[12];
+      if (!read_all(hlc, 12)) return make_error("tcp: closed by peer");
+      for (int i = 0; i < 8; ++i)
+        msg.hlc_wall |= static_cast<uint64_t>(hlc[i]) << (8 * i);
+      for (int i = 0; i < 4; ++i)
+        msg.hlc_logical |= static_cast<uint32_t>(hlc[8 + i]) << (8 * i);
     }
     msg.payload.resize(len);
     if (len > 0 && !read_all(msg.payload.data(), len)) return make_error("tcp: closed by peer");

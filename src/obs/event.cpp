@@ -1,6 +1,7 @@
 #include "obs/event.hpp"
 
 #include "obs/flight_recorder.hpp"
+#include "obs/hlc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/clock.hpp"
@@ -24,6 +25,7 @@ void log_event(util::LogLevel level, const std::string& component, const std::st
 
 void set_clock(const util::Clock* clock) {
   Tracer::global().set_clock(clock);
+  Hlc::global().set_clock(clock);
   util::set_log_clock(clock);
 }
 

@@ -1,14 +1,29 @@
 #include "obs/flight_recorder.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "obs/trace.hpp"
 
 namespace rave::obs {
 
+size_t parse_flight_capacity(const char* text, size_t fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return fallback;
+  if (value < 16) return 16;
+  if (value > 65536) return 65536;
+  return static_cast<size_t>(value);
+}
+
 FlightRecorder& FlightRecorder::global() {
-  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();  // never destroyed
+    r->set_capacity(parse_flight_capacity(std::getenv("RAVE_FLIGHT_EVENTS"), 512));
+    return r;
+  }();
   return *recorder;
 }
 
@@ -24,6 +39,10 @@ size_t FlightRecorder::capacity() const {
 }
 
 void FlightRecorder::record(FlightEvent event) {
+  // Tick the HLC per event (when enabled) so two flight events on the
+  // same host never share a stamp, and an event recorded after a message
+  // receive orders after that message's sender.
+  if (!event.hlc.valid() && Hlc::global().enabled()) event.hlc = Hlc::global().tick();
   std::lock_guard lock(mu_);
   if (ring_.size() >= capacity_) ring_.pop_front();
   ring_.push_back(std::move(event));
@@ -110,6 +129,42 @@ void FlightRecorder::clear() {
   ring_.clear();
   total_recorded_ = 0;
   last_dump_.clear();
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::lock_guard lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+namespace {
+// Decision texts are multi-line (planner explains); the export is
+// line-per-event, so escape the separators.
+void append_escaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+}  // namespace
+
+std::string FlightRecorder::export_events() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  out.reserve(ring_.size() * 96);
+  char head[96];
+  for (const FlightEvent& event : ring_) {
+    std::snprintf(head, sizeof(head), "%u %llu %u %.6f %llu %s ",
+                  static_cast<unsigned>(event.kind),
+                  static_cast<unsigned long long>(event.hlc.wall), event.hlc.logical, event.time,
+                  static_cast<unsigned long long>(event.trace_id), event.component.c_str());
+    out += head;
+    append_escaped(out, event.text);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace rave::obs

@@ -10,6 +10,9 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <vector>
+
+#include "obs/hlc.hpp"
 
 namespace rave::obs {
 
@@ -22,7 +25,16 @@ struct FlightEvent {
   std::string component;  // "data", "render", "fabric", ...
   std::string text;
   uint64_t trace_id = 0;  // spans only
+  // Causal stamp (zero when the global Hlc is disabled): record() ticks
+  // the clock per event so flight events interleave with message traffic
+  // in cross-host merge order, not just by drifting wall time.
+  HlcStamp hlc;
 };
+
+// RAVE_FLIGHT_EVENTS parse, bounds-clamped to [16, 65536]; empty/garbage
+// falls back to `fallback`. Exposed for testing — the env var itself is
+// read once at FlightRecorder::global() construction.
+size_t parse_flight_capacity(const char* text, size_t fallback);
 
 class FlightRecorder {
  public:
@@ -51,6 +63,12 @@ class FlightRecorder {
   [[nodiscard]] size_t event_count() const;
   [[nodiscard]] uint64_t total_recorded() const;  // including overwritten
   void clear();
+
+  // Snapshot of the ring, oldest first (for the timeline collector).
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+  // Deterministic line-per-event text form served over the status
+  // "flight" SOAP method; decode_flight_events (timeline.hpp) reverses it.
+  [[nodiscard]] std::string export_events() const;
 
  private:
   [[nodiscard]] std::string dump_locked() const;

@@ -1,0 +1,43 @@
+// Health states for the canary-driven failure detector. Dependency-free
+// (rave_util only) so the whole stack can speak it: the canary produces
+// verdicts, the status "health" SOAP method publishes them, DataService
+// consumes them for pre-lease eviction, and plan_migration takes them as
+// an advisory input.
+#pragma once
+
+#include <string>
+
+namespace rave::obs {
+
+// Unknown  — no probe has completed yet (treated as healthy: absence of
+//            evidence is not evidence of sickness).
+// Healthy  — last probe delivered an on-time, integrity-checked frame.
+// Degraded — frames arrive but late (older than the degraded-age bound);
+//            a migration advisory, not an eviction trigger.
+// Unhealthy— `unhealthy_after` consecutive probes failed (no frame, or a
+//            frame that failed its hash check); the failure detector may
+//            evict before the lease expires.
+enum class HealthState : uint8_t { Unknown = 0, Healthy, Degraded, Unhealthy };
+
+inline const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::Unknown: return "unknown";
+    case HealthState::Healthy: return "healthy";
+    case HealthState::Degraded: return "degraded";
+    case HealthState::Unhealthy: return "unhealthy";
+  }
+  return "?";
+}
+
+struct HealthVerdict {
+  std::string host;
+  HealthState state = HealthState::Unknown;
+  std::string reason;  // human-readable cause of the current state
+  uint64_t frames_ok = 0;
+  uint64_t frames_late = 0;
+  uint64_t frames_failed = 0;
+  double join_seconds = -1;     // join-to-first-frame; -1 until measured
+  double last_frame_age = -1;   // publish→deliver age of the last frame; -1 = none
+};
+
+}  // namespace rave::obs

@@ -139,6 +139,65 @@ void append_count(std::string& out, uint64_t v) {
   const int len = std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
   out.append(buf, static_cast<size_t>(len));
 }
+
+// Static one-liners for the known rave_* families, emitted as Prometheus
+// `# HELP` comments. Unknown names simply get no HELP line — registration
+// stays a plain string, and this path stays allocation-free.
+const char* metric_help(std::string_view name) {
+  struct HelpEntry {
+    std::string_view name;
+    const char* help;
+  };
+  static constexpr HelpEntry kHelp[] = {
+      {"rave_canary_frame_age_seconds", "Publish-to-decode age of the canary's last frame"},
+      {"rave_canary_frames_total", "Canary probe outcomes by host, class and result"},
+      {"rave_canary_join_seconds", "Canary join-to-first-frame latency"},
+      {"rave_canary_state", "Canary verdict per host (0 unknown, 1 healthy, 2 degraded, 3 unhealthy)"},
+      {"rave_codec_bytes_in_total", "Raw RGB bytes entering the adaptive encoder"},
+      {"rave_codec_bytes_out_total", "Wire bytes leaving the adaptive encoder"},
+      {"rave_codec_decode_ns_total", "Nanoseconds spent decoding frames"},
+      {"rave_codec_encode_ns_total", "Nanoseconds spent encoding frames"},
+      {"rave_codec_frames_total", "Frames through the adaptive codec"},
+      {"rave_collector_gaps_total", "Failed metric scrapes (unreachable target)"},
+      {"rave_data_updates_committed_total", "Scene updates committed by the data service"},
+      {"rave_events_total", "Structured log events by component and severity"},
+      {"rave_fabric_dial_failures_total", "Dials that exhausted their retry budget"},
+      {"rave_fabric_dial_retries_total", "Dial attempts beyond the first"},
+      {"rave_fabric_dials_total", "Connection attempts through the fabric"},
+      {"rave_fanout_bytes_total", "Stream bytes shipped, by tile kind"},
+      {"rave_fanout_encode_bytes_saved_total", "Encoded bytes reused from the tile cache"},
+      {"rave_fanout_encode_total", "Tile encodes by cache outcome"},
+      {"rave_fanout_miss_replies_total", "Full-tile fallbacks served on cache misses"},
+      {"rave_fanout_relay_total", "Frames relayed by the fan-out tier"},
+      {"rave_fanout_tiles_total", "Stream tiles shipped, by kind (ref/data)"},
+      {"rave_frame_seconds", "End-to-end frame render latency"},
+      {"rave_net_queue_wait_seconds", "Enqueue-to-sendmsg wait in the reactor write queue"},
+      {"rave_net_reactor_accepts_total", "Connections accepted by the reactor"},
+      {"rave_net_reactor_connections", "Channels currently open on the reactor"},
+      {"rave_net_sends_shed_total", "Messages dropped by the write-queue shed policy"},
+      {"rave_net_write_queue_bytes", "Bytes queued for send"},
+      {"rave_net_write_queue_depth", "Messages queued for send"},
+      {"rave_raster_cell_occupancy", "Triangles binned per raster cell"},
+      {"rave_raster_pixels_shaded_total", "Pixels shaded by the rasterizer"},
+      {"rave_raster_triangles_clipped_total", "Triangles rejected by clipping"},
+      {"rave_raster_triangles_rasterized_total", "Triangles actually rasterized"},
+      {"rave_raster_triangles_submitted_total", "Triangles submitted to the rasterizer"},
+      {"rave_raycast_bricks_skipped_total", "Macro-cell bricks skipped by the ray marcher"},
+      {"rave_raycast_rays_total", "Rays marched through volumes"},
+      {"rave_raycast_samples_total", "Volume samples taken along rays"},
+      {"rave_relay_upstream_errors_total", "Fan-out relay upstream connection errors"},
+      {"rave_render_delayed_sends", "Depth of the render service's delayed-send queue"},
+      {"rave_soap_calls_total", "SOAP calls served by host containers"},
+      {"rave_soap_faults_total", "SOAP calls answered with a fault"},
+      {"rave_stream_delivery_seconds", "Publish-to-receive latency of streamed frames"},
+      {"rave_stream_frame_age_seconds", "Age of frames at the stream receiver"},
+      {"rave_timeline_gaps_total", "Failed flight-recorder pulls (unreachable target)"},
+      {"rave_volume_seconds", "Per-frame volume ray-marching time"},
+  };
+  for (const HelpEntry& e : kHelp)
+    if (e.name == name) return e.help;
+  return nullptr;
+}
 }  // namespace
 
 void MetricsRegistry::scrape_into(std::string& out) const {
@@ -148,6 +207,13 @@ void MetricsRegistry::scrape_into(std::string& out) const {
   std::string_view last_typed;
   for (const auto& [key, e] : entries_) {
     if (e.name != last_typed) {
+      if (const char* help = metric_help(e.name)) {
+        out += "# HELP ";
+        out += e.name;
+        out += " ";
+        out += help;
+        out += "\n";
+      }
       const char* type = e.counter ? "counter" : e.gauge ? "gauge" : "histogram";
       out += "# TYPE ";
       out += e.name;

@@ -464,6 +464,88 @@ TEST_F(FaultFixture, SilentSubscriberLeaseExpiresAndNodesReassigned) {
   EXPECT_NE(dump.find("chosen: move"), std::string::npos) << dump;
 }
 
+TEST_F(FaultFixture, CanaryVerdictEvictsBeforeLeaseExpiry) {
+  // The health plane's fast path: an Unhealthy canary verdict condemns a
+  // subscriber, so eviction and re-dispatch fire on the next detector
+  // round — long before the lease would lapse on its own.
+  SceneTree tree;
+  for (int i = 0; i < 4; ++i)
+    tree.add_child(kRootNode, "part" + std::to_string(i), colored_sphere({1, 1, 1}, 20));
+  DataService::Options options;
+  options.auto_rebalance = false;
+  options.lease_seconds = 10.0;  // generous lease: eviction must beat it
+  DataService data(clock_, options);
+  const std::string ap =
+      fabric_.listen("leasehost/data", [&](net::ChannelPtr ch) { data.accept(std::move(ch)); })
+          .value();
+  ASSERT_TRUE(data.create_session("demo", std::move(tree)).ok());
+
+  RenderService& live = add_render("live");
+  RenderService& hung = add_render("hung");
+  ASSERT_TRUE(live.connect_session(ap, "demo").ok());
+  ASSERT_TRUE(hung.connect_session(ap, "demo").ok());
+  for (int i = 0; i < 50; ++i) {
+    size_t handled = data.pump() + live.pump() + hung.pump();
+    if (handled == 0) break;
+  }
+  ASSERT_TRUE(data.distribute("demo").ok());
+  for (int i = 0; i < 50; ++i) {
+    size_t handled = data.pump() + live.pump() + hung.pump();
+    if (handled == 0) break;
+  }
+
+  uint64_t hung_id = 0;
+  std::set<scene::NodeId> hung_nodes;
+  for (const auto& view : data.subscribers("demo")) {
+    if (view.host != "hung") continue;
+    hung_id = view.id;
+    hung_nodes.insert(view.interest.begin(), view.interest.end());
+  }
+  ASSERT_FALSE(hung_nodes.empty());
+
+  // The blackbox canary declares `hung` Unhealthy (stand-in for two
+  // consecutive failed stream probes); everyone else looks fine.
+  data.set_health_advisor([](const std::string& host) {
+    obs::HealthVerdict verdict;
+    verdict.host = host;
+    if (host == "hung") {
+      verdict.state = obs::HealthState::Unhealthy;
+      verdict.reason = "2 consecutive probe failures, last: frame stream: timed out";
+    } else {
+      verdict.state = obs::HealthState::Healthy;
+    }
+    return verdict;
+  });
+
+  Camera cam;
+  cam.eye = {0, 0, 5};
+  clock_.advance(0.5);  // a twentieth of the lease
+  (void)live.render_console("demo", cam, 32, 32);  // emits a LoadReport
+  (void)live.pump();
+  (void)data.pump();
+
+  // Evicted by verdict, not by lease: the lease counter never moved.
+  EXPECT_EQ(data.stats().canary_evictions, 1u);
+  EXPECT_EQ(data.stats().lease_expiries, 0u);
+
+  const auto plan = data.last_failure_plan("demo");
+  ASSERT_FALSE(plan.empty());
+  std::set<scene::NodeId> reassigned;
+  for (const auto& action : plan) {
+    EXPECT_EQ(action.kind, MigrationAction::Kind::MoveNodes);
+    EXPECT_EQ(action.from, hung_id);
+    for (const auto& n : action.nodes) reassigned.insert(n.node);
+  }
+  EXPECT_EQ(reassigned, hung_nodes);
+  const auto views = data.subscribers("demo");
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].host, "live");
+
+  const std::string dump = obs::FlightRecorder::global().last_dump();
+  EXPECT_NE(dump.find("evicted by canary verdict"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("chosen: move"), std::string::npos) << dump;
+}
+
 TEST_F(FaultFixture, TileTimeoutAbandonsStalledAssistant) {
   SceneTree tree;
   tree.add_child(kRootNode, "ball", colored_sphere({0.9f, 0.6f, 0.1f}, 24));

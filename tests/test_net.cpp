@@ -82,6 +82,54 @@ TEST(Tcp, ConnectSendReceive) {
   EXPECT_EQ(reply->payload[0], 9);
 }
 
+TEST(Message, WireSizeAccountsForOptionalHeaders) {
+  Message plain(0x42, {1, 2, 3});
+  EXPECT_EQ(plain.wire_size(), 6u + 3u);  // length + type + payload
+
+  Message traced = plain;
+  traced.trace_id = 7;
+  traced.span_id = 9;
+  EXPECT_EQ(traced.wire_size(), 6u + 16u + 3u);  // + trace context
+
+  Message stamped = plain;
+  stamped.hlc_wall = 1'000'000;
+  stamped.hlc_logical = 2;
+  EXPECT_EQ(stamped.wire_size(), 6u + 12u + 3u);  // + HLC stamp
+
+  Message both = traced;
+  both.hlc_wall = 1'000'000;
+  both.hlc_logical = 2;
+  EXPECT_EQ(both.wire_size(), 6u + 16u + 12u + 3u);
+}
+
+TEST(Tcp, HlcStampRoundTripsAndUnstampedStaysClean) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.error();
+  auto client = tcp_connect("127.0.0.1", listener.value()->port());
+  ASSERT_TRUE(client.ok()) << client.error();
+  auto server = listener.value()->accept(1.0);
+  ASSERT_TRUE(server.has_value());
+
+  Message stamped(0x0123, {5, 6, 7});
+  stamped.hlc_wall = 0x0102030405060708ull;
+  stamped.hlc_logical = 42;
+  ASSERT_TRUE(client.value()->send(stamped).ok());
+  auto msg = (*server)->receive(1.0);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, 0x0123);  // the 0x4000 flag bit never leaks upward
+  EXPECT_EQ(msg->hlc_wall, 0x0102030405060708ull);
+  EXPECT_EQ(msg->hlc_logical, 42u);
+  EXPECT_EQ(msg->payload, (std::vector<uint8_t>{5, 6, 7}));
+
+  // Unstamped traffic arrives with a zero stamp (pre-HLC wire format).
+  ASSERT_TRUE((*server)->send({0x0124, {9}}).ok());
+  auto reply = client.value()->receive(1.0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->hlc_wall, 0u);
+  EXPECT_EQ(reply->hlc_logical, 0u);
+  EXPECT_FALSE(reply->hlc_stamped());
+}
+
 TEST(Tcp, ReceiveTimesOutWithoutData) {
   auto listener = TcpListener::bind(0);
   ASSERT_TRUE(listener.ok());

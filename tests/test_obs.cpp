@@ -521,6 +521,78 @@ TEST(Flight, FailureAutoCapturesPostmortem) {
   EXPECT_TRUE(recorder.last_dump().empty());
 }
 
+TEST(Flight, ParseCapacityClampsAndFallsBack) {
+  // RAVE_FLIGHT_EVENTS: bounds-clamped to [16, 65536]; anything that is
+  // not a clean positive number falls back.
+  EXPECT_EQ(parse_flight_capacity("1024", 512), 1024u);
+  EXPECT_EQ(parse_flight_capacity(nullptr, 512), 512u);
+  EXPECT_EQ(parse_flight_capacity("", 512), 512u);
+  EXPECT_EQ(parse_flight_capacity("abc", 512), 512u);
+  EXPECT_EQ(parse_flight_capacity("64junk", 512), 512u);
+  EXPECT_EQ(parse_flight_capacity("-5", 512), 16u);  // clean parse, clamped
+  EXPECT_EQ(parse_flight_capacity("8", 512), 16u);           // clamp up
+  EXPECT_EQ(parse_flight_capacity("100000000", 512), 65536u);  // clamp down
+}
+
+TEST(Metrics, ScrapeEmitsHelpCommentsForKnownFamilies) {
+  MetricsRegistry registry;
+  registry.counter("rave_soap_calls_total", {{"host", "a"}}).inc(3);
+  registry.counter("rave_soap_calls_total", {{"host", "b"}}).inc(1);
+  registry.counter("rave_made_up_total").inc();
+
+  const std::string text = registry.scrape();
+  const size_t help = text.find("# HELP rave_soap_calls_total ");
+  const size_t type = text.find("# TYPE rave_soap_calls_total counter");
+  ASSERT_NE(help, std::string::npos) << text;
+  ASSERT_NE(type, std::string::npos) << text;
+  EXPECT_LT(help, type);  // Prometheus order: HELP, TYPE, samples
+  // One HELP per family, not per labeled series.
+  EXPECT_EQ(text.find("# HELP rave_soap_calls_total ", help + 1), std::string::npos);
+  // Unknown families scrape fine, just without a HELP comment.
+  EXPECT_EQ(text.find("# HELP rave_made_up_total"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE rave_made_up_total counter"), std::string::npos) << text;
+}
+
+TEST(Trace, CriticalPathOfUntracedFrameIsEmptyButPrintable) {
+  // Tracing disabled → no spans at all. The analysis degrades to an
+  // explicit "(none)", never a crash or a bogus hop.
+  const CriticalPath path = critical_path({}, 0);
+  EXPECT_TRUE(path.hops.empty());
+  EXPECT_TRUE(path.dominant.empty());
+  EXPECT_DOUBLE_EQ(path.total_seconds, 0.0);
+  EXPECT_NE(format_critical_path(path).find("(none)"), std::string::npos);
+}
+
+TEST(Trace, CriticalPathChargesOrphanSpansFullDuration) {
+  // A partially traced frame: the relay's span made it into the collector
+  // but its publisher parent did not (sampled out, or the host died before
+  // flushing). The orphan has no parent to absorb child time, so its full
+  // duration counts as self time — the breakdown stays truthful about
+  // what was observed instead of silently dropping the hop.
+  const auto make = [](uint64_t span, uint64_t parent, const char* name, const char* host,
+                       double start, double end) {
+    SpanRecord record;
+    record.trace_id = 5;
+    record.span_id = span;
+    record.parent_span_id = parent;
+    record.name = name;
+    record.host = host;
+    record.start = start;
+    record.end = end;
+    return record;
+  };
+  const std::vector<SpanRecord> spans = {
+      make(21, 99, "relay", "edge", 0.010, 0.018),  // parent 99 never recorded
+      make(22, 21, "decode", "pda", 0.012, 0.015),
+  };
+  const CriticalPath path = critical_path(spans, 5);
+  ASSERT_EQ(path.hops.size(), 2u);
+  EXPECT_EQ(path.dominant, "relay@edge");
+  EXPECT_DOUBLE_EQ(path.hops[0].self_seconds, 0.005);  // 8ms minus the decode child
+  EXPECT_DOUBLE_EQ(path.hops[1].self_seconds, 0.003);  // orphan-rooted subtree intact
+  EXPECT_DOUBLE_EQ(path.total_seconds, 0.008);         // last end − first start
+}
+
 }  // namespace
 }  // namespace rave::obs
 

@@ -249,6 +249,67 @@ TEST(Reactor, WireBytesIdenticalToLegacyFraming) {
   client->close();
 }
 
+TEST(Reactor, HlcStampedWireBytesMatchSpec) {
+  RawPeer peer;
+  peer.start();
+  ChannelPtr client = reactor_connect(peer.port, {});
+  peer.accept_one();
+
+  // Stamped frame: length excludes headers, the type carries the 0x4000
+  // flag, then wall micros (u64 LE) + logical (u32 LE) before the payload.
+  Message msg(0x0142, {10, 11});
+  msg.hlc_wall = 0x0102030405060708ull;
+  msg.hlc_logical = 0x0A0B0C0Du;
+  ASSERT_TRUE(client->send(std::move(msg)).ok());
+  const std::vector<uint8_t> expected = {2,    0,    0,    0,           // length
+                                         0x42, 0x41,                    // type | 0x4000
+                                         8,    7,    6,    5, 4, 3, 2, 1,  // wall LE
+                                         0x0D, 0x0C, 0x0B, 0x0A,        // logical LE
+                                         10,   11};
+  EXPECT_EQ(peer.read_exactly(expected.size()), expected);
+  client->close();
+}
+
+TEST(Reactor, TraceAndHlcCoexistOverEventLoop) {
+  std::mutex mu;
+  std::condition_variable cv;
+  ChannelPtr server;
+  auto listener = Reactor::global().listen(0, [&](ChannelPtr accepted) {
+    std::lock_guard lock(mu);
+    server = std::move(accepted);
+    cv.notify_all();
+  });
+  ASSERT_TRUE(listener.ok()) << listener.error();
+  // tcp_connect honors RAVE_NET: under the legacy lane this sends a
+  // trace+HLC header from the legacy engine to a reactor server — both
+  // optional headers must agree across engines, in order (trace, HLC).
+  auto dialed = tcp_connect("127.0.0.1", listener.value()->port());
+  ChannelPtr client = dialed.ok() ? std::move(dialed).take() : nullptr;
+  ASSERT_NE(client, nullptr);
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return server != nullptr; }));
+  }
+
+  Message out(0x0133, {1, 2, 3}, Buffer::take({4, 5}));
+  out.trace_id = 0xDEADBEEF;
+  out.span_id = 77;
+  out.hlc_wall = 123'456'789;
+  out.hlc_logical = 6;
+  ASSERT_TRUE(client->send(std::move(out)).ok());
+
+  auto got = server->receive_result(5.0);
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_EQ(got.value().type, 0x0133);
+  EXPECT_EQ(got.value().payload, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(got.value().trace_id, 0xDEADBEEFu);
+  EXPECT_EQ(got.value().span_id, 77u);
+  EXPECT_EQ(got.value().hlc_wall, 123'456'789u);
+  EXPECT_EQ(got.value().hlc_logical, 6u);
+  client->close();
+  server->close();
+}
+
 TEST(Reactor, ZeroCopiesFromEncodeToSocket) {
   RawPeer peer;
   peer.start();
